@@ -1,0 +1,91 @@
+/// Ablation — pricing each §4.2/§4.3 design choice individually:
+///
+///   * VMAC grouping off  → clause rules match destination prefixes
+///     directly: data-plane state explodes (the §4.2 claim);
+///   * pair pruning off   → every stage-1 rule is composed against the
+///     concatenation of all participants' stage-2 policies instead of only
+///     its target's: wasted compositions (the §4.3.1 claim);
+///   * memoization off    → stage-2 classifiers are rebuilt per composed
+///     rule (the §4.3.1 caching claim);
+///   * reference compiler → the paper's literal (ΣPX'')>>(ΣPX'') formula
+///     through the generic classifier compiler, at a small scale where it
+///     is feasible at all.
+
+#include "bench_common.hpp"
+#include "policy/compile.hpp"
+#include "sdx/default_forwarding.hpp"
+
+using namespace sdx;
+
+namespace {
+
+void run_variant(const char* name, const ixp::GeneratedIxp& ixp,
+                 core::CompileOptions options) {
+  core::SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server,
+                             options);
+  core::VnhAllocator vnh;
+  auto compiled = compiler.compile(vnh);
+  const auto& s = compiled.stats;
+  std::printf("%-22s,%zu,%zu,%zu,%.1f\n", name, s.prefix_groups,
+              s.final_rules, s.pair_compositions, s.total_seconds * 1e3);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation of the SDX compiler optimizations\n");
+  std::printf("# workload: 100 participants, 10000 prefixes, px=10000\n");
+  std::printf("variant,prefix_groups,final_rules,pair_compositions,"
+              "time_ms\n");
+  auto ixp = bench::make_workload(100, 10000, 10000);
+  run_variant("optimized", ixp, {});
+  {
+    core::CompileOptions o;
+    o.memoize_stage2 = false;
+    run_variant("no-memoization", ixp, o);
+  }
+  {
+    core::CompileOptions o;
+    o.prune_pairs = false;
+    run_variant("no-pair-pruning", ixp, o);
+  }
+  {
+    core::CompileOptions o;
+    o.vmac_grouping = false;
+    run_variant("no-vmac-grouping", ixp, o);
+  }
+
+  // The reference compiler executes the paper's unoptimized formula; it is
+  // only tractable on toy instances — which is itself the ablation result.
+  std::printf("\n# reference (paper-literal) compiler vs optimized, tiny "
+              "scale\n");
+  std::printf("variant,participants,prefixes,rules,time_ms\n");
+  for (std::size_t participants : {5u, 10u, 15u}) {
+    ixp::GeneratorConfig cfg;
+    cfg.participants = participants;
+    cfg.prefixes = 40;
+    cfg.seed = 3;
+    auto tiny = ixp::generate_ixp(cfg);
+    ixp::PolicySynthConfig pcfg;
+    pcfg.seed = 5;
+    ixp::synthesize_policies(tiny, pcfg);
+
+    bench::Stopwatch ref_watch;
+    auto policy =
+        core::reference_sdx_policy(tiny.participants, tiny.ports,
+                                   tiny.server);
+    auto classifier = policy::compile(policy);
+    std::printf("reference,%zu,%zu,%zu,%.1f\n", participants,
+                cfg.prefixes, classifier.size(), ref_watch.seconds() * 1e3);
+
+    bench::Stopwatch opt_watch;
+    core::SdxCompiler compiler(tiny.participants, tiny.ports, tiny.server);
+    core::VnhAllocator vnh;
+    auto compiled = compiler.compile(vnh);
+    std::printf("optimized,%zu,%zu,%zu,%.1f\n", participants, cfg.prefixes,
+                compiled.stats.final_rules, opt_watch.seconds() * 1e3);
+    std::fflush(stdout);
+  }
+  return 0;
+}

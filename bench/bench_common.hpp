@@ -1,0 +1,58 @@
+#pragma once
+
+/// Shared helpers for the figure/table benchmarks: workload construction
+/// per §6.1 and small formatting utilities. Each bench binary regenerates
+/// one table or figure of the paper (see DESIGN.md §4) and prints the same
+/// rows/series the paper reports.
+
+#include <chrono>
+#include <cstdio>
+
+#include "ixp/ixp_generator.hpp"
+#include "sdx/compiler.hpp"
+#include "sdx/vnh_allocator.hpp"
+
+namespace sdx::bench {
+
+/// A generated IXP with §6.1 policies installed. \p policy_prefix_count is
+/// the paper's x knob — the number of randomly-selected prefixes that SDX
+/// policies apply to (0 = clauses unrestricted).
+inline ixp::GeneratedIxp make_workload(std::size_t participants,
+                                       std::size_t prefixes,
+                                       std::size_t policy_prefix_count = 0,
+                                       std::uint64_t seed = 1) {
+  ixp::GeneratorConfig cfg;
+  cfg.participants = participants;
+  cfg.prefixes = prefixes;
+  cfg.seed = seed;
+  auto ixp = ixp::generate_ixp(cfg);
+  ixp::PolicySynthConfig pcfg;
+  pcfg.seed = seed * 31 + 7;
+  if (policy_prefix_count > 0) {
+    pcfg.policy_prefixes =
+        ixp::sample_policy_prefixes(ixp, policy_prefix_count, seed * 17 + 3);
+  }
+  ixp::synthesize_policies(ixp, pcfg);
+  return ixp;
+}
+
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : t0_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace sdx::bench

@@ -1,0 +1,63 @@
+/// Figure 10 — CDF of the time to process a single BGP update (the §4.3.2
+/// fast path: assume a fresh VNH, recompile only the parts of the policy
+/// related to the updated prefix, compose through the memoized stage-2
+/// classifiers).
+///
+/// Paper result: under 100 ms most of the time, growing with participant
+/// count. Expected here: the same shape at far lower absolute numbers
+/// (optimized C++ vs Python).
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "netbase/rng.hpp"
+#include "sdx/incremental.hpp"
+
+int main() {
+  using namespace sdx;
+  constexpr int kUpdates = 500;
+  std::printf("# Figure 10 — single-update fast-path processing time\n");
+  std::printf("participants,percentile,time_ms\n");
+  for (std::size_t participants : {100, 200, 300}) {
+    auto ixp = bench::make_workload(participants, 25000, 25000);
+    core::SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server);
+    core::IncrementalEngine engine(compiler);
+    core::VnhAllocator vnh;
+    engine.full_recompile(vnh);
+
+    std::vector<net::Ipv4Prefix> covered;
+    for (const auto& [prefix, _] : engine.current().fecs.group_of) {
+      covered.push_back(prefix);
+    }
+    std::sort(covered.begin(), covered.end());
+    net::SplitMix64 rng(10 + participants);
+
+    std::vector<double> times_ms;
+    times_ms.reserve(kUpdates);
+    for (int i = 0; i < kUpdates; ++i) {
+      const auto prefix = covered[rng.below(covered.size())];
+      const auto& who = ixp.participants[rng.below(ixp.participants.size())];
+      bgp::Route r;
+      r.prefix = prefix;
+      r.attrs.as_path = net::AsPath{who.asn};
+      r.attrs.local_pref = 150 + static_cast<std::uint32_t>(i % 50);
+      r.attrs.next_hop = who.is_remote() ? net::Ipv4Address{}
+                                         : who.primary_port().router_ip;
+      r.learned_from = who.id;
+      r.peer_router_id = net::Ipv4Address(1);
+      ixp.server.announce(std::move(r));
+      auto result = engine.fast_update(prefix, vnh);
+      times_ms.push_back(result.seconds * 1e3);
+    }
+    std::sort(times_ms.begin(), times_ms.end());
+    for (int pct : {10, 25, 50, 75, 90, 95, 99}) {
+      const auto idx = std::min<std::size_t>(
+          times_ms.size() - 1,
+          static_cast<std::size_t>(pct / 100.0 *
+                                   static_cast<double>(times_ms.size())));
+      std::printf("%zu,p%d,%.3f\n", participants, pct, times_ms[idx]);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

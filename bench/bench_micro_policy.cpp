@@ -1,0 +1,120 @@
+/// Micro-benchmarks (google-benchmark) for the policy-compiler primitives
+/// the SDX pipeline is built from: predicate compilation (including the
+/// linear-size BGP prefix-list path), parallel/sequential classifier
+/// composition, pull-back, and flow-table lookup.
+
+#include <benchmark/benchmark.h>
+
+#include "dataplane/flow_table.hpp"
+#include "netbase/rng.hpp"
+#include "policy/compile.hpp"
+
+namespace {
+
+using namespace sdx;
+using policy::Classifier;
+using policy::Policy;
+using policy::Predicate;
+
+Policy app_peering_policy() {
+  return (policy::match(net::Field::kDstPort, 80) >> policy::fwd(10)) +
+         (policy::match(net::Field::kDstPort, 443) >> policy::fwd(11));
+}
+
+std::vector<net::Ipv4Prefix> prefix_list(std::size_t n) {
+  std::vector<net::Ipv4Prefix> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(net::Ipv4Prefix(
+        net::Ipv4Address(0x0A000000u + (static_cast<std::uint32_t>(i) << 8)),
+        24));
+  }
+  return out;
+}
+
+void BM_CompileAppPeeringPolicy(benchmark::State& state) {
+  Policy p = app_peering_policy();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy::compile(p));
+  }
+}
+BENCHMARK(BM_CompileAppPeeringPolicy);
+
+void BM_CompileBgpPrefixFilter(benchmark::State& state) {
+  auto prefixes = prefix_list(static_cast<std::size_t>(state.range(0)));
+  Policy p = policy::match(Predicate::any_of(net::Field::kDstIp, prefixes)) >>
+             policy::fwd(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy::compile(p));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CompileBgpPrefixFilter)->Range(16, 4096)->Complexity();
+
+void BM_ParCompose(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = policy::compile(policy::match(
+      Predicate::any_of(net::Field::kDstIp, prefix_list(n))) >>
+      policy::fwd(1));
+  auto b = policy::compile(policy::match(net::Field::kDstPort, 80) >>
+                           policy::fwd(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy::par_compose(a, b));
+  }
+}
+BENCHMARK(BM_ParCompose)->Range(16, 1024);
+
+void BM_SeqCompose(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = policy::compile(policy::match(
+      Predicate::any_of(net::Field::kDstIp, prefix_list(n))) >>
+      policy::fwd(1));
+  auto b = policy::compile(
+      (policy::match(net::Field::kPort, 1) >>
+       policy::modify(net::Field::kDstMac, std::uint64_t{42}) >>
+       policy::fwd(7)) +
+      policy::drop());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy::seq_compose(a, b));
+  }
+}
+BENCHMARK(BM_SeqCompose)->Range(16, 1024);
+
+void BM_PullBack(benchmark::State& state) {
+  auto through = policy::compile(
+      (policy::match(net::Field::kPort, 9) >> policy::fwd(3)) +
+      (policy::match(net::Field::kDstPort, 80) >> policy::fwd(4)));
+  net::FlowMatch domain = net::FlowMatch::on(net::Field::kPort, 1);
+  policy::ActionSeq act = policy::ActionSeq::set(net::Field::kPort, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy::pull_back(domain, act, through));
+  }
+}
+BENCHMARK(BM_PullBack);
+
+void BM_FlowTableLookup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dp::FlowTable table;
+  auto prefixes = prefix_list(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dp::FlowRule r;
+    r.priority = static_cast<std::uint32_t>(n - i);
+    r.match = net::FlowMatch::on_prefix(net::Field::kDstIp, prefixes[i]);
+    r.actions = {policy::ActionSeq::set(net::Field::kPort, 2)};
+    table.install(std::move(r));
+  }
+  net::SplitMix64 rng(5);
+  auto packet = net::PacketBuilder()
+                    .dst_ip(net::Ipv4Address(
+                        0x0A000000u + (static_cast<std::uint32_t>(
+                                           rng.below(n)) << 8)))
+                    .build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(packet));
+  }
+}
+BENCHMARK(BM_FlowTableLookup)->Range(64, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

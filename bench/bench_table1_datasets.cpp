@@ -1,0 +1,96 @@
+/// Table 1 — the IXP datasets (AMS-IX, DE-CIX, LINX, Jan 1–6 2014), plus
+/// the §4.3 burst statistics the two-stage compiler design rests on.
+///
+/// Substitution (DESIGN.md §2): the RIPE RIS traces are proprietary-scale
+/// captures; we regenerate synthetic traces calibrated to the same
+/// aggregate statistics. The "BGP updates" column in the paper counts
+/// updates across all collector peer sessions; we generate unique routing
+/// events and model the per-session amplification as events ×
+/// collector-peers. The prefix universe is scaled 1:10 so the bench runs in
+/// seconds; counters are reported at both scales.
+
+#include <cstdio>
+
+#include "ixp/ixp_generator.hpp"
+#include "ixp/trace_stats.hpp"
+#include "ixp/update_trace.hpp"
+
+int main() {
+  using namespace sdx;
+  constexpr double kScale = 10.0;  // prefix/update downscale for runtime
+
+  std::printf("# Table 1 — IXP datasets (synthetic, calibrated; scale 1:%g)\n",
+              kScale);
+  std::printf(
+      "collector,peers,prefixes_paper,prefixes_modeled,updates_paper,"
+      "updates_modeled,pct_prefixes_updated_paper,"
+      "pct_prefixes_updated_modeled\n");
+
+  for (const auto& profile :
+       {ixp::IxpProfile::amsix(), ixp::IxpProfile::decix(),
+        ixp::IxpProfile::linx()}) {
+    ixp::TraceConfig cfg;
+    cfg.seed = 20140101;
+    cfg.duration_s = 6 * 86400.0;
+    cfg.prefix_count =
+        static_cast<std::size_t>(profile.prefixes / kScale);
+    // Small compensation: coverage of the hot pool is ~95% at this draw
+    // rate, so the pool is sized slightly above the target fraction.
+    cfg.frac_prefixes_updated = profile.frac_prefixes_updated * 1.05;
+    // Per-IXP churn: updates per routing event = paper update count /
+    // (collector peers × unique events at this burst cadence). DE-CIX saw
+    // ~3× the per-event churn of AMS-IX in the measurement week.
+    cfg.churn_per_prefix =
+        static_cast<double>(profile.updates_per_week) /
+        (static_cast<double>(profile.collector_peers) * kScale * 9800.0);
+
+    ixp::TraceAnalyzer analyzer(5.0);
+    const std::size_t events =
+        ixp::generate_trace(cfg, [&analyzer](const ixp::TraceEvent& ev) {
+          analyzer.feed(ev);
+        });
+    auto stats = analyzer.finish();
+
+    const double updates_modeled = static_cast<double>(events) *
+                                   static_cast<double>(profile.collector_peers) *
+                                   kScale;
+    std::printf("%s,%zu/%zu,%zu,%zu,%zu,%.0f,%.2f%%,%.2f%%\n",
+                profile.name.c_str(), profile.collector_peers,
+                profile.total_peers, profile.prefixes,
+                cfg.prefix_count, profile.updates_per_week, updates_modeled,
+                profile.frac_prefixes_updated * 100,
+                100.0 * static_cast<double>(stats.distinct_prefixes) /
+                    static_cast<double>(cfg.prefix_count));
+
+    std::fprintf(stderr,
+                 "  [%s] events=%zu bursts=%zu p75_burst=%.0f "
+                 "max_burst=%.0f median_gap=%.0fs p25_gap=%.0fs "
+                 "withdrawals=%zu\n",
+                 profile.name.c_str(), events, stats.burst_count,
+                 stats.p75_burst_size, stats.max_burst_size,
+                 stats.median_interarrival_s, stats.p25_interarrival_s,
+                 stats.withdrawal_count);
+  }
+
+  std::printf(
+      "\n# §4.3 burst characteristics backing two-stage compilation "
+      "(AMS-IX-like trace):\n");
+  ixp::TraceConfig cfg;
+  cfg.seed = 20140101;
+  cfg.duration_s = 6 * 86400.0;
+  cfg.prefix_count = 51808;
+  cfg.frac_prefixes_updated = 0.104;
+  ixp::TraceAnalyzer analyzer(5.0);
+  ixp::generate_trace(cfg, [&analyzer](const ixp::TraceEvent& ev) {
+    analyzer.feed(ev);
+  });
+  auto s = analyzer.finish();
+  std::printf("metric,paper,measured\n");
+  std::printf("p75 burst size (prefixes),<=3,%.0f\n", s.p75_burst_size);
+  std::printf("max burst size (prefixes),>1000 once a week,%.0f\n",
+              s.max_burst_size);
+  std::printf("p25 inter-burst gap (s),>=10,%.1f\n", s.p25_interarrival_s);
+  std::printf("median inter-burst gap (s),>=60 (half the time),%.1f\n",
+              s.median_interarrival_s);
+  return 0;
+}

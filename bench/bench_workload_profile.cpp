@@ -1,0 +1,74 @@
+/// Workload characterization — prints the §6.1 distributions the synthetic
+/// IXP generator is calibrated to, so the Figure 6–10 inputs can be
+/// sanity-checked at a glance:
+///
+///   * the prefix-count skew ("1% of ASes announce >50% of prefixes, the
+///     bottom 90% combined announce <1%");
+///   * the category mix and which members install policies;
+///   * export-table sizes (origination + transit cones);
+///   * clause counts per policy-installing category.
+
+#include <algorithm>
+#include <numeric>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sdx;
+  for (std::size_t participants : {100, 300}) {
+    ixp::GeneratorConfig cfg;
+    cfg.participants = participants;
+    cfg.prefixes = 25000;
+    cfg.seed = 1;
+    auto ixp = ixp::generate_ixp(cfg);
+    ixp::PolicySynthConfig pcfg;
+    pcfg.seed = 38;
+    pcfg.policy_prefixes = ixp::sample_policy_prefixes(ixp, 25000, 20);
+    ixp::synthesize_policies(ixp, pcfg);
+
+    std::printf("# workload profile — %zu participants, %zu prefixes\n",
+                participants, cfg.prefixes);
+
+    // Origination skew.
+    auto counts = ixp.announced_counts;
+    std::sort(counts.rbegin(), counts.rend());
+    std::size_t top1 = 0, bottom90 = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i <= counts.size() / 100) top1 += counts[i];
+      if (i >= counts.size() / 10) bottom90 += counts[i];
+    }
+    std::printf("origination: top1%%=%.1f%% of table, bottom90%%=%.1f%%\n",
+                100.0 * static_cast<double>(top1) / 25000.0,
+                100.0 * static_cast<double>(bottom90) / 25000.0);
+
+    // Export sizes (origination + cones), percentiles.
+    std::vector<double> exports;
+    for (const auto& p : ixp.participants) {
+      exports.push_back(
+          static_cast<double>(ixp.server.advertised_by(p.id).size()));
+    }
+    std::sort(exports.begin(), exports.end());
+    std::printf("export-table size: p50=%.0f p90=%.0f max=%.0f\n",
+                exports[exports.size() / 2],
+                exports[exports.size() * 9 / 10], exports.back());
+
+    // Category mix and policy installers.
+    std::size_t by_cat[3] = {0, 0, 0};
+    std::size_t clauses_by_cat[3] = {0, 0, 0};
+    std::size_t installers = 0, multiport = 0;
+    for (std::size_t i = 0; i < ixp.participants.size(); ++i) {
+      const auto c = static_cast<std::size_t>(ixp.categories[i]);
+      ++by_cat[c];
+      const auto& p = ixp.participants[i];
+      clauses_by_cat[c] += p.outbound.size() + p.inbound.size();
+      installers += !p.outbound.empty() || !p.inbound.empty();
+      multiport += p.ports.size() > 1;
+    }
+    std::printf("categories: eyeball=%zu transit=%zu content=%zu; "
+                "%zu install policies; %zu multi-port\n",
+                by_cat[0], by_cat[1], by_cat[2], installers, multiport);
+    std::printf("clauses: eyeball=%zu transit=%zu content=%zu\n\n",
+                clauses_by_cat[0], clauses_by_cat[1], clauses_by_cat[2]);
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+/// Redirection through middleboxes with BGP-attribute grouping — paper §2
+/// and §3.2.
+///
+/// A transit network carries YouTube traffic into the exchange and must
+/// steer exactly that traffic through a transcoding middlebox, without
+/// enumerating YouTube's prefixes by hand. It asks the route server for
+/// every prefix whose AS path originates at YouTube's ASN (the paper's
+///   YouTubePrefixes = RIB.filter('as_path', .*43515$)
+/// idiom), then installs match(srcip={YouTubePrefixes}) >> fwd(M).
+///
+/// The middlebox participant M re-advertises the eyeball's prefixes (as a
+/// scrubbing/transcoding transit would), which is what makes the redirect
+/// consistent with BGP: the SDX only ever forwards along advertised paths.
+/// After processing, M re-injects the traffic and default forwarding
+/// carries it to the eyeball.
+
+#include <cstdio>
+
+#include "bgp/aspath_regex.hpp"
+#include "sdx/runtime.hpp"
+
+using namespace sdx;
+
+int main() {
+  constexpr net::Asn kYouTube = 43515;
+
+  core::SdxRuntime sdx;
+  const auto T = sdx.add_participant("transit", 65001);
+  const auto E = sdx.add_participant("eyeball", 65002);
+  const auto M = sdx.add_participant("middlebox", 65003);
+
+  // The eyeball's prefix, plus the middlebox re-advertising it (longer
+  // path, so plain BGP still prefers the direct route).
+  const auto eyeball_net = net::Ipv4Prefix::parse("203.0.113.0/24");
+  sdx.announce(E, eyeball_net, net::AsPath{65002});
+  sdx.announce(M, eyeball_net, net::AsPath{65003, 65002});
+
+  // The transit carries YouTube and one unrelated content network.
+  sdx.announce(T, net::Ipv4Prefix::parse("208.65.152.0/22"),
+               net::AsPath{65001, kYouTube});
+  sdx.announce(T, net::Ipv4Prefix::parse("151.101.0.0/16"),
+               net::AsPath{65001, 54113});
+
+  // §3.2: derive the match set from BGP attributes.
+  auto youtube_prefixes = bgp::filter_rib(
+      sdx.route_server(), E, bgp::AsPathFilter::originated_by(kYouTube));
+  std::printf("RIB.filter('as_path', .*%u$) -> %zu prefix(es):\n", kYouTube,
+              youtube_prefixes.size());
+  for (auto p : youtube_prefixes) {
+    std::printf("  %s\n", p.to_string().c_str());
+  }
+
+  core::ClauseMatch yt_match;
+  for (auto p : youtube_prefixes) yt_match.src(p);
+  sdx.set_outbound(T, {core::OutboundClause{yt_match, M}});
+  sdx.install();
+
+  auto hop = [&](bgp::ParticipantId from, const char* src) {
+    auto deliveries = sdx.send(from, net::PacketBuilder()
+                                         .src_ip(src)
+                                         .dst_ip("203.0.113.50")
+                                         .proto(net::kProtoTcp)
+                                         .dst_port(443)
+                                         .build());
+    return deliveries;
+  };
+
+  // YouTube-sourced traffic: transit → middlebox → (re-inject) → eyeball.
+  auto first = hop(T, "208.65.153.9");
+  std::printf("\nYouTube flow, first hop : egress port %u (%s)\n",
+              first[0].port,
+              first[0].port == sdx.participant(M).primary_port().id ? "middlebox"
+                                                   : "UNEXPECTED");
+  auto second = hop(M, "208.65.153.9");
+  std::printf("after transcoding, hop 2: egress port %u (%s)\n",
+              second[0].port,
+              second[0].port == sdx.participant(E).primary_port().id ? "eyeball"
+                                                    : "UNEXPECTED");
+
+  // Unrelated traffic bypasses the middlebox entirely.
+  auto direct = hop(T, "151.101.1.1");
+  std::printf("non-YouTube flow        : egress port %u (%s)\n",
+              direct[0].port,
+              direct[0].port == sdx.participant(E).primary_port().id ? "eyeball, direct"
+                                                    : "UNEXPECTED");
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// sdx_shell — run SDX scenario scripts (or drive the exchange
+/// interactively from stdin). The scenario language covers the full
+/// lifecycle: participants, policies, BGP events, deployment, traffic
+/// injection and assertions; see src/sdx/scenario.cpp for the grammar.
+///
+/// Usage:
+///   sdx_shell <script.sdx>     # run a script, exit non-zero on failures
+///   sdx_shell                  # read commands from stdin
+///   sdx_shell --demo           # run the built-in Figure-1 walkthrough
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "sdx/scenario.hpp"
+
+namespace {
+
+constexpr const char* kDemo = R"(# Figure 1 walkthrough (paper §3)
+participant A 65001
+participant B 65002 ports 2
+participant C 65003
+announce B 100.1.0.0/16 path 65002 900 10
+announce C 100.1.0.0/16 path 65003 10
+announce C 100.2.0.0/16 path 65003 20
+outbound A match dstport=80 -> B
+outbound A match dstport=443 -> C
+inbound B match srcip=0.0.0.0/1 port 0
+inbound B match srcip=128.0.0.0/1 port 1
+install
+show stats
+send A srcip=96.25.160.5 dstip=100.1.2.3 ipproto=6 dstport=80
+expect port B 0
+send A srcip=200.1.1.1 dstip=100.1.2.3 ipproto=6 dstport=80
+expect port B 1
+send A srcip=96.25.160.5 dstip=100.2.9.9 ipproto=6 dstport=443
+expect port C 0
+send A srcip=96.25.160.5 dstip=100.1.2.3 ipproto=17 dstport=53
+expect port C 0
+audit
+explain A srcip=96.25.160.5 dstip=100.1.2.3 ipproto=6 dstport=80
+withdraw B 100.1.0.0/16
+send A srcip=96.25.160.5 dstip=100.1.2.3 ipproto=6 dstport=80
+expect port C 0
+show log
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sdx::core::ScenarioInterpreter interpreter;
+  if (argc > 1 && std::string(argv[1]) == "--demo") {
+    std::istringstream script(kDemo);
+    const auto failures = interpreter.run(script, std::cout,
+                                          /*echo_commands=*/true);
+    return failures == 0 ? 0 : 1;
+  }
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    const auto failures = interpreter.run(file, std::cout);
+    return failures == 0 ? 0 : 1;
+  }
+  const auto failures = interpreter.run(std::cin, std::cout);
+  return failures == 0 ? 0 : 1;
+}

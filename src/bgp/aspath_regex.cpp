@@ -1,0 +1,42 @@
+#include "bgp/aspath_regex.hpp"
+
+#include <regex>
+
+namespace sdx::bgp {
+
+struct AsPathFilter::Impl {
+  std::regex re;
+};
+
+AsPathFilter::AsPathFilter(const std::string& pattern)
+    : pattern_(pattern),
+      impl_(std::make_unique<Impl>(
+          Impl{std::regex(pattern, std::regex::ECMAScript |
+                                       std::regex::optimize)})) {}
+
+AsPathFilter::~AsPathFilter() = default;
+AsPathFilter::AsPathFilter(AsPathFilter&&) noexcept = default;
+AsPathFilter& AsPathFilter::operator=(AsPathFilter&&) noexcept = default;
+
+AsPathFilter AsPathFilter::originated_by(Asn origin) {
+  // Anchored on the token boundary: "(^| )<asn>$".
+  return AsPathFilter("(^|.* )" + std::to_string(origin) + "$");
+}
+
+AsPathFilter AsPathFilter::traverses(Asn asn) {
+  return AsPathFilter("(^|.* )" + std::to_string(asn) + "( .*|$)");
+}
+
+bool AsPathFilter::matches(const net::AsPath& path) const {
+  return std::regex_match(path.to_string(), impl_->re);
+}
+
+std::vector<Ipv4Prefix> filter_rib(const RouteServer& server,
+                                   ParticipantId viewer,
+                                   const AsPathFilter& filter) {
+  return server.filter_prefixes(viewer, [&filter](const Route& r) {
+    return filter.matches(r.attrs.as_path);
+  });
+}
+
+}  // namespace sdx::bgp

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file aspath_regex.hpp
+/// AS-path regular-expression filters (paper §3.2):
+///
+///   YouTubePrefixes = RIB.filter('as_path', .*43515$)
+///
+/// Patterns are applied to the space-separated ASN string of a path. The
+/// class also offers tokenized helpers (`ends_with`, `contains_asn`) that
+/// avoid the classic substring pitfall (".*515$" matching AS 43515).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bgp/route_server.hpp"
+#include "netbase/as_path.hpp"
+
+namespace sdx::bgp {
+
+class AsPathFilter {
+ public:
+  /// Compiles an ECMAScript regular expression over the path string.
+  /// Throws std::regex_error on a malformed pattern.
+  explicit AsPathFilter(const std::string& pattern);
+  ~AsPathFilter();
+
+  AsPathFilter(AsPathFilter&&) noexcept;
+  AsPathFilter& operator=(AsPathFilter&&) noexcept;
+  AsPathFilter(const AsPathFilter&) = delete;
+  AsPathFilter& operator=(const AsPathFilter&) = delete;
+
+  /// A filter matching paths originated by \p origin (tokenized, exact ASN).
+  static AsPathFilter originated_by(Asn origin);
+  /// A filter matching paths that traverse \p asn anywhere.
+  static AsPathFilter traverses(Asn asn);
+
+  bool matches(const net::AsPath& path) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  std::string pattern_;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Applies a filter over \p viewer's view of the RIB, returning the prefixes
+/// whose best-route AS path matches — the list fed to match(srcip={...}) or
+/// match(dstip={...}) policies.
+std::vector<Ipv4Prefix> filter_rib(const RouteServer& server,
+                                   ParticipantId viewer,
+                                   const AsPathFilter& filter);
+
+}  // namespace sdx::bgp

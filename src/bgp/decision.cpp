@@ -1,0 +1,50 @@
+#include "bgp/decision.hpp"
+
+namespace sdx::bgp {
+
+bool better(const Route& a, const Route& b, const DecisionConfig& cfg) {
+  // 1. Highest LOCAL_PREF.
+  const auto lp_a = a.attrs.effective_local_pref();
+  const auto lp_b = b.attrs.effective_local_pref();
+  if (lp_a != lp_b) return lp_a > lp_b;
+
+  // 2. Shortest AS path.
+  if (a.attrs.as_path.length() != b.attrs.as_path.length()) {
+    return a.attrs.as_path.length() < b.attrs.as_path.length();
+  }
+
+  // 3. Lowest ORIGIN (IGP < EGP < INCOMPLETE).
+  if (a.attrs.origin != b.attrs.origin) {
+    return static_cast<int>(a.attrs.origin) < static_cast<int>(b.attrs.origin);
+  }
+
+  // 4. Lowest MED, comparable only between routes via the same neighbor AS
+  //    unless always-compare-med is set. A missing MED counts as 0 (RFC 4271
+  //    "missing-as-best" default is 0 here for determinism).
+  if (cfg.always_compare_med || a.neighbor_as() == b.neighbor_as()) {
+    const std::uint32_t med_a = a.attrs.med.value_or(0);
+    const std::uint32_t med_b = b.attrs.med.value_or(0);
+    if (med_a != med_b) return med_a < med_b;
+  }
+
+  // 5. (eBGP over iBGP / IGP cost do not apply at a route server.)
+
+  // 6. Lowest peer BGP identifier.
+  if (a.peer_router_id != b.peer_router_id) {
+    return a.peer_router_id < b.peer_router_id;
+  }
+
+  // 7. Deterministic final tie-break: lowest advertising participant id.
+  return a.learned_from < b.learned_from;
+}
+
+const Route* select_best(std::span<const Route> candidates,
+                         const DecisionConfig& cfg) {
+  const Route* best = nullptr;
+  for (const Route& r : candidates) {
+    if (best == nullptr || better(r, *best, cfg)) best = &r;
+  }
+  return best;
+}
+
+}  // namespace sdx::bgp

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file decision.hpp
+/// The BGP decision process used by the route server to pick, per
+/// participant, one best route per prefix (paper §3.2).
+
+#include <span>
+
+#include "bgp/route.hpp"
+
+namespace sdx::bgp {
+
+/// Route-server comparison options.
+struct DecisionConfig {
+  /// When false (default, per RFC 4271), MED is only compared between routes
+  /// learned from the same neighboring AS; when true it is always compared
+  /// ("always-compare-med"), as many IXP route servers configure.
+  bool always_compare_med = false;
+};
+
+/// Returns true when \p a is strictly preferred over \p b by the decision
+/// process: higher LOCAL_PREF, shorter AS path, lower ORIGIN, lower MED,
+/// then lower peer router-id and lower advertising participant id as the
+/// deterministic tie-breakers.
+bool better(const Route& a, const Route& b, const DecisionConfig& cfg = {});
+
+/// The best route among \p candidates (nullptr when empty).
+const Route* select_best(std::span<const Route> candidates,
+                         const DecisionConfig& cfg = {});
+
+}  // namespace sdx::bgp

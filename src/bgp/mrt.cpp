@@ -1,0 +1,288 @@
+#include "bgp/mrt.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+namespace sdx::bgp {
+
+namespace {
+
+constexpr std::size_t kMaxRecordBody = 1u << 24;
+constexpr std::uint16_t kAfiIpv4 = 1;
+
+class BodyWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v >> 8));
+    u8(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void bytes(const std::vector<std::uint8_t>& b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  void prefix(Ipv4Prefix p) {
+    u8(static_cast<std::uint8_t>(p.length()));
+    const std::uint32_t net = p.network().value();
+    for (int i = 0; i < (p.length() + 7) / 8; ++i) {
+      u8(static_cast<std::uint8_t>(net >> (24 - 8 * i)));
+    }
+  }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class BodyReader {
+ public:
+  explicit BodyReader(const std::vector<std::uint8_t>& data) : data_(data) {}
+
+  std::uint8_t u8() {
+    require(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    const auto a = u8();
+    return static_cast<std::uint16_t>((a << 8) | u8());
+  }
+  std::uint32_t u32() {
+    const auto a = u16();
+    return (static_cast<std::uint32_t>(a) << 16) | u16();
+  }
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    require(n);
+    std::vector<std::uint8_t> out(
+        data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+        data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  Ipv4Prefix prefix() {
+    const int len = u8();
+    if (len > 32) throw std::runtime_error("MRT: bad prefix length");
+    std::uint32_t net = 0;
+    for (int i = 0; i < (len + 7) / 8; ++i) {
+      net |= static_cast<std::uint32_t>(u8()) << (24 - 8 * i);
+    }
+    return Ipv4Prefix(Ipv4Address(net), len);
+  }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw std::runtime_error("MRT: truncated record body");
+    }
+  }
+  const std::vector<std::uint8_t>& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void write_record(std::ostream& os, const MrtRecord& record) {
+  BodyWriter header;
+  header.u32(record.timestamp);
+  header.u16(record.type);
+  header.u16(record.subtype);
+  header.u32(static_cast<std::uint32_t>(record.body.size()));
+  auto hdr = header.take();
+  os.write(reinterpret_cast<const char*>(hdr.data()),
+           static_cast<std::streamsize>(hdr.size()));
+  os.write(reinterpret_cast<const char*>(record.body.data()),
+           static_cast<std::streamsize>(record.body.size()));
+}
+
+std::optional<MrtRecord> read_record(std::istream& is) {
+  std::uint8_t header[12];
+  is.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (is.gcount() == 0 && is.eof()) return std::nullopt;
+  if (is.gcount() != sizeof(header)) {
+    throw std::runtime_error("MRT: truncated record header");
+  }
+  MrtRecord record;
+  record.timestamp = (std::uint32_t{header[0]} << 24) |
+                     (std::uint32_t{header[1]} << 16) |
+                     (std::uint32_t{header[2]} << 8) | header[3];
+  record.type = static_cast<std::uint16_t>((header[4] << 8) | header[5]);
+  record.subtype = static_cast<std::uint16_t>((header[6] << 8) | header[7]);
+  const std::uint32_t length = (std::uint32_t{header[8]} << 24) |
+                               (std::uint32_t{header[9]} << 16) |
+                               (std::uint32_t{header[10]} << 8) | header[11];
+  if (length > kMaxRecordBody) {
+    throw std::runtime_error("MRT: oversized record (" +
+                             std::to_string(length) + " bytes)");
+  }
+  record.body.resize(length);
+  is.read(reinterpret_cast<char*>(record.body.data()), length);
+  if (is.gcount() != static_cast<std::streamsize>(length)) {
+    throw std::runtime_error("MRT: truncated record body");
+  }
+  return record;
+}
+
+MrtRecord encode_bgp4mp(std::uint32_t timestamp, const Bgp4mpMessage& msg) {
+  BodyWriter w;
+  w.u32(msg.peer_as);
+  w.u32(msg.local_as);
+  w.u16(msg.ifindex);
+  w.u16(kAfiIpv4);
+  w.u32(msg.peer_ip.value());
+  w.u32(msg.local_ip.value());
+  w.bytes(encode(msg.message));
+  MrtRecord record;
+  record.timestamp = timestamp;
+  record.type = kMrtTypeBgp4mp;
+  record.subtype = kMrtSubtypeBgp4mpMessageAs4;
+  record.body = w.take();
+  return record;
+}
+
+Bgp4mpMessage decode_bgp4mp(const MrtRecord& record) {
+  if (record.type != kMrtTypeBgp4mp ||
+      record.subtype != kMrtSubtypeBgp4mpMessageAs4) {
+    throw std::runtime_error("MRT: not a BGP4MP_MESSAGE_AS4 record");
+  }
+  BodyReader r(record.body);
+  Bgp4mpMessage out;
+  out.peer_as = r.u32();
+  out.local_as = r.u32();
+  out.ifindex = r.u16();
+  const std::uint16_t afi = r.u16();
+  if (afi != kAfiIpv4) {
+    throw std::runtime_error("MRT: unsupported AFI " + std::to_string(afi));
+  }
+  out.peer_ip = Ipv4Address(r.u32());
+  out.local_ip = Ipv4Address(r.u32());
+  auto message_bytes = r.bytes(r.remaining());
+  auto result = decode(message_bytes);
+  if (!result.ok()) {
+    throw std::runtime_error("MRT: embedded BGP message: " + result.error);
+  }
+  out.message = std::move(*result.message);
+  return out;
+}
+
+std::size_t write_rib_dump(std::ostream& os, const RouteServer& server,
+                           std::uint32_t timestamp,
+                           const std::string& view_name) {
+  // PEER_INDEX_TABLE.
+  const auto& peers = server.peers();
+  {
+    BodyWriter w;
+    w.u32(0);  // collector BGP id
+    w.u16(static_cast<std::uint16_t>(view_name.size()));
+    for (char c : view_name) w.u8(static_cast<std::uint8_t>(c));
+    w.u16(static_cast<std::uint16_t>(peers.size()));
+    for (const auto& p : peers) {
+      w.u8(0x02);  // IPv4 address, 4-byte AS
+      w.u32(p.router_id.value());
+      w.u32(p.router_id.value());  // peer address (same at the IXP LAN)
+      w.u32(p.asn);
+    }
+    MrtRecord record;
+    record.timestamp = timestamp;
+    record.type = kMrtTypeTableDumpV2;
+    record.subtype = kMrtSubtypePeerIndexTable;
+    record.body = w.take();
+    write_record(os, record);
+  }
+
+  // One RIB_IPV4_UNICAST record per prefix, entries = candidates.
+  std::map<ParticipantId, std::uint16_t> peer_index;
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    peer_index[peers[i].id] = static_cast<std::uint16_t>(i);
+  }
+  std::size_t records = 1;
+  std::uint32_t sequence = 0;
+  for (auto prefix : server.all_prefixes()) {
+    const auto* candidates = server.candidates(prefix);
+    if (candidates == nullptr) continue;
+    BodyWriter w;
+    w.u32(sequence++);
+    w.prefix(prefix);
+    w.u16(static_cast<std::uint16_t>(candidates->size()));
+    for (const auto& route : *candidates) {
+      w.u16(peer_index.at(route.learned_from));
+      w.u32(timestamp);  // originated time
+      auto attrs = encode_path_attributes(route.attrs);
+      w.u16(static_cast<std::uint16_t>(attrs.size()));
+      w.bytes(attrs);
+    }
+    MrtRecord record;
+    record.timestamp = timestamp;
+    record.type = kMrtTypeTableDumpV2;
+    record.subtype = kMrtSubtypeRibIpv4Unicast;
+    record.body = w.take();
+    write_record(os, record);
+    ++records;
+  }
+  return records;
+}
+
+RibDump read_rib_dump(std::istream& is) {
+  RibDump dump;
+  auto first = read_record(is);
+  if (!first || first->type != kMrtTypeTableDumpV2 ||
+      first->subtype != kMrtSubtypePeerIndexTable) {
+    throw std::runtime_error("MRT: expected PEER_INDEX_TABLE first");
+  }
+  {
+    BodyReader r(first->body);
+    r.u32();  // collector id
+    const std::uint16_t name_len = r.u16();
+    r.bytes(name_len);
+    const std::uint16_t n_peers = r.u16();
+    for (std::uint16_t i = 0; i < n_peers; ++i) {
+      const std::uint8_t peer_type = r.u8();
+      if (peer_type != 0x02) {
+        throw std::runtime_error("MRT: unsupported peer entry type");
+      }
+      RouteServer::Peer peer;
+      peer.router_id = Ipv4Address(r.u32());
+      r.u32();  // peer address
+      peer.asn = r.u32();
+      peer.id = static_cast<ParticipantId>(i + 1);
+      dump.peers.push_back(peer);
+    }
+  }
+
+  while (auto record = read_record(is)) {
+    if (record->type != kMrtTypeTableDumpV2 ||
+        record->subtype != kMrtSubtypeRibIpv4Unicast) {
+      throw std::runtime_error("MRT: unexpected record in RIB dump");
+    }
+    BodyReader r(record->body);
+    r.u32();  // sequence
+    const Ipv4Prefix prefix = r.prefix();
+    const std::uint16_t n_entries = r.u16();
+    for (std::uint16_t e = 0; e < n_entries; ++e) {
+      const std::uint16_t idx = r.u16();
+      if (idx >= dump.peers.size()) {
+        throw std::runtime_error("MRT: RIB entry references unknown peer");
+      }
+      r.u32();  // originated time
+      const std::uint16_t attr_len = r.u16();
+      auto attr_bytes = r.bytes(attr_len);
+      Route route;
+      route.prefix = prefix;
+      std::string error;
+      if (!decode_path_attributes(attr_bytes, route.attrs, error)) {
+        throw std::runtime_error("MRT: RIB entry attributes: " + error);
+      }
+      route.learned_from = dump.peers[idx].id;
+      route.peer_router_id = dump.peers[idx].router_id;
+      dump.routes.push_back(std::move(route));
+    }
+  }
+  return dump;
+}
+
+}  // namespace sdx::bgp

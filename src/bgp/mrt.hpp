@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file mrt.hpp
+/// MRT export format (RFC 6396) — the format RIPE RIS publishes the
+/// collector traces the paper's Table 1 is built from. Implemented:
+///
+///   * record framing (timestamp, type, subtype, length);
+///   * BGP4MP / BGP4MP_MESSAGE_AS4 — one BGP message as seen on a peering
+///     session (used for update traces);
+///   * TABLE_DUMP_V2 / PEER_INDEX_TABLE + RIB_IPV4_UNICAST — full RIB
+///     snapshots (used to dump and reload route-server state).
+///
+/// Writers/readers operate on std::ostream/std::istream so traces can be
+/// streamed to disk at Table-1 scale without buffering.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/route_server.hpp"
+#include "bgp/wire.hpp"
+
+namespace sdx::bgp {
+
+// MRT type/subtype constants (RFC 6396 §4).
+inline constexpr std::uint16_t kMrtTypeTableDumpV2 = 13;
+inline constexpr std::uint16_t kMrtTypeBgp4mp = 16;
+inline constexpr std::uint16_t kMrtSubtypePeerIndexTable = 1;
+inline constexpr std::uint16_t kMrtSubtypeRibIpv4Unicast = 2;
+inline constexpr std::uint16_t kMrtSubtypeBgp4mpMessageAs4 = 4;
+
+/// One framed MRT record.
+struct MrtRecord {
+  std::uint32_t timestamp = 0;
+  std::uint16_t type = 0;
+  std::uint16_t subtype = 0;
+  std::vector<std::uint8_t> body;
+
+  friend bool operator==(const MrtRecord&, const MrtRecord&) = default;
+};
+
+/// Writes one record (header + body).
+void write_record(std::ostream& os, const MrtRecord& record);
+
+/// Reads the next record; std::nullopt at clean EOF. Throws
+/// std::runtime_error on a truncated or oversized record.
+std::optional<MrtRecord> read_record(std::istream& is);
+
+/// A BGP4MP_MESSAGE_AS4 payload: one BGP message on a session.
+struct Bgp4mpMessage {
+  Asn peer_as = 0;
+  Asn local_as = 0;
+  std::uint16_t ifindex = 0;
+  Ipv4Address peer_ip;
+  Ipv4Address local_ip;
+  Message message;
+
+  friend bool operator==(const Bgp4mpMessage&,
+                         const Bgp4mpMessage&) = default;
+};
+
+MrtRecord encode_bgp4mp(std::uint32_t timestamp, const Bgp4mpMessage& msg);
+
+/// Decodes a BGP4MP_MESSAGE_AS4 record; throws std::runtime_error on a
+/// malformed body or a non-IPv4 AFI.
+Bgp4mpMessage decode_bgp4mp(const MrtRecord& record);
+
+/// Dumps every candidate route of the server as a TABLE_DUMP_V2 snapshot:
+/// one PEER_INDEX_TABLE record followed by one RIB_IPV4_UNICAST record per
+/// prefix. Returns the number of records written.
+std::size_t write_rib_dump(std::ostream& os, const RouteServer& server,
+                           std::uint32_t timestamp = 0,
+                           const std::string& view_name = "sdx");
+
+/// A parsed RIB snapshot.
+struct RibDump {
+  std::vector<RouteServer::Peer> peers;
+  std::vector<Route> routes;  ///< learned_from/router-id resolved via peers
+};
+
+/// Reads a TABLE_DUMP_V2 snapshot from the stream (PEER_INDEX_TABLE must
+/// come first, as written by write_rib_dump). Throws std::runtime_error on
+/// malformed input.
+RibDump read_rib_dump(std::istream& is);
+
+}  // namespace sdx::bgp

@@ -1,0 +1,26 @@
+#include "bgp/rib.hpp"
+
+namespace sdx::bgp {
+
+bool Rib::add(Route route) {
+  const Ipv4Prefix prefix = route.prefix;
+  return trie_.insert(prefix, std::move(route));
+}
+
+bool Rib::withdraw(Ipv4Prefix prefix) { return trie_.erase(prefix); }
+
+const Route* Rib::find(Ipv4Prefix prefix) const { return trie_.find(prefix); }
+
+const Route* Rib::lookup(Ipv4Address addr) const {
+  auto hit = trie_.lookup(addr);
+  return hit ? hit->second : nullptr;
+}
+
+std::vector<Route> Rib::routes() const {
+  std::vector<Route> out;
+  out.reserve(trie_.size());
+  trie_.for_each([&out](Ipv4Prefix, const Route& r) { out.push_back(r); });
+  return out;
+}
+
+}  // namespace sdx::bgp

@@ -1,0 +1,31 @@
+#include "bgp/route.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace sdx::bgp {
+
+std::string_view origin_name(Origin o) {
+  switch (o) {
+    case Origin::kIgp: return "IGP";
+    case Origin::kEgp: return "EGP";
+    case Origin::kIncomplete: return "INCOMPLETE";
+  }
+  return "?";
+}
+
+std::string Route::to_string() const {
+  std::ostringstream os;
+  os << prefix << " via " << attrs.next_hop << " path [" << attrs.as_path
+     << "] lp=" << attrs.effective_local_pref()
+     << " origin=" << origin_name(attrs.origin);
+  if (attrs.med) os << " med=" << *attrs.med;
+  os << " from=" << learned_from;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Route& r) {
+  return os << r.to_string();
+}
+
+}  // namespace sdx::bgp

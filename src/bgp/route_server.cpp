@@ -1,0 +1,181 @@
+#include "bgp/route_server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sdx::bgp {
+
+void RouteServer::add_peer(Peer peer) {
+  if (peer_index_.contains(peer.id)) {
+    throw std::invalid_argument("duplicate participant id " +
+                                std::to_string(peer.id));
+  }
+  peer_index_[peer.id] = peers_.size();
+  peers_.push_back(peer);
+}
+
+const RouteServer::Peer* RouteServer::peer(ParticipantId id) const {
+  auto it = peer_index_.find(id);
+  return it == peer_index_.end() ? nullptr : &peers_[it->second];
+}
+
+std::vector<RouteServer::BestChange> RouteServer::apply_and_diff(
+    Ipv4Prefix prefix, const std::function<void()>& mutate) {
+  // Snapshot each participant's best before the mutation...
+  std::vector<const Route*> old_best(peers_.size(), nullptr);
+  std::vector<Route> old_copies;
+  old_copies.reserve(peers_.size());
+  if (auto it = rib_.find(prefix); it != rib_.end()) {
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      old_best[i] = best_for(it->second, peers_[i]);
+    }
+  }
+  // best_for returns pointers into the candidate vector, which `mutate`
+  // invalidates — copy the routes out first.
+  std::vector<std::optional<Route>> old_routes(peers_.size());
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (old_best[i] != nullptr) old_routes[i] = *old_best[i];
+  }
+
+  mutate();
+
+  std::vector<BestChange> changes;
+  const std::vector<Route>* ranked = nullptr;
+  if (auto it = rib_.find(prefix); it != rib_.end()) ranked = &it->second;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    const Route* now =
+        ranked != nullptr ? best_for(*ranked, peers_[i]) : nullptr;
+    const bool was = old_routes[i].has_value();
+    const bool is = now != nullptr;
+    if (!was && !is) continue;
+    if (was && is && *old_routes[i] == *now) continue;
+    BestChange c;
+    c.participant = peers_[i].id;
+    c.prefix = prefix;
+    c.old_best = old_routes[i];
+    if (now != nullptr) c.new_best = *now;
+    changes.push_back(std::move(c));
+  }
+  return changes;
+}
+
+std::vector<RouteServer::BestChange> RouteServer::announce(Route route) {
+  if (!peer_index_.contains(route.learned_from)) {
+    throw std::invalid_argument("announce from unknown participant " +
+                                std::to_string(route.learned_from));
+  }
+  const Ipv4Prefix prefix = route.prefix;
+  return apply_and_diff(prefix, [this, &route, prefix]() {
+    auto& ranked = rib_[prefix];
+    std::erase_if(ranked, [&route](const Route& r) {
+      return r.learned_from == route.learned_from;
+    });
+    // Insert keeping the vector ranked best-first.
+    auto pos = std::find_if(ranked.begin(), ranked.end(),
+                            [this, &route](const Route& r) {
+                              return better(route, r, cfg_);
+                            });
+    adv_[route.learned_from].insert(prefix);
+    ranked.insert(pos, std::move(route));
+  });
+}
+
+std::vector<RouteServer::BestChange> RouteServer::withdraw(
+    ParticipantId from, Ipv4Prefix prefix) {
+  if (!peer_index_.contains(from)) {
+    throw std::invalid_argument("withdraw from unknown participant " +
+                                std::to_string(from));
+  }
+  return apply_and_diff(prefix, [this, from, prefix]() {
+    auto it = rib_.find(prefix);
+    if (it == rib_.end()) return;
+    std::erase_if(it->second, [from](const Route& r) {
+      return r.learned_from == from;
+    });
+    if (it->second.empty()) rib_.erase(it);
+    if (auto a = adv_.find(from); a != adv_.end()) a->second.erase(prefix);
+  });
+}
+
+std::optional<Route> RouteServer::best_route_lpm(
+    ParticipantId for_participant, Ipv4Address addr) const {
+  for (int len = 32; len >= 0; --len) {
+    const Ipv4Prefix candidate(addr, len);
+    if (!rib_.contains(candidate)) continue;
+    if (auto best = best_route(for_participant, candidate)) return best;
+  }
+  return std::nullopt;
+}
+
+std::optional<Route> RouteServer::best_route(ParticipantId for_participant,
+                                             Ipv4Prefix prefix) const {
+  const Peer* to = peer(for_participant);
+  auto it = rib_.find(prefix);
+  if (to == nullptr || it == rib_.end()) return std::nullopt;
+  const Route* r = best_for(it->second, *to);
+  if (r == nullptr) return std::nullopt;
+  return *r;
+}
+
+bool RouteServer::exports_to(ParticipantId via, ParticipantId to,
+                             Ipv4Prefix prefix) const {
+  const Peer* to_peer = peer(to);
+  if (to_peer == nullptr || via == to) return false;
+  auto it = rib_.find(prefix);
+  if (it == rib_.end()) return false;
+  for (const Route& r : it->second) {
+    if (r.learned_from == via) return eligible(r, *to_peer);
+  }
+  return false;
+}
+
+std::vector<Ipv4Prefix> RouteServer::reachable_via(ParticipantId to,
+                                                   ParticipantId via) const {
+  std::vector<Ipv4Prefix> out;
+  auto a = adv_.find(via);
+  if (a == adv_.end()) return out;
+  out.reserve(a->second.size());
+  for (auto prefix : a->second) {
+    if (exports_to(via, to, prefix)) out.push_back(prefix);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Ipv4Prefix> RouteServer::advertised_by(ParticipantId via) const {
+  std::vector<Ipv4Prefix> out;
+  auto a = adv_.find(via);
+  if (a == adv_.end()) return out;
+  out.assign(a->second.begin(), a->second.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Ipv4Prefix> RouteServer::all_prefixes() const {
+  std::vector<Ipv4Prefix> out;
+  out.reserve(rib_.size());
+  for (const auto& [prefix, _] : rib_) out.push_back(prefix);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::vector<Route>* RouteServer::candidates(Ipv4Prefix prefix) const {
+  auto it = rib_.find(prefix);
+  return it == rib_.end() ? nullptr : &it->second;
+}
+
+std::vector<Ipv4Prefix> RouteServer::filter_prefixes(
+    ParticipantId viewer,
+    const std::function<bool(const Route&)>& pred) const {
+  std::vector<Ipv4Prefix> out;
+  for (const auto& [prefix, ranked] : rib_) {
+    const Peer* to = peer(viewer);
+    if (to == nullptr) break;
+    const Route* best = best_for(ranked, *to);
+    if (best != nullptr && pred(*best)) out.push_back(prefix);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sdx::bgp

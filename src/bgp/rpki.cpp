@@ -1,0 +1,61 @@
+#include "bgp/rpki.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace sdx::bgp {
+
+std::string_view validity_name(RoaValidity v) {
+  switch (v) {
+    case RoaValidity::kNotFound: return "NotFound";
+    case RoaValidity::kValid: return "Valid";
+    case RoaValidity::kInvalid: return "Invalid";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, RoaValidity v) {
+  return os << validity_name(v);
+}
+
+void RoaTable::add(Ipv4Prefix prefix, Asn origin, int max_length) {
+  if (max_length < 0) max_length = prefix.length();
+  if (max_length < prefix.length() || max_length > 32) {
+    throw std::invalid_argument("bad ROA max-length " +
+                                std::to_string(max_length) + " for " +
+                                prefix.to_string());
+  }
+  Roa roa{prefix, max_length, origin};
+  if (auto* existing = trie_.find(prefix)) {
+    existing->push_back(roa);
+  } else {
+    trie_.insert(prefix, {roa});
+  }
+  ++count_;
+}
+
+RoaValidity RoaTable::validate(Ipv4Prefix announced, Asn origin) const {
+  // Walk every covering ROA prefix, most specific first.
+  bool covered = false;
+  for (int len = announced.length(); len >= 0; --len) {
+    const Ipv4Prefix candidate(announced.network(), len);
+    const auto* roas = trie_.find(candidate);
+    if (roas == nullptr) continue;
+    covered = true;
+    for (const Roa& roa : *roas) {
+      if (roa.origin == origin && announced.length() <= roa.max_length) {
+        return RoaValidity::kValid;
+      }
+    }
+  }
+  return covered ? RoaValidity::kInvalid : RoaValidity::kNotFound;
+}
+
+RoaValidity RoaTable::validate(const Route& route, Asn fallback_origin) const {
+  const Asn origin = route.attrs.as_path.empty()
+                         ? fallback_origin
+                         : route.attrs.as_path.origin_as();
+  return validate(route.prefix, origin);
+}
+
+}  // namespace sdx::bgp

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file rpki.hpp
+/// RPKI route-origin validation (RFC 6483/6811), the mechanism paper §3.2
+/// names for vetting SDX-originated announcements: "Before originating the
+/// route announcement in BGP, the SDX would verify that AS D indeed owns
+/// the IP prefix (e.g., using the RPKI)."
+///
+/// A RoaTable holds Route Origin Authorizations (prefix, max-length,
+/// authorized origin ASN) and classifies announcements as Valid / Invalid /
+/// NotFound per RFC 6811 semantics:
+///   * NotFound — no ROA covers the announced prefix;
+///   * Valid    — some covering ROA authorizes the origin AS and the
+///                announced length is within the ROA's max-length;
+///   * Invalid  — at least one ROA covers the prefix but none validates it.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "netbase/prefix_trie.hpp"
+
+namespace sdx::bgp {
+
+/// One Route Origin Authorization.
+struct Roa {
+  Ipv4Prefix prefix;
+  int max_length = 0;  ///< longest announced length authorized (≥ prefix len)
+  Asn origin = 0;
+
+  friend bool operator==(const Roa&, const Roa&) = default;
+};
+
+enum class RoaValidity : std::uint8_t { kNotFound, kValid, kInvalid };
+
+std::string_view validity_name(RoaValidity v);
+std::ostream& operator<<(std::ostream& os, RoaValidity v);
+
+class RoaTable {
+ public:
+  /// Registers a ROA. max_length defaults to the ROA prefix length when
+  /// not given. Throws std::invalid_argument when max_length < prefix
+  /// length or > 32.
+  void add(Ipv4Prefix prefix, Asn origin, int max_length = -1);
+
+  /// RFC 6811 validation of (announced prefix, origin AS).
+  RoaValidity validate(Ipv4Prefix announced, Asn origin) const;
+
+  /// Validation of a route (origin = last AS of the path; an empty path —
+  /// an SDX-originated route — is validated against the advertising
+  /// participant's ASN, which the caller passes as \p fallback_origin).
+  RoaValidity validate(const Route& route, Asn fallback_origin = 0) const;
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+ private:
+  /// All ROAs indexed by their prefix; multiple ROAs may share a prefix.
+  net::PrefixTrie<std::vector<Roa>> trie_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace sdx::bgp

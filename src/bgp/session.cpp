@@ -1,0 +1,167 @@
+#include "bgp/session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace sdx::bgp {
+
+namespace {
+
+// RFC 4271 notification error codes used here.
+constexpr std::uint8_t kErrMessageHeader = 1;
+constexpr std::uint8_t kErrOpen = 2;
+constexpr std::uint8_t kErrUpdate = 3;
+constexpr std::uint8_t kErrHoldTimerExpired = 4;
+constexpr std::uint8_t kErrFsm = 5;
+
+constexpr std::size_t kHeaderSize = 19;
+
+}  // namespace
+
+std::string_view state_name(Session::State s) {
+  switch (s) {
+    case Session::State::kIdle: return "Idle";
+    case Session::State::kOpenSent: return "OpenSent";
+    case Session::State::kOpenConfirm: return "OpenConfirm";
+    case Session::State::kEstablished: return "Established";
+    case Session::State::kClosed: return "Closed";
+  }
+  return "?";
+}
+
+void Session::queue(const Message& msg) {
+  auto bytes = encode(msg);
+  out_buffer_.insert(out_buffer_.end(), bytes.begin(), bytes.end());
+  last_sent_ = now_;
+}
+
+void Session::start() {
+  if (state_ != State::kIdle) {
+    throw std::logic_error("start() from state " +
+                           std::string(state_name(state_)));
+  }
+  OpenMessage open;
+  open.my_as = config_.local_as;
+  open.hold_time = config_.hold_time;
+  open.bgp_id = config_.router_id;
+  queue(open);
+  state_ = State::kOpenSent;
+}
+
+Session::Event Session::close_with_notification(std::uint8_t code,
+                                                std::uint8_t subcode) {
+  NotificationMessage n;
+  n.code = code;
+  n.subcode = subcode;
+  queue(n);
+  state_ = State::kClosed;
+  return Event{Event::Kind::kClosed, {}, std::move(n)};
+}
+
+std::optional<Session::Event> Session::handle(Message msg) {
+  last_heard_ = now_;
+  if (std::holds_alternative<NotificationMessage>(msg)) {
+    state_ = State::kClosed;
+    Event ev{Event::Kind::kNotificationReceived, {},
+             std::get<NotificationMessage>(std::move(msg))};
+    return ev;
+  }
+  switch (state_) {
+    case State::kOpenSent:
+      if (auto* open = std::get_if<OpenMessage>(&msg)) {
+        if (open->version != 4) {
+          return close_with_notification(kErrOpen, /*bad version*/ 1);
+        }
+        peer_open_ = std::move(*open);
+        queue(KeepaliveMessage{});
+        state_ = State::kOpenConfirm;
+        return std::nullopt;
+      }
+      return close_with_notification(kErrFsm, 0);
+    case State::kOpenConfirm:
+      if (std::holds_alternative<KeepaliveMessage>(msg)) {
+        state_ = State::kEstablished;
+        return Event{Event::Kind::kEstablished, {}, {}};
+      }
+      return close_with_notification(kErrFsm, 0);
+    case State::kEstablished:
+      if (std::holds_alternative<KeepaliveMessage>(msg)) {
+        return std::nullopt;
+      }
+      if (auto* update = std::get_if<UpdateMessage>(&msg)) {
+        ++updates_received_;
+        return Event{Event::Kind::kUpdate, std::move(*update), {}};
+      }
+      return close_with_notification(kErrFsm, 0);
+    case State::kIdle:
+    case State::kClosed:
+      return close_with_notification(kErrFsm, 0);
+  }
+  return std::nullopt;
+}
+
+std::vector<Session::Event> Session::receive(
+    std::span<const std::uint8_t> bytes) {
+  std::vector<Event> events;
+  if (state_ == State::kClosed) return events;
+  in_buffer_.insert(in_buffer_.end(), bytes.begin(), bytes.end());
+  while (state_ != State::kClosed && in_buffer_.size() >= kHeaderSize) {
+    const std::size_t length = (std::size_t{in_buffer_[16]} << 8) |
+                               in_buffer_[17];
+    if (length < kHeaderSize || length > 4096) {
+      events.push_back(close_with_notification(kErrMessageHeader, 2));
+      break;
+    }
+    if (in_buffer_.size() < length) break;  // wait for the full frame
+    auto result = decode(std::span(in_buffer_).first(length));
+    in_buffer_.erase(in_buffer_.begin(),
+                     in_buffer_.begin() + static_cast<std::ptrdiff_t>(length));
+    if (!result.ok()) {
+      const std::uint8_t code =
+          result.error.find("attribute") != std::string::npos ||
+                  result.error.find("NLRI") != std::string::npos
+              ? kErrUpdate
+              : kErrMessageHeader;
+      events.push_back(close_with_notification(code, 0));
+      break;
+    }
+    if (auto ev = handle(std::move(*result.message))) {
+      events.push_back(std::move(*ev));
+    }
+  }
+  return events;
+}
+
+void Session::send_update(const UpdateMessage& update) {
+  if (state_ != State::kEstablished) {
+    throw std::logic_error("send_update in state " +
+                           std::string(state_name(state_)));
+  }
+  queue(update);
+  ++updates_sent_;
+}
+
+std::vector<Session::Event> Session::advance_clock(double seconds) {
+  std::vector<Event> events;
+  now_ += seconds;
+  if (state_ == State::kClosed || state_ == State::kIdle) return events;
+  if (config_.hold_time > 0 &&
+      now_ - last_heard_ >= static_cast<double>(config_.hold_time) &&
+      state_ == State::kEstablished) {
+    events.push_back(close_with_notification(kErrHoldTimerExpired, 0));
+    return events;
+  }
+  const double keepalive_interval = config_.hold_time / 3.0;
+  if (state_ == State::kEstablished && config_.hold_time > 0 &&
+      now_ - last_sent_ >= keepalive_interval) {
+    queue(KeepaliveMessage{});
+  }
+  return events;
+}
+
+std::vector<std::uint8_t> Session::take_output() {
+  return std::exchange(out_buffer_, {});
+}
+
+}  // namespace sdx::bgp

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file session.hpp
+/// A BGP-4 session endpoint (RFC 4271 FSM, TCP-less): framing over an
+/// abstract byte stream plus the Idle → OpenSent → OpenConfirm →
+/// Established state machine, keepalive scheduling and hold-timer expiry
+/// on a logical clock.
+///
+/// This is the session layer a route server like ExaBGP provides; the SDX
+/// route server logic (route_server.hpp) is transport-agnostic, and tests
+/// wire two Session endpoints head-to-head to prove the framing and FSM
+/// interoperate.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgp/wire.hpp"
+
+namespace sdx::bgp {
+
+class Session {
+ public:
+  enum class State : std::uint8_t {
+    kIdle,
+    kOpenSent,
+    kOpenConfirm,
+    kEstablished,
+    kClosed,
+  };
+
+  struct Config {
+    Asn local_as = 0;
+    Ipv4Address router_id;
+    std::uint16_t hold_time = 90;  ///< seconds; 0 disables the timer
+  };
+
+  /// An application-visible session event.
+  struct Event {
+    enum class Kind : std::uint8_t {
+      kEstablished,
+      kUpdate,
+      kNotificationReceived,
+      kClosed,
+    };
+    Kind kind;
+    UpdateMessage update;              ///< kUpdate only
+    NotificationMessage notification;  ///< kNotificationReceived only
+  };
+
+  explicit Session(Config config) : config_(config) {}
+
+  State state() const { return state_; }
+  const std::optional<OpenMessage>& peer_open() const { return peer_open_; }
+
+  /// Initiates the session: queues our OPEN. Only valid from Idle.
+  void start();
+
+  /// Feeds bytes received from the peer; returns the events they caused.
+  /// Malformed input produces a NOTIFICATION to the peer and closes the
+  /// session (one kClosed event).
+  std::vector<Event> receive(std::span<const std::uint8_t> bytes);
+
+  /// Queues an UPDATE. Throws std::logic_error unless Established.
+  void send_update(const UpdateMessage& update);
+
+  /// Advances the logical clock: sends keepalives every hold_time/3 and
+  /// closes the session (Hold Timer Expired notification) when the peer
+  /// has been silent for hold_time.
+  std::vector<Event> advance_clock(double seconds);
+
+  /// Drains the bytes queued for the peer.
+  std::vector<std::uint8_t> take_output();
+
+  /// Statistics.
+  std::uint64_t updates_received() const { return updates_received_; }
+  std::uint64_t updates_sent() const { return updates_sent_; }
+
+ private:
+  void queue(const Message& msg);
+  Event close_with_notification(std::uint8_t code, std::uint8_t subcode);
+  std::optional<Event> handle(Message msg);
+
+  Config config_;
+  State state_ = State::kIdle;
+  std::optional<OpenMessage> peer_open_;
+  std::vector<std::uint8_t> in_buffer_;
+  std::vector<std::uint8_t> out_buffer_;
+  double now_ = 0;
+  double last_heard_ = 0;
+  double last_sent_ = 0;
+  std::uint64_t updates_received_ = 0;
+  std::uint64_t updates_sent_ = 0;
+};
+
+std::string_view state_name(Session::State s);
+
+}  // namespace sdx::bgp

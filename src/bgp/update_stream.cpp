@@ -1,0 +1,89 @@
+#include "bgp/update_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdx::bgp {
+
+std::vector<Burst> segment_bursts(const std::vector<TimedUpdate>& stream,
+                                  double gap_seconds) {
+  std::vector<Burst> bursts;
+  if (stream.empty()) return bursts;
+
+  std::size_t first = 0;
+  std::unordered_set<Ipv4Prefix> prefixes;
+  prefixes.insert(stream[0].prefix);
+  for (std::size_t i = 1; i <= stream.size(); ++i) {
+    const bool boundary =
+        i == stream.size() ||
+        stream[i].timestamp - stream[i - 1].timestamp >= gap_seconds;
+    if (boundary) {
+      Burst b;
+      b.first = first;
+      b.last = i - 1;
+      b.start_time = stream[first].timestamp;
+      b.end_time = stream[i - 1].timestamp;
+      b.update_count = i - first;
+      b.distinct_prefixes = prefixes.size();
+      bursts.push_back(b);
+      if (i < stream.size()) {
+        first = i;
+        prefixes.clear();
+        prefixes.insert(stream[i].prefix);
+      }
+    } else {
+      prefixes.insert(stream[i].prefix);
+    }
+  }
+  return bursts;
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+StreamStats compute_stats(const std::vector<TimedUpdate>& stream,
+                          double burst_gap_seconds) {
+  StreamStats s;
+  s.total_updates = stream.size();
+  std::unordered_set<Ipv4Prefix> prefixes;
+  for (const auto& u : stream) {
+    prefixes.insert(u.prefix);
+    if (u.is_withdrawal()) {
+      ++s.withdrawal_count;
+    } else {
+      ++s.announcement_count;
+    }
+  }
+  s.distinct_prefixes = prefixes.size();
+
+  auto bursts = segment_bursts(stream, burst_gap_seconds);
+  s.burst_count = bursts.size();
+  std::vector<double> sizes;
+  sizes.reserve(bursts.size());
+  for (const auto& b : bursts) {
+    sizes.push_back(static_cast<double>(b.distinct_prefixes));
+  }
+  if (!sizes.empty()) {
+    s.median_burst_size = quantile(sizes, 0.5);
+    s.p75_burst_size = quantile(sizes, 0.75);
+    s.max_burst_size = *std::max_element(sizes.begin(), sizes.end());
+  }
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < bursts.size(); ++i) {
+    gaps.push_back(bursts[i].start_time - bursts[i - 1].end_time);
+  }
+  if (!gaps.empty()) {
+    s.median_interarrival_s = quantile(gaps, 0.5);
+    s.p25_interarrival_s = quantile(gaps, 0.25);
+  }
+  return s;
+}
+
+}  // namespace sdx::bgp

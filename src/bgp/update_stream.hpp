@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file update_stream.hpp
+/// Timestamped BGP update streams and the burst analysis of paper §4.3:
+/// update bursts (gap-separated runs of updates), burst-size distributions,
+/// inter-arrival statistics, and the Table 1 summary counters.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/route.hpp"
+
+namespace sdx::bgp {
+
+/// One update event as seen by a collector: an announcement (attrs present)
+/// or a withdrawal.
+struct TimedUpdate {
+  double timestamp = 0;  ///< seconds since trace start
+  ParticipantId peer = 0;
+  Ipv4Prefix prefix;
+  std::optional<RouteAttributes> attrs;  ///< nullopt = withdrawal
+
+  bool is_withdrawal() const { return !attrs.has_value(); }
+};
+
+/// A maximal run of updates with inter-arrival gaps below the burst
+/// threshold (the paper segments on quiet gaps; §4.3.2).
+struct Burst {
+  std::size_t first = 0;  ///< index range [first, last] into the stream
+  std::size_t last = 0;
+  double start_time = 0;
+  double end_time = 0;
+  std::size_t update_count = 0;
+  std::size_t distinct_prefixes = 0;
+};
+
+/// Splits a time-ordered stream into bursts separated by gaps of at least
+/// \p gap_seconds.
+std::vector<Burst> segment_bursts(const std::vector<TimedUpdate>& stream,
+                                  double gap_seconds);
+
+/// Aggregate statistics over a stream — the columns of Table 1 plus the
+/// burst characteristics that justify two-stage compilation.
+struct StreamStats {
+  std::size_t total_updates = 0;
+  std::size_t distinct_prefixes = 0;       ///< prefixes seeing ≥1 update
+  std::size_t announcement_count = 0;
+  std::size_t withdrawal_count = 0;
+  std::size_t burst_count = 0;
+  double median_burst_size = 0;
+  double p75_burst_size = 0;               ///< paper: ≤3 for 75% of bursts
+  double max_burst_size = 0;
+  double median_interarrival_s = 0;        ///< paper: >60s half the time
+  double p25_interarrival_s = 0;           ///< paper: ≥10s for 75% of gaps
+};
+
+StreamStats compute_stats(const std::vector<TimedUpdate>& stream,
+                          double burst_gap_seconds);
+
+/// Quantile of a sample (linear interpolation, q in [0,1]); 0 when empty.
+double quantile(std::vector<double> values, double q);
+
+}  // namespace sdx::bgp

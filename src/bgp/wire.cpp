@@ -1,0 +1,453 @@
+#include "bgp/wire.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sdx::bgp {
+
+namespace {
+
+// --- attribute type codes (RFC 4271 / RFC 1997) ---
+constexpr std::uint8_t kAttrOrigin = 1;
+constexpr std::uint8_t kAttrAsPath = 2;
+constexpr std::uint8_t kAttrNextHop = 3;
+constexpr std::uint8_t kAttrMed = 4;
+constexpr std::uint8_t kAttrLocalPref = 5;
+constexpr std::uint8_t kAttrCommunities = 8;
+
+// --- attribute flag bits ---
+constexpr std::uint8_t kFlagOptional = 0x80;
+constexpr std::uint8_t kFlagTransitive = 0x40;
+constexpr std::uint8_t kFlagExtendedLength = 0x10;
+
+// --- AS_PATH segment types ---
+constexpr std::uint8_t kSegmentSet = 1;
+constexpr std::uint8_t kSegmentSequence = 2;
+
+constexpr std::size_t kHeaderSize = 19;
+constexpr std::size_t kMaxMessageSize = 4096;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  /// Writes an NLRI-encoded prefix: length byte + ceil(len/8) octets.
+  void prefix(Ipv4Prefix p) {
+    u8(static_cast<std::uint8_t>(p.length()));
+    const std::uint32_t net = p.network().value();
+    const int octets = (p.length() + 7) / 8;
+    for (int i = 0; i < octets; ++i) {
+      u8(static_cast<std::uint8_t>(net >> (24 - 8 * i)));
+    }
+  }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+void write_attr(Writer& w, std::uint8_t flags, std::uint8_t type,
+                const std::vector<std::uint8_t>& body) {
+  const bool extended = body.size() > 255;
+  w.u8(static_cast<std::uint8_t>(flags | (extended ? kFlagExtendedLength : 0)));
+  w.u8(type);
+  if (extended) {
+    w.u16(static_cast<std::uint16_t>(body.size()));
+  } else {
+    w.u8(static_cast<std::uint8_t>(body.size()));
+  }
+  w.bytes(body);
+}
+
+std::vector<std::uint8_t> encode_attributes(const RouteAttributes& attrs) {
+  Writer w;
+  // ORIGIN — well-known mandatory.
+  write_attr(w, kFlagTransitive, kAttrOrigin,
+             {static_cast<std::uint8_t>(attrs.origin)});
+  // AS_PATH — well-known mandatory; 4-octet ASNs, segments of ≤255 ASNs.
+  {
+    Writer body;
+    const auto& asns = attrs.as_path.asns();
+    std::size_t i = 0;
+    while (i < asns.size()) {
+      const std::size_t n = std::min<std::size_t>(asns.size() - i, 255);
+      body.u8(kSegmentSequence);
+      body.u8(static_cast<std::uint8_t>(n));
+      for (std::size_t k = 0; k < n; ++k) body.u32(asns[i + k]);
+      i += n;
+    }
+    write_attr(w, kFlagTransitive, kAttrAsPath, body.take());
+  }
+  // NEXT_HOP — well-known mandatory.
+  {
+    Writer body;
+    body.u32(attrs.next_hop.value());
+    write_attr(w, kFlagTransitive, kAttrNextHop, body.take());
+  }
+  if (attrs.med) {
+    Writer body;
+    body.u32(*attrs.med);
+    write_attr(w, kFlagOptional, kAttrMed, body.take());
+  }
+  if (attrs.local_pref) {
+    Writer body;
+    body.u32(*attrs.local_pref);
+    write_attr(w, kFlagTransitive, kAttrLocalPref, body.take());
+  }
+  if (!attrs.communities.empty()) {
+    Writer body;
+    for (auto c : attrs.communities) body.u32(c);
+    write_attr(w, kFlagOptional | kFlagTransitive, kAttrCommunities,
+               body.take());
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> frame(MessageType type,
+                                std::vector<std::uint8_t> body) {
+  Writer w;
+  for (int i = 0; i < 16; ++i) w.u8(0xFF);  // marker
+  w.u16(static_cast<std::uint16_t>(kHeaderSize + body.size()));
+  w.u8(static_cast<std::uint8_t>(type));
+  w.bytes(body);
+  return w.take();
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ >= data_.size()) return false;
+    v = data_[pos_++];
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    std::uint8_t a, b;
+    if (!u8(a) || !u8(b)) return false;
+    v = static_cast<std::uint16_t>((a << 8) | b);
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    std::uint16_t a, b;
+    if (!u16(a) || !u16(b)) return false;
+    v = (static_cast<std::uint32_t>(a) << 16) | b;
+    return true;
+  }
+  bool bytes(std::size_t n, std::vector<std::uint8_t>& out) {
+    if (pos_ + n > data_.size()) return false;
+    out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+  bool prefix(Ipv4Prefix& p) {
+    std::uint8_t len;
+    if (!u8(len) || len > 32) return false;
+    const int octets = (len + 7) / 8;
+    std::uint32_t net = 0;
+    for (int i = 0; i < octets; ++i) {
+      std::uint8_t b;
+      if (!u8(b)) return false;
+      net |= static_cast<std::uint32_t>(b) << (24 - 8 * i);
+    }
+    p = Ipv4Prefix(Ipv4Address(net), len);
+    return true;
+  }
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+DecodeResult fail(std::string why, std::size_t consumed = 0) {
+  return DecodeResult{std::nullopt, consumed, std::move(why)};
+}
+
+bool decode_attributes(Reader& r, std::size_t attrs_len,
+                       RouteAttributes& attrs, std::string& error) {
+  const std::size_t end = r.pos() + attrs_len;
+  bool saw_origin = false, saw_as_path = false, saw_next_hop = false;
+  while (r.pos() < end) {
+    std::uint8_t flags, type;
+    if (!r.u8(flags) || !r.u8(type)) {
+      error = "truncated attribute header";
+      return false;
+    }
+    std::size_t len;
+    if (flags & kFlagExtendedLength) {
+      std::uint16_t l;
+      if (!r.u16(l)) {
+        error = "truncated extended length";
+        return false;
+      }
+      len = l;
+    } else {
+      std::uint8_t l;
+      if (!r.u8(l)) {
+        error = "truncated length";
+        return false;
+      }
+      len = l;
+    }
+    if (r.pos() + len > end) {
+      error = "attribute overruns attribute block";
+      return false;
+    }
+    std::vector<std::uint8_t> body;
+    if (!r.bytes(len, body)) {
+      error = "truncated attribute body";
+      return false;
+    }
+    Reader br(body);
+    switch (type) {
+      case kAttrOrigin: {
+        std::uint8_t o;
+        if (body.size() != 1 || !br.u8(o) || o > 2) {
+          error = "bad ORIGIN";
+          return false;
+        }
+        attrs.origin = static_cast<Origin>(o);
+        saw_origin = true;
+        break;
+      }
+      case kAttrAsPath: {
+        // AS_SET segments (aggregation leftovers) are folded into the flat
+        // path: loop detection still sees every member ASN; the RFC 4271
+        // "an AS_SET counts as one hop" length nuance is deliberately not
+        // modelled (aggregated routes are vanishingly rare at route
+        // servers and never produced by this implementation).
+        std::vector<Asn> asns;
+        while (br.remaining() > 0) {
+          std::uint8_t seg_type, seg_len;
+          if (!br.u8(seg_type) || !br.u8(seg_len) ||
+              (seg_type != kSegmentSequence && seg_type != kSegmentSet)) {
+            error = "bad AS_PATH segment";
+            return false;
+          }
+          for (int i = 0; i < seg_len; ++i) {
+            std::uint32_t asn;
+            if (!br.u32(asn)) {
+              error = "truncated AS_PATH";
+              return false;
+            }
+            asns.push_back(asn);
+          }
+        }
+        attrs.as_path = AsPath(std::move(asns));
+        saw_as_path = true;
+        break;
+      }
+      case kAttrNextHop: {
+        std::uint32_t nh;
+        if (body.size() != 4 || !br.u32(nh)) {
+          error = "bad NEXT_HOP";
+          return false;
+        }
+        attrs.next_hop = Ipv4Address(nh);
+        saw_next_hop = true;
+        break;
+      }
+      case kAttrMed: {
+        std::uint32_t v;
+        if (body.size() != 4 || !br.u32(v)) {
+          error = "bad MED";
+          return false;
+        }
+        attrs.med = v;
+        break;
+      }
+      case kAttrLocalPref: {
+        std::uint32_t v;
+        if (body.size() != 4 || !br.u32(v)) {
+          error = "bad LOCAL_PREF";
+          return false;
+        }
+        attrs.local_pref = v;
+        break;
+      }
+      case kAttrCommunities: {
+        if (body.size() % 4 != 0) {
+          error = "bad COMMUNITIES length";
+          return false;
+        }
+        while (br.remaining() > 0) {
+          std::uint32_t c;
+          br.u32(c);
+          attrs.communities.push_back(c);
+        }
+        break;
+      }
+      default:
+        // Unknown optional attributes are skipped; unknown well-known
+        // attributes are a protocol error.
+        if (!(flags & kFlagOptional)) {
+          error = "unrecognized well-known attribute " + std::to_string(type);
+          return false;
+        }
+        break;
+    }
+  }
+  if (!saw_origin || !saw_as_path || !saw_next_hop) {
+    error = "missing mandatory attribute";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_path_attributes(const RouteAttributes& a) {
+  return encode_attributes(a);
+}
+
+bool decode_path_attributes(std::span<const std::uint8_t> bytes,
+                            RouteAttributes& out, std::string& error) {
+  Reader r(bytes);
+  return decode_attributes(r, bytes.size(), out, error);
+}
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  return std::visit(
+      [](const auto& m) -> std::vector<std::uint8_t> {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, OpenMessage>) {
+          Writer w;
+          w.u8(m.version);
+          const std::uint16_t as16 =
+              m.my_as > 0xFFFF ? kAsTrans
+                               : static_cast<std::uint16_t>(m.my_as);
+          w.u16(as16);
+          w.u16(m.hold_time);
+          w.u32(m.bgp_id.value());
+          w.u8(static_cast<std::uint8_t>(m.opt_params.size()));
+          w.bytes(m.opt_params);
+          return frame(MessageType::kOpen, w.take());
+        } else if constexpr (std::is_same_v<T, UpdateMessage>) {
+          Writer withdrawn;
+          for (auto p : m.withdrawn) withdrawn.prefix(p);
+          std::vector<std::uint8_t> attrs =
+              m.attrs ? encode_attributes(*m.attrs)
+                      : std::vector<std::uint8_t>{};
+          Writer w;
+          auto wd = withdrawn.take();
+          w.u16(static_cast<std::uint16_t>(wd.size()));
+          w.bytes(wd);
+          w.u16(static_cast<std::uint16_t>(attrs.size()));
+          w.bytes(attrs);
+          for (auto p : m.nlri) w.prefix(p);
+          return frame(MessageType::kUpdate, w.take());
+        } else if constexpr (std::is_same_v<T, NotificationMessage>) {
+          Writer w;
+          w.u8(m.code);
+          w.u8(m.subcode);
+          w.bytes(m.data);
+          return frame(MessageType::kNotification, w.take());
+        } else {
+          return frame(MessageType::kKeepalive, {});
+        }
+      },
+      msg);
+}
+
+DecodeResult decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize) return fail("short header");
+  for (int i = 0; i < 16; ++i) {
+    if (bytes[static_cast<std::size_t>(i)] != 0xFF) {
+      return fail("bad marker");
+    }
+  }
+  Reader header(bytes.subspan(16));
+  std::uint16_t length;
+  std::uint8_t type_raw;
+  header.u16(length);
+  header.u8(type_raw);
+  if (length < kHeaderSize || length > kMaxMessageSize) {
+    return fail("bad message length");
+  }
+  if (bytes.size() < length) return fail("truncated message");
+
+  Reader r(bytes.subspan(kHeaderSize, length - kHeaderSize));
+  switch (static_cast<MessageType>(type_raw)) {
+    case MessageType::kOpen: {
+      OpenMessage m;
+      std::uint16_t as16;
+      std::uint8_t opt_len;
+      if (!r.u8(m.version) || !r.u16(as16) || !r.u16(m.hold_time)) {
+        return fail("truncated OPEN");
+      }
+      std::uint32_t id;
+      if (!r.u32(id) || !r.u8(opt_len)) return fail("truncated OPEN");
+      m.bgp_id = Ipv4Address(id);
+      m.my_as = as16;
+      if (!r.bytes(opt_len, m.opt_params)) return fail("truncated OPEN opts");
+      return DecodeResult{Message(std::move(m)), length, ""};
+    }
+    case MessageType::kUpdate: {
+      UpdateMessage m;
+      std::uint16_t withdrawn_len;
+      if (!r.u16(withdrawn_len)) return fail("truncated UPDATE");
+      const std::size_t withdrawn_end = r.pos() + withdrawn_len;
+      if (withdrawn_end > r.pos() + r.remaining()) {
+        return fail("withdrawn block overruns message");
+      }
+      while (r.pos() < withdrawn_end) {
+        Ipv4Prefix p;
+        if (!r.prefix(p)) return fail("bad withdrawn prefix");
+        m.withdrawn.push_back(p);
+      }
+      if (r.pos() != withdrawn_end) return fail("withdrawn block misaligned");
+      std::uint16_t attrs_len;
+      if (!r.u16(attrs_len)) return fail("truncated UPDATE attrs length");
+      if (attrs_len > r.remaining()) {
+        return fail("attribute block overruns message");
+      }
+      if (attrs_len > 0) {
+        RouteAttributes attrs;
+        std::string error;
+        if (!decode_attributes(r, attrs_len, attrs, error)) {
+          return fail("bad attributes: " + error);
+        }
+        m.attrs = std::move(attrs);
+      }
+      while (r.remaining() > 0) {
+        Ipv4Prefix p;
+        if (!r.prefix(p)) return fail("bad NLRI prefix");
+        m.nlri.push_back(p);
+      }
+      if (!m.nlri.empty() && !m.attrs) {
+        return fail("NLRI without path attributes");
+      }
+      return DecodeResult{Message(std::move(m)), length, ""};
+    }
+    case MessageType::kNotification: {
+      NotificationMessage m;
+      if (!r.u8(m.code) || !r.u8(m.subcode)) {
+        return fail("truncated NOTIFICATION");
+      }
+      r.bytes(r.remaining(), m.data);
+      return DecodeResult{Message(std::move(m)), length, ""};
+    }
+    case MessageType::kKeepalive: {
+      if (r.remaining() != 0) return fail("KEEPALIVE with body");
+      return DecodeResult{Message(KeepaliveMessage{}), length, ""};
+    }
+    default:
+      return fail("unknown message type " + std::to_string(type_raw));
+  }
+}
+
+}  // namespace sdx::bgp

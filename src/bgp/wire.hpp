@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file wire.hpp
+/// BGP-4 message codec (RFC 4271 framing and the path attributes the SDX
+/// consumes). The route server in the paper is built on ExaBGP; this codec
+/// is our stand-in for that substrate: it lets the repository speak real
+/// BGP framing in tests and keeps the session layer honest.
+///
+/// Simplification (documented): the codec always operates in 4-octet-AS
+/// mode (RFC 6793 negotiated), so AS_PATH segments carry 32-bit ASNs and
+/// OPEN carries AS_TRANS when the ASN does not fit in 16 bits.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bgp/route.hpp"
+
+namespace sdx::bgp {
+
+enum class MessageType : std::uint8_t {
+  kOpen = 1,
+  kUpdate = 2,
+  kNotification = 3,
+  kKeepalive = 4,
+};
+
+/// RFC 4271 §4.2. Optional parameters are carried opaquely.
+struct OpenMessage {
+  std::uint8_t version = 4;
+  Asn my_as = 0;  ///< encoded as AS_TRANS (23456) in the 16-bit field if wide
+  std::uint16_t hold_time = 90;
+  Ipv4Address bgp_id;
+  std::vector<std::uint8_t> opt_params;
+
+  friend bool operator==(const OpenMessage&, const OpenMessage&) = default;
+};
+
+/// RFC 4271 §4.3. One attribute set shared by all NLRI, as on the wire.
+struct UpdateMessage {
+  std::vector<Ipv4Prefix> withdrawn;
+  std::optional<RouteAttributes> attrs;  ///< absent for pure withdrawals
+  std::vector<Ipv4Prefix> nlri;
+
+  friend bool operator==(const UpdateMessage&, const UpdateMessage&) = default;
+};
+
+struct NotificationMessage {
+  std::uint8_t code = 0;
+  std::uint8_t subcode = 0;
+  std::vector<std::uint8_t> data;
+
+  friend bool operator==(const NotificationMessage&,
+                         const NotificationMessage&) = default;
+};
+
+struct KeepaliveMessage {
+  friend bool operator==(const KeepaliveMessage&,
+                         const KeepaliveMessage&) = default;
+};
+
+using Message =
+    std::variant<OpenMessage, UpdateMessage, NotificationMessage,
+                 KeepaliveMessage>;
+
+/// The 16-bit AS number that stands for a 4-octet ASN in OPEN (RFC 6793).
+inline constexpr std::uint16_t kAsTrans = 23456;
+
+/// Serializes a message including the 19-byte common header.
+std::vector<std::uint8_t> encode(const Message& msg);
+
+/// Result of decoding: either a message or a diagnostic.
+struct DecodeResult {
+  std::optional<Message> message;
+  std::size_t bytes_consumed = 0;
+  std::string error;  ///< non-empty on failure
+
+  bool ok() const { return message.has_value(); }
+};
+
+/// Decodes one message from the front of \p bytes. Validates the marker,
+/// length bounds, attribute flags and NLRI framing.
+DecodeResult decode(std::span<const std::uint8_t> bytes);
+
+/// Serializes a path-attribute block (without the 2-byte length prefix) —
+/// shared by UPDATE bodies and TABLE_DUMP_V2 RIB entries.
+std::vector<std::uint8_t> encode_path_attributes(const RouteAttributes& a);
+
+/// Parses a complete path-attribute block. Returns false and sets \p error
+/// on malformed input.
+bool decode_path_attributes(std::span<const std::uint8_t> bytes,
+                            RouteAttributes& out, std::string& error);
+
+}  // namespace sdx::bgp

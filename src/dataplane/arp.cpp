@@ -1,0 +1,2 @@
+// arp.hpp is header-only; this translation unit anchors the target.
+#include "dataplane/arp.hpp"

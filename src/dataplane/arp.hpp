@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file arp.hpp
+/// The SDX ARP responder (paper §4.2/§5.1): answers ARP queries for virtual
+/// next-hop (VNH) IP addresses with the virtual MAC (VMAC) that tags the
+/// corresponding forwarding equivalence class. Regular (non-virtual)
+/// bindings for participant router ports live in the same table.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "netbase/ip.hpp"
+#include "netbase/mac.hpp"
+
+namespace sdx::dp {
+
+class ArpResponder {
+ public:
+  /// Adds or updates a binding.
+  void bind(net::Ipv4Address ip, net::MacAddress mac) { table_[ip] = mac; }
+
+  /// Removes a binding; returns true when present.
+  bool unbind(net::Ipv4Address ip) { return table_.erase(ip) > 0; }
+
+  /// Answers an ARP query. std::nullopt when the address is unknown.
+  std::optional<net::MacAddress> resolve(net::Ipv4Address ip) const {
+    ++queries_;
+    auto it = table_.find(ip);
+    if (it == table_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  std::size_t size() const { return table_.size(); }
+  std::uint64_t queries() const { return queries_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<net::Ipv4Address, net::MacAddress> table_;
+  mutable std::uint64_t queries_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace sdx::dp

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file border_router.hpp
+/// An unmodified BGP border router, as the SDX sees one (paper §4.2): it
+/// receives BGP UPDATEs from the route server, installs a FIB entry per
+/// prefix, and when forwarding a packet it (1) looks up the longest-prefix
+/// match, (2) extracts the BGP next-hop IP, (3) ARPs for it, and (4) writes
+/// the answer into the destination MAC before emitting the frame on its IXP
+/// port. The SDX exploits exactly this mechanic to have routers tag packets
+/// with the VMAC of their prefix group — "without any additional table
+/// space" and with no router modification.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "bgp/wire.hpp"
+#include "dataplane/arp.hpp"
+#include "netbase/mac.hpp"
+#include "netbase/packet.hpp"
+
+namespace sdx::dp {
+
+class BorderRouter {
+ public:
+  BorderRouter(net::Asn asn, net::PortId ixp_port, net::MacAddress mac,
+               net::Ipv4Address ip)
+      : asn_(asn), port_(ixp_port), mac_(mac), ip_(ip) {}
+
+  net::Asn asn() const { return asn_; }
+  net::PortId port() const { return port_; }
+  net::MacAddress mac() const { return mac_; }
+  net::Ipv4Address ip() const { return ip_; }
+
+  /// Applies a BGP UPDATE received over the route-server session.
+  void process_update(const bgp::UpdateMessage& update);
+
+  const bgp::Rib& rib() const { return rib_; }
+
+  /// Forwards an IP packet toward \p payload's destination: LPM → next-hop
+  /// IP → ARP → frame on the IXP port. Returns std::nullopt when the router
+  /// has no route or the ARP query goes unanswered (packet blackholed).
+  std::optional<net::PacketHeader> forward(net::PacketHeader payload,
+                                           const ArpResponder& arp) const;
+
+  /// True when a frame arriving at this router is addressed to it (the
+  /// fabric must have rewritten the VMAC back to the router's real MAC —
+  /// "without rewriting, AS B would drop the traffic", §4.1).
+  bool accepts(const net::PacketHeader& frame) const {
+    return frame.dst_mac() == mac_ || frame.dst_mac() == net::MacAddress::broadcast();
+  }
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t blackholed() const { return blackholed_; }
+
+ private:
+  net::Asn asn_;
+  net::PortId port_;
+  net::MacAddress mac_;
+  net::Ipv4Address ip_;
+  bgp::Rib rib_;
+  mutable std::uint64_t forwarded_ = 0;
+  mutable std::uint64_t blackholed_ = 0;
+};
+
+}  // namespace sdx::dp

@@ -1,0 +1,41 @@
+#include "dataplane/fabric.hpp"
+
+#include <stdexcept>
+
+namespace sdx::dp {
+
+void Fabric::attach(BorderRouter& router) {
+  auto [it, fresh] = routers_.emplace(router.port(), &router);
+  if (!fresh) {
+    throw std::invalid_argument("port " + std::to_string(router.port()) +
+                                " already attached");
+  }
+  arp_.bind(router.ip(), router.mac());
+}
+
+const BorderRouter* Fabric::router_at(net::PortId port) const {
+  auto it = routers_.find(port);
+  return it == routers_.end() ? nullptr : it->second;
+}
+
+std::vector<Fabric::Delivery> Fabric::send(const BorderRouter& src,
+                                           net::PacketHeader payload) {
+  auto frame = src.forward(std::move(payload), arp_);
+  if (!frame) return {};
+  return inject(*frame);
+}
+
+std::vector<Fabric::Delivery> Fabric::inject(const net::PacketHeader& frame) {
+  std::vector<Delivery> out;
+  for (auto& egress : switch_.inject(frame)) {
+    Delivery d;
+    d.port = egress.port();
+    d.receiver = router_at(d.port);
+    d.accepted = d.receiver != nullptr && d.receiver->accepts(egress);
+    d.frame = std::move(egress);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace sdx::dp

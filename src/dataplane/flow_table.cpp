@@ -1,0 +1,98 @@
+#include "dataplane/flow_table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace sdx::dp {
+
+std::string FlowRule::to_string() const {
+  std::ostringstream os;
+  os << "prio=" << priority << " " << match.to_string() << " -> ";
+  if (drops()) {
+    os << "drop";
+  } else {
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      if (i > 0) os << " | ";
+      os << "[" << actions[i].to_string() << "]";
+    }
+  }
+  os << " (cookie=" << cookie << ", n=" << packet_count << ")";
+  return os.str();
+}
+
+void FlowTable::install(FlowRule rule) {
+  const std::uint64_t seq = next_sequence_++;
+  // Insertion point: after every rule with priority >= rule.priority that
+  // was installed earlier (stable within equal priority).
+  auto pos = std::upper_bound(
+      rules_.begin(), rules_.end(), rule.priority,
+      [](std::uint32_t p, const FlowRule& r) { return p > r.priority; });
+  const auto idx = static_cast<std::size_t>(pos - rules_.begin());
+  rules_.insert(pos, std::move(rule));
+  sequence_.insert(sequence_.begin() + static_cast<std::ptrdiff_t>(idx), seq);
+}
+
+void FlowTable::install_classifier(const Classifier& c,
+                                   std::uint32_t priority_base,
+                                   std::uint64_t cookie) {
+  const std::size_t n = c.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    FlowRule r;
+    r.priority = priority_base + static_cast<std::uint32_t>(n - 1 - i);
+    r.match = c.rules()[i].match;
+    r.actions = c.rules()[i].actions;
+    r.cookie = cookie;
+    install(std::move(r));
+  }
+}
+
+std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {
+  std::size_t removed = 0;
+  for (std::size_t i = rules_.size(); i-- > 0;) {
+    if (rules_[i].cookie == cookie) {
+      rules_.erase(rules_.begin() + static_cast<std::ptrdiff_t>(i));
+      sequence_.erase(sequence_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+void FlowTable::clear() {
+  rules_.clear();
+  sequence_.clear();
+}
+
+const FlowRule* FlowTable::lookup(const PacketHeader& h) const {
+  for (const auto& r : rules_) {
+    if (r.match.matches(h)) return &r;
+  }
+  return nullptr;
+}
+
+std::vector<PacketHeader> FlowTable::process(const PacketHeader& h) const {
+  const FlowRule* r = lookup(h);
+  if (r == nullptr) {
+    ++missed_;
+    return {};
+  }
+  ++matched_;
+  ++r->packet_count;
+  std::vector<PacketHeader> out;
+  out.reserve(r->actions.size());
+  for (const auto& a : r->actions) out.push_back(a.apply(h));
+  return out;
+}
+
+std::string FlowTable::to_string() const {
+  std::ostringstream os;
+  for (const auto& r : rules_) os << r.to_string() << "\n";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const FlowTable& t) {
+  return os << t.to_string();
+}
+
+}  // namespace sdx::dp

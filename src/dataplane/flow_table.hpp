@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file flow_table.hpp
+/// An OpenFlow-style single-table flow table: prioritized ternary rules
+/// with rewrite/output actions and per-rule counters. This is the install
+/// target of the SDX compiler (the paper deploys on Open vSwitch; rule
+/// counts, not throughput, are what the evaluation measures, so a faithful
+/// match/action simulator is the right substrate).
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/field_match.hpp"
+#include "netbase/packet.hpp"
+#include "policy/classifier.hpp"
+
+namespace sdx::dp {
+
+using net::FlowMatch;
+using net::PacketHeader;
+using net::PortId;
+using policy::ActionSeq;
+using policy::Classifier;
+
+/// One installed flow rule. Higher priority wins; ties break on insertion
+/// order (earlier first), matching the deterministic order of a compiled
+/// classifier.
+struct FlowRule {
+  std::uint32_t priority = 0;
+  FlowMatch match;
+  std::vector<ActionSeq> actions;  ///< empty = drop
+  std::uint64_t cookie = 0;        ///< rule group tag, for bulk removal
+  mutable std::uint64_t packet_count = 0;
+
+  bool drops() const { return actions.empty(); }
+  std::string to_string() const;
+};
+
+class FlowTable {
+ public:
+  /// Installs one rule.
+  void install(FlowRule rule);
+
+  /// Installs a whole classifier as one priority band: rule i of the
+  /// classifier gets priority base + size - 1 - i, so classifier order is
+  /// preserved. All rules are tagged with \p cookie.
+  void install_classifier(const Classifier& c, std::uint32_t priority_base,
+                          std::uint64_t cookie);
+
+  /// Removes every rule tagged with \p cookie; returns how many.
+  std::size_t remove_by_cookie(std::uint64_t cookie);
+
+  void clear();
+
+  /// Highest-priority matching rule (nullptr when none matches).
+  const FlowRule* lookup(const PacketHeader& h) const;
+
+  /// Table-hit processing: applies the matching rule's actions and bumps
+  /// its counter. No match or a drop rule yields an empty set.
+  std::vector<PacketHeader> process(const PacketHeader& h) const;
+
+  std::size_t size() const { return rules_.size(); }
+  const std::vector<FlowRule>& rules() const { return rules_; }
+
+  std::uint64_t total_matched() const { return matched_; }
+  std::uint64_t total_missed() const { return missed_; }
+
+  std::string to_string() const;
+
+ private:
+  // Kept sorted by (priority desc, sequence asc).
+  std::vector<FlowRule> rules_;
+  std::vector<std::uint64_t> sequence_;
+  std::uint64_t next_sequence_ = 0;
+  mutable std::uint64_t matched_ = 0;
+  mutable std::uint64_t missed_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const FlowTable& t);
+
+}  // namespace sdx::dp

@@ -1,0 +1,39 @@
+#include "dataplane/switch.hpp"
+
+namespace sdx::dp {
+
+std::vector<net::PacketHeader> SwitchSim::inject(
+    const net::PacketHeader& frame) {
+  ++rx_[frame.port()];
+  auto produced = table_.process(frame);
+  std::vector<net::PacketHeader> out;
+  out.reserve(produced.size());
+  for (auto& p : produced) {
+    if (p.port() == frame.port()) {
+      ++dropped_;
+      continue;
+    }
+    ++tx_[p.port()];
+    out.push_back(std::move(p));
+  }
+  if (out.empty() && produced.empty()) ++dropped_;
+  return out;
+}
+
+std::uint64_t SwitchSim::tx_packets(net::PortId port) const {
+  auto it = tx_.find(port);
+  return it == tx_.end() ? 0 : it->second;
+}
+
+std::uint64_t SwitchSim::rx_packets(net::PortId port) const {
+  auto it = rx_.find(port);
+  return it == rx_.end() ? 0 : it->second;
+}
+
+void SwitchSim::reset_counters() {
+  tx_.clear();
+  rx_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace sdx::dp

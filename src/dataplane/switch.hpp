@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file switch.hpp
+/// The SDX physical switch: a single flow table plus per-port accounting.
+/// A packet is injected at an ingress port and the compiled SDX policy
+/// (installed as flow rules) determines the egress port(s) by rewriting
+/// Field::kPort. The simulator enforces the no-loop contract of paper §4.1:
+/// one table traversal per packet, after which the packet either sits at a
+/// physical egress port or is dropped.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/flow_table.hpp"
+
+namespace sdx::dp {
+
+class SwitchSim {
+ public:
+  FlowTable& table() { return table_; }
+  const FlowTable& table() const { return table_; }
+
+  /// Processes one frame: runs it through the flow table, then accounts
+  /// the results per egress port. Outputs whose port equals the ingress
+  /// port are dropped (a switch never hairpins a frame it just received,
+  /// and the SDX never needs it).
+  std::vector<net::PacketHeader> inject(const net::PacketHeader& frame);
+
+  std::uint64_t tx_packets(net::PortId port) const;
+  std::uint64_t rx_packets(net::PortId port) const;
+  std::uint64_t dropped() const { return dropped_; }
+
+  void reset_counters();
+
+ private:
+  FlowTable table_;
+  std::unordered_map<net::PortId, std::uint64_t> tx_;
+  std::unordered_map<net::PortId, std::uint64_t> rx_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace sdx::dp

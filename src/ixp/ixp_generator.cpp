@@ -1,0 +1,431 @@
+#include "ixp/ixp_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "netbase/rng.hpp"
+
+namespace sdx::ixp {
+
+std::string_view category_name(AsCategory c) {
+  switch (c) {
+    case AsCategory::kEyeball: return "eyeball";
+    case AsCategory::kTransit: return "transit";
+    case AsCategory::kContent: return "content";
+  }
+  return "?";
+}
+
+IxpProfile IxpProfile::amsix() {
+  return {"AMS-IX", 116, 639, 518082, 11161624, 0.0988};
+}
+IxpProfile IxpProfile::decix() {
+  return {"DE-CIX", 92, 580, 518391, 30934525, 0.1364};
+}
+IxpProfile IxpProfile::linx() {
+  return {"LINX", 71, 496, 503392, 16658819, 0.1267};
+}
+
+std::size_t GeneratedIxp::slot_of(ParticipantId id) const {
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    if (participants[i].id == id) return i;
+  }
+  throw std::out_of_range("unknown participant id");
+}
+
+GeneratedIxp generate_ixp(const GeneratorConfig& cfg) {
+  net::SplitMix64 rng(cfg.seed);
+  GeneratedIxp ixp;
+
+  // Prefix universe: consecutive /24s inside 100.64.0.0/10 and onward —
+  // plenty of room for 25k+ blocks, none colliding with router addressing.
+  ixp.prefixes.reserve(cfg.prefixes);
+  const std::uint32_t base = net::Ipv4Address::parse("100.64.0.0").value();
+  for (std::size_t i = 0; i < cfg.prefixes; ++i) {
+    ixp.prefixes.push_back(Ipv4Prefix(
+        net::Ipv4Address(base + (static_cast<std::uint32_t>(i) << 8)), 24));
+  }
+
+  // Participants with ports; a fixed fraction have two ports (§6.1).
+  net::PortId next_port = 1;
+  std::uint32_t next_host = 1;
+  for (std::size_t i = 0; i < cfg.participants; ++i) {
+    core::Participant p;
+    p.id = static_cast<ParticipantId>(i + 1);
+    p.name = "AS" + std::to_string(64512 + i);
+    p.asn = static_cast<net::Asn>(64512 + i);
+    const std::size_t port_count = rng.chance(cfg.multi_port_fraction) ? 2 : 1;
+    for (std::size_t k = 0; k < port_count; ++k) {
+      core::PhysicalPort port;
+      port.id = next_port++;
+      port.router_mac = net::MacAddress(0x00'16'3E'00'00'00ull | port.id);
+      port.router_ip = net::Ipv4Address(
+          net::Ipv4Address::parse("10.0.0.0").value() + next_host++);
+      p.ports.push_back(port);
+    }
+    ixp.participants.push_back(std::move(p));
+  }
+  for (const auto& p : ixp.participants) {
+    ixp.ports.register_participant(p.id, p.port_ids());
+    ixp.server.add_peer({p.id, p.asn, p.primary_port().router_ip});
+  }
+
+  // Categories.
+  ixp.categories.resize(cfg.participants);
+  const double mix_total =
+      cfg.eyeball_fraction + cfg.transit_fraction + cfg.content_fraction;
+  for (std::size_t i = 0; i < cfg.participants; ++i) {
+    const double roll = rng.uniform() * mix_total;
+    ixp.categories[i] = roll < cfg.eyeball_fraction
+                            ? AsCategory::kEyeball
+                            : (roll < cfg.eyeball_fraction +
+                                          cfg.transit_fraction
+                                   ? AsCategory::kTransit
+                                   : AsCategory::kContent);
+  }
+
+  // Power-law origination counts: weight_i ∝ (i+1)^-alpha over a random
+  // permutation of participants, scaled so every prefix has one origin.
+  std::vector<std::size_t> order(cfg.participants);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = cfg.participants; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  std::vector<double> weights(cfg.participants);
+  double weight_sum = 0;
+  for (std::size_t rank = 0; rank < cfg.participants; ++rank) {
+    weights[order[rank]] =
+        std::pow(static_cast<double>(rank + 1), -cfg.skew_alpha);
+    weight_sum += weights[order[rank]];
+  }
+  ixp.announced_counts.assign(cfg.participants, 0);
+  {
+    // Largest-remainder apportionment of the prefix universe.
+    std::vector<double> exact(cfg.participants);
+    std::size_t assigned = 0;
+    for (std::size_t i = 0; i < cfg.participants; ++i) {
+      exact[i] = weights[i] / weight_sum * static_cast<double>(cfg.prefixes);
+      ixp.announced_counts[i] = static_cast<std::size_t>(exact[i]);
+      assigned += ixp.announced_counts[i];
+    }
+    std::vector<std::size_t> by_remainder(cfg.participants);
+    std::iota(by_remainder.begin(), by_remainder.end(), 0);
+    std::sort(by_remainder.begin(), by_remainder.end(),
+              [&exact](std::size_t a, std::size_t b) {
+                return exact[a] - std::floor(exact[a]) >
+                       exact[b] - std::floor(exact[b]);
+              });
+    for (std::size_t k = 0; assigned < cfg.prefixes; ++k, ++assigned) {
+      ++ixp.announced_counts[by_remainder[k % cfg.participants]];
+    }
+    // Every member originates at least two prefixes (IXP members are
+    // networks, not single-LAN stubs); the excess comes off the largest.
+    if (cfg.prefixes >= 3 * cfg.participants) {
+      auto largest = static_cast<std::size_t>(
+          std::max_element(ixp.announced_counts.begin(),
+                           ixp.announced_counts.end()) -
+          ixp.announced_counts.begin());
+      for (std::size_t i = 0; i < cfg.participants; ++i) {
+        while (ixp.announced_counts[i] < 2 &&
+               ixp.announced_counts[largest] > 2) {
+          ++ixp.announced_counts[i];
+          --ixp.announced_counts[largest];
+        }
+      }
+    }
+  }
+
+  // Originate: walk the universe once, handing each /24 to its origin.
+  {
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < cfg.participants; ++i) {
+      const auto& p = ixp.participants[i];
+      for (std::size_t k = 0; k < ixp.announced_counts[i] &&
+                              cursor < ixp.prefixes.size();
+           ++k, ++cursor) {
+        bgp::Route r;
+        r.prefix = ixp.prefixes[cursor];
+        r.attrs.as_path = net::AsPath{p.asn};
+        r.attrs.next_hop = p.primary_port().router_ip;
+        r.learned_from = p.id;
+        r.peer_router_id = p.primary_port().router_ip;
+        ixp.server.announce(std::move(r));
+      }
+    }
+  }
+
+  // Transit cones: each transit participant re-advertises the *entire
+  // tables* of a few customer ASes with two-hop paths — the realistic
+  // structure (a transit carries whole customer networks, not random
+  // prefixes), and the one that gives prefixes alternative routes while
+  // keeping forwarding equivalence classes block-shaped.
+  for (std::size_t i = 0; i < cfg.participants; ++i) {
+    if (ixp.categories[i] != AsCategory::kTransit) continue;
+    const auto& p = ixp.participants[i];
+    const std::size_t n_customers =
+        8 + rng.below(std::max<std::size_t>(cfg.participants / 4, 2));
+    std::size_t budget = std::max<std::size_t>(
+        static_cast<std::size_t>(
+            cfg.cone_factor *
+            static_cast<double>(ixp.announced_counts[i] + 32)),
+        cfg.prefixes / 8);
+    for (std::size_t k = 0; k < n_customers && budget > 0; ++k) {
+      const std::size_t customer = rng.below(cfg.participants);
+      if (customer == i) continue;
+      const auto& cp = ixp.participants[customer];
+      // A transit often carries only part of a customer's table (regional
+      // more-specifics, partial transit): take a bounded contiguous slice.
+      auto table = ixp.server.advertised_by(cp.id);
+      if (table.empty()) continue;
+      const std::size_t max_len = std::min<std::size_t>(table.size(), 2048);
+      const std::size_t len = 1 + rng.below(max_len);
+      const std::size_t start = rng.below(table.size() - len + 1);
+      table = std::vector<Ipv4Prefix>(
+          table.begin() + static_cast<std::ptrdiff_t>(start),
+          table.begin() + static_cast<std::ptrdiff_t>(start + len));
+      for (auto prefix : table) {
+        if (budget == 0) break;
+        const auto* cands = ixp.server.candidates(prefix);
+        if (cands == nullptr || cands->empty()) continue;
+        bgp::Route r;
+        r.prefix = prefix;
+        r.attrs.as_path =
+            net::AsPath{p.asn, cands->front().attrs.as_path.origin_as()};
+        r.attrs.next_hop = p.primary_port().router_ip;
+        r.learned_from = p.id;
+        r.peer_router_id = p.primary_port().router_ip;
+        ixp.server.announce(std::move(r));
+        --budget;
+      }
+    }
+  }
+  // Ordinary members also re-advertise a little (multihomed customers,
+  // sibling ASes): one small slice each with 50% probability. This is what
+  // gives mid-ranked participants non-trivial announce sets.
+  for (std::size_t i = 0; i < cfg.participants; ++i) {
+    if (ixp.categories[i] == AsCategory::kTransit) continue;
+    if (!rng.chance(0.5)) continue;
+    const auto& p = ixp.participants[i];
+    const std::size_t other = rng.below(cfg.participants);
+    if (other == i) continue;
+    auto table = ixp.server.advertised_by(ixp.participants[other].id);
+    if (table.empty()) continue;
+    const std::size_t len =
+        1 + rng.below(std::min<std::size_t>(table.size(), 64));
+    const std::size_t start = rng.below(table.size() - len + 1);
+    for (std::size_t k = start; k < start + len; ++k) {
+      const auto* cands = ixp.server.candidates(table[k]);
+      if (cands == nullptr || cands->empty()) continue;
+      bgp::Route r;
+      r.prefix = table[k];
+      r.attrs.as_path =
+          net::AsPath{p.asn, cands->front().attrs.as_path.origin_as()};
+      r.attrs.next_hop = p.primary_port().router_ip;
+      r.learned_from = p.id;
+      r.peer_router_id = p.primary_port().router_ip;
+      ixp.server.announce(std::move(r));
+    }
+  }
+  return ixp;
+}
+
+namespace {
+
+/// Participant slots of one category, ranked by originated prefix count
+/// (descending) — "we sort the ASes in each category by the number of
+/// prefixes that they advertise" (§6.1).
+std::vector<std::size_t> ranked_category(const GeneratedIxp& ixp,
+                                         AsCategory cat) {
+  std::vector<std::size_t> slots;
+  for (std::size_t i = 0; i < ixp.participants.size(); ++i) {
+    if (ixp.categories[i] == cat) slots.push_back(i);
+  }
+  std::sort(slots.begin(), slots.end(), [&ixp](std::size_t a, std::size_t b) {
+    return ixp.announced_counts[a] > ixp.announced_counts[b];
+  });
+  return slots;
+}
+
+net::Field random_match_field(net::SplitMix64& rng) {
+  switch (rng.below(3)) {
+    case 0: return net::Field::kDstPort;
+    case 1: return net::Field::kSrcPort;
+    default: return net::Field::kIpProto;
+  }
+}
+
+core::ClauseMatch one_field_match(net::SplitMix64& rng) {
+  core::ClauseMatch m;
+  const net::Field f = random_match_field(rng);
+  const std::uint64_t v = f == net::Field::kIpProto
+                              ? (rng.chance(0.5) ? 6 : 17)
+                              : (rng.chance(0.5) ? 80 : 443);
+  m.field(f, v);
+  return m;
+}
+
+}  // namespace
+
+std::vector<Ipv4Prefix> sample_policy_prefixes(const GeneratedIxp& ixp,
+                                               std::size_t count,
+                                               std::uint64_t seed) {
+  net::SplitMix64 rng(seed);
+  std::vector<Ipv4Prefix> pool = ixp.prefixes;
+  count = std::min(count, pool.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    std::swap(pool[i], pool[i + rng.below(pool.size() - i)]);
+  }
+  pool.resize(count);
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+std::size_t synthesize_policies(GeneratedIxp& ixp,
+                                const PolicySynthConfig& cfg) {
+  net::SplitMix64 rng(cfg.seed);
+  auto eyeballs = ranked_category(ixp, AsCategory::kEyeball);
+  auto transits = ranked_category(ixp, AsCategory::kTransit);
+  auto contents = ranked_category(ixp, AsCategory::kContent);
+
+  // When a global policy-prefix set is configured, restrict every outbound
+  // clause to it (§6.2 methodology).
+  auto restrict_to_px = [&cfg](core::OutboundClause& c) {
+    if (!cfg.policy_prefixes.empty()) {
+      c.match.dst_prefixes = cfg.policy_prefixes;
+    }
+  };
+
+  // Participants ranked by total exported table size — the big transit
+  // carriers most policies forward into ("about 95% of all IXP traffic is
+  // exchanged between about 5% of the participants", §4.3.1).
+  std::vector<std::size_t> top_exporters(ixp.participants.size());
+  {
+    std::iota(top_exporters.begin(), top_exporters.end(), std::size_t{0});
+    std::vector<std::size_t> export_size(ixp.participants.size());
+    for (std::size_t i = 0; i < ixp.participants.size(); ++i) {
+      export_size[i] =
+          ixp.server.advertised_by(ixp.participants[i].id).size();
+    }
+    std::sort(top_exporters.begin(), top_exporters.end(),
+              [&export_size](std::size_t a, std::size_t b) {
+                return export_size[a] > export_size[b];
+              });
+    top_exporters.resize(
+        std::max<std::size_t>(4, ixp.participants.size() / 20));
+  }
+
+  const std::size_t top_eyeballs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cfg.top_eyeball_fraction *
+                                  static_cast<double>(eyeballs.size())));
+  const std::size_t top_transits = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cfg.top_transit_fraction *
+                                  static_cast<double>(transits.size())));
+  const std::size_t policy_contents = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cfg.content_fraction *
+                                  static_cast<double>(contents.size())));
+
+  std::size_t clauses = 0;
+
+  // Content providers: outbound application-specific peering toward three
+  // random top eyeballs, plus one inbound redirection policy.
+  for (std::size_t k = 0; k < policy_contents && k < contents.size(); ++k) {
+    const std::size_t slot = contents[rng.below(contents.size())];
+    auto& p = ixp.participants[slot];
+    for (std::size_t t = 0; t < cfg.content_outbound_targets; ++t) {
+      const std::size_t eb = eyeballs[rng.below(std::max<std::size_t>(
+          top_eyeballs, 1))];
+      if (ixp.participants[eb].id == p.id) continue;
+      core::OutboundClause c;
+      c.match.dst_port(t == 0 ? 80 : (t == 1 ? 443 : 8080));
+      c.to = ixp.participants[eb].id;
+      restrict_to_px(c);
+      p.outbound.push_back(std::move(c));
+      ++clauses;
+    }
+    // One clause toward a big carrier (transit-cost balancing is not a
+    // transit-only concern for large content networks).
+    if (!top_exporters.empty()) {
+      const std::size_t carrier =
+          top_exporters[rng.below(top_exporters.size())];
+      if (ixp.participants[carrier].id != p.id) {
+        core::OutboundClause c;
+        c.match.dst_port(443);
+        c.to = ixp.participants[carrier].id;
+        restrict_to_px(c);
+        p.outbound.push_back(std::move(c));
+        ++clauses;
+      }
+    }
+    core::InboundClause in;
+    in.match = one_field_match(rng);
+    in.to_port = rng.below(p.ports.size());
+    p.inbound.push_back(std::move(in));
+    ++clauses;
+  }
+
+  // Eyeballs: inbound policies for half of the content providers.
+  for (std::size_t k = 0; k < top_eyeballs && k < eyeballs.size(); ++k) {
+    auto& p = ixp.participants[eyeballs[k]];
+    const std::size_t n_in = std::max<std::size_t>(1, contents.size() / 2);
+    for (std::size_t t = 0; t < n_in; ++t) {
+      core::InboundClause in;
+      in.match = one_field_match(rng);
+      // Distinguish the content provider by source port band to keep the
+      // clause set non-degenerate.
+      in.match.field(net::Field::kSrcPort, 1024 + (t % 32));
+      in.to_port = rng.below(p.ports.size());
+      p.inbound.push_back(std::move(in));
+      ++clauses;
+    }
+  }
+
+  // Transit providers: outbound TE for one prefix group of half the top
+  // eyeballs (dst prefix + one extra field), inbound proportional to the
+  // top content providers.
+  for (std::size_t k = 0; k < top_transits && k < transits.size(); ++k) {
+    auto& p = ixp.participants[transits[k]];
+    for (std::size_t e = 0; e < top_eyeballs; e += 2) {
+      const std::size_t eb = eyeballs[e];
+      if (ixp.participants[eb].id == p.id) continue;
+      core::OutboundClause c;
+      if (cfg.policy_prefixes.empty()) {
+        // One announced prefix of the eyeball, widened to its /16 block.
+        const auto adv = ixp.server.advertised_by(ixp.participants[eb].id);
+        if (adv.empty()) continue;
+        c.match.dst(Ipv4Prefix(adv[rng.below(adv.size())].network(), 16));
+      } else {
+        c.match.dst_prefixes = cfg.policy_prefixes;
+      }
+      c.match.dst_port(rng.chance(0.5) ? 80 : 443);
+      c.to = ixp.participants[eb].id;
+      p.outbound.push_back(std::move(c));
+      ++clauses;
+    }
+    // "Policies that are intended to balance transit costs" (§6.1):
+    // outbound TE toward the big carriers, whose large (cone) export sets
+    // make these the group-shaping clauses.
+    for (std::size_t e = 0; e < 4 && !top_exporters.empty(); ++e) {
+      const std::size_t other = top_exporters[rng.below(top_exporters.size())];
+      if (ixp.participants[other].id == p.id) continue;
+      core::OutboundClause c;
+      c.match.dst_port(rng.chance(0.5) ? 80 : 443);
+      c.match.field(net::Field::kIpProto, rng.chance(0.5) ? 6 : 17);
+      c.to = ixp.participants[other].id;
+      restrict_to_px(c);
+      p.outbound.push_back(std::move(c));
+      ++clauses;
+    }
+    const std::size_t n_in = std::max<std::size_t>(1, policy_contents / 2);
+    for (std::size_t t = 0; t < n_in; ++t) {
+      core::InboundClause in;
+      in.match = one_field_match(rng);
+      in.to_port = rng.below(p.ports.size());
+      p.inbound.push_back(std::move(in));
+      ++clauses;
+    }
+  }
+  return clauses;
+}
+
+}  // namespace sdx::ixp

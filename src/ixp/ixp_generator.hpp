@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file ixp_generator.hpp
+/// Synthetic IXP generator following the evaluation methodology of paper
+/// §6.1 ("emulating real-world IXP topologies"):
+///
+///   * participant prefix counts follow the AMS-IX skew — about 1% of the
+///     ASes announce more than 50% of the prefixes, and the bottom 90%
+///     combined announce less than 1%;
+///   * a fixed fraction of participants have multiple ports at the
+///     exchange;
+///   * participants are classified as eyeball / transit / content;
+///   * transit participants re-advertise a customer cone on top of their
+///     own prefixes, so prefixes have multiple candidate routes.
+///
+/// The generator substitutes for the AMS-IX/DE-CIX/LINX censuses the paper
+/// used (see DESIGN.md §2); everything is driven by a seeded RNG so every
+/// benchmark run is reproducible.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/route_server.hpp"
+#include "sdx/participant.hpp"
+#include "sdx/port_map.hpp"
+
+namespace sdx::ixp {
+
+using bgp::ParticipantId;
+using net::Ipv4Prefix;
+
+enum class AsCategory : std::uint8_t { kEyeball, kTransit, kContent };
+
+std::string_view category_name(AsCategory c);
+
+/// Static characteristics of the three IXPs in Table 1.
+struct IxpProfile {
+  std::string name;
+  std::size_t collector_peers = 0;
+  std::size_t total_peers = 0;
+  std::size_t prefixes = 0;
+  std::size_t updates_per_week = 0;      ///< Table 1 "BGP updates"
+  double frac_prefixes_updated = 0;      ///< Table 1 last row
+
+  static IxpProfile amsix();
+  static IxpProfile decix();
+  static IxpProfile linx();
+};
+
+struct GeneratorConfig {
+  std::size_t participants = 300;
+  std::size_t prefixes = 25000;
+  std::uint64_t seed = 1;
+  double multi_port_fraction = 0.2;
+  /// Category mix (renormalized): roughly matching IXP membership surveys.
+  double eyeball_fraction = 0.40;
+  double transit_fraction = 0.20;
+  double content_fraction = 0.40;
+  /// Power-law exponent of the prefix-count distribution.
+  double skew_alpha = 1.9;
+  /// Transit participants re-advertise cone_factor × their own prefix
+  /// count from the rest of the table.
+  double cone_factor = 4.0;
+};
+
+struct GeneratedIxp {
+  std::vector<core::Participant> participants;
+  std::vector<AsCategory> categories;  ///< parallel to participants
+  core::PortMap ports;
+  bgp::RouteServer server;             ///< announcements already applied
+  std::vector<Ipv4Prefix> prefixes;    ///< the full prefix universe
+  /// Per-participant originated prefix count (the census used to rank).
+  std::vector<std::size_t> announced_counts;
+
+  std::size_t slot_of(ParticipantId id) const;
+};
+
+/// Builds the IXP: participants, categories, announcements.
+GeneratedIxp generate_ixp(const GeneratorConfig& cfg);
+
+/// §6.1 policy assignment over a generated IXP: the top 15% of eyeballs,
+/// the top 5% of transit ASes and a random 5% of content ASes install
+/// custom policies (see policy_synth.cpp for the per-category shapes).
+/// Returns the number of clauses installed.
+struct PolicySynthConfig {
+  std::uint64_t seed = 7;
+  double top_eyeball_fraction = 0.15;
+  double top_transit_fraction = 0.05;
+  double content_fraction = 0.05;
+  std::size_t content_outbound_targets = 3;
+  /// The global set of prefixes that SDX policies apply to (the paper's
+  /// |px| = x ∈ [0, 25000] knob, §6.2): when non-empty, every outbound
+  /// clause is restricted to it, which is what produces realistic prefix
+  /// group counts in Figures 6–8. Empty = clauses are unrestricted.
+  std::vector<Ipv4Prefix> policy_prefixes;
+};
+
+/// Draws \p count policy prefixes at random from the IXP's table (the
+/// paper's "selected at random from the default-free routing table").
+std::vector<Ipv4Prefix> sample_policy_prefixes(const GeneratedIxp& ixp,
+                                               std::size_t count,
+                                               std::uint64_t seed);
+
+std::size_t synthesize_policies(GeneratedIxp& ixp,
+                                const PolicySynthConfig& cfg);
+
+}  // namespace sdx::ixp

@@ -1,0 +1,56 @@
+#include "ixp/trace_stats.hpp"
+
+#include <algorithm>
+
+namespace sdx::ixp {
+
+void TraceAnalyzer::close_burst() {
+  if (burst_updates_ == 0) return;
+  burst_sizes_.push_back(static_cast<double>(burst_prefixes_.size()));
+  if (have_prev_burst_) {
+    // Gap measured from the end of the previous burst to the start of this
+    // one; burst_end_ here is the start timestamp captured at open time.
+    gaps_.push_back(burst_end_ - prev_burst_end_);
+  }
+  prev_burst_end_ = last_ts_;
+  have_prev_burst_ = true;
+  burst_updates_ = 0;
+  burst_prefixes_.clear();
+  ++stats_.burst_count;
+}
+
+void TraceAnalyzer::feed(const TraceEvent& ev) {
+  if (any_ && ev.timestamp - last_ts_ >= gap_) {
+    close_burst();
+  }
+  if (burst_updates_ == 0) burst_end_ = ev.timestamp;  // burst start
+  any_ = true;
+  last_ts_ = ev.timestamp;
+  ++burst_updates_;
+  burst_prefixes_.insert(ev.prefix_index);
+  all_prefixes_.insert(ev.prefix_index);
+  ++stats_.total_updates;
+  if (ev.withdrawal) {
+    ++stats_.withdrawal_count;
+  } else {
+    ++stats_.announcement_count;
+  }
+}
+
+bgp::StreamStats TraceAnalyzer::finish() {
+  close_burst();
+  stats_.distinct_prefixes = all_prefixes_.size();
+  if (!burst_sizes_.empty()) {
+    stats_.median_burst_size = bgp::quantile(burst_sizes_, 0.5);
+    stats_.p75_burst_size = bgp::quantile(burst_sizes_, 0.75);
+    stats_.max_burst_size =
+        *std::max_element(burst_sizes_.begin(), burst_sizes_.end());
+  }
+  if (!gaps_.empty()) {
+    stats_.median_interarrival_s = bgp::quantile(gaps_, 0.5);
+    stats_.p25_interarrival_s = bgp::quantile(gaps_, 0.25);
+  }
+  return stats_;
+}
+
+}  // namespace sdx::ixp

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file trace_stats.hpp
+/// Streaming trace analyzer: computes the Table 1 counters and the §4.3
+/// burst statistics over an update stream without materializing it.
+/// Equivalent to bgp::compute_stats for in-memory streams (tested against
+/// it), but O(burst) memory.
+
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/update_stream.hpp"
+#include "ixp/update_trace.hpp"
+
+namespace sdx::ixp {
+
+class TraceAnalyzer {
+ public:
+  explicit TraceAnalyzer(double burst_gap_seconds = 2.0)
+      : gap_(burst_gap_seconds) {}
+
+  /// Events must arrive in non-decreasing timestamp order.
+  void feed(const TraceEvent& ev);
+
+  /// Closes the final burst and returns the aggregate statistics.
+  bgp::StreamStats finish();
+
+ private:
+  void close_burst();
+
+  double gap_;
+  bool any_ = false;
+  double last_ts_ = 0;
+  double burst_end_ = 0;
+  std::size_t burst_updates_ = 0;
+  std::unordered_set<std::size_t> burst_prefixes_;
+  std::unordered_set<std::size_t> all_prefixes_;
+  std::vector<double> burst_sizes_;
+  std::vector<double> gaps_;
+  double prev_burst_end_ = 0;
+  bool have_prev_burst_ = false;
+  bgp::StreamStats stats_;
+};
+
+}  // namespace sdx::ixp

@@ -1,0 +1,93 @@
+#include "ixp/update_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netbase/rng.hpp"
+
+namespace sdx::ixp {
+
+namespace {
+
+/// Standard-normal sample via Box–Muller on the deterministic RNG.
+double normal(net::SplitMix64& rng) {
+  double u1 = rng.uniform();
+  while (u1 <= 0) u1 = rng.uniform();
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.141592653589793 * u2);
+}
+
+}  // namespace
+
+std::size_t generate_trace(
+    const TraceConfig& cfg,
+    const std::function<void(const TraceEvent&)>& sink) {
+  net::SplitMix64 rng(cfg.seed);
+
+  // Hot prefix set: the only prefixes that ever see updates.
+  const std::size_t hot_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cfg.frac_prefixes_updated *
+                                  static_cast<double>(cfg.prefix_count)));
+  std::vector<std::size_t> hot(cfg.prefix_count);
+  for (std::size_t i = 0; i < cfg.prefix_count; ++i) hot[i] = i;
+  for (std::size_t i = cfg.prefix_count; i > 1; --i) {
+    std::swap(hot[i - 1], hot[rng.below(i)]);
+  }
+  hot.resize(hot_count);
+
+  // Lognormal gap parameters from the two calibration quantiles:
+  // median = exp(mu); p25 = exp(mu - 0.6745 sigma).
+  const double mu = std::log(cfg.median_gap_s);
+  const double sigma =
+      (std::log(cfg.median_gap_s) - std::log(cfg.p25_gap_s)) / 0.6745;
+
+  std::size_t emitted = 0;
+  double now = 0;
+  while (true) {
+    now += std::clamp(std::exp(mu + sigma * normal(rng)), cfg.p25_gap_s,
+                      cfg.max_gap_s);
+    if (now >= cfg.duration_s) break;
+
+    // Burst size: small with probability p_small_burst, else Pareto tail.
+    std::size_t burst_prefixes;
+    if (rng.chance(cfg.p_small_burst)) {
+      burst_prefixes = 1 + rng.below(3);
+    } else {
+      const double u = std::max(rng.uniform(), 1e-12);
+      burst_prefixes = static_cast<std::size_t>(
+          4.0 * std::pow(u, -1.0 / cfg.tail_alpha));
+      burst_prefixes = std::min(burst_prefixes, cfg.max_burst);
+    }
+    burst_prefixes = std::min(burst_prefixes, hot.size());
+
+    double t = now;
+    const double p_more =
+        cfg.churn_per_prefix <= 1.0 ? 0.0 : 1.0 - 1.0 / cfg.churn_per_prefix;
+    for (std::size_t k = 0; k < burst_prefixes; ++k) {
+      const std::size_t prefix = hot[rng.below(hot.size())];
+      // Path exploration: geometric number of updates for this prefix.
+      std::size_t updates = 1;
+      while (rng.chance(p_more)) ++updates;
+      for (std::size_t u = 0; u < updates; ++u) {
+        TraceEvent ev;
+        ev.timestamp = t;
+        ev.prefix_index = prefix;
+        ev.withdrawal = rng.chance(cfg.withdrawal_fraction);
+        sink(ev);
+        ++emitted;
+        t += rng.uniform() * 0.4;  // intra-burst spacing, well under the gap
+      }
+    }
+    now = t;
+  }
+  return emitted;
+}
+
+std::vector<TraceEvent> generate_trace_vector(const TraceConfig& cfg) {
+  std::vector<TraceEvent> out;
+  generate_trace(cfg, [&out](const TraceEvent& ev) { out.push_back(ev); });
+  return out;
+}
+
+}  // namespace sdx::ixp

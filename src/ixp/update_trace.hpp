@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file update_trace.hpp
+/// Synthetic RIS-like BGP update traces, calibrated to the §4.3 burst
+/// analysis of the paper:
+///
+///   * 10–14% of prefixes see any updates at all in a week (the rest are
+///     stable — and the stable ones are the ones policies reference);
+///   * update bursts are small: 75% touch ≤3 prefixes, with a heavy tail
+///     and about one >1000-prefix burst per week;
+///   * inter-burst gaps are ≥10 s 75% of the time and >60 s half the time.
+///
+/// Generation is streaming (callback per update) so Table-1-scale traces
+/// (tens of millions of updates) need no materialized vector.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bgp/update_stream.hpp"
+
+namespace sdx::ixp {
+
+struct TraceConfig {
+  std::uint64_t seed = 1;
+  double duration_s = 6 * 86400.0;   ///< Table 1 window: Jan 1–6
+  /// Prefix universe and the fraction of it that is update-active.
+  std::size_t prefix_count = 25000;
+  double frac_prefixes_updated = 0.12;
+  /// Median and 25th-percentile inter-burst gap (seconds): lognormal fit,
+  /// truncated at max_gap_s (the paper constrains only the lower
+  /// quantiles; the cap keeps the mean finite and the burst count
+  /// realistic).
+  double median_gap_s = 60.0;
+  double p25_gap_s = 10.0;
+  double max_gap_s = 900.0;
+  /// Burst-size distribution: P(size ≤ 3) and the Pareto tail exponent.
+  /// Slightly above the paper's 75% so the *measured* p75 (after burst
+  /// segmentation) lands at ≤3 prefixes.
+  double p_small_burst = 0.80;
+  double tail_alpha = 1.3;
+  std::size_t max_burst = 2000;
+  /// Fraction of updates that are withdrawals.
+  double withdrawal_fraction = 0.08;
+  /// Mean number of updates each affected prefix contributes per burst
+  /// (BGP path exploration: one routing event triggers several transient
+  /// announcements before converging). Geometric, ≥1.
+  double churn_per_prefix = 1.0;
+};
+
+/// One generated update: offset into the prefix universe instead of a
+/// concrete prefix so callers can map onto their own universe.
+struct TraceEvent {
+  double timestamp = 0;
+  std::size_t prefix_index = 0;
+  bool withdrawal = false;
+};
+
+/// Streams the trace in time order; returns the number of events emitted.
+std::size_t generate_trace(const TraceConfig& cfg,
+                           const std::function<void(const TraceEvent&)>& sink);
+
+/// Materialized variant for small traces (tests, Figure 9/10 inputs).
+std::vector<TraceEvent> generate_trace_vector(const TraceConfig& cfg);
+
+}  // namespace sdx::ixp

@@ -1,0 +1,33 @@
+#include "netbase/as_path.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace sdx::net {
+
+bool AsPath::contains(Asn asn) const {
+  return std::find(asns_.begin(), asns_.end(), asn) != asns_.end();
+}
+
+AsPath AsPath::prepended(Asn asn) const {
+  std::vector<Asn> out;
+  out.reserve(asns_.size() + 1);
+  out.push_back(asn);
+  out.insert(out.end(), asns_.begin(), asns_.end());
+  return AsPath(std::move(out));
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < asns_.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += std::to_string(asns_[i]);
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const AsPath& path) {
+  return os << path.to_string();
+}
+
+}  // namespace sdx::net

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file as_path.hpp
+/// BGP AS-path value type.
+///
+/// Lives in netbase (rather than sdx::bgp) because the SDX policy layer also
+/// consumes AS paths, via the RIB attribute filters of paper §3.2 ("grouping
+/// traffic based on BGP attributes").
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdx::net {
+
+/// An autonomous-system number (we use 4-byte ASNs throughout).
+using Asn = std::uint32_t;
+
+/// A BGP AS path, modelled as a single AS_SEQUENCE (the dominant segment
+/// type; the wire codec in sdx::bgp handles segmenting).
+class AsPath {
+ public:
+  AsPath() = default;
+  AsPath(std::initializer_list<Asn> asns) : asns_(asns) {}
+  explicit AsPath(std::vector<Asn> asns) : asns_(std::move(asns)) {}
+
+  const std::vector<Asn>& asns() const { return asns_; }
+  std::size_t length() const { return asns_.size(); }
+  bool empty() const { return asns_.empty(); }
+
+  /// First AS on the path — the neighbor the route was learned from.
+  Asn first() const { return asns_.front(); }
+  /// Last AS on the path — the origin of the prefix.
+  Asn origin_as() const { return asns_.back(); }
+
+  bool contains(Asn asn) const;
+
+  /// A copy of this path with \p asn prepended (what a router does when
+  /// advertising to an eBGP neighbor).
+  AsPath prepended(Asn asn) const;
+
+  /// Space-separated ASN list, e.g. "100 200 43515" — the form the AS-path
+  /// regex filters of §3.2 are applied to.
+  std::string to_string() const;
+
+  friend auto operator<=>(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<Asn> asns_;
+};
+
+std::ostream& operator<<(std::ostream& os, const AsPath& path);
+
+}  // namespace sdx::net
+
+template <>
+struct std::hash<sdx::net::AsPath> {
+  std::size_t operator()(const sdx::net::AsPath& p) const noexcept {
+    std::size_t seed = p.length();
+    for (auto a : p.asns()) {
+      seed ^= std::hash<std::uint32_t>{}(a) + 0x9e3779b97f4a7c15ull +
+              (seed << 6) + (seed >> 2);
+    }
+    return seed;
+  }
+};

@@ -1,0 +1,42 @@
+#include "netbase/field_match.hpp"
+
+#include <bit>
+#include <ostream>
+#include <sstream>
+
+namespace sdx::net {
+
+std::string FieldMatch::to_string(Field f) const {
+  if (is_wildcard()) return "*";
+  std::ostringstream os;
+  if (is_ip_field(f)) {
+    const int len = std::popcount(static_cast<std::uint32_t>(mask_));
+    os << Ipv4Prefix(Ipv4Address(static_cast<std::uint32_t>(value_)), len);
+  } else if (f == Field::kSrcMac || f == Field::kDstMac) {
+    os << MacAddress(value_);
+  } else {
+    os << value_;
+  }
+  return os.str();
+}
+
+std::string FlowMatch::to_string() const {
+  std::ostringstream os;
+  os << "match(";
+  bool first = true;
+  for (auto f : kAllFields) {
+    if (field(f).is_wildcard()) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << field_name(f) << "=" << field(f).to_string(f);
+  }
+  if (first) os << "*";
+  os << ")";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const FlowMatch& m) {
+  return os << m.to_string();
+}
+
+}  // namespace sdx::net

@@ -1,0 +1,185 @@
+#pragma once
+
+/// \file field_match.hpp
+/// Ternary match primitives: a per-field constraint (FieldMatch) and a
+/// conjunction over all header fields (FlowMatch).
+///
+/// These are the "match part" of OpenFlow-style rules. IP fields support
+/// CIDR-prefix constraints; every other field is wildcard-or-exact. The
+/// algebra (intersection, subsumption) is what classifier composition in
+/// sdx::policy is built on.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "netbase/ip.hpp"
+#include "netbase/packet.hpp"
+
+namespace sdx::net {
+
+/// A constraint on a single header field: wildcard, exact value, or (for IP
+/// fields) a CIDR prefix. Represented uniformly as value+mask over the low
+/// bits: wildcard = mask 0, exact = full mask, prefix = CIDR mask.
+class FieldMatch {
+ public:
+  /// Wildcard: matches anything.
+  constexpr FieldMatch() = default;
+
+  /// Exact-value constraint.
+  static constexpr FieldMatch exact(std::uint64_t value) {
+    return FieldMatch(value, ~std::uint64_t{0});
+  }
+
+  /// CIDR constraint for an IP field.
+  static constexpr FieldMatch prefix(Ipv4Prefix p) {
+    return FieldMatch(p.network().value(), p.mask());
+  }
+
+  static constexpr FieldMatch wildcard() { return FieldMatch(); }
+
+  constexpr bool is_wildcard() const { return mask_ == 0; }
+  constexpr bool is_exact() const { return mask_ == ~std::uint64_t{0}; }
+  constexpr std::uint64_t value() const { return value_; }
+  constexpr std::uint64_t mask() const { return mask_; }
+
+  constexpr bool matches(std::uint64_t v) const {
+    return (v & mask_) == value_;
+  }
+
+  /// True when every value matching \p other also matches *this.
+  constexpr bool subsumes(FieldMatch other) const {
+    // this ⊇ other  ⇔  this's mask bits ⊆ other's mask bits and they agree.
+    return (mask_ & other.mask_) == mask_ && (other.value_ & mask_) == value_;
+  }
+
+  /// Set intersection; std::nullopt when the constraints are contradictory.
+  constexpr std::optional<FieldMatch> intersect(FieldMatch other) const {
+    // Masks here are "prefix-like" (downward-closed sets of high bits) for IP
+    // fields and 0/~0 otherwise, so one mask always contains the other.
+    const std::uint64_t common = mask_ & other.mask_;
+    if ((value_ & common) != (other.value_ & common)) return std::nullopt;
+    FieldMatch out;
+    out.mask_ = mask_ | other.mask_;
+    out.value_ = value_ | other.value_;
+    return out;
+  }
+
+  std::string to_string(Field f) const;
+
+  friend constexpr auto operator<=>(FieldMatch, FieldMatch) = default;
+
+ private:
+  constexpr FieldMatch(std::uint64_t value, std::uint64_t mask)
+      : value_(value & mask), mask_(mask) {}
+
+  std::uint64_t value_ = 0;
+  std::uint64_t mask_ = 0;
+};
+
+/// A conjunction of per-field constraints — the match of one flow rule.
+class FlowMatch {
+ public:
+  constexpr FlowMatch() = default;
+
+  /// The match that accepts every packet.
+  static constexpr FlowMatch any() { return FlowMatch(); }
+
+  /// Single-field exact match.
+  static FlowMatch on(Field f, std::uint64_t value) {
+    FlowMatch m;
+    m.set(f, FieldMatch::exact(value));
+    return m;
+  }
+
+  /// Single-field prefix match (IP fields only).
+  static FlowMatch on_prefix(Field f, Ipv4Prefix p) {
+    FlowMatch m;
+    m.set(f, FieldMatch::prefix(p));
+    return m;
+  }
+
+  constexpr const FieldMatch& field(Field f) const {
+    return fields_[static_cast<std::size_t>(field_index(f))];
+  }
+  constexpr void set(Field f, FieldMatch fm) {
+    fields_[static_cast<std::size_t>(field_index(f))] = fm;
+  }
+
+  /// Fluent per-field setters for building compound matches.
+  FlowMatch& with(Field f, std::uint64_t value) {
+    set(f, FieldMatch::exact(value));
+    return *this;
+  }
+  FlowMatch& with_prefix(Field f, Ipv4Prefix p) {
+    set(f, FieldMatch::prefix(p));
+    return *this;
+  }
+
+  bool matches(const PacketHeader& h) const {
+    for (auto f : kAllFields) {
+      if (!field(f).matches(h.get(f))) return false;
+    }
+    return true;
+  }
+
+  bool is_wildcard() const {
+    for (auto f : kAllFields) {
+      if (!field(f).is_wildcard()) return false;
+    }
+    return true;
+  }
+
+  /// True when every packet matching \p other also matches *this.
+  bool subsumes(const FlowMatch& other) const {
+    for (auto f : kAllFields) {
+      if (!field(f).subsumes(other.field(f))) return false;
+    }
+    return true;
+  }
+
+  /// Conjunction of two matches; std::nullopt when unsatisfiable.
+  std::optional<FlowMatch> intersect(const FlowMatch& other) const {
+    FlowMatch out;
+    for (auto f : kAllFields) {
+      auto fm = field(f).intersect(other.field(f));
+      if (!fm) return std::nullopt;
+      out.set(f, *fm);
+    }
+    return out;
+  }
+
+  /// Number of constrained (non-wildcard) fields; used as a priority hint.
+  int constrained_fields() const {
+    int n = 0;
+    for (auto f : kAllFields) n += field(f).is_wildcard() ? 0 : 1;
+    return n;
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const FlowMatch&, const FlowMatch&) =
+      default;
+
+ private:
+  std::array<FieldMatch, kFieldCount> fields_{};
+};
+
+std::ostream& operator<<(std::ostream& os, const FlowMatch& m);
+
+}  // namespace sdx::net
+
+template <>
+struct std::hash<sdx::net::FlowMatch> {
+  std::size_t operator()(const sdx::net::FlowMatch& m) const noexcept {
+    std::size_t seed = 0x9e3779b97f4a7c15ull;
+    for (auto f : sdx::net::kAllFields) {
+      const auto& fm = m.field(f);
+      seed ^= std::hash<std::uint64_t>{}(fm.value() * 31 + fm.mask()) +
+              0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+    }
+    return seed;
+  }
+};

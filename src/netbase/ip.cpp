@@ -1,0 +1,92 @@
+#include "netbase/ip.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <stdexcept>
+
+namespace sdx::net {
+
+namespace {
+
+/// Parses a decimal number in [0, max]; advances \p text past it.
+std::optional<std::uint32_t> eat_number(std::string_view& text,
+                                        std::uint32_t max) {
+  std::uint32_t out = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr == begin || out > max) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return out;
+}
+
+bool eat_char(std::string_view& text, char c) {
+  if (text.empty() || text.front() != c) return false;
+  text.remove_prefix(1);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::try_parse(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0 && !eat_char(text, '.')) return std::nullopt;
+    auto octet = eat_number(text, 255);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+Ipv4Address Ipv4Address::parse(std::string_view text) {
+  auto addr = try_parse(text);
+  if (!addr) {
+    throw std::invalid_argument("bad IPv4 address: " + std::string(text));
+  }
+  return *addr;
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, Ipv4Address addr) {
+  return os << addr.to_string();
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::try_parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Address::try_parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  auto rest = text.substr(slash + 1);
+  auto len = eat_number(rest, 32);
+  if (!len || !rest.empty()) return std::nullopt;
+  return Ipv4Prefix(*addr, static_cast<int>(*len));
+}
+
+Ipv4Prefix Ipv4Prefix::parse(std::string_view text) {
+  auto prefix = try_parse(text);
+  if (!prefix) {
+    throw std::invalid_argument("bad IPv4 prefix: " + std::string(text));
+  }
+  return *prefix;
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+std::ostream& operator<<(std::ostream& os, Ipv4Prefix prefix) {
+  return os << prefix.to_string();
+}
+
+}  // namespace sdx::net

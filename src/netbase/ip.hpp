@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file ip.hpp
+/// IPv4 address and prefix value types used throughout the SDX.
+///
+/// Both types are small, trivially copyable values with total ordering so
+/// they can be used as keys in ordered and unordered containers.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sdx::net {
+
+/// An IPv4 address held in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+
+  /// Builds an address from its four dotted-quad octets (a.b.c.d).
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses dotted-quad notation; returns std::nullopt on malformed input.
+  static std::optional<Ipv4Address> try_parse(std::string_view text);
+
+  /// Parses dotted-quad notation; throws std::invalid_argument on failure.
+  static Ipv4Address parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Ipv4Address addr);
+
+/// Returns the netmask for a prefix length in [0, 32].
+constexpr std::uint32_t netmask(int prefix_len) {
+  return prefix_len <= 0 ? 0u
+         : prefix_len >= 32
+             ? ~0u
+             : ~0u << (32 - prefix_len);
+}
+
+/// An IPv4 prefix (CIDR block). The stored network address is always
+/// normalized: host bits below the prefix length are zero.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+
+  /// Builds a prefix, masking off any host bits in \p network.
+  constexpr Ipv4Prefix(Ipv4Address network, int length)
+      : network_(network.value() & netmask(length)),
+        length_(static_cast<std::uint8_t>(length)) {}
+
+  /// Parses "a.b.c.d/len"; returns std::nullopt on malformed input.
+  static std::optional<Ipv4Prefix> try_parse(std::string_view text);
+
+  /// Parses "a.b.c.d/len"; throws std::invalid_argument on failure.
+  static Ipv4Prefix parse(std::string_view text);
+
+  /// A host prefix (/32) for a single address.
+  static constexpr Ipv4Prefix host(Ipv4Address addr) {
+    return Ipv4Prefix(addr, 32);
+  }
+
+  constexpr Ipv4Address network() const { return network_; }
+  constexpr int length() const { return length_; }
+  constexpr std::uint32_t mask() const { return netmask(length_); }
+
+  /// True when \p addr falls inside this block.
+  constexpr bool contains(Ipv4Address addr) const {
+    return (addr.value() & mask()) == network_.value();
+  }
+
+  /// True when \p other is fully contained in this block (reflexive).
+  constexpr bool contains(Ipv4Prefix other) const {
+    return other.length_ >= length_ && contains(other.network_);
+  }
+
+  /// True when the two blocks share at least one address.
+  constexpr bool overlaps(Ipv4Prefix other) const {
+    return contains(other) || other.contains(*this);
+  }
+
+  /// The intersection of two blocks: the more specific prefix when they
+  /// nest, std::nullopt when they are disjoint.
+  constexpr std::optional<Ipv4Prefix> intersect(Ipv4Prefix other) const {
+    if (contains(other)) return other;
+    if (other.contains(*this)) return *this;
+    return std::nullopt;
+  }
+
+  /// Number of addresses covered by the block (2^(32-length)).
+  constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// Lowest and highest addresses of the block.
+  constexpr Ipv4Address first_address() const { return network_; }
+  constexpr Ipv4Address last_address() const {
+    return Ipv4Address(network_.value() | ~mask());
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Prefix, Ipv4Prefix) = default;
+
+ private:
+  Ipv4Address network_{};
+  std::uint8_t length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Ipv4Prefix prefix);
+
+}  // namespace sdx::net
+
+template <>
+struct std::hash<sdx::net::Ipv4Address> {
+  std::size_t operator()(sdx::net::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<sdx::net::Ipv4Prefix> {
+  std::size_t operator()(sdx::net::Ipv4Prefix p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.network().value()} << 8) |
+        static_cast<std::uint64_t>(p.length()));
+  }
+};

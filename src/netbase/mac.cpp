@@ -1,0 +1,58 @@
+#include "netbase/mac.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace sdx::net {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<MacAddress> MacAddress::try_parse(std::string_view text) {
+  if (text.size() != 17) return std::nullopt;
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (i > 0 && text[static_cast<std::size_t>(3 * i - 1)] != ':') {
+      return std::nullopt;
+    }
+    int hi = hex_digit(text[static_cast<std::size_t>(3 * i)]);
+    int lo = hex_digit(text[static_cast<std::size_t>(3 * i + 1)]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    bits = (bits << 8) | static_cast<std::uint64_t>(hi * 16 + lo);
+  }
+  return MacAddress(bits);
+}
+
+MacAddress MacAddress::parse(std::string_view text) {
+  auto mac = try_parse(text);
+  if (!mac) {
+    throw std::invalid_argument("bad MAC address: " + std::string(text));
+  }
+  return *mac;
+}
+
+std::string MacAddress::to_string() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(17);
+  for (int i = 0; i < 6; ++i) {
+    if (i > 0) out.push_back(':');
+    out.push_back(kHex[octet(i) >> 4]);
+    out.push_back(kHex[octet(i) & 0xF]);
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, MacAddress mac) {
+  return os << mac.to_string();
+}
+
+}  // namespace sdx::net

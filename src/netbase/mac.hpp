@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file mac.hpp
+/// 48-bit Ethernet MAC address value type.
+///
+/// The SDX uses MAC addresses both as ordinary layer-2 addresses and as
+/// virtual MACs (VMACs) that tag packets with their forwarding equivalence
+/// class (paper §4.2), so the type supports cheap conversion to and from a
+/// 48-bit integer.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sdx::net {
+
+/// A 48-bit MAC address stored as the low 48 bits of a std::uint64_t.
+class MacAddress {
+ public:
+  static constexpr std::uint64_t kMask = 0xFFFF'FFFF'FFFFull;
+
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::uint64_t bits) : bits_(bits & kMask) {}
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive hex).
+  static std::optional<MacAddress> try_parse(std::string_view text);
+  static MacAddress parse(std::string_view text);
+
+  /// The broadcast address ff:ff:ff:ff:ff:ff.
+  static constexpr MacAddress broadcast() { return MacAddress(kMask); }
+
+  constexpr std::uint64_t bits() const { return bits_; }
+  constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(bits_ >> (8 * (5 - i)));
+  }
+
+  /// True for the locally-administered bit (used by SDX virtual MACs).
+  constexpr bool locally_administered() const {
+    return (octet(0) & 0x02) != 0;
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(MacAddress, MacAddress) = default;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, MacAddress mac);
+
+}  // namespace sdx::net
+
+template <>
+struct std::hash<sdx::net::MacAddress> {
+  std::size_t operator()(sdx::net::MacAddress m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.bits());
+  }
+};

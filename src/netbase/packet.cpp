@@ -1,0 +1,36 @@
+#include "netbase/packet.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace sdx::net {
+
+std::string_view field_name(Field f) {
+  switch (f) {
+    case Field::kPort: return "port";
+    case Field::kSrcMac: return "srcmac";
+    case Field::kDstMac: return "dstmac";
+    case Field::kEthType: return "ethtype";
+    case Field::kSrcIp: return "srcip";
+    case Field::kDstIp: return "dstip";
+    case Field::kIpProto: return "ipproto";
+    case Field::kSrcPort: return "srcport";
+    case Field::kDstPort: return "dstport";
+  }
+  return "?";
+}
+
+std::string PacketHeader::to_string() const {
+  std::ostringstream os;
+  os << "{port=" << port() << " " << src_mac() << "->" << dst_mac()
+     << " " << src_ip() << ":" << get(Field::kSrcPort) << " -> "
+     << dst_ip() << ":" << get(Field::kDstPort)
+     << " proto=" << get(Field::kIpProto) << "}";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const PacketHeader& h) {
+  return os << h.to_string();
+}
+
+}  // namespace sdx::net

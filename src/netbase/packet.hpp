@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file packet.hpp
+/// The packet-header model shared by the policy language, the flow-table
+/// simulator and the SDX compiler.
+///
+/// Following Pyretic's "located packet" abstraction (paper §3.1), a packet's
+/// current location (the switch port it sits at) is itself a header field
+/// (Field::Port): forwarding is modelled as modifying that field, and policies
+/// may match on it like any other field.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "netbase/ip.hpp"
+#include "netbase/mac.hpp"
+
+namespace sdx::net {
+
+/// Identifier of a switch port. The SDX compiler partitions the id space into
+/// physical ports and per-participant virtual ports (see sdx::core::PortMap).
+using PortId = std::uint32_t;
+
+/// Packet-header fields a policy may match on or modify.
+enum class Field : std::uint8_t {
+  kPort = 0,   ///< current location (ingress port / chosen egress port)
+  kSrcMac,     ///< Ethernet source address
+  kDstMac,     ///< Ethernet destination address (carries the VMAC tag)
+  kEthType,    ///< Ethernet type (0x0800 for IPv4)
+  kSrcIp,      ///< IPv4 source address
+  kDstIp,      ///< IPv4 destination address
+  kIpProto,    ///< IP protocol (6 TCP, 17 UDP, ...)
+  kSrcPort,    ///< transport source port
+  kDstPort,    ///< transport destination port
+};
+
+inline constexpr int kFieldCount = 9;
+
+/// All fields, in declaration order, for iteration.
+inline constexpr std::array<Field, kFieldCount> kAllFields = {
+    Field::kPort,   Field::kSrcMac,  Field::kDstMac,
+    Field::kEthType, Field::kSrcIp,  Field::kDstIp,
+    Field::kIpProto, Field::kSrcPort, Field::kDstPort,
+};
+
+constexpr int field_index(Field f) { return static_cast<int>(f); }
+
+/// Short lower-case field name ("dstip", "srcport", ...), as used in the
+/// paper's policy examples.
+std::string_view field_name(Field f);
+
+/// True for the two IPv4 address fields, which support prefix matches.
+constexpr bool is_ip_field(Field f) {
+  return f == Field::kSrcIp || f == Field::kDstIp;
+}
+
+/// Common EtherType / protocol constants used by examples and tests.
+inline constexpr std::uint64_t kEthTypeIpv4 = 0x0800;
+inline constexpr std::uint64_t kProtoTcp = 6;
+inline constexpr std::uint64_t kProtoUdp = 17;
+
+/// A packet header: one 64-bit value per field. MAC fields store
+/// MacAddress::bits(), IP fields store Ipv4Address::value().
+class PacketHeader {
+ public:
+  constexpr PacketHeader() = default;
+
+  constexpr std::uint64_t get(Field f) const {
+    return values_[static_cast<std::size_t>(field_index(f))];
+  }
+  constexpr void set(Field f, std::uint64_t v) {
+    values_[static_cast<std::size_t>(field_index(f))] = v;
+  }
+
+  // Typed convenience accessors.
+  constexpr PortId port() const { return static_cast<PortId>(get(Field::kPort)); }
+  constexpr void set_port(PortId p) { set(Field::kPort, p); }
+  MacAddress src_mac() const { return MacAddress(get(Field::kSrcMac)); }
+  void set_src_mac(MacAddress m) { set(Field::kSrcMac, m.bits()); }
+  MacAddress dst_mac() const { return MacAddress(get(Field::kDstMac)); }
+  void set_dst_mac(MacAddress m) { set(Field::kDstMac, m.bits()); }
+  Ipv4Address src_ip() const {
+    return Ipv4Address(static_cast<std::uint32_t>(get(Field::kSrcIp)));
+  }
+  void set_src_ip(Ipv4Address a) { set(Field::kSrcIp, a.value()); }
+  Ipv4Address dst_ip() const {
+    return Ipv4Address(static_cast<std::uint32_t>(get(Field::kDstIp)));
+  }
+  void set_dst_ip(Ipv4Address a) { set(Field::kDstIp, a.value()); }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const PacketHeader&,
+                                    const PacketHeader&) = default;
+
+ private:
+  std::array<std::uint64_t, kFieldCount> values_{};
+};
+
+std::ostream& operator<<(std::ostream& os, const PacketHeader& h);
+
+/// Convenience builder used pervasively in tests and examples.
+class PacketBuilder {
+ public:
+  PacketBuilder& port(PortId p) { h_.set_port(p); return *this; }
+  PacketBuilder& src_mac(MacAddress m) { h_.set_src_mac(m); return *this; }
+  PacketBuilder& dst_mac(MacAddress m) { h_.set_dst_mac(m); return *this; }
+  PacketBuilder& eth_type(std::uint64_t t) { h_.set(Field::kEthType, t); return *this; }
+  PacketBuilder& src_ip(Ipv4Address a) { h_.set_src_ip(a); return *this; }
+  PacketBuilder& src_ip(std::string_view a) { h_.set_src_ip(Ipv4Address::parse(a)); return *this; }
+  PacketBuilder& dst_ip(Ipv4Address a) { h_.set_dst_ip(a); return *this; }
+  PacketBuilder& dst_ip(std::string_view a) { h_.set_dst_ip(Ipv4Address::parse(a)); return *this; }
+  PacketBuilder& proto(std::uint64_t p) { h_.set(Field::kIpProto, p); return *this; }
+  PacketBuilder& src_port(std::uint64_t p) { h_.set(Field::kSrcPort, p); return *this; }
+  PacketBuilder& dst_port(std::uint64_t p) { h_.set(Field::kDstPort, p); return *this; }
+  PacketHeader build() const { return h_; }
+
+ private:
+  PacketHeader h_{};
+};
+
+}  // namespace sdx::net
+
+template <>
+struct std::hash<sdx::net::PacketHeader> {
+  std::size_t operator()(const sdx::net::PacketHeader& h) const noexcept {
+    std::size_t seed = 0xcbf29ce484222325ull;
+    for (auto f : sdx::net::kAllFields) {
+      seed ^= std::hash<std::uint64_t>{}(h.get(f)) + 0x9e3779b97f4a7c15ull +
+              (seed << 6) + (seed >> 2);
+    }
+    return seed;
+  }
+};

@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file prefix_trie.hpp
+/// A binary (unibit) trie over IPv4 prefixes with longest-prefix-match
+/// lookup. Used for border-router FIBs and for prefix bookkeeping in the
+/// route server.
+///
+/// The trie stores one value per prefix. Nodes are kept in a contiguous
+/// vector and addressed by index, which keeps the structure compact and
+/// cheap to copy-construct empty.
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "netbase/ip.hpp"
+
+namespace sdx::net {
+
+template <typename V>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.emplace_back(); }
+
+  /// Inserts or overwrites the value for \p prefix. Returns true when the
+  /// prefix was newly inserted (false when overwritten).
+  bool insert(Ipv4Prefix prefix, V value) {
+    std::size_t node = walk_to(prefix, /*create=*/true);
+    Node& n = nodes_[node];
+    const bool fresh = !n.value.has_value();
+    n.value = std::move(value);
+    size_ += fresh ? 1 : 0;
+    return fresh;
+  }
+
+  /// Removes the value for \p prefix; returns true when present.
+  bool erase(Ipv4Prefix prefix) {
+    std::size_t node = walk_to(prefix, /*create=*/false);
+    if (node == kNone || !nodes_[node].value.has_value()) return false;
+    nodes_[node].value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Exact-match lookup.
+  const V* find(Ipv4Prefix prefix) const {
+    std::size_t node = walk_to(prefix, /*create=*/false);
+    if (node == kNone || !nodes_[node].value.has_value()) return nullptr;
+    return &*nodes_[node].value;
+  }
+
+  V* find(Ipv4Prefix prefix) {
+    return const_cast<V*>(std::as_const(*this).find(prefix));
+  }
+
+  /// Longest-prefix-match lookup for an address; returns the matched prefix
+  /// and its value, or std::nullopt when nothing covers the address.
+  std::optional<std::pair<Ipv4Prefix, const V*>> lookup(
+      Ipv4Address addr) const {
+    std::size_t node = 0;
+    std::optional<std::pair<Ipv4Prefix, const V*>> best;
+    std::uint32_t bits = addr.value();
+    for (int depth = 0;; ++depth) {
+      const Node& n = nodes_[node];
+      if (n.value.has_value()) {
+        best = {Ipv4Prefix(Ipv4Address(addr.value() & netmask(depth)), depth),
+                &*n.value};
+      }
+      if (depth == 32) break;
+      const int bit = (bits >> 31) & 1;
+      bits <<= 1;
+      std::size_t child = n.child[bit];
+      if (child == kNone) break;
+      node = child;
+    }
+    return best;
+  }
+
+  /// Visits every (prefix, value) pair in lexicographic prefix order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    visit(0, 0u, 0, fn);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    nodes_.clear();
+    nodes_.emplace_back();
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  struct Node {
+    std::size_t child[2] = {kNone, kNone};
+    std::optional<V> value;
+  };
+
+  std::size_t walk_to(Ipv4Prefix prefix, bool create) {
+    std::size_t node = 0;
+    std::uint32_t bits = prefix.network().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> 31) & 1;
+      bits <<= 1;
+      std::size_t child = nodes_[node].child[bit];
+      if (child == kNone) {
+        if (!create) return kNone;
+        child = nodes_.size();
+        nodes_[node].child[bit] = child;
+        nodes_.emplace_back();
+      }
+      node = child;
+    }
+    return node;
+  }
+
+  std::size_t walk_to(Ipv4Prefix prefix, bool create) const {
+    // const overload never creates.
+    (void)create;
+    std::size_t node = 0;
+    std::uint32_t bits = prefix.network().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> 31) & 1;
+      bits <<= 1;
+      std::size_t child = nodes_[node].child[bit];
+      if (child == kNone) return kNone;
+      node = child;
+    }
+    return node;
+  }
+
+  template <typename Fn>
+  void visit(std::size_t node, std::uint32_t acc, int depth, Fn& fn) const {
+    const Node& n = nodes_[node];
+    if (n.value.has_value()) {
+      fn(Ipv4Prefix(Ipv4Address(acc), depth), *n.value);
+    }
+    if (depth == 32) return;
+    if (n.child[0] != kNone) visit(n.child[0], acc, depth + 1, fn);
+    if (n.child[1] != kNone) {
+      visit(n.child[1], acc | (1u << (31 - depth)), depth + 1, fn);
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sdx::net

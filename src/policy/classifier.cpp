@@ -1,0 +1,139 @@
+#include "policy/classifier.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+namespace sdx::policy {
+
+ActionSeq ActionSeq::then(const ActionSeq& next) const {
+  ActionSeq out = *this;
+  out.mods_.insert(out.mods_.end(), next.mods_.begin(), next.mods_.end());
+  return out;
+}
+
+std::optional<std::uint64_t> ActionSeq::written(Field f) const {
+  for (auto it = mods_.rbegin(); it != mods_.rend(); ++it) {
+    if (it->first == f) return it->second;
+  }
+  return std::nullopt;
+}
+
+PacketHeader ActionSeq::apply(PacketHeader h) const {
+  for (const auto& [f, v] : mods_) h.set(f, v);
+  return h;
+}
+
+ActionSeq ActionSeq::normalized() const {
+  ActionSeq out;
+  for (auto f : net::kAllFields) {
+    if (auto v = written(f)) out.mods_.emplace_back(f, *v);
+  }
+  return out;
+}
+
+std::string ActionSeq::to_string() const {
+  if (mods_.empty()) return "pass";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < mods_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << net::field_name(mods_[i].first) << ":=" << mods_[i].second;
+  }
+  return os.str();
+}
+
+std::string Rule::to_string() const {
+  std::ostringstream os;
+  os << match.to_string() << " -> ";
+  if (drops()) {
+    os << "drop";
+  } else {
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      if (i > 0) os << " | ";
+      os << "[" << actions[i].to_string() << "]";
+    }
+  }
+  return os.str();
+}
+
+Classifier Classifier::drop_all() {
+  return Classifier({Rule{FlowMatch::any(), {}}});
+}
+
+Classifier Classifier::pass_all() {
+  return Classifier({Rule{FlowMatch::any(), {ActionSeq{}}}});
+}
+
+void Classifier::append(const Classifier& other) {
+  rules_.insert(rules_.end(), other.rules_.begin(), other.rules_.end());
+}
+
+const Rule* Classifier::first_match(const PacketHeader& h) const {
+  for (const auto& r : rules_) {
+    if (r.match.matches(h)) return &r;
+  }
+  return nullptr;
+}
+
+std::vector<PacketHeader> Classifier::evaluate(const PacketHeader& h) const {
+  const Rule* r = first_match(h);
+  std::vector<PacketHeader> out;
+  if (r == nullptr) return out;
+  out.reserve(r->actions.size());
+  for (const auto& a : r->actions) {
+    PacketHeader produced = a.apply(h);
+    if (std::find(out.begin(), out.end(), produced) == out.end()) {
+      out.push_back(produced);
+    }
+  }
+  return out;
+}
+
+void Classifier::optimize(bool full) {
+  std::vector<Rule> kept;
+  kept.reserve(rules_.size());
+  std::unordered_set<FlowMatch> seen;
+  for (auto& r : rules_) {
+    if (!seen.insert(r.match).second) continue;  // duplicate match: dead
+    if (r.match.is_wildcard()) {
+      // A catch-all makes every later rule unreachable.
+      kept.push_back(std::move(r));
+      break;
+    }
+    if (full) {
+      bool shadowed = false;
+      for (const auto& k : kept) {
+        if (k.match.subsumes(r.match)) {
+          shadowed = true;
+          break;
+        }
+      }
+      if (shadowed) continue;
+    }
+    kept.push_back(std::move(r));
+  }
+  // Collapse a trailing run of drop rules into the final catch-all when the
+  // list ends with a wildcard drop.
+  if (!kept.empty() && kept.back().match.is_wildcard() &&
+      kept.back().drops()) {
+    while (kept.size() >= 2 && kept[kept.size() - 2].drops()) {
+      kept.erase(kept.end() - 2);
+    }
+  }
+  rules_ = std::move(kept);
+}
+
+std::string Classifier::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    os << i << ": " << rules_[i].to_string() << "\n";
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Classifier& c) {
+  return os << c.to_string();
+}
+
+}  // namespace sdx::policy

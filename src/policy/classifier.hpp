@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file classifier.hpp
+/// Prioritized match/action rule lists — the compilation target of the
+/// policy language and the install format of the flow-table simulator.
+///
+/// A Classifier is an ordered list of rules; the first rule whose match
+/// covers a packet decides its fate. A rule's action is a *set* of action
+/// sequences: the empty set drops the packet, one sequence rewrites and
+/// outputs one copy, several sequences multicast (paper §3.1 semantics of
+/// "located packet → set of located packets").
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/field_match.hpp"
+#include "netbase/packet.hpp"
+
+namespace sdx::policy {
+
+using net::Field;
+using net::FlowMatch;
+using net::PacketHeader;
+
+/// An ordered sequence of field assignments applied to a packet header.
+/// Later assignments to the same field override earlier ones.
+class ActionSeq {
+ public:
+  ActionSeq() = default;
+
+  /// A single assignment, e.g. ActionSeq::set(Field::kPort, 3) ≙ fwd(3).
+  static ActionSeq set(Field f, std::uint64_t v) {
+    ActionSeq a;
+    a.mods_.emplace_back(f, v);
+    return a;
+  }
+
+  ActionSeq& then_set(Field f, std::uint64_t v) {
+    mods_.emplace_back(f, v);
+    return *this;
+  }
+
+  /// Concatenation: *this applied first, then \p next.
+  ActionSeq then(const ActionSeq& next) const;
+
+  /// The final value written to \p f, or std::nullopt when untouched.
+  std::optional<std::uint64_t> written(Field f) const;
+
+  PacketHeader apply(PacketHeader h) const;
+
+  bool is_identity() const { return mods_.empty(); }
+  const std::vector<std::pair<Field, std::uint64_t>>& mods() const {
+    return mods_;
+  }
+
+  /// Canonical form: one assignment per field, in field order. Two sequences
+  /// are semantically equal iff their normalized forms compare equal.
+  ActionSeq normalized() const;
+
+  std::string to_string() const;
+
+  friend auto operator<=>(const ActionSeq&, const ActionSeq&) = default;
+
+ private:
+  std::vector<std::pair<Field, std::uint64_t>> mods_;
+};
+
+/// One prioritized rule. Priority is implicit: position in the classifier.
+struct Rule {
+  FlowMatch match;
+  std::vector<ActionSeq> actions;  ///< empty = drop
+
+  bool drops() const { return actions.empty(); }
+  std::string to_string() const;
+};
+
+/// An ordered, total rule list (the last rule is conventionally a catch-all;
+/// compilation maintains this invariant).
+class Classifier {
+ public:
+  Classifier() = default;
+  explicit Classifier(std::vector<Rule> rules) : rules_(std::move(rules)) {}
+
+  /// The classifier that drops everything.
+  static Classifier drop_all();
+  /// The classifier that passes everything unmodified.
+  static Classifier pass_all();
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::vector<Rule>& rules() { return rules_; }
+  std::size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+
+  void append(Rule r) { rules_.push_back(std::move(r)); }
+  void append(const Classifier& other);
+
+  /// First matching rule, or nullptr (only possible for non-total lists).
+  const Rule* first_match(const PacketHeader& h) const;
+
+  /// Applies the first matching rule: resulting packet copies (empty =
+  /// dropped / no rule).
+  std::vector<PacketHeader> evaluate(const PacketHeader& h) const;
+
+  /// Removes semantically-dead rules: exact-duplicate matches (keep first)
+  /// and — when \p full is true — rules shadowed by any earlier rule
+  /// (quadratic; intended for small/medium classifiers).
+  void optimize(bool full = false);
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Classifier& c);
+
+}  // namespace sdx::policy

@@ -1,0 +1,278 @@
+#include "policy/compile.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace sdx::policy {
+
+namespace {
+
+std::vector<ActionSeq> pass_actions() { return {ActionSeq{}}; }
+
+/// Cross-product combination of two *total* filter classifiers under a
+/// boolean connective. First-match-wins is preserved because, for any
+/// packet, the first matching (r_a, r_b) pair in lexicographic rule order
+/// pairs the first matching rule of each input.
+Classifier filter_cross(const Classifier& a, const Classifier& b,
+                        bool conjunction) {
+  std::vector<Rule> out;
+  out.reserve(a.size() * b.size() / 2 + 1);
+  for (const auto& ra : a.rules()) {
+    for (const auto& rb : b.rules()) {
+      auto m = ra.match.intersect(rb.match);
+      if (!m) continue;
+      const bool pa = !ra.drops();
+      const bool pb = !rb.drops();
+      const bool pass = conjunction ? (pa && pb) : (pa || pb);
+      out.push_back(Rule{*m, pass ? pass_actions() : std::vector<ActionSeq>{}});
+    }
+  }
+  Classifier c(std::move(out));
+  c.optimize(false);
+  return c;
+}
+
+/// Restricts every rule of \p c to the flow space \p fm and appends a
+/// catch-all drop: the classifier for `fm ∧ c`.
+Classifier restrict_to(const Classifier& c, const net::FlowMatch& fm) {
+  std::vector<Rule> out;
+  out.reserve(c.size() + 1);
+  for (const auto& r : c.rules()) {
+    auto m = r.match.intersect(fm);
+    if (!m) continue;
+    out.push_back(Rule{*m, r.actions});
+  }
+  out.push_back(Rule{net::FlowMatch::any(), {}});
+  Classifier result(std::move(out));
+  result.optimize(false);
+  return result;
+}
+
+/// Dedupe-preserving union of two action sets (semantic equality via the
+/// normalized form).
+std::vector<ActionSeq> union_actions(const std::vector<ActionSeq>& a,
+                                     const std::vector<ActionSeq>& b) {
+  std::vector<ActionSeq> out = a;
+  std::vector<ActionSeq> norms;
+  norms.reserve(a.size() + b.size());
+  for (const auto& x : a) norms.push_back(x.normalized());
+  for (const auto& y : b) {
+    ActionSeq ny = y.normalized();
+    if (std::find(norms.begin(), norms.end(), ny) == norms.end()) {
+      norms.push_back(ny);
+      out.push_back(y);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Rule> pull_back(const net::FlowMatch& domain, const ActionSeq& act,
+                            const Classifier& b) {
+  std::vector<Rule> out;
+  for (const auto& rb : b.rules()) {
+    net::FlowMatch m = domain;
+    bool feasible = true;
+    for (auto f : net::kAllFields) {
+      const net::FieldMatch& constraint = rb.match.field(f);
+      if (constraint.is_wildcard()) continue;
+      if (auto v = act.written(f)) {
+        // The action fixes this field: the constraint is either always
+        // satisfied (and vacuous for the pre-image) or never.
+        if (!constraint.matches(*v)) {
+          feasible = false;
+          break;
+        }
+      } else {
+        auto merged = m.field(f).intersect(constraint);
+        if (!merged) {
+          feasible = false;
+          break;
+        }
+        m.set(f, *merged);
+      }
+    }
+    if (!feasible) continue;
+    std::vector<ActionSeq> acts;
+    acts.reserve(rb.actions.size());
+    for (const auto& ab : rb.actions) acts.push_back(act.then(ab));
+    out.push_back(Rule{m, std::move(acts)});
+  }
+  return out;
+}
+
+namespace {
+
+/// Merges two rule lists that each fully cover the same domain, unioning
+/// actions — used to realize multicast (a rule with several action
+/// sequences) under sequential composition.
+std::vector<Rule> merge_covering(const std::vector<Rule>& a,
+                                 const std::vector<Rule>& b) {
+  std::vector<Rule> out;
+  out.reserve(a.size() * b.size() / 2 + 1);
+  for (const auto& ra : a) {
+    for (const auto& rb : b) {
+      auto m = ra.match.intersect(rb.match);
+      if (!m) continue;
+      out.push_back(Rule{*m, union_actions(ra.actions, rb.actions)});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Classifier compile_predicate(const Predicate& pred) {
+  using Kind = Predicate::Kind;
+  switch (pred.kind()) {
+    case Kind::kTrue:
+      return Classifier::pass_all();
+    case Kind::kFalse:
+      return Classifier::drop_all();
+    case Kind::kTest: {
+      net::FlowMatch m;
+      m.set(pred.field(), pred.field_match());
+      return Classifier({Rule{m, pass_actions()},
+                         Rule{net::FlowMatch::any(), {}}});
+    }
+    case Kind::kNot: {
+      Classifier c = compile_predicate(pred.children().front());
+      for (auto& r : c.rules()) {
+        r.actions = r.drops() ? pass_actions() : std::vector<ActionSeq>{};
+      }
+      return c;
+    }
+    case Kind::kAnd: {
+      // Fast path: fold all single-test children into one FlowMatch, then
+      // restrict the (much rarer) compound children to it.
+      net::FlowMatch conj;
+      bool contradictory = false;
+      std::vector<const Predicate*> rest;
+      for (const auto& c : pred.children()) {
+        if (c.kind() == Kind::kTest) {
+          auto merged = conj.field(c.field()).intersect(c.field_match());
+          if (!merged) {
+            contradictory = true;
+            break;
+          }
+          conj.set(c.field(), *merged);
+        } else {
+          rest.push_back(&c);
+        }
+      }
+      if (contradictory) return Classifier::drop_all();
+      if (rest.empty()) {
+        return Classifier({Rule{conj, pass_actions()},
+                           Rule{net::FlowMatch::any(), {}}});
+      }
+      Classifier acc = compile_predicate(*rest.front());
+      for (std::size_t i = 1; i < rest.size(); ++i) {
+        acc = filter_cross(acc, compile_predicate(*rest[i]),
+                           /*conjunction=*/true);
+      }
+      return restrict_to(acc, conj);
+    }
+    case Kind::kOr: {
+      // Fast path: single-test children become plain pass rules up front —
+      // this keeps BGP prefix-list filters (hundreds of disjuncts) linear
+      // instead of quadratic.
+      std::vector<Rule> test_rules;
+      std::vector<const Predicate*> rest;
+      for (const auto& c : pred.children()) {
+        if (c.kind() == Kind::kTest) {
+          net::FlowMatch m;
+          m.set(c.field(), c.field_match());
+          test_rules.push_back(Rule{m, pass_actions()});
+        } else {
+          rest.push_back(&c);
+        }
+      }
+      Classifier tail = Classifier::drop_all();
+      if (!rest.empty()) {
+        tail = compile_predicate(*rest.front());
+        for (std::size_t i = 1; i < rest.size(); ++i) {
+          tail = filter_cross(tail, compile_predicate(*rest[i]),
+                              /*conjunction=*/false);
+        }
+      }
+      Classifier out(std::move(test_rules));
+      out.append(tail);
+      out.optimize(false);
+      return out;
+    }
+  }
+  return Classifier::drop_all();
+}
+
+Classifier par_compose(const Classifier& a, const Classifier& b) {
+  std::vector<Rule> out;
+  out.reserve(a.size() + b.size());
+  for (const auto& ra : a.rules()) {
+    for (const auto& rb : b.rules()) {
+      auto m = ra.match.intersect(rb.match);
+      if (!m) continue;
+      out.push_back(Rule{*m, union_actions(ra.actions, rb.actions)});
+    }
+  }
+  Classifier c(std::move(out));
+  c.optimize(false);
+  return c;
+}
+
+Classifier seq_compose(const Classifier& a, const Classifier& b) {
+  std::vector<Rule> out;
+  for (const auto& ra : a.rules()) {
+    if (ra.drops()) {
+      out.push_back(ra);
+      continue;
+    }
+    // One covering rule list per action sequence, merged pairwise so that a
+    // multicast rule fans out through b once per copy.
+    std::vector<Rule> merged = pull_back(ra.match, ra.actions.front(), b);
+    for (std::size_t i = 1; i < ra.actions.size(); ++i) {
+      merged = merge_covering(merged, pull_back(ra.match, ra.actions[i], b));
+    }
+    out.insert(out.end(), merged.begin(), merged.end());
+  }
+  Classifier c(std::move(out));
+  c.optimize(false);
+  return c;
+}
+
+Classifier compile(const Policy& policy) {
+  using Kind = Policy::Kind;
+  switch (policy.kind()) {
+    case Kind::kDrop:
+      return Classifier::drop_all();
+    case Kind::kIdentity:
+      return Classifier::pass_all();
+    case Kind::kFilter:
+      return compile_predicate(policy.pred());
+    case Kind::kMod: {
+      std::vector<ActionSeq> act{
+          ActionSeq::set(policy.mod_field(), policy.mod_value())};
+      std::vector<Rule> rules{Rule{net::FlowMatch::any(), std::move(act)}};
+      return Classifier(std::move(rules));
+    }
+    case Kind::kParallel: {
+      Classifier acc = compile(policy.children().front());
+      for (std::size_t i = 1; i < policy.children().size(); ++i) {
+        acc = par_compose(acc, compile(policy.children()[i]));
+      }
+      return acc;
+    }
+    case Kind::kSequential: {
+      Classifier acc = compile(policy.children().front());
+      for (std::size_t i = 1; i < policy.children().size(); ++i) {
+        acc = seq_compose(acc, compile(policy.children()[i]));
+      }
+      return acc;
+    }
+  }
+  return Classifier::drop_all();
+}
+
+}  // namespace sdx::policy

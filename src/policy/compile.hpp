@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file compile.hpp
+/// Compilation of policies to classifiers, plus the two classifier
+/// composition algorithms the SDX runtime builds on (paper §4.1/§4.3).
+///
+/// Invariant: every classifier produced here is *total* — its last rule is a
+/// catch-all — so composition never needs an implicit default. Compilation
+/// is semantics-preserving: for every policy P and packet h,
+/// compile(P).evaluate(h) equals P.eval(h) as a set (property-tested).
+
+#include "policy/classifier.hpp"
+#include "policy/policy.hpp"
+#include "policy/predicate.hpp"
+
+namespace sdx::policy {
+
+/// Compiles a predicate to a filter classifier whose rules either pass the
+/// packet unchanged or drop it.
+Classifier compile_predicate(const Predicate& pred);
+
+/// Compiles a policy to an equivalent total classifier.
+Classifier compile(const Policy& policy);
+
+/// Parallel composition (`+`): the packet is processed by both classifiers
+/// and the outputs are unioned. Both inputs must be total. Cost is
+/// O(|a| · |b|) — the "cross-product of predicates" the paper's §4.3
+/// optimizations work to avoid.
+Classifier par_compose(const Classifier& a, const Classifier& b);
+
+/// Sequential composition (`>>`): packets produced by \p a are processed by
+/// \p b. Matches of \p b are pulled backward through \p a's rewrites.
+Classifier seq_compose(const Classifier& a, const Classifier& b);
+
+/// The per-rule kernel of sequential composition, exposed for the SDX
+/// compiler's *targeted* composition (paper §4.3.1: compose a stage-1 rule
+/// only with the one participant's stage-2 policy it forwards into): pulls
+/// every rule of \p through backward through action \p act, restricted to
+/// sender flow space \p domain. When \p through is total, the returned
+/// matches cover \p domain.
+std::vector<Rule> pull_back(const net::FlowMatch& domain, const ActionSeq& act,
+                            const Classifier& through);
+
+}  // namespace sdx::policy

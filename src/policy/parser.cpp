@@ -1,0 +1,287 @@
+#include "policy/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+#include <vector>
+
+namespace sdx::policy {
+
+namespace {
+
+struct Token {
+  enum class Kind : std::uint8_t {
+    kAtom,    // identifier or value: [A-Za-z0-9_.:/]+
+    kLParen,
+    kRParen,
+    kPlus,
+    kSeq,     // >>
+    kAssign,  // :=
+    kEquals,
+    kAnd,
+    kOr,
+    kNot,
+    kEnd,
+  };
+  Kind kind;
+  std::string text;
+  std::size_t pos;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument(what + " at offset " +
+                                std::to_string(current_.pos) + " in policy");
+  }
+
+ private:
+  static bool atom_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '/' || c == ':';
+  }
+
+  void advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    const std::size_t start = pos_;
+    if (pos_ >= text_.size()) {
+      current_ = {Token::Kind::kEnd, "", start};
+      return;
+    }
+    const char c = text_[pos_];
+    auto simple = [this, start](Token::Kind kind, const char* s,
+                                std::size_t n) {
+      pos_ += n;
+      current_ = {kind, std::string(s, n), start};
+    };
+    switch (c) {
+      case '(': return simple(Token::Kind::kLParen, "(", 1);
+      case ')': return simple(Token::Kind::kRParen, ")", 1);
+      case '+': return simple(Token::Kind::kPlus, "+", 1);
+      case '&': return simple(Token::Kind::kAnd, "&", 1);
+      case '|': return simple(Token::Kind::kOr, "|", 1);
+      case '!': return simple(Token::Kind::kNot, "!", 1);
+      case '=': return simple(Token::Kind::kEquals, "=", 1);
+      case '>':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+          return simple(Token::Kind::kSeq, ">>", 2);
+        }
+        break;
+      case ':':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          return simple(Token::Kind::kAssign, ":=", 2);
+        }
+        break;
+      default:
+        break;
+    }
+    if (!atom_char(c)) {
+      current_ = {Token::Kind::kEnd, std::string(1, c), start};
+      throw std::invalid_argument("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(start) + " in policy");
+    }
+    std::size_t end = pos_;
+    while (end < text_.size() && atom_char(text_[end])) {
+      // ':' starts the ':=' operator unless it continues a MAC address.
+      if (text_[end] == ':' && end + 1 < text_.size() &&
+          text_[end + 1] == '=') {
+        break;
+      }
+      ++end;
+    }
+    current_ = {Token::Kind::kAtom, std::string(text_.substr(pos_, end - pos_)),
+                start};
+    pos_ = end;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  Token current_{Token::Kind::kEnd, "", 0};
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) {}
+
+  Policy policy() {
+    Policy out = parse_sum();
+    expect(Token::Kind::kEnd, "end of input");
+    return out;
+  }
+
+  Predicate predicate() {
+    Predicate out = parse_or();
+    expect(Token::Kind::kEnd, "end of input");
+    return out;
+  }
+
+ private:
+  Token expect(Token::Kind kind, const char* what) {
+    if (lexer_.peek().kind != kind) {
+      lexer_.fail("expected " + std::string(what) + ", got '" +
+                  lexer_.peek().text + "'");
+    }
+    return lexer_.take();
+  }
+
+  std::optional<net::Field> field_named(const std::string& name) {
+    for (auto f : net::kAllFields) {
+      if (net::field_name(f) == name) return f;
+    }
+    return std::nullopt;
+  }
+
+  std::uint64_t numeric_value(const Token& tok) {
+    if (auto mac = net::MacAddress::try_parse(tok.text)) return mac->bits();
+    if (auto addr = net::Ipv4Address::try_parse(tok.text)) {
+      return addr->value();
+    }
+    std::uint64_t v = 0;
+    auto [ptr, ec] =
+        std::from_chars(tok.text.data(), tok.text.data() + tok.text.size(), v);
+    if (ec != std::errc{} || ptr != tok.text.data() + tok.text.size()) {
+      lexer_.fail("expected a value, got '" + tok.text + "'");
+    }
+    return v;
+  }
+
+  Policy parse_sum() {
+    std::vector<Policy> terms{parse_seq()};
+    while (lexer_.peek().kind == Token::Kind::kPlus) {
+      lexer_.take();
+      terms.push_back(parse_seq());
+    }
+    return Policy::parallel(std::move(terms));
+  }
+
+  Policy parse_seq() {
+    std::vector<Policy> stages{parse_prim()};
+    while (lexer_.peek().kind == Token::Kind::kSeq) {
+      lexer_.take();
+      stages.push_back(parse_prim());
+    }
+    return Policy::sequential(std::move(stages));
+  }
+
+  Policy parse_prim() {
+    if (lexer_.peek().kind == Token::Kind::kLParen) {
+      lexer_.take();
+      Policy inner = parse_sum();
+      expect(Token::Kind::kRParen, "')'");
+      return inner;
+    }
+    Token head = expect(Token::Kind::kAtom, "a policy term");
+    if (head.text == "drop") return drop();
+    if (head.text == "id" || head.text == "identity") return identity();
+    if (head.text == "fwd") {
+      expect(Token::Kind::kLParen, "'('");
+      Token v = expect(Token::Kind::kAtom, "a port number");
+      expect(Token::Kind::kRParen, "')'");
+      return fwd(static_cast<net::PortId>(numeric_value(v)));
+    }
+    if (head.text == "mod" || head.text == "modify") {
+      expect(Token::Kind::kLParen, "'('");
+      Token field_tok = expect(Token::Kind::kAtom, "a field name");
+      auto field = field_named(field_tok.text);
+      if (!field) lexer_.fail("unknown field '" + field_tok.text + "'");
+      expect(Token::Kind::kAssign, "':='");
+      Token v = expect(Token::Kind::kAtom, "a value");
+      expect(Token::Kind::kRParen, "')'");
+      return modify(*field, numeric_value(v));
+    }
+    if (head.text == "match") {
+      expect(Token::Kind::kLParen, "'('");
+      Predicate pred = parse_or();
+      expect(Token::Kind::kRParen, "')'");
+      return match(std::move(pred));
+    }
+    lexer_.fail("unknown policy term '" + head.text + "'");
+  }
+
+  Predicate parse_or() {
+    std::vector<Predicate> terms{parse_and()};
+    while (lexer_.peek().kind == Token::Kind::kOr) {
+      lexer_.take();
+      terms.push_back(parse_and());
+    }
+    return Predicate::disjunction(std::move(terms));
+  }
+
+  Predicate parse_and() {
+    std::vector<Predicate> terms{parse_unary()};
+    while (lexer_.peek().kind == Token::Kind::kAnd) {
+      lexer_.take();
+      terms.push_back(parse_unary());
+    }
+    return Predicate::conjunction(std::move(terms));
+  }
+
+  Predicate parse_unary() {
+    if (lexer_.peek().kind == Token::Kind::kNot) {
+      lexer_.take();
+      return Predicate::negation(parse_unary());
+    }
+    if (lexer_.peek().kind == Token::Kind::kLParen) {
+      lexer_.take();
+      Predicate inner = parse_or();
+      expect(Token::Kind::kRParen, "')'");
+      return inner;
+    }
+    Token head = expect(Token::Kind::kAtom, "a predicate");
+    if (head.text == "true") return Predicate::truth();
+    if (head.text == "false") return Predicate::falsity();
+    auto field = field_named(head.text);
+    if (!field) lexer_.fail("unknown field '" + head.text + "'");
+    expect(Token::Kind::kEquals, "'='");
+    Token v = expect(Token::Kind::kAtom, "a value");
+    if (net::is_ip_field(*field)) {
+      if (auto prefix = net::Ipv4Prefix::try_parse(v.text)) {
+        return Predicate::test(*field, *prefix);
+      }
+      if (auto addr = net::Ipv4Address::try_parse(v.text)) {
+        return Predicate::test(*field, net::Ipv4Prefix::host(*addr));
+      }
+      // Fall through: decimal form of an address (as to_string of a /32
+      // never emits, but mod() values can round-trip through here).
+    }
+    return Predicate::test(*field, numeric_value(v));
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+Policy parse_policy(std::string_view text) {
+  return Parser(text).policy();
+}
+
+std::optional<Policy> try_parse_policy(std::string_view text,
+                                       std::string* error) {
+  try {
+    return parse_policy(text);
+  } catch (const std::invalid_argument& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
+}
+
+Predicate parse_predicate(std::string_view text) {
+  return Parser(text).predicate();
+}
+
+}  // namespace sdx::policy

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file parser.hpp
+/// Text parser for the policy language — the inverse of Policy::to_string
+/// (up to semantic equivalence). Lets policies live in config files and
+/// command lines:
+///
+///   (match(dstport=80) >> fwd(10)) + (match(dstport=443) >> fwd(11))
+///   match((srcip=96.25.160.0/24 & !(ipproto=17))) >> mod(dstip:=1249705985)
+///
+/// Grammar (whitespace-insensitive):
+///   policy  := seq ('+' seq)*                      // '+' binds loosest
+///   seq     := prim ('>>' prim)*
+///   prim    := 'drop' | 'id' | 'fwd' '(' value ')'
+///            | 'mod' '(' field ':=' value ')'
+///            | 'match' '(' pred ')' | '(' policy ')'
+///   pred    := conj ('|' conj)*
+///   conj    := unary ('&' unary)*
+///   unary   := '!' unary | '(' pred ')' | 'true' | 'false'
+///            | field '=' value
+///   value   := decimal | a.b.c.d | a.b.c.d/len | aa:bb:cc:dd:ee:ff
+///
+/// Fields are the names of netbase's Field enum (port, srcmac, dstmac,
+/// ethtype, srcip, dstip, ipproto, srcport, dstport). IP-field tests accept
+/// prefixes; every other position takes the raw numeric value.
+
+#include <optional>
+#include <string>
+
+#include "policy/policy.hpp"
+
+namespace sdx::policy {
+
+/// Parses a policy expression; throws std::invalid_argument with a
+/// position-annotated message on malformed input.
+Policy parse_policy(std::string_view text);
+
+/// Non-throwing variant: std::nullopt on failure, diagnostic in *error.
+std::optional<Policy> try_parse_policy(std::string_view text,
+                                       std::string* error = nullptr);
+
+/// Parses a bare predicate expression.
+Predicate parse_predicate(std::string_view text);
+
+}  // namespace sdx::policy

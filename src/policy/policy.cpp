@@ -1,0 +1,137 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace sdx::policy {
+
+Policy Policy::parallel(std::vector<Policy> children) {
+  std::vector<Policy> flat;
+  for (auto& c : children) {
+    if (c.kind_ == Kind::kDrop) continue;  // drop is the unit of `+`
+    if (c.kind_ == Kind::kParallel) {
+      for (auto& g : c.children_) flat.push_back(std::move(g));
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return drop();
+  if (flat.size() == 1) return std::move(flat.front());
+  Policy p(Kind::kParallel);
+  p.children_ = std::move(flat);
+  return p;
+}
+
+Policy Policy::sequential(std::vector<Policy> children) {
+  std::vector<Policy> flat;
+  for (auto& c : children) {
+    if (c.kind_ == Kind::kIdentity) continue;  // identity is the unit of `>>`
+    if (c.kind_ == Kind::kDrop) {
+      // drop annihilates everything after it; and anything before it
+      // produces packets that are then dropped, so the whole chain drops.
+      return drop();
+    }
+    if (c.kind_ == Kind::kSequential) {
+      for (auto& g : c.children_) flat.push_back(std::move(g));
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return identity();
+  if (flat.size() == 1) return std::move(flat.front());
+  Policy p(Kind::kSequential);
+  p.children_ = std::move(flat);
+  return p;
+}
+
+namespace {
+
+void push_unique(std::vector<PacketHeader>& out, const PacketHeader& h) {
+  if (std::find(out.begin(), out.end(), h) == out.end()) out.push_back(h);
+}
+
+}  // namespace
+
+std::vector<PacketHeader> Policy::eval(const PacketHeader& h) const {
+  switch (kind_) {
+    case Kind::kDrop:
+      return {};
+    case Kind::kIdentity:
+      return {h};
+    case Kind::kFilter:
+      if (pred_.eval(h)) return {h};
+      return {};
+    case Kind::kMod: {
+      PacketHeader out = h;
+      out.set(field_, value_);
+      return {out};
+    }
+    case Kind::kParallel: {
+      std::vector<PacketHeader> out;
+      for (const auto& c : children_) {
+        for (const auto& produced : c.eval(h)) push_unique(out, produced);
+      }
+      return out;
+    }
+    case Kind::kSequential: {
+      std::vector<PacketHeader> current{h};
+      for (const auto& c : children_) {
+        std::vector<PacketHeader> next;
+        for (const auto& pkt : current) {
+          for (const auto& produced : c.eval(pkt)) push_unique(next, produced);
+        }
+        current = std::move(next);
+        if (current.empty()) break;
+      }
+      return current;
+    }
+  }
+  return {};
+}
+
+std::size_t Policy::node_count() const {
+  std::size_t n = 1;
+  for (const auto& c : children_) n += c.node_count();
+  return n;
+}
+
+std::string Policy::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kDrop:
+      os << "drop";
+      break;
+    case Kind::kIdentity:
+      os << "id";
+      break;
+    case Kind::kFilter:
+      os << "match(" << pred_.to_string() << ")";
+      break;
+    case Kind::kMod:
+      if (field_ == Field::kPort) {
+        os << "fwd(" << value_ << ")";
+      } else {
+        os << "mod(" << net::field_name(field_) << ":=" << value_ << ")";
+      }
+      break;
+    case Kind::kParallel:
+    case Kind::kSequential: {
+      const char* sep = kind_ == Kind::kParallel ? " + " : " >> ";
+      os << "(";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) os << sep;
+        os << children_[i].to_string();
+      }
+      os << ")";
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Policy& p) {
+  return os << p.to_string();
+}
+
+}  // namespace sdx::policy

@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file policy.hpp
+/// The Pyretic-style policy language of paper §3.1: a policy maps a located
+/// packet to a set of located packets. Composition is by `+` (parallel) and
+/// `>>` (sequential), exactly as written in the paper's examples:
+///
+///   (match_dstport(80) >> fwd(B)) + (match_dstport(443) >> fwd(C))
+///
+/// The AST is value-semantic; `eval` gives the reference semantics against
+/// which the classifier compiler (compile.hpp) is property-tested.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netbase/ip.hpp"
+#include "netbase/packet.hpp"
+#include "policy/predicate.hpp"
+
+namespace sdx::policy {
+
+using net::PortId;
+
+class Policy {
+ public:
+  enum class Kind : std::uint8_t {
+    kDrop,        ///< drop every packet
+    kIdentity,    ///< pass every packet unchanged
+    kFilter,      ///< pass packets satisfying a predicate, drop the rest
+    kMod,         ///< rewrite one header field
+    kParallel,    ///< union of the children's outputs (`+`)
+    kSequential,  ///< feed each child's output into the next (`>>`)
+  };
+
+  /// Default-constructed policy drops everything (the paper's convention:
+  /// "if neither of the two policies matches, the packet is dropped").
+  Policy() : kind_(Kind::kDrop) {}
+
+  static Policy drop() { return Policy(Kind::kDrop); }
+  static Policy identity() { return Policy(Kind::kIdentity); }
+  static Policy filter(Predicate p) {
+    Policy out(Kind::kFilter);
+    out.pred_ = std::move(p);
+    return out;
+  }
+  static Policy mod(Field f, std::uint64_t v) {
+    Policy out(Kind::kMod);
+    out.field_ = f;
+    out.value_ = v;
+    return out;
+  }
+  static Policy parallel(std::vector<Policy> children);
+  static Policy sequential(std::vector<Policy> children);
+
+  Kind kind() const { return kind_; }
+  const Predicate& pred() const { return pred_; }
+  Field mod_field() const { return field_; }
+  std::uint64_t mod_value() const { return value_; }
+  const std::vector<Policy>& children() const { return children_; }
+
+  bool is_drop() const { return kind_ == Kind::kDrop; }
+
+  /// Reference semantics: the set of packets this policy produces for \p h.
+  /// Duplicates are removed; order is deterministic (first-produced first).
+  std::vector<PacketHeader> eval(const PacketHeader& h) const;
+
+  /// Number of AST nodes (a size diagnostic used by benchmarks).
+  std::size_t node_count() const;
+
+  std::string to_string() const;
+
+  friend Policy operator+(Policy a, Policy b) {
+    return parallel({std::move(a), std::move(b)});
+  }
+  friend Policy operator>>(Policy a, Policy b) {
+    return sequential({std::move(a), std::move(b)});
+  }
+
+ private:
+  explicit Policy(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  Predicate pred_;              // kFilter
+  Field field_ = Field::kPort;  // kMod
+  std::uint64_t value_ = 0;     // kMod
+  std::vector<Policy> children_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Policy& p);
+
+// ---------------------------------------------------------------------------
+// Builders mirroring the paper's surface syntax.
+
+/// match(dstport = 80) — a filter on one exact field value.
+inline Policy match(Field f, std::uint64_t v) {
+  return Policy::filter(Predicate::test(f, v));
+}
+/// match(dstip = p1) — a filter on an IP prefix.
+inline Policy match(Field f, net::Ipv4Prefix p) {
+  return Policy::filter(Predicate::test(f, p));
+}
+/// match over an arbitrary predicate.
+inline Policy match(Predicate p) { return Policy::filter(std::move(p)); }
+
+/// fwd(port) — move the packet to a (possibly virtual) port.
+inline Policy fwd(PortId port) { return Policy::mod(Field::kPort, port); }
+
+/// modify(field = value), e.g. the dstip rewrite of the load balancer.
+inline Policy modify(Field f, std::uint64_t v) { return Policy::mod(f, v); }
+inline Policy modify(Field f, net::Ipv4Address a) {
+  return Policy::mod(f, a.value());
+}
+inline Policy modify(Field f, net::MacAddress m) {
+  return Policy::mod(f, m.bits());
+}
+
+inline Policy drop() { return Policy::drop(); }
+inline Policy identity() { return Policy::identity(); }
+
+/// Pyretic's if_(pred, then, else): apply \p then_p to packets satisfying
+/// \p pred and \p else_p to the rest. Used by the SDX runtime to splice a
+/// participant's policy with its BGP default (paper §4.1).
+inline Policy if_(Predicate pred, Policy then_p, Policy else_p) {
+  Policy negative = Policy::filter(!pred) >> std::move(else_p);
+  Policy positive = Policy::filter(std::move(pred)) >> std::move(then_p);
+  return std::move(positive) + std::move(negative);
+}
+
+}  // namespace sdx::policy

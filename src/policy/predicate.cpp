@@ -1,0 +1,120 @@
+#include "policy/predicate.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace sdx::policy {
+
+Predicate Predicate::any_of(Field f, const std::vector<Ipv4Prefix>& prefixes) {
+  if (prefixes.empty()) return falsity();
+  std::vector<Predicate> tests;
+  tests.reserve(prefixes.size());
+  for (auto p : prefixes) tests.push_back(test(f, p));
+  return disjunction(std::move(tests));
+}
+
+Predicate Predicate::conjunction(std::vector<Predicate> children) {
+  // Flatten nested conjunctions and apply trivial identities.
+  std::vector<Predicate> flat;
+  for (auto& c : children) {
+    if (c.kind_ == Kind::kTrue) continue;
+    if (c.kind_ == Kind::kFalse) return falsity();
+    if (c.kind_ == Kind::kAnd) {
+      for (auto& g : c.children_) flat.push_back(std::move(g));
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return truth();
+  if (flat.size() == 1) return std::move(flat.front());
+  Predicate p(Kind::kAnd);
+  p.children_ = std::move(flat);
+  return p;
+}
+
+Predicate Predicate::disjunction(std::vector<Predicate> children) {
+  std::vector<Predicate> flat;
+  for (auto& c : children) {
+    if (c.kind_ == Kind::kFalse) continue;
+    if (c.kind_ == Kind::kTrue) return truth();
+    if (c.kind_ == Kind::kOr) {
+      for (auto& g : c.children_) flat.push_back(std::move(g));
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return falsity();
+  if (flat.size() == 1) return std::move(flat.front());
+  Predicate p(Kind::kOr);
+  p.children_ = std::move(flat);
+  return p;
+}
+
+Predicate Predicate::negation(Predicate child) {
+  if (child.kind_ == Kind::kTrue) return falsity();
+  if (child.kind_ == Kind::kFalse) return truth();
+  if (child.kind_ == Kind::kNot) return std::move(child.children_.front());
+  Predicate p(Kind::kNot);
+  p.children_.push_back(std::move(child));
+  return p;
+}
+
+bool Predicate::eval(const PacketHeader& h) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kTest:
+      return match_.matches(h.get(field_));
+    case Kind::kAnd:
+      for (const auto& c : children_) {
+        if (!c.eval(h)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const auto& c : children_) {
+        if (c.eval(h)) return true;
+      }
+      return false;
+    case Kind::kNot:
+      return !children_.front().eval(h);
+  }
+  return false;
+}
+
+std::string Predicate::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kTrue:
+      os << "true";
+      break;
+    case Kind::kFalse:
+      os << "false";
+      break;
+    case Kind::kTest:
+      os << net::field_name(field_) << "=" << match_.to_string(field_);
+      break;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = kind_ == Kind::kAnd ? " & " : " | ";
+      os << "(";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) os << sep;
+        os << children_[i].to_string();
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kNot:
+      os << "!(" << children_.front().to_string() << ")";
+      break;
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Predicate& p) {
+  return os << p.to_string();
+}
+
+}  // namespace sdx::policy

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file predicate.hpp
+/// Boolean predicates over packet headers — the "match side" of the
+/// Pyretic-style policy language of paper §3.1.
+///
+/// A predicate is a value-semantic expression tree over single-field tests.
+/// Tests on IP fields may be CIDR prefixes. Predicates support the usual
+/// boolean algebra via `&`, `|` and `!` (we deliberately do not overload
+/// `&&`/`||`, which would silently lose short-circuit semantics).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netbase/field_match.hpp"
+#include "netbase/ip.hpp"
+#include "netbase/packet.hpp"
+
+namespace sdx::policy {
+
+using net::Field;
+using net::FieldMatch;
+using net::Ipv4Prefix;
+using net::PacketHeader;
+
+class Predicate {
+ public:
+  enum class Kind : std::uint8_t { kTrue, kFalse, kTest, kAnd, kOr, kNot };
+
+  /// Constructs the `true` predicate (matches every packet).
+  Predicate() : kind_(Kind::kTrue) {}
+
+  static Predicate truth() { return Predicate(Kind::kTrue); }
+  static Predicate falsity() { return Predicate(Kind::kFalse); }
+
+  /// Single-field exact test, e.g. test(Field::kDstPort, 80).
+  static Predicate test(Field f, std::uint64_t value) {
+    Predicate p(Kind::kTest);
+    p.field_ = f;
+    p.match_ = FieldMatch::exact(value);
+    return p;
+  }
+
+  /// Single-field CIDR test for IP fields, e.g. srcip in 10.0.0.0/8.
+  static Predicate test(Field f, Ipv4Prefix prefix) {
+    Predicate p(Kind::kTest);
+    p.field_ = f;
+    p.match_ = FieldMatch::prefix(prefix);
+    return p;
+  }
+
+  /// N-ary disjunction of prefix tests — the shape of a BGP reachability
+  /// filter (paper §4.1, "enforcing consistency with BGP advertisements").
+  static Predicate any_of(Field f, const std::vector<Ipv4Prefix>& prefixes);
+
+  static Predicate conjunction(std::vector<Predicate> children);
+  static Predicate disjunction(std::vector<Predicate> children);
+  static Predicate negation(Predicate child);
+
+  Kind kind() const { return kind_; }
+  Field field() const { return field_; }
+  const FieldMatch& field_match() const { return match_; }
+  const std::vector<Predicate>& children() const { return children_; }
+
+  /// Reference semantics: does the predicate hold for this header?
+  bool eval(const PacketHeader& h) const;
+
+  std::string to_string() const;
+
+  friend Predicate operator&(Predicate a, Predicate b) {
+    return conjunction({std::move(a), std::move(b)});
+  }
+  friend Predicate operator|(Predicate a, Predicate b) {
+    return disjunction({std::move(a), std::move(b)});
+  }
+  friend Predicate operator!(Predicate a) { return negation(std::move(a)); }
+
+ private:
+  explicit Predicate(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  Field field_ = Field::kPort;  // kTest only
+  FieldMatch match_;            // kTest only
+  std::vector<Predicate> children_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Predicate& p);
+
+}  // namespace sdx::policy

@@ -1,0 +1,43 @@
+#include "sdx/bgp_consistency.hpp"
+
+namespace sdx::core {
+
+policy::Predicate bgp_filter(ParticipantId owner, ParticipantId via,
+                             const bgp::RouteServer& server) {
+  return policy::Predicate::any_of(Field::kDstIp,
+                                   server.reachable_via(owner, via));
+}
+
+policy::Policy augment_with_bgp(const policy::Policy& pol,
+                                ParticipantId owner,
+                                const bgp::RouteServer& server,
+                                const PortMap& ports) {
+  using policy::Policy;
+  switch (pol.kind()) {
+    case Policy::Kind::kMod: {
+      if (pol.mod_field() == Field::kPort &&
+          PortMap::is_virtual(static_cast<net::PortId>(pol.mod_value()))) {
+        const ParticipantId via = ports.vport_owner(
+            static_cast<net::PortId>(pol.mod_value()));
+        return policy::match(bgp_filter(owner, via, server)) >>
+               policy::fwd(static_cast<net::PortId>(pol.mod_value()));
+      }
+      return pol;
+    }
+    case Policy::Kind::kParallel:
+    case Policy::Kind::kSequential: {
+      std::vector<Policy> rewritten;
+      rewritten.reserve(pol.children().size());
+      for (const auto& c : pol.children()) {
+        rewritten.push_back(augment_with_bgp(c, owner, server, ports));
+      }
+      return pol.kind() == Policy::Kind::kParallel
+                 ? Policy::parallel(std::move(rewritten))
+                 : Policy::sequential(std::move(rewritten));
+    }
+    default:
+      return pol;
+  }
+}
+
+}  // namespace sdx::core

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file bgp_consistency.hpp
+/// Second syntactic transformation of paper §4.1: "enforcing consistency
+/// with BGP advertisements". Every forwarding action toward a next-hop AS
+/// is guarded by a filter on the destination prefixes that AS actually
+/// exported to the sender, so the SDX never directs traffic to an AS that
+/// did not advertise a route for it.
+
+#include <vector>
+
+#include "bgp/route_server.hpp"
+#include "policy/policy.hpp"
+#include "sdx/participant.hpp"
+#include "sdx/port_map.hpp"
+
+namespace sdx::core {
+
+/// The BGP filter predicate for traffic from \p owner toward \p via:
+/// dstip ∈ {prefixes `via` exported to `owner`}.
+policy::Predicate bgp_filter(ParticipantId owner, ParticipantId via,
+                             const bgp::RouteServer& server);
+
+/// Rewrites a policy AST, inserting the appropriate BGP filter immediately
+/// before every fwd() to a participant's virtual port (the paper's PA → PA'
+/// step). Non-forwarding actions and filters are left untouched.
+policy::Policy augment_with_bgp(const policy::Policy& pol,
+                                ParticipantId owner,
+                                const bgp::RouteServer& server,
+                                const PortMap& ports);
+
+}  // namespace sdx::core

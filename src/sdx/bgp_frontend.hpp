@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file bgp_frontend.hpp
+/// Wire-level BGP distribution: the glue the paper's ExaBGP deployment
+/// provides between the SDX controller and participant border routers.
+///
+/// For every physical participant, the frontend maintains a pair of RFC
+/// 4271 sessions (route-server side and router side) connected
+/// back-to-back: controller re-advertisements are marshalled into real
+/// framed UPDATE messages, travel through both FSMs byte-by-byte, and land
+/// in the router's RIB via BorderRouter::process_update. Integration tests
+/// hold the resulting FIBs equal to the runtime's direct (in-process)
+/// distribution path.
+
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/session.hpp"
+#include "dataplane/border_router.hpp"
+#include "sdx/participant.hpp"
+
+namespace sdx::core {
+
+class BgpFrontend {
+ public:
+  /// ASN of the route server itself (appears in its OPEN messages).
+  explicit BgpFrontend(net::Asn server_asn = 64999,
+                       net::Ipv4Address server_id =
+                           net::Ipv4Address::parse("192.0.2.254"));
+
+  /// Brings up the session pair toward one router. The router reference
+  /// must outlive the frontend. Throws if the handshake fails.
+  void connect(ParticipantId participant, dp::BorderRouter& router);
+
+  bool established(ParticipantId participant) const;
+
+  /// Marshals one UPDATE to a participant's router through the session
+  /// pair. Returns the number of bytes that crossed the "wire".
+  std::size_t distribute(ParticipantId participant,
+                         const bgp::UpdateMessage& update);
+
+  /// Sends the same UPDATE to every connected router.
+  std::size_t distribute_all(const bgp::UpdateMessage& update);
+
+  /// Advances both sides' hold/keepalive clocks and pumps any keepalives.
+  /// Returns the participants whose sessions dropped.
+  std::vector<ParticipantId> advance_clock(double seconds);
+
+  std::uint64_t updates_distributed() const { return updates_; }
+
+ private:
+  struct Link {
+    bgp::Session server_side;
+    bgp::Session router_side;
+    dp::BorderRouter* router = nullptr;
+
+    Link(bgp::Session s, bgp::Session r, dp::BorderRouter* rt)
+        : server_side(std::move(s)), router_side(std::move(r)), router(rt) {}
+  };
+
+  /// Shuttles queued bytes both ways until quiet; applies UPDATE events to
+  /// the router. Returns total bytes moved.
+  std::size_t pump(Link& link);
+
+  net::Asn server_asn_;
+  net::Ipv4Address server_id_;
+  std::unordered_map<ParticipantId, Link> links_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace sdx::core

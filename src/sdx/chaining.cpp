@@ -1,0 +1,61 @@
+#include "sdx/chaining.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sdx::core {
+
+void install_chain(SdxRuntime& runtime, const ServiceChain& chain,
+                   bool announce_routes) {
+  if (chain.middleboxes.empty()) {
+    throw std::invalid_argument("service chain needs at least one middlebox");
+  }
+  if (chain.match.dst_prefixes.empty()) {
+    throw std::invalid_argument(
+        "service chain match must name destination prefixes");
+  }
+  std::unordered_set<ParticipantId> seen{chain.owner};
+  for (ParticipantId mb : chain.middleboxes) {
+    if (!seen.insert(mb).second) {
+      throw std::invalid_argument("service chain repeats participant " +
+                                  std::to_string(mb));
+    }
+    if (runtime.participant(mb).is_remote()) {
+      throw std::invalid_argument("middlebox " + runtime.participant(mb).name +
+                                  " has no physical port");
+    }
+  }
+
+  // Re-announce destination routes along the chain so each steering hop is
+  // BGP-consistent ("forwarding only along BGP-advertised paths", §3.2).
+  if (announce_routes) {
+    for (ParticipantId mb : chain.middleboxes) {
+      const Participant& m = runtime.participant(mb);
+      for (auto dst : chain.match.dst_prefixes) {
+        for (auto prefix : runtime.route_server().all_prefixes()) {
+          if (!dst.contains(prefix)) continue;
+          auto best = runtime.route_server().best_route(mb, prefix);
+          if (!best) continue;
+          if (best->attrs.as_path.contains(m.asn)) continue;
+          runtime.announce(mb, prefix,
+                           best->attrs.as_path.prepended(m.asn));
+        }
+      }
+    }
+  }
+
+  // Owner → M1, Mi → Mi+1. The final middlebox's processed traffic follows
+  // its BGP default to the real destination.
+  auto add_clause = [&runtime, &chain](ParticipantId from, ParticipantId to) {
+    Participant& p = runtime.participant(from);
+    std::vector<OutboundClause> clauses = p.outbound;
+    clauses.push_back(OutboundClause{chain.match, to});
+    runtime.set_outbound(from, std::move(clauses));
+  };
+  add_clause(chain.owner, chain.middleboxes.front());
+  for (std::size_t i = 0; i + 1 < chain.middleboxes.size(); ++i) {
+    add_clause(chain.middleboxes[i], chain.middleboxes[i + 1]);
+  }
+}
+
+}  // namespace sdx::core

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file chaining.hpp
+/// Service chaining — the §8 extension the paper envisions: "participant
+/// ASes might eventually write policies ... to control how traffic flows
+/// through middleboxes (and other cloud-hosted services) along the path
+/// between source and destination, thereby enabling 'service chaining'".
+///
+/// A chain M₁ → M₂ → … → Mₖ over a traffic class is realized with the
+/// existing primitives, keeping every hop consistent with BGP:
+///
+///   * the owner's outbound clause steers the class to M₁;
+///   * each middlebox Mᵢ gets an outbound clause steering the class (which
+///     its router re-injects after processing) to Mᵢ₊₁;
+///   * Mₖ's processed traffic follows the BGP default to the destination;
+///   * every chain element re-announces the destination prefixes with
+///     itself prepended (the scrubbing-transit pattern), which is exactly
+///     what makes each hop pass the §4.1 BGP-consistency filter.
+
+#include <vector>
+
+#include "sdx/runtime.hpp"
+
+namespace sdx::core {
+
+struct ServiceChain {
+  /// Who steers its traffic into the chain.
+  ParticipantId owner = 0;
+  /// The traffic class; dst_prefixes must be non-empty (they determine the
+  /// routes the chain elements must carry).
+  ClauseMatch match;
+  /// Ordered middlebox participants (≥1, physical, distinct, ≠ owner).
+  std::vector<ParticipantId> middleboxes;
+};
+
+/// Installs the chain's clauses (and, when \p announce_routes, the chain
+/// elements' re-announcements of the destination prefixes). Call
+/// runtime.install() afterwards to deploy. Throws std::invalid_argument on
+/// a malformed chain.
+void install_chain(SdxRuntime& runtime, const ServiceChain& chain,
+                   bool announce_routes = true);
+
+}  // namespace sdx::core

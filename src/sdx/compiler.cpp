@@ -1,0 +1,399 @@
+#include "sdx/compiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "policy/compile.hpp"
+
+namespace sdx::core {
+
+namespace {
+
+using policy::ActionSeq;
+using policy::Classifier;
+using policy::Rule;
+using net::Field;
+using net::FlowMatch;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+SdxCompiler::SdxCompiler(const std::vector<Participant>& participants,
+                         const PortMap& ports,
+                         const bgp::RouteServer& server,
+                         CompileOptions options)
+    : participants_(participants),
+      ports_(ports),
+      server_(server),
+      options_(options) {
+  for (std::size_t i = 0; i < participants_.size(); ++i) {
+    slot_of_[participants_[i].id] = i;
+  }
+}
+
+std::vector<Ipv4Prefix> SdxCompiler::clause_reach(
+    const Participant& owner, const OutboundClause& clause) const {
+  std::vector<Ipv4Prefix> reach = server_.reachable_via(owner.id, clause.to);
+  if (clause.match.dst_prefixes.empty()) return reach;
+  // Clause dst constraints apply at announced-prefix granularity: a prefix
+  // is eligible only when fully contained in one of the clause's blocks.
+  // Containment test: p ⊆ dp(len L) ⇔ dp == p truncated to L, so one hash
+  // probe per populated block length suffices.
+  std::unordered_map<int, std::unordered_set<Ipv4Prefix>> by_length;
+  for (auto dp : clause.match.dst_prefixes) {
+    by_length[dp.length()].insert(dp);
+  }
+  std::vector<Ipv4Prefix> filtered;
+  filtered.reserve(reach.size());
+  for (auto p : reach) {
+    for (const auto& [len, blocks] : by_length) {
+      if (len > p.length()) continue;
+      if (blocks.contains(Ipv4Prefix(p.network(), len))) {
+        filtered.push_back(p);
+        break;
+      }
+    }
+  }
+  return filtered;
+}
+
+DefaultVector SdxCompiler::defaults_for(Ipv4Prefix prefix) const {
+  DefaultVector out(participants_.size());
+  for (std::size_t i = 0; i < participants_.size(); ++i) {
+    if (auto best = server_.best_route(participants_[i].id, prefix)) {
+      out[i] = best->learned_from;
+    }
+  }
+  return out;
+}
+
+std::vector<FlowMatch> SdxCompiler::clause_matches(
+    const ClauseMatch& m, FlowMatch base, bool keep_dst_prefixes) const {
+  for (const auto& [f, v] : m.exact) {
+    auto merged = base.field(f).intersect(net::FieldMatch::exact(v));
+    if (!merged) return {};  // contradictory clause: matches nothing
+    base.set(f, *merged);
+  }
+  std::vector<FlowMatch> out{base};
+  auto cross_with = [&out](Field f, const std::vector<Ipv4Prefix>& prefixes) {
+    if (prefixes.empty()) return;
+    std::vector<FlowMatch> next;
+    next.reserve(out.size() * prefixes.size());
+    for (const auto& fm : out) {
+      for (auto p : prefixes) {
+        auto merged = fm.field(f).intersect(net::FieldMatch::prefix(p));
+        if (!merged) continue;
+        FlowMatch widened = fm;
+        widened.set(f, *merged);
+        next.push_back(widened);
+      }
+    }
+    out = std::move(next);
+  };
+  cross_with(Field::kSrcIp, m.src_prefixes);
+  if (keep_dst_prefixes) cross_with(Field::kDstIp, m.dst_prefixes);
+  return out;
+}
+
+Classifier SdxCompiler::stage2_for(const Participant& p) const {
+  if (p.is_remote()) {
+    throw std::logic_error("remote participant has no stage-2 classifier");
+  }
+  const net::PortId vp = ports_.vport(p.id);
+  std::vector<Rule> rules;
+
+  // Inbound policy clauses (inbound TE) — highest priority.
+  for (const auto& c : p.inbound) {
+    FlowMatch base = FlowMatch::on(Field::kPort, vp);
+    const PhysicalPort& out_port = p.ports.at(c.to_port.value_or(0));
+    ActionSeq act;
+    for (const auto& [f, v] : c.rewrites) act.then_set(f, v);
+    act.then_set(Field::kDstMac, out_port.router_mac.bits());
+    act.then_set(Field::kPort, out_port.id);
+    for (auto& fm : clause_matches(c.match, base, /*keep_dst_prefixes=*/true)) {
+      rules.push_back(Rule{fm, {act}});
+    }
+  }
+
+  // Port-specific default: frames already addressed to one of the router
+  // port MACs exit on that port unchanged (multi-port participants keep
+  // their BGP-chosen entry point).
+  for (const auto& port : p.ports) {
+    FlowMatch fm = FlowMatch::on(Field::kPort, vp);
+    fm.with(Field::kDstMac, port.router_mac.bits());
+    rules.push_back(Rule{fm, {ActionSeq::set(Field::kPort, port.id)}});
+  }
+
+  // Catch-all: VMAC-tagged (or rewritten) traffic exits the primary port
+  // with the destination MAC restored to the router's real address —
+  // "without rewriting, AS B would drop the traffic" (§4.1).
+  {
+    const PhysicalPort& primary = p.primary_port();
+    ActionSeq act = ActionSeq::set(Field::kDstMac, primary.router_mac.bits());
+    act.then_set(Field::kPort, primary.id);
+    rules.push_back(Rule{FlowMatch::on(Field::kPort, vp), {act}});
+  }
+
+  // Totality for pull_back().
+  rules.push_back(Rule{FlowMatch::any(), {}});
+  return Classifier(std::move(rules));
+}
+
+void SdxCompiler::synthesize_group_defaults(const DefaultVector& defaults,
+                                            net::MacAddress vmac,
+                                            std::vector<Rule>& out) const {
+  // Majority next-hop over the participants that have one (remote next-hops
+  // are unreachable by default forwarding and are skipped; their traffic is
+  // handled by remote rewrite clauses or dropped).
+  std::unordered_map<ParticipantId, std::size_t> votes;
+  for (const auto& d : defaults) {
+    if (!d) continue;
+    const auto slot = slot_of_.find(*d);
+    if (slot == slot_of_.end() || participants_[slot->second].is_remote()) {
+      continue;
+    }
+    ++votes[*d];
+  }
+  if (votes.empty()) return;
+  ParticipantId majority = votes.begin()->first;
+  std::size_t majority_votes = 0;
+  for (const auto& [id, n] : votes) {
+    if (n > majority_votes || (n == majority_votes && id < majority)) {
+      majority = id;
+      majority_votes = n;
+    }
+  }
+
+  // Per-sender overrides for the (rare) participants whose best next-hop
+  // differs from the majority — one rule per sender port, ahead of the
+  // global rule.
+  for (std::size_t slot = 0; slot < defaults.size(); ++slot) {
+    const auto& d = defaults[slot];
+    if (!d || *d == majority) continue;
+    const auto target_slot = slot_of_.find(*d);
+    if (target_slot == slot_of_.end() ||
+        participants_[target_slot->second].is_remote()) {
+      continue;
+    }
+    for (net::PortId port : participants_[slot].port_ids()) {
+      FlowMatch fm = FlowMatch::on(Field::kPort, port);
+      fm.with(Field::kDstMac, vmac.bits());
+      out.push_back(
+          Rule{fm, {ActionSeq::set(Field::kPort, ports_.vport(*d))}});
+    }
+  }
+  FlowMatch fm = FlowMatch::on(Field::kDstMac, vmac.bits());
+  out.push_back(
+      Rule{fm, {ActionSeq::set(Field::kPort, ports_.vport(majority))}});
+}
+
+Classifier SdxCompiler::compose(std::vector<Rule> stage1,
+                                CompileStats& stats) const {
+  std::unordered_map<ParticipantId, Classifier> cache;
+  Classifier merged_stage2;  // used when pair pruning is disabled
+  if (!options_.prune_pairs) {
+    std::vector<Rule> all;
+    for (const auto& p : participants_) {
+      if (p.is_remote()) continue;
+      Classifier s2 = stage2_for(p);
+      // Strip the per-participant catch-all drop; one shared one suffices.
+      all.insert(all.end(), s2.rules().begin(), s2.rules().end() - 1);
+    }
+    all.push_back(Rule{FlowMatch::any(), {}});
+    merged_stage2 = Classifier(std::move(all));
+  }
+
+  std::vector<Rule> out;
+  out.reserve(stage1.size() * 2);
+  for (auto& r : stage1) {
+    if (r.drops()) {
+      out.push_back(std::move(r));
+      continue;
+    }
+    const ActionSeq& act = r.actions.front();
+    const auto port_written = act.written(Field::kPort);
+    if (!port_written || !PortMap::is_virtual(
+                             static_cast<net::PortId>(*port_written))) {
+      out.push_back(std::move(r));
+      continue;
+    }
+    const auto vport = static_cast<net::PortId>(*port_written);
+    const Classifier* stage2 = nullptr;
+    Classifier fresh;
+    if (!options_.prune_pairs) {
+      stage2 = &merged_stage2;
+    } else {
+      const ParticipantId target = ports_.vport_owner(vport);
+      if (options_.memoize_stage2) {
+        auto it = cache.find(target);
+        if (it == cache.end()) {
+          it = cache.emplace(target,
+                             stage2_for(participants_[slot_of_.at(target)]))
+                   .first;
+        }
+        stage2 = &it->second;
+      } else {
+        fresh = stage2_for(participants_[slot_of_.at(target)]);
+        stage2 = &fresh;
+      }
+    }
+    stats.pair_compositions += stage2->size();
+    auto composed = policy::pull_back(r.match, act, *stage2);
+    out.insert(out.end(), std::make_move_iterator(composed.begin()),
+               std::make_move_iterator(composed.end()));
+  }
+  Classifier c(std::move(out));
+  c.optimize(false);
+  return c;
+}
+
+CompiledSdx SdxCompiler::compile(VnhAllocator& vnh) const {
+  const auto t_start = std::chrono::steady_clock::now();
+  CompiledSdx result;
+  CompileStats& stats = result.stats;
+  stats.participants = participants_.size();
+  stats.prefixes_total = server_.prefix_count();
+
+  // 1. Clause reach sets, in global clause order (participant slot-major).
+  auto t0 = std::chrono::steady_clock::now();
+  for (const auto& p : participants_) {
+    for (std::size_t ci = 0; ci < p.outbound.size(); ++ci) {
+      ClauseReach cr;
+      cr.owner = p.id;
+      cr.clause_index = ci;
+      cr.prefixes = clause_reach(p, p.outbound[ci]);
+      result.reaches.push_back(std::move(cr));
+    }
+  }
+  stats.clause_count = result.reaches.size();
+  stats.reach_seconds = seconds_since(t0);
+
+  // 2+3. FEC computation and VNH/VMAC assignment.
+  t0 = std::chrono::steady_clock::now();
+  vnh.reset();
+  if (options_.vmac_grouping) {
+    result.fecs = compute_fecs(
+        result.reaches,
+        [this](Ipv4Prefix prefix) { return defaults_for(prefix); });
+    result.bindings.reserve(result.fecs.groups.size());
+    for (std::size_t g = 0; g < result.fecs.groups.size(); ++g) {
+      result.bindings.push_back(vnh.allocate());
+    }
+  }
+  stats.prefix_groups = result.fecs.groups.size();
+  stats.prefixes_grouped = result.fecs.group_of.size();
+  stats.vnh_seconds = seconds_since(t0);
+
+  // Index: global clause id → groups fully inside its reach set.
+  std::vector<std::vector<std::uint32_t>> clause_groups(
+      result.reaches.size());
+  for (std::uint32_t g = 0; g < result.fecs.groups.size(); ++g) {
+    for (auto cid : result.fecs.groups[g].clauses) {
+      clause_groups[cid].push_back(g);
+    }
+  }
+
+  // 4. Stage-1 synthesis.
+  t0 = std::chrono::steady_clock::now();
+  std::vector<Rule> stage1;
+  std::size_t clause_id = 0;
+  for (const auto& p : participants_) {
+    for (std::size_t ci = 0; ci < p.outbound.size(); ++ci, ++clause_id) {
+      const OutboundClause& c = p.outbound[ci];
+      const ActionSeq act =
+          ActionSeq::set(Field::kPort, ports_.vport(c.to));
+      for (net::PortId port : p.port_ids()) {
+        if (options_.vmac_grouping) {
+          for (auto g : clause_groups[clause_id]) {
+            FlowMatch base = FlowMatch::on(Field::kPort, port);
+            base.with(Field::kDstMac, result.bindings[g].vmac.bits());
+            for (auto& fm :
+                 clause_matches(c.match, base, /*keep_dst_prefixes=*/false)) {
+              stage1.push_back(Rule{fm, {act}});
+            }
+          }
+        } else {
+          for (auto prefix : result.reaches[clause_id].prefixes) {
+            FlowMatch base = FlowMatch::on(Field::kPort, port);
+            base.with_prefix(Field::kDstIp, prefix);
+            for (auto& fm :
+                 clause_matches(c.match, base, /*keep_dst_prefixes=*/false)) {
+              stage1.push_back(Rule{fm, {act}});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Remote-participant rewrite clauses (wide-area load balancing): matched
+  // on destination address directly, ahead of default forwarding.
+  for (const auto& p : participants_) {
+    if (!p.is_remote()) continue;
+    for (const auto& c : p.inbound) {
+      // Resolve the post-rewrite egress by the remote participant's own
+      // BGP view of the rewritten destination.
+      std::optional<net::Ipv4Address> new_dst;
+      for (const auto& [f, v] : c.rewrites) {
+        if (f == Field::kDstIp) {
+          new_dst = net::Ipv4Address(static_cast<std::uint32_t>(v));
+        }
+      }
+      if (!new_dst) continue;
+      auto route = server_.best_route_lpm(p.id, *new_dst);
+      if (!route) continue;
+      const auto target_slot = slot_of_.find(route->learned_from);
+      if (target_slot == slot_of_.end() ||
+          participants_[target_slot->second].is_remote()) {
+        continue;
+      }
+      ActionSeq act;
+      for (const auto& [f, v] : c.rewrites) act.then_set(f, v);
+      act.then_set(Field::kPort, ports_.vport(route->learned_from));
+      for (auto& fm : clause_matches(c.match, FlowMatch::any(),
+                                     /*keep_dst_prefixes=*/true)) {
+        stage1.push_back(Rule{fm, {act}});
+      }
+    }
+  }
+
+  // Per-group default forwarding (VMAC mode only; without grouping the
+  // route server leaves next-hops untouched and MAC learning suffices).
+  if (options_.vmac_grouping) {
+    for (std::uint32_t g = 0; g < result.fecs.groups.size(); ++g) {
+      synthesize_group_defaults(result.fecs.groups[g].defaults,
+                                result.bindings[g].vmac, stage1);
+    }
+  }
+
+  // MAC-learning rules for traffic addressed to real router MACs.
+  for (const auto& p : participants_) {
+    for (const auto& port : p.ports) {
+      FlowMatch fm = FlowMatch::on(Field::kDstMac, port.router_mac.bits());
+      stage1.push_back(
+          Rule{fm, {ActionSeq::set(Field::kPort, ports_.vport(p.id))}});
+    }
+  }
+
+  stage1.push_back(Rule{FlowMatch::any(), {}});
+  stats.stage1_rules = stage1.size();
+  stats.synth_seconds = seconds_since(t0);
+
+  // 5+6. Targeted composition through stage-2.
+  t0 = std::chrono::steady_clock::now();
+  result.fabric = compose(std::move(stage1), stats);
+  stats.compose_seconds = seconds_since(t0);
+
+  if (options_.full_optimize) result.fabric.optimize(/*full=*/true);
+  stats.final_rules = result.fabric.size();
+  stats.total_seconds = seconds_since(t_start);
+  return result;
+}
+
+}  // namespace sdx::core

@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file compiler.hpp
+/// The SDX policy compiler (paper §4): turns participant clause lists plus
+/// the route server's state into one prioritized rule list for the physical
+/// switch.
+///
+/// Pipeline (optimized mode, the paper's production path):
+///   1. clause reach sets   — restrict every outbound clause to the prefixes
+///                            its target actually exported to the sender;
+///   2. FEC computation     — Minimum Disjoint Subsets over reach sets and
+///                            per-participant defaults (fec.hpp);
+///   3. VNH/VMAC assignment — one binding per group (vnh_allocator.hpp);
+///   4. stage-1 synthesis   — outbound clause rules matching (inport, VMAC,
+///                            other fields), remote-participant rewrite
+///                            rules, per-group default rules (majority
+///                            next-hop + per-sender overrides) and
+///                            MAC-learning rules for ungrouped prefixes;
+///   5. stage-2 synthesis   — per-participant inbound classifiers (inbound
+///                            TE clauses, port-specific MAC rules, egress
+///                            MAC rewrite default);
+///   6. targeted composition — each stage-1 rule is sequentially composed
+///                            only with the stage-2 classifier of the one
+///                            participant it forwards into (§4.3.1), with
+///                            the stage-2 classifiers memoized.
+///
+/// CompileOptions exposes each §4.2/§4.3 optimization as a switch so the
+/// ablation benchmark can price them individually.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/route_server.hpp"
+#include "policy/classifier.hpp"
+#include "sdx/fec.hpp"
+#include "sdx/participant.hpp"
+#include "sdx/port_map.hpp"
+#include "sdx/vnh_allocator.hpp"
+
+namespace sdx::core {
+
+struct CompileOptions {
+  /// §4.2 VMAC grouping. Off → clause and default rules match on
+  /// destination IP prefixes directly (one rule per prefix, not per group).
+  bool vmac_grouping = true;
+  /// §4.3.1 compose each stage-1 rule only with its target's stage-2
+  /// classifier. Off → compose against the concatenation of all stage-2
+  /// classifiers.
+  bool prune_pairs = true;
+  /// §4.3.1 memoize per-participant stage-2 classifiers. Off → rebuild the
+  /// stage-2 classifier for every composed rule.
+  bool memoize_stage2 = true;
+  /// Run full (quadratic) shadow elimination on the final classifier.
+  bool full_optimize = false;
+};
+
+struct CompileStats {
+  std::size_t participants = 0;
+  std::size_t prefixes_total = 0;     ///< prefixes known to the route server
+  std::size_t prefixes_grouped = 0;   ///< prefixes touched by any policy
+  std::size_t prefix_groups = 0;
+  std::size_t clause_count = 0;
+  std::size_t stage1_rules = 0;
+  std::size_t final_rules = 0;
+  std::size_t pair_compositions = 0;  ///< (stage-1 rule × stage-2 rule) visits
+  double reach_seconds = 0;           ///< clause reach computation
+  double vnh_seconds = 0;             ///< FEC + VNH assignment (paper's "VNH computation")
+  double synth_seconds = 0;           ///< rule synthesis
+  double compose_seconds = 0;         ///< targeted composition
+  double total_seconds = 0;
+};
+
+/// The advertisement plan entry for one grouped prefix: what next-hop the
+/// route server should announce (the VNH), and the ARP binding behind it.
+struct CompiledSdx {
+  policy::Classifier fabric;             ///< install into the switch
+  FecResult fecs;
+  std::vector<VnhBinding> bindings;      ///< parallel to fecs.groups
+  std::vector<ClauseReach> reaches;      ///< global clause table
+  CompileStats stats;
+
+  /// The VNH to advertise for \p prefix, or std::nullopt when the prefix
+  /// keeps its original next hop (not touched by any policy).
+  std::optional<VnhBinding> binding_for(Ipv4Prefix prefix) const {
+    auto it = fecs.group_of.find(prefix);
+    if (it == fecs.group_of.end()) return std::nullopt;
+    return bindings[it->second];
+  }
+};
+
+class SdxCompiler {
+ public:
+  SdxCompiler(const std::vector<Participant>& participants,
+              const PortMap& ports, const bgp::RouteServer& server,
+              CompileOptions options = {});
+
+  /// Runs the full pipeline. The allocator is reset first so a full
+  /// (background) recompilation always produces a minimal binding set.
+  CompiledSdx compile(VnhAllocator& vnh) const;
+
+  /// The stage-2 (inbound-side) classifier of one participant; exposed for
+  /// the incremental engine, which composes fast-path rules through it.
+  policy::Classifier stage2_for(const Participant& p) const;
+
+  /// The reach set of one outbound clause: prefixes exported by the target
+  /// to the owner, restricted to the clause's dst-prefix constraints
+  /// (evaluated at announced-prefix granularity).
+  std::vector<Ipv4Prefix> clause_reach(const Participant& owner,
+                                       const OutboundClause& clause) const;
+
+  /// The per-participant default next-hop vector for one prefix (the FEC
+  /// pass-2 signature component).
+  DefaultVector defaults_for(Ipv4Prefix prefix) const;
+
+  const std::vector<Participant>& participants() const {
+    return participants_;
+  }
+  const CompileOptions& options() const { return options_; }
+
+ private:
+  friend class IncrementalEngine;
+
+  /// Expands a clause match into flow matches (cross product of the source
+  /// prefix list; dst prefixes are consumed by grouping unless
+  /// \p keep_dst_prefixes).
+  std::vector<net::FlowMatch> clause_matches(const ClauseMatch& m,
+                                             net::FlowMatch base,
+                                             bool keep_dst_prefixes) const;
+
+  /// Appends the default-forwarding rules for one group/VMAC (majority
+  /// next-hop rule plus per-sender overrides).
+  void synthesize_group_defaults(const DefaultVector& defaults,
+                                 net::MacAddress vmac,
+                                 std::vector<policy::Rule>& out) const;
+
+  /// Targeted sequential composition of the stage-1 rule list through the
+  /// stage-2 classifiers.
+  policy::Classifier compose(std::vector<policy::Rule> stage1,
+                             CompileStats& stats) const;
+
+  const std::vector<Participant>& participants_;
+  const PortMap& ports_;
+  const bgp::RouteServer& server_;
+  CompileOptions options_;
+  std::unordered_map<ParticipantId, std::size_t> slot_of_;
+};
+
+}  // namespace sdx::core

@@ -1,0 +1,89 @@
+#include "sdx/default_forwarding.hpp"
+
+#include <stdexcept>
+
+#include "sdx/bgp_consistency.hpp"
+#include "sdx/isolation.hpp"
+
+namespace sdx::core {
+
+using policy::Policy;
+using policy::Predicate;
+
+policy::Policy default_outbound(const Participant& x,
+                                const std::vector<Participant>& all,
+                                const PortMap& ports) {
+  std::vector<Policy> terms;
+  for (const auto& y : all) {
+    if (y.id == x.id) continue;
+    for (const auto& port : y.ports) {
+      terms.push_back(
+          policy::match(Field::kDstMac, port.router_mac.bits()) >>
+          policy::fwd(ports.vport(y.id)));
+    }
+  }
+  return isolate_outbound(Policy::parallel(std::move(terms)), x, ports);
+}
+
+policy::Policy default_inbound(const Participant& x, const PortMap& ports) {
+  // Nested if_ chain: port-specific MAC rules first, then the catch-all
+  // rewrite to the primary router.
+  const PhysicalPort& primary = x.primary_port();
+  Policy chain = policy::modify(Field::kDstMac, primary.router_mac) >>
+                 policy::fwd(primary.id);
+  for (auto it = x.ports.rbegin(); it != x.ports.rend(); ++it) {
+    chain = policy::if_(
+        Predicate::test(Field::kDstMac, it->router_mac.bits()),
+        policy::fwd(it->id), std::move(chain));
+  }
+  return isolate_inbound(std::move(chain), x, ports);
+}
+
+policy::Policy participant_policy(const Participant& x,
+                                  const std::vector<Participant>& all,
+                                  const PortMap& ports,
+                                  const bgp::RouteServer& server) {
+  // Outbound clause policy, isolated and BGP-augmented.
+  Policy out_policy = augment_with_bgp(
+      isolate_outbound(outbound_policy(x, ports), x, ports), x.id, server,
+      ports);
+  // The flow space the outbound policy claims: ports ∧ clause ∧ BGP filter.
+  std::vector<Predicate> covered_terms;
+  for (const auto& c : x.outbound) {
+    covered_terms.push_back(at_physical_ports(x) & c.match.to_predicate() &
+                            bgp_filter(x.id, c.to, server));
+  }
+  Predicate covered_out = Predicate::disjunction(std::move(covered_terms));
+
+  // Inbound clause policy, isolated.
+  Policy in_policy = isolate_inbound(inbound_policy(x, ports), x, ports);
+  std::vector<Predicate> in_terms;
+  for (const auto& c : x.inbound) {
+    in_terms.push_back(at_virtual_port(x, ports) & c.match.to_predicate());
+  }
+  Predicate covered_in = Predicate::disjunction(std::move(in_terms));
+
+  // PX'' = policy on covered traffic, defaults on the rest. The port
+  // isolation inside each branch keeps the four terms pairwise disjoint.
+  return std::move(out_policy) + std::move(in_policy) +
+         (policy::match(!covered_out) >> default_outbound(x, all, ports)) +
+         (policy::match(!covered_in) >> default_inbound(x, ports));
+}
+
+policy::Policy reference_sdx_policy(const std::vector<Participant>& all,
+                                    const PortMap& ports,
+                                    const bgp::RouteServer& server) {
+  std::vector<Policy> stage;
+  stage.reserve(all.size());
+  for (const auto& x : all) {
+    if (x.is_remote()) {
+      throw std::invalid_argument(
+          "reference compiler does not support remote participants");
+    }
+    stage.push_back(participant_policy(x, all, ports, server));
+  }
+  Policy sum = Policy::parallel(std::move(stage));
+  return sum >> sum;
+}
+
+}  // namespace sdx::core

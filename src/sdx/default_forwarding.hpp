@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file default_forwarding.hpp
+/// Third and fourth transformations of paper §4.1 ("enforcing default
+/// forwarding using the best BGP route" and "moving packets through the
+/// virtual topology"), at the AST level, plus the *reference SDX compiler*
+/// they add up to:
+///
+///     SDX = (Σ_X PX'') >> (Σ_X PX'')
+///
+/// compiled by the generic classifier compiler. This path takes none of the
+/// §4.2/§4.3 shortcuts — no VMAC grouping (the route server leaves next
+/// hops untouched, so packets carry real next-hop router MACs), no pair
+/// pruning, no memoization — and is therefore only usable at small scale.
+/// It exists as (a) the executable form of the paper's formulas, tested
+/// against the worked Figure-1 example, and (b) the semantic baseline the
+/// optimized compiler is property-tested against. Remote (port-less)
+/// participants are outside its scope.
+
+#include <vector>
+
+#include "bgp/route_server.hpp"
+#include "policy/policy.hpp"
+#include "sdx/participant.hpp"
+#include "sdx/port_map.hpp"
+
+namespace sdx::core {
+
+/// defX, outbound half: MAC-learning — traffic at X's physical ports whose
+/// destination MAC is some participant port's real MAC goes to that
+/// participant's virtual switch.
+policy::Policy default_outbound(const Participant& x,
+                                const std::vector<Participant>& all,
+                                const PortMap& ports);
+
+/// defX, inbound half: traffic at X's virtual port addressed to one of its
+/// router MACs exits that port; anything else exits the primary port with
+/// the destination MAC rewritten to the primary router's address.
+policy::Policy default_inbound(const Participant& x, const PortMap& ports);
+
+/// PX'': X's isolated, BGP-augmented clause policies combined with its
+/// defaults via if_ (policy traffic follows the policy, everything else the
+/// BGP default).
+policy::Policy participant_policy(const Participant& x,
+                                  const std::vector<Participant>& all,
+                                  const PortMap& ports,
+                                  const bgp::RouteServer& server);
+
+/// The full reference policy (Σ PX'') >> (Σ PX'').
+policy::Policy reference_sdx_policy(const std::vector<Participant>& all,
+                                    const PortMap& ports,
+                                    const bgp::RouteServer& server);
+
+}  // namespace sdx::core

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file explain.hpp
+/// Forwarding explanation — the operator's "why did this packet go
+/// there?" tool. Given a sender and a packet, it walks the full decision
+/// chain and attributes each step to its cause:
+///
+///   * the border-router step: which route the sender's router used
+///     (prefix, advertiser, whether the next hop is a VNH and which
+///     prefix group / VMAC it encodes);
+///   * the fabric step: which installed rule matched (priority, match,
+///     action) and what kind of rule it is — participant policy clause,
+///     remote rewrite, per-group default, per-sender override,
+///     MAC-learning passthrough, or drop;
+///   * the outcome: egress port, owner, final header.
+///
+/// `explain` is pure (no counters touched); the scenario language exposes
+/// it as the `explain` command.
+
+#include <optional>
+#include <string>
+
+#include "sdx/runtime.hpp"
+
+namespace sdx::core {
+
+enum class RuleKind : std::uint8_t {
+  kNoRoute,        ///< the sender's router had no route — never entered
+  kArpFailure,     ///< route present but next hop unresolvable
+  kPolicyClause,   ///< an outbound clause of the sender
+  kRemoteRewrite,  ///< a remote participant's rewrite clause
+  kGroupDefault,   ///< per-group BGP default (majority or override)
+  kMacLearning,    ///< untouched prefix, real next-hop MAC passthrough
+  kDropped,        ///< matched nothing useful in the fabric
+};
+
+std::string_view rule_kind_name(RuleKind k);
+
+struct Explanation {
+  RuleKind kind = RuleKind::kDropped;
+
+  // Router step.
+  std::optional<Ipv4Prefix> route_prefix;   ///< LPM hit at the sender
+  ParticipantId route_via = 0;              ///< advertiser of that route
+  std::optional<std::uint32_t> group;       ///< FEC when VNH-advertised
+  net::PacketHeader frame;                  ///< as tagged by the router
+
+  // Fabric step.
+  std::optional<std::size_t> rule_index;    ///< index into the flow table
+  std::string rule_text;
+
+  // Outcome.
+  std::optional<net::PortId> egress;
+  ParticipantId receiver = 0;
+  net::PacketHeader delivered;
+
+  /// Multi-line human-readable rendering.
+  std::string to_string() const;
+};
+
+/// Explains what the installed deployment does with \p payload sent by
+/// \p sender (from its port \p port_index). Requires runtime.installed().
+Explanation explain(const SdxRuntime& runtime, ParticipantId sender,
+                    const net::PacketHeader& payload,
+                    std::size_t port_index = 0);
+
+}  // namespace sdx::core

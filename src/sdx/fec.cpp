@@ -1,0 +1,77 @@
+#include "sdx/fec.hpp"
+
+#include <algorithm>
+
+namespace sdx::core {
+
+namespace {
+
+std::uint64_t hash_signature(const std::vector<std::uint32_t>& clauses,
+                             const DefaultVector& defaults) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  for (auto c : clauses) mix(c + 1);
+  mix(0xFEC5EB);  // separator between the two signature halves
+  for (const auto& d : defaults) {
+    mix(d.has_value() ? std::uint64_t{*d} + 2 : 1);
+  }
+  return h;
+}
+
+}  // namespace
+
+FecResult compute_fecs(
+    const std::vector<ClauseReach>& clauses,
+    const std::function<DefaultVector(Ipv4Prefix)>& defaults_of) {
+  // Pass 1: per-prefix clause membership.
+  std::unordered_map<Ipv4Prefix, std::vector<std::uint32_t>> membership;
+  for (std::uint32_t cid = 0; cid < clauses.size(); ++cid) {
+    for (auto prefix : clauses[cid].prefixes) {
+      membership[prefix].push_back(cid);
+    }
+  }
+
+  FecResult result;
+  result.group_of.reserve(membership.size());
+
+  // Passes 2+3 fused: group prefixes by (clause set, default vector).
+  // Hash buckets hold candidate group indices; exact comparison guards
+  // against hash collisions.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+  for (auto& [prefix, cids] : membership) {
+    std::sort(cids.begin(), cids.end());
+    cids.erase(std::unique(cids.begin(), cids.end()), cids.end());
+    DefaultVector defaults = defaults_of(prefix);
+    const std::uint64_t sig = hash_signature(cids, defaults);
+
+    std::uint32_t group_id = 0;
+    bool found = false;
+    for (std::uint32_t candidate : buckets[sig]) {
+      const PrefixGroup& g = result.groups[candidate];
+      if (g.clauses == cids && g.defaults == defaults) {
+        group_id = candidate;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      group_id = static_cast<std::uint32_t>(result.groups.size());
+      PrefixGroup g;
+      g.clauses = cids;
+      g.defaults = std::move(defaults);
+      result.groups.push_back(std::move(g));
+      buckets[sig].push_back(group_id);
+    }
+    result.groups[group_id].prefixes.push_back(prefix);
+    result.group_of.emplace(prefix, group_id);
+  }
+
+  for (auto& g : result.groups) {
+    std::sort(g.prefixes.begin(), g.prefixes.end());
+  }
+  return result;
+}
+
+}  // namespace sdx::core

@@ -1,0 +1,125 @@
+#include "sdx/incremental.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "policy/compile.hpp"
+
+namespace sdx::core {
+
+using policy::ActionSeq;
+using policy::Rule;
+using net::Field;
+using net::FlowMatch;
+
+const CompiledSdx& IncrementalEngine::full_recompile(VnhAllocator& vnh) {
+  current_ = compiler_.compile(vnh);
+  stage2_cache_.clear();
+  return *current_;
+}
+
+const policy::Classifier& IncrementalEngine::stage2_cached(ParticipantId id) {
+  auto it = stage2_cache_.find(id);
+  if (it == stage2_cache_.end()) {
+    for (const auto& p : compiler_.participants()) {
+      if (p.id == id) {
+        it = stage2_cache_.emplace(id, compiler_.stage2_for(p)).first;
+        break;
+      }
+    }
+  }
+  return it->second;
+}
+
+IncrementalEngine::FastPathResult IncrementalEngine::fast_update(
+    Ipv4Prefix prefix, VnhAllocator& vnh) {
+  const auto t0 = std::chrono::steady_clock::now();
+  FastPathResult result;
+  result.prefix = prefix;
+
+  const auto& participants = compiler_.participants();
+  const PortMap& ports = compiler_.ports_;
+  const bgp::RouteServer& server = compiler_.server_;
+
+  // Which clauses does the prefix fall into now? (Restricted compilation:
+  // only the parts of the policy related to p.)
+  struct Hit {
+    const Participant* owner;
+    const OutboundClause* clause;
+  };
+  std::vector<Hit> hits;
+  for (const auto& p : participants) {
+    for (const auto& c : p.outbound) {
+      if (!server.exports_to(c.to, p.id, prefix)) continue;
+      if (!c.match.dst_prefixes.empty()) {
+        bool contained = false;
+        for (auto dp : c.match.dst_prefixes) contained |= dp.contains(prefix);
+        if (!contained) continue;
+      }
+      hits.push_back(Hit{&p, &c});
+    }
+  }
+
+  const DefaultVector defaults = compiler_.defaults_for(prefix);
+  const bool any_default =
+      std::any_of(defaults.begin(), defaults.end(),
+                  [](const auto& d) { return d.has_value(); });
+
+  if (hits.empty() && !any_default) {
+    result.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    return result;  // prefix fully withdrawn: nothing to install
+  }
+  if (hits.empty() && !compiler_.options_.vmac_grouping) {
+    // Without VMAC grouping there are no per-prefix default rules either.
+    result.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    return result;
+  }
+
+  // Assume a new VNH is needed — no minimum-disjoint-set computation.
+  const VnhBinding binding = vnh.allocate();
+  result.binding = binding;
+
+  std::vector<Rule> stage1;
+  for (const auto& hit : hits) {
+    const ActionSeq act = ActionSeq::set(Field::kPort,
+                                         ports.vport(hit.clause->to));
+    for (net::PortId port : hit.owner->port_ids()) {
+      FlowMatch base = FlowMatch::on(Field::kPort, port);
+      base.with(Field::kDstMac, binding.vmac.bits());
+      for (auto& fm : compiler_.clause_matches(hit.clause->match, base,
+                                               /*keep_dst_prefixes=*/false)) {
+        stage1.push_back(Rule{fm, {act}});
+      }
+    }
+  }
+  compiler_.synthesize_group_defaults(defaults, binding.vmac, stage1);
+
+  // Targeted composition through the memoized stage-2 classifiers.
+  for (auto& r : stage1) {
+    const ActionSeq& act = r.actions.front();
+    const auto port_written = act.written(Field::kPort);
+    if (!port_written ||
+        !PortMap::is_virtual(static_cast<net::PortId>(*port_written))) {
+      result.rules.push_back(std::move(r));
+      continue;
+    }
+    const ParticipantId target =
+        ports.vport_owner(static_cast<net::PortId>(*port_written));
+    auto composed = policy::pull_back(r.match, act, stage2_cached(target));
+    result.rules.insert(result.rules.end(),
+                        std::make_move_iterator(composed.begin()),
+                        std::make_move_iterator(composed.end()));
+  }
+
+  result.additional_rules = result.rules.size();
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace sdx::core

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file incremental.hpp
+/// Two-stage incremental recompilation (paper §4.3.2).
+///
+/// When a BGP update changes the best path for a prefix p, the fast stage
+/// "bypasses the actual computation of the VNH entirely by simply assuming
+/// a new VNH is needed" and "restricts compilation to the parts of the
+/// policy related to p": it allocates a fresh (VNH, VMAC), synthesizes only
+/// the clause and default rules for p, composes them through the memoized
+/// stage-2 classifiers and hands them back for installation at a higher
+/// priority. The optimal recompilation (compute the true minimum disjoint
+/// sets, rebuild the whole table) runs in the background between update
+/// bursts — full_recompile().
+
+#include <optional>
+#include <vector>
+
+#include "sdx/compiler.hpp"
+
+namespace sdx::core {
+
+class IncrementalEngine {
+ public:
+  explicit IncrementalEngine(SdxCompiler compiler)
+      : compiler_(std::move(compiler)) {}
+
+  /// The background stage: full pipeline, minimal rule table. Replaces the
+  /// engine's current state.
+  const CompiledSdx& full_recompile(VnhAllocator& vnh);
+
+  bool has_compiled() const { return current_.has_value(); }
+  const CompiledSdx& current() const { return *current_; }
+  CompiledSdx& current() { return *current_; }
+
+  struct FastPathResult {
+    Ipv4Prefix prefix;
+    /// Fresh binding for the prefix; nullopt when no policy touches it (the
+    /// update then only needs a plain re-advertisement, no new rules).
+    std::optional<VnhBinding> binding;
+    /// High-priority rules for the affected prefix, already composed
+    /// through stage 2.
+    std::vector<policy::Rule> rules;
+    std::size_t additional_rules = 0;
+    double seconds = 0;
+  };
+
+  /// The fast stage for one updated prefix.
+  FastPathResult fast_update(Ipv4Prefix prefix, VnhAllocator& vnh);
+
+  const SdxCompiler& compiler() const { return compiler_; }
+
+ private:
+  const policy::Classifier& stage2_cached(ParticipantId id);
+
+  SdxCompiler compiler_;
+  std::optional<CompiledSdx> current_;
+  std::unordered_map<ParticipantId, policy::Classifier> stage2_cache_;
+};
+
+}  // namespace sdx::core

@@ -1,0 +1,30 @@
+#include "sdx/isolation.hpp"
+
+namespace sdx::core {
+
+policy::Predicate at_physical_ports(const Participant& p) {
+  std::vector<policy::Predicate> tests;
+  tests.reserve(p.ports.size());
+  for (const auto& port : p.ports) {
+    tests.push_back(policy::Predicate::test(Field::kPort, port.id));
+  }
+  return policy::Predicate::disjunction(std::move(tests));
+}
+
+policy::Predicate at_virtual_port(const Participant& p,
+                                  const PortMap& ports) {
+  return policy::Predicate::test(Field::kPort, ports.vport(p.id));
+}
+
+policy::Policy isolate_outbound(policy::Policy pol, const Participant& p,
+                                const PortMap& ports) {
+  (void)ports;
+  return policy::match(at_physical_ports(p)) >> std::move(pol);
+}
+
+policy::Policy isolate_inbound(policy::Policy pol, const Participant& p,
+                               const PortMap& ports) {
+  return policy::match(at_virtual_port(p, ports)) >> std::move(pol);
+}
+
+}  // namespace sdx::core

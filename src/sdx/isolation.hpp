@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file isolation.hpp
+/// First syntactic transformation of paper §4.1: restrict each
+/// participant's policy to its own virtual switch by augmenting it with an
+/// explicit match on the participant's ports — outbound policies apply only
+/// at the participant's physical ports, inbound policies only at its
+/// virtual port.
+///
+/// These AST-level transforms feed the *reference* compiler
+/// (default_forwarding.hpp), which follows the paper's formulas literally
+/// and serves as the semantic baseline the optimized pipeline is tested
+/// against.
+
+#include "policy/policy.hpp"
+#include "sdx/participant.hpp"
+#include "sdx/port_map.hpp"
+
+namespace sdx::core {
+
+/// The predicate "the packet is at one of \p p's physical ports".
+policy::Predicate at_physical_ports(const Participant& p);
+
+/// The predicate "the packet is at \p p's virtual port".
+policy::Predicate at_virtual_port(const Participant& p, const PortMap& ports);
+
+/// match(port ∈ p.phys) >> pol
+policy::Policy isolate_outbound(policy::Policy pol, const Participant& p,
+                                const PortMap& ports);
+
+/// match(port = vport(p)) >> pol
+policy::Policy isolate_inbound(policy::Policy pol, const Participant& p,
+                               const PortMap& ports);
+
+}  // namespace sdx::core

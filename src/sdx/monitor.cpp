@@ -1,0 +1,46 @@
+#include "sdx/monitor.hpp"
+
+#include <algorithm>
+
+namespace sdx::core {
+
+void TrafficMonitor::observe(double now, const net::PacketHeader& frame,
+                             bgp::ParticipantId to) {
+  prune(now);
+  Key key;
+  key.block = frame.src_ip().value() & net::netmask(block_len_);
+  key.victim = to;
+  samples_.push_back(Sample{now, key});
+  ++counts_[key];
+  ++total_;
+}
+
+void TrafficMonitor::prune(double now) {
+  while (!samples_.empty() && now - samples_.front().time > window_s_) {
+    auto it = counts_.find(samples_.front().key);
+    if (it != counts_.end() && --it->second == 0) counts_.erase(it);
+    samples_.pop_front();
+  }
+}
+
+std::vector<TrafficMonitor::HeavyHitter> TrafficMonitor::heavy_hitters(
+    double now, std::uint64_t threshold) {
+  prune(now);
+  std::vector<HeavyHitter> out;
+  for (const auto& [key, count] : counts_) {
+    if (count < threshold) continue;
+    HeavyHitter hh;
+    hh.source_block =
+        net::Ipv4Prefix(net::Ipv4Address(key.block), block_len_);
+    hh.victim = key.victim;
+    hh.packets = count;
+    out.push_back(hh);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.packets > b.packets;
+            });
+  return out;
+}
+
+}  // namespace sdx::core

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file monitor.hpp
+/// Traffic monitoring for reactive SDX applications (paper §2,
+/// "redirection through middleboxes": "when traffic measurements suggest a
+/// possible denial-of-service attack, an ISP can ... forward it through a
+/// traffic scrubber").
+///
+/// TrafficMonitor aggregates observed packets by source block and
+/// destination participant over a sliding time window and surfaces the
+/// heavy hitters; examples/ddos_scrubber.cpp uses it to install a
+/// scrubbing service chain automatically when a source block crosses the
+/// threshold.
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "netbase/ip.hpp"
+#include "netbase/packet.hpp"
+
+namespace sdx::core {
+
+class TrafficMonitor {
+ public:
+  /// \p window_s — sliding window length; \p block_len — source
+  /// aggregation granularity (default /24, the paper's "targeted subsets
+  /// of traffic").
+  explicit TrafficMonitor(double window_s = 60.0, int block_len = 24)
+      : window_s_(window_s), block_len_(block_len) {}
+
+  /// Records one delivered packet at logical time \p now.
+  void observe(double now, const net::PacketHeader& frame,
+               bgp::ParticipantId to);
+
+  struct HeavyHitter {
+    net::Ipv4Prefix source_block;
+    bgp::ParticipantId victim = 0;
+    std::uint64_t packets = 0;
+  };
+
+  /// Source blocks exceeding \p threshold packets toward one participant
+  /// within the window, heaviest first. \p now prunes expired samples.
+  std::vector<HeavyHitter> heavy_hitters(double now,
+                                         std::uint64_t threshold);
+
+  std::uint64_t observed_total() const { return total_; }
+  int block_length() const { return block_len_; }
+
+ private:
+  struct Key {
+    std::uint32_t block = 0;
+    bgp::ParticipantId victim = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (std::uint64_t{k.block} << 20) ^ k.victim);
+    }
+  };
+  struct Sample {
+    double time = 0;
+    Key key;
+  };
+
+  void prune(double now);
+
+  double window_s_;
+  int block_len_;
+  std::deque<Sample> samples_;
+  std::unordered_map<Key, std::uint64_t, KeyHash> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sdx::core

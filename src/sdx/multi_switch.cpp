@@ -1,0 +1,234 @@
+#include "sdx/multi_switch.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace sdx::core {
+
+namespace {
+
+using policy::ActionSeq;
+using policy::Rule;
+using net::Field;
+using net::FlowMatch;
+
+}  // namespace
+
+FabricTopology::FabricTopology(std::size_t switch_count)
+    : adjacency_(switch_count), trunks_(switch_count) {
+  if (switch_count == 0) {
+    throw std::invalid_argument("a fabric needs at least one switch");
+  }
+}
+
+void FabricTopology::place_port(net::PortId port, SwitchId sw) {
+  if (sw >= adjacency_.size()) {
+    throw std::out_of_range("no such switch " + std::to_string(sw));
+  }
+  if (trunk_peer_.contains(port)) {
+    throw std::invalid_argument("port already used as trunk");
+  }
+  location_[port] = sw;
+}
+
+void FabricTopology::add_link(SwitchId a, net::PortId port_on_a, SwitchId b,
+                              net::PortId port_on_b) {
+  if (a >= adjacency_.size() || b >= adjacency_.size() || a == b) {
+    throw std::invalid_argument("bad link endpoints");
+  }
+  if (location_.contains(port_on_a) || location_.contains(port_on_b) ||
+      trunk_peer_.contains(port_on_a) || trunk_peer_.contains(port_on_b)) {
+    throw std::invalid_argument("trunk port id already in use");
+  }
+  adjacency_[a].push_back(Link{b, port_on_a});
+  adjacency_[b].push_back(Link{a, port_on_b});
+  trunk_peer_[port_on_a] = {b, port_on_b};
+  trunk_peer_[port_on_b] = {a, port_on_a};
+  trunk_home_[port_on_a] = a;
+  trunk_home_[port_on_b] = b;
+  trunks_[a].push_back(port_on_a);
+  trunks_[b].push_back(port_on_b);
+}
+
+bool FabricTopology::remove_link(net::PortId trunk) {
+  auto it = trunk_peer_.find(trunk);
+  if (it == trunk_peer_.end()) return false;
+  const net::PortId other = it->second.second;
+  const SwitchId home = trunk_home_.at(trunk);
+  const SwitchId far = trunk_home_.at(other);
+  auto drop = [this](SwitchId sw, net::PortId via) {
+    std::erase_if(adjacency_[sw],
+                  [via](const Link& l) { return l.via == via; });
+    std::erase(trunks_[sw], via);
+    trunk_peer_.erase(via);
+    trunk_home_.erase(via);
+  };
+  drop(home, trunk);
+  drop(far, other);
+  return true;
+}
+
+SwitchId FabricTopology::switch_of(net::PortId edge_port) const {
+  auto it = location_.find(edge_port);
+  if (it == location_.end()) {
+    throw std::out_of_range("unplaced port " + std::to_string(edge_port));
+  }
+  return it->second;
+}
+
+std::pair<SwitchId, net::PortId> FabricTopology::trunk_peer(
+    net::PortId port) const {
+  auto it = trunk_peer_.find(port);
+  if (it == trunk_peer_.end()) {
+    throw std::out_of_range("not a trunk port " + std::to_string(port));
+  }
+  return it->second;
+}
+
+net::PortId FabricTopology::next_hop_trunk(SwitchId from, SwitchId to) const {
+  if (from == to) throw std::logic_error("next hop to self");
+  // BFS from `to` backward; first hop on the tree path from `from`.
+  std::vector<net::PortId> toward(adjacency_.size(), 0);
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::deque<SwitchId> queue{to};
+  seen[to] = true;
+  while (!queue.empty()) {
+    const SwitchId cur = queue.front();
+    queue.pop_front();
+    for (const Link& link : adjacency_[cur]) {
+      if (seen[link.to]) continue;
+      seen[link.to] = true;
+      // From link.to, the trunk toward `to` is the reverse port of `via`.
+      toward[link.to] = trunk_peer_.at(link.via).second;
+      if (link.to == from) return toward[from];
+      queue.push_back(link.to);
+    }
+  }
+  throw std::logic_error("switch graph is disconnected (" +
+                         std::to_string(from) + " cannot reach " +
+                         std::to_string(to) + ")");
+}
+
+std::vector<net::PortId> FabricTopology::edge_ports_of(SwitchId sw) const {
+  std::vector<net::PortId> out;
+  for (const auto& [port, home] : location_) {
+    if (home == sw) out.push_back(port);
+  }
+  return out;
+}
+
+std::vector<SwitchProgram> compile_multi_switch(
+    const CompiledSdx& compiled,
+    const std::vector<Participant>& participants,
+    const FabricTopology& topology) {
+  // Collect the rendezvous tags: every router port MAC and its location.
+  struct Endpoint {
+    net::PortId port;
+    SwitchId sw;
+  };
+  std::unordered_map<std::uint64_t, Endpoint> mac_location;
+  for (const auto& p : participants) {
+    for (const auto& port : p.ports) {
+      mac_location[port.router_mac.bits()] =
+          Endpoint{port.id, topology.switch_of(port.id)};
+    }
+  }
+
+  std::vector<SwitchProgram> programs;
+  for (SwitchId sw = 0; sw < topology.switch_count(); ++sw) {
+    std::vector<Rule> rules;
+
+    // Transit band: frames arriving on a trunk are already processed —
+    // forward purely on the destination MAC.
+    for (net::PortId trunk : topology.trunks_of(sw)) {
+      for (const auto& [mac, endpoint] : mac_location) {
+        FlowMatch m = FlowMatch::on(Field::kPort, trunk);
+        m.with(Field::kDstMac, mac);
+        const net::PortId out =
+            endpoint.sw == sw
+                ? endpoint.port
+                : topology.next_hop_trunk(sw, endpoint.sw);
+        rules.push_back(Rule{m, {ActionSeq::set(Field::kPort, out)}});
+      }
+    }
+
+    // Policy band: the full single-switch classifier with outputs
+    // translated through the topology. Wildcard-ingress rules are safe
+    // here because trunk traffic is consumed by the transit band above.
+    for (const Rule& r : compiled.fabric.rules()) {
+      Rule translated = r;
+      bool feasible = true;
+      // Skip rules pinned to an ingress port on another switch.
+      const auto& port_match = r.match.field(Field::kPort);
+      if (port_match.is_exact()) {
+        const auto in_port = static_cast<net::PortId>(port_match.value());
+        if (!topology.is_edge_port(in_port) ||
+            topology.switch_of(in_port) != sw) {
+          continue;
+        }
+      }
+      for (auto& act : translated.actions) {
+        const auto out = act.written(Field::kPort);
+        if (!out) continue;
+        const auto out_port = static_cast<net::PortId>(*out);
+        if (!topology.is_edge_port(out_port)) {
+          feasible = false;  // rule targets a port absent from the layout
+          break;
+        }
+        const SwitchId target_sw = topology.switch_of(out_port);
+        if (target_sw != sw) {
+          act.then_set(Field::kPort,
+                       topology.next_hop_trunk(sw, target_sw));
+        }
+      }
+      if (feasible) rules.push_back(std::move(translated));
+    }
+
+    programs.push_back(SwitchProgram{sw, policy::Classifier(std::move(rules))});
+  }
+  return programs;
+}
+
+MultiSwitchFabric::MultiSwitchFabric(
+    const FabricTopology& topology,
+    const std::vector<SwitchProgram>& programs)
+    : topology_(topology), switches_(topology.switch_count()) {
+  for (const auto& program : programs) {
+    switches_.at(program.id)
+        .table()
+        .install_classifier(program.rules, 1000, program.id);
+  }
+}
+
+std::vector<net::PacketHeader> MultiSwitchFabric::inject(
+    const net::PacketHeader& frame) {
+  struct InFlight {
+    SwitchId sw;
+    net::PacketHeader frame;
+    int hops;
+  };
+  std::vector<net::PacketHeader> delivered;
+  std::deque<InFlight> queue;
+  queue.push_back(InFlight{topology_.switch_of(frame.port()), frame, 0});
+  const int hop_limit = static_cast<int>(topology_.switch_count()) + 2;
+  while (!queue.empty()) {
+    InFlight cur = std::move(queue.front());
+    queue.pop_front();
+    if (cur.hops > hop_limit) {
+      throw std::runtime_error("forwarding loop: hop limit exceeded");
+    }
+    for (auto& out : switches_[cur.sw].inject(cur.frame)) {
+      if (topology_.is_trunk_port(out.port())) {
+        ++trunk_hops_;
+        auto [next_sw, arrival_port] = topology_.trunk_peer(out.port());
+        out.set_port(arrival_port);
+        queue.push_back(InFlight{next_sw, std::move(out), cur.hops + 1});
+      } else {
+        delivered.push_back(std::move(out));
+      }
+    }
+  }
+  return delivered;
+}
+
+}  // namespace sdx::core

@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file multi_switch.hpp
+/// Multi-switch SDX fabrics (paper §4.1): "More generally, the SDX may
+/// consist of multiple physical switches, each connected to a subset of
+/// the participants ... we can rely on topology abstraction to combine a
+/// policy written for a single SDX switch with another policy for routing
+/// across multiple physical switches."
+///
+/// Realization (the one-big-switch pattern, matching how real IXP fabrics
+/// forward): the full SDX policy runs at the *ingress* switch, which
+/// rewrites the destination MAC to the egress router's real address — that
+/// MAC is then the rendezvous tag. Core/egress switches only MAC-forward:
+///
+///   * each switch gets high-priority rules matching (trunk ingress,
+///     dstmac = router MAC) → next hop toward that router's switch, along
+///     a spanning tree of the switch graph (loop-free by construction);
+///   * below those, the ingress switch carries the full single-switch
+///     classifier with every output port translated: local ports stay,
+///     remote ports become the trunk toward their switch.
+///
+/// compile_multi_switch() performs the translation; MultiSwitchFabric
+/// simulates the resulting fabric and is property-tested to be
+/// packet-for-packet equivalent to the single-switch deployment.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/switch.hpp"
+#include "sdx/compiler.hpp"
+
+namespace sdx::core {
+
+using SwitchId = std::uint32_t;
+
+/// Physical layout of the exchange: which switch hosts which participant
+/// port, and how switches interconnect.
+class FabricTopology {
+ public:
+  explicit FabricTopology(std::size_t switch_count);
+
+  std::size_t switch_count() const { return adjacency_.size(); }
+
+  /// Places a participant-facing (edge) port on a switch.
+  void place_port(net::PortId port, SwitchId sw);
+
+  /// Adds a bidirectional inter-switch link using the given trunk-port ids
+  /// (must not collide with edge ports).
+  void add_link(SwitchId a, net::PortId port_on_a, SwitchId b,
+                net::PortId port_on_b);
+
+  /// Removes the link owning trunk port \p trunk (both directions) — the
+  /// operator's link-failure event. Re-run compile_multi_switch afterwards
+  /// to reroute around it; next_hop_trunk throws if the graph became
+  /// disconnected. Returns false when \p trunk is not a trunk port.
+  bool remove_link(net::PortId trunk);
+
+  SwitchId switch_of(net::PortId edge_port) const;
+  bool is_edge_port(net::PortId port) const {
+    return location_.contains(port);
+  }
+  bool is_trunk_port(net::PortId port) const {
+    return trunk_peer_.contains(port);
+  }
+
+  /// The switch at the far end of a trunk port, and its receiving port.
+  std::pair<SwitchId, net::PortId> trunk_peer(net::PortId port) const;
+
+  /// Next-hop trunk port on \p from toward \p to, along a BFS tree rooted
+  /// per destination. Throws std::logic_error when the graph is
+  /// disconnected.
+  net::PortId next_hop_trunk(SwitchId from, SwitchId to) const;
+
+  const std::vector<net::PortId>& trunks_of(SwitchId sw) const {
+    return trunks_.at(sw);
+  }
+  std::vector<net::PortId> edge_ports_of(SwitchId sw) const;
+
+ private:
+  struct Link {
+    SwitchId to;
+    net::PortId via;
+  };
+  std::vector<std::vector<Link>> adjacency_;
+  std::unordered_map<net::PortId, SwitchId> location_;  // edge ports
+  std::unordered_map<net::PortId, std::pair<SwitchId, net::PortId>>
+      trunk_peer_;
+  std::unordered_map<net::PortId, SwitchId> trunk_home_;
+  std::vector<std::vector<net::PortId>> trunks_;
+};
+
+/// One switch's rule table in the translated deployment.
+struct SwitchProgram {
+  SwitchId id = 0;
+  policy::Classifier rules;
+};
+
+/// Translates a compiled single-switch SDX onto a topology. Every
+/// participant port must be placed. Returns one program per switch.
+std::vector<SwitchProgram> compile_multi_switch(
+    const CompiledSdx& compiled,
+    const std::vector<Participant>& participants,
+    const FabricTopology& topology);
+
+/// Simulator for the multi-switch deployment: hop-bounded forwarding
+/// across the switch graph.
+class MultiSwitchFabric {
+ public:
+  MultiSwitchFabric(const FabricTopology& topology,
+                    const std::vector<SwitchProgram>& programs);
+
+  /// Injects a frame at its (edge) ingress port; returns the frames
+  /// delivered at edge ports. Throws std::runtime_error if a packet
+  /// exceeds the hop bound (a forwarding loop).
+  std::vector<net::PacketHeader> inject(const net::PacketHeader& frame);
+
+  /// Frames that crossed inter-switch links (fabric load diagnostic).
+  std::uint64_t trunk_hops() const { return trunk_hops_; }
+
+  dp::SwitchSim& switch_sim(SwitchId id) { return switches_.at(id); }
+
+ private:
+  const FabricTopology& topology_;
+  std::vector<dp::SwitchSim> switches_;
+  std::uint64_t trunk_hops_ = 0;
+};
+
+}  // namespace sdx::core

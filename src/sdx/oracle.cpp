@@ -1,0 +1,151 @@
+#include "sdx/oracle.hpp"
+
+#include <algorithm>
+
+namespace sdx::core {
+
+namespace {
+
+const Participant* find_participant(const std::vector<Participant>& all,
+                                    ParticipantId id) {
+  for (const auto& p : all) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+
+/// Address-level match ignoring the dst-prefix constraint (which operates
+/// at announced-prefix granularity for outbound clauses).
+bool matches_without_dst(const ClauseMatch& m, const net::PacketHeader& h) {
+  ClauseMatch copy = m;
+  copy.dst_prefixes.clear();
+  return copy.matches(h);
+}
+
+bool dst_constraint_contains(const ClauseMatch& m, net::Ipv4Prefix p) {
+  if (m.dst_prefixes.empty()) return true;
+  return std::any_of(m.dst_prefixes.begin(), m.dst_prefixes.end(),
+                     [p](net::Ipv4Prefix dp) { return dp.contains(p); });
+}
+
+}  // namespace
+
+std::vector<OracleDelivery> oracle_forward(
+    const std::vector<Participant>& participants, const PortMap& ports,
+    const bgp::RouteServer& server, ParticipantId sender,
+    std::size_t sender_port, net::PacketHeader payload) {
+  (void)ports;
+  const Participant* s = find_participant(participants, sender);
+  if (s == nullptr || s->is_remote() || sender_port >= s->ports.size()) {
+    return {};
+  }
+  const net::PortId ingress = s->ports[sender_port].id;
+
+  // 1. The sender's router must hold a route for the destination.
+  auto route = server.best_route_lpm(sender, payload.dst_ip());
+  if (!route) return {};
+  const net::Ipv4Prefix p_star = route->prefix;
+
+  // Is p* touched by any participant's policy (⇒ tagged with a VMAC)?
+  bool grouped = false;
+  for (const auto& p : participants) {
+    for (const auto& c : p.outbound) {
+      if (server.exports_to(c.to, p.id, p_star) &&
+          dst_constraint_contains(c.match, p_star)) {
+        grouped = true;
+      }
+    }
+  }
+
+  payload.set_port(ingress);
+  payload.set_src_mac(s->ports[sender_port].router_mac);
+  payload.set(net::Field::kEthType, net::kEthTypeIpv4);
+
+  // 2-4. Pick the receiving participant.
+  const Participant* receiver = nullptr;
+  for (const auto& c : s->outbound) {
+    if (matches_without_dst(c.match, payload) &&
+        dst_constraint_contains(c.match, p_star) &&
+        server.exports_to(c.to, sender, p_star)) {
+      receiver = find_participant(participants, c.to);
+      break;
+    }
+  }
+  bool rewritten = false;
+  if (receiver == nullptr) {
+    for (const auto& d : participants) {
+      if (!d.is_remote()) continue;
+      for (const auto& c : d.inbound) {
+        std::optional<net::Ipv4Address> new_dst;
+        for (const auto& [f, v] : c.rewrites) {
+          if (f == net::Field::kDstIp) {
+            new_dst = net::Ipv4Address(static_cast<std::uint32_t>(v));
+          }
+        }
+        if (!new_dst || !c.match.matches(payload)) continue;
+        auto target_route = server.best_route_lpm(d.id, *new_dst);
+        if (!target_route) continue;
+        const Participant* t =
+            find_participant(participants, target_route->learned_from);
+        if (t == nullptr || t->is_remote()) continue;
+        for (const auto& [f, v] : c.rewrites) payload.set(f, v);
+        receiver = t;
+        rewritten = true;
+        break;
+      }
+      if (receiver != nullptr) break;
+    }
+  }
+  if (receiver == nullptr) {
+    receiver = find_participant(participants, route->learned_from);
+    if (receiver == nullptr || receiver->is_remote()) return {};
+  }
+
+  // For ungrouped prefixes the frame's dst MAC is the real MAC of the BGP
+  // next hop (the port whose IP the route announces); grouped traffic
+  // carries a VMAC, which never matches a real port MAC.
+  std::optional<net::MacAddress> frame_dst_mac;
+  if (!grouped && !rewritten) {
+    for (const auto& p : participants) {
+      for (const auto& port : p.ports) {
+        if (port.router_ip == route->attrs.next_hop) {
+          frame_dst_mac = port.router_mac;
+        }
+      }
+    }
+  }
+
+  // 5. Inbound processing at the receiver.
+  const PhysicalPort* egress = nullptr;
+  for (const auto& c : receiver->inbound) {
+    if (!c.match.matches(payload)) continue;
+    for (const auto& [f, v] : c.rewrites) payload.set(f, v);
+    egress = &receiver->ports.at(c.to_port.value_or(0));
+    payload.set_dst_mac(egress->router_mac);
+    break;
+  }
+  if (egress == nullptr && frame_dst_mac) {
+    for (const auto& port : receiver->ports) {
+      if (port.router_mac == *frame_dst_mac) {
+        egress = &port;
+        payload.set_dst_mac(port.router_mac);
+        break;
+      }
+    }
+  }
+  if (egress == nullptr) {
+    egress = &receiver->primary_port();
+    payload.set_dst_mac(egress->router_mac);
+  }
+
+  // 6. Hairpin suppression.
+  if (egress->id == ingress) return {};
+
+  payload.set_port(egress->id);
+  OracleDelivery d;
+  d.egress = egress->id;
+  d.frame = payload;
+  return {d};
+}
+
+}  // namespace sdx::core

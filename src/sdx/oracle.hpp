@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file oracle.hpp
+/// Reference end-to-end forwarding semantics of the SDX, written directly
+/// from the paper's prose rather than from the compiler's data structures.
+/// Property tests compare the compiled fabric's packet-by-packet behaviour
+/// (including border-router VMAC tagging) against this oracle — invariant 2
+/// through 6 of DESIGN.md §6.
+///
+/// Spec implemented here, for a packet sent by participant S from port q:
+///   1. S's router needs a route: the best route the route server
+///      advertised to S for the longest matching prefix p*; otherwise the
+///      packet never enters the fabric.
+///   2. The first outbound clause of S whose match covers the packet, whose
+///      dst-prefix constraint contains p*, and whose target exported p* to
+///      S, wins; the packet goes to that target's virtual switch.
+///   3. Otherwise the first matching remote-participant rewrite clause
+///      applies; the rewritten packet goes to the virtual switch of the
+///      participant owning the remote participant's best route for the
+///      rewritten destination.
+///   4. Otherwise the packet defaults to the virtual switch of S's best
+///      route for p*.
+///   5. At the receiving virtual switch: first matching inbound clause
+///      (rewrites + chosen port + that port's MAC); else a frame already
+///      addressed to one of the receiver's port MACs exits there; else the
+///      primary port with the destination MAC rewritten.
+///   6. A packet whose egress equals its ingress port is dropped.
+
+#include <optional>
+#include <vector>
+
+#include "bgp/route_server.hpp"
+#include "netbase/packet.hpp"
+#include "sdx/participant.hpp"
+#include "sdx/port_map.hpp"
+
+namespace sdx::core {
+
+struct OracleDelivery {
+  net::PortId egress = 0;
+  net::PacketHeader frame;  ///< final header (dst MAC as the receiver sees it)
+};
+
+/// Computes the expected delivery for \p payload sent by \p sender out of
+/// its port with index \p sender_port (the frame's dst MAC is derived by
+/// the oracle itself: VMAC semantics for grouped prefixes, the real
+/// next-hop MAC otherwise). Empty = dropped somewhere along the path.
+std::vector<OracleDelivery> oracle_forward(
+    const std::vector<Participant>& participants, const PortMap& ports,
+    const bgp::RouteServer& server, ParticipantId sender,
+    std::size_t sender_port, net::PacketHeader payload);
+
+}  // namespace sdx::core

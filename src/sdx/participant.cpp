@@ -1,0 +1,109 @@
+#include "sdx/participant.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sdx::core {
+
+policy::Predicate ClauseMatch::to_predicate() const {
+  using policy::Predicate;
+  std::vector<Predicate> conj;
+  for (const auto& [f, v] : exact) conj.push_back(Predicate::test(f, v));
+  if (!src_prefixes.empty()) {
+    conj.push_back(Predicate::any_of(Field::kSrcIp, src_prefixes));
+  }
+  if (!dst_prefixes.empty()) {
+    conj.push_back(Predicate::any_of(Field::kDstIp, dst_prefixes));
+  }
+  return Predicate::conjunction(std::move(conj));
+}
+
+bool ClauseMatch::matches(const net::PacketHeader& h) const {
+  for (const auto& [f, v] : exact) {
+    if (h.get(f) != v) return false;
+  }
+  auto in_any = [](Ipv4Address a, const std::vector<Ipv4Prefix>& ps) {
+    return std::any_of(ps.begin(), ps.end(),
+                       [a](Ipv4Prefix p) { return p.contains(a); });
+  };
+  if (!src_prefixes.empty() && !in_any(h.src_ip(), src_prefixes)) return false;
+  if (!dst_prefixes.empty() && !in_any(h.dst_ip(), dst_prefixes)) return false;
+  return true;
+}
+
+policy::Policy outbound_policy(const Participant& p, const PortMap& ports) {
+  using policy::Policy;
+  std::vector<Policy> terms;
+  terms.reserve(p.outbound.size());
+  for (const auto& c : p.outbound) {
+    terms.push_back(policy::match(c.match.to_predicate()) >>
+                    policy::fwd(ports.vport(c.to)));
+  }
+  return Policy::parallel(std::move(terms));
+}
+
+policy::Policy inbound_policy(const Participant& p, const PortMap& ports) {
+  using policy::Policy;
+  std::vector<Policy> terms;
+  terms.reserve(p.inbound.size());
+  for (const auto& c : p.inbound) {
+    Policy action = policy::identity();
+    for (const auto& [f, v] : c.rewrites) {
+      action = std::move(action) >> policy::modify(f, v);
+    }
+    if (!p.is_remote()) {
+      const std::size_t idx = c.to_port.value_or(0);
+      const PhysicalPort& out = p.ports.at(idx);
+      action = std::move(action) >>
+               policy::modify(Field::kDstMac, out.router_mac) >>
+               policy::fwd(out.id);
+    }
+    terms.push_back(policy::match(c.match.to_predicate()) >>
+                    std::move(action));
+  }
+  (void)ports;
+  return Policy::parallel(std::move(terms));
+}
+
+void validate_participant(const Participant& p,
+                          const std::vector<Participant>& all) {
+  auto lookup = [&all](ParticipantId id) -> const Participant* {
+    for (const auto& q : all) {
+      if (q.id == id) return &q;
+    }
+    return nullptr;
+  };
+  for (const auto& c : p.outbound) {
+    if (c.to == p.id) {
+      throw std::invalid_argument(p.name +
+                                  ": outbound clause forwards to itself");
+    }
+    const Participant* target = lookup(c.to);
+    if (target == nullptr) {
+      throw std::invalid_argument(
+          p.name + ": outbound clause targets unknown participant " +
+          std::to_string(c.to));
+    }
+    if (target->is_remote()) {
+      throw std::invalid_argument(
+          p.name + ": outbound clause targets remote participant " +
+          target->name + " (no physical port to deliver to)");
+    }
+  }
+  if (p.is_remote() && !p.outbound.empty()) {
+    throw std::invalid_argument(
+        p.name + ": a remote participant sends no traffic of its own");
+  }
+  for (const auto& c : p.inbound) {
+    if (c.to_port && *c.to_port >= p.ports.size()) {
+      throw std::invalid_argument(p.name +
+                                  ": inbound clause selects missing port");
+    }
+    if (p.is_remote() && c.rewrites.empty()) {
+      throw std::invalid_argument(
+          p.name + ": remote inbound clause must rewrite (it has no port)");
+    }
+  }
+}
+
+}  // namespace sdx::core

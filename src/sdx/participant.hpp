@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file participant.hpp
+/// The participant model and the structured SDX policy clauses.
+///
+/// SDX applications are written as clause lists, mirroring how every policy
+/// in the paper is written: a sum of disjoint `match(...) >> action` terms
+/// ("we assume that the vast majority of participants would write unicast
+/// policies", §4.3.1). The structured form is what lets the compiler apply
+/// the paper's optimizations — clause-level BGP filtering, FEC grouping and
+/// pair-pruned composition — while `to_policy()` renders the same clauses
+/// into the generic Pyretic-style AST for the unoptimized reference
+/// compiler and for pretty-printing.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "netbase/mac.hpp"
+#include "netbase/packet.hpp"
+#include "policy/policy.hpp"
+#include "sdx/port_map.hpp"
+
+namespace sdx::core {
+
+using net::Field;
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+using net::MacAddress;
+
+/// A participant's attachment point: an edge port of the SDX switch with
+/// the participant's border-router MAC/IP behind it.
+struct PhysicalPort {
+  net::PortId id = 0;
+  MacAddress router_mac;
+  Ipv4Address router_ip;
+};
+
+/// The match side of a clause: a conjunction of exact header tests with
+/// optional source/destination prefix lists (a non-empty list means
+/// "srcip/dstip in any of these prefixes").
+struct ClauseMatch {
+  std::vector<std::pair<Field, std::uint64_t>> exact;  ///< non-IP fields
+  std::vector<Ipv4Prefix> src_prefixes;
+  std::vector<Ipv4Prefix> dst_prefixes;
+
+  /// Fluent builders.
+  ClauseMatch& field(Field f, std::uint64_t v) {
+    exact.emplace_back(f, v);
+    return *this;
+  }
+  ClauseMatch& dst_port(std::uint64_t p) { return field(Field::kDstPort, p); }
+  ClauseMatch& src_port(std::uint64_t p) { return field(Field::kSrcPort, p); }
+  ClauseMatch& src(Ipv4Prefix p) {
+    src_prefixes.push_back(p);
+    return *this;
+  }
+  ClauseMatch& dst(Ipv4Prefix p) {
+    dst_prefixes.push_back(p);
+    return *this;
+  }
+
+  /// The equivalent predicate (for the reference compiler and the oracle).
+  policy::Predicate to_predicate() const;
+
+  /// True when a header satisfies the clause match.
+  bool matches(const net::PacketHeader& h) const;
+};
+
+/// An outbound clause: traffic the participant sends that matches is handed
+/// to participant `to`'s virtual switch — subject to the runtime-enforced
+/// BGP filter ("forwarding only along BGP-advertised paths", §3.2).
+struct OutboundClause {
+  ClauseMatch match;
+  ParticipantId to = 0;
+};
+
+/// An inbound clause: traffic arriving at the participant's virtual switch
+/// that matches is optionally rewritten and steered to one of its physical
+/// ports (inbound TE) — or, for a *remote* participant, rewritten and then
+/// re-forwarded along the BGP route for the rewritten destination
+/// (wide-area load balancing, §2/§5.2).
+struct InboundClause {
+  ClauseMatch match;
+  std::vector<std::pair<Field, std::uint64_t>> rewrites;
+  /// Index into Participant::ports; nullopt = primary port (or, for remote
+  /// participants, resolve by BGP after rewriting).
+  std::optional<std::size_t> to_port;
+};
+
+struct Participant {
+  ParticipantId id = 0;
+  std::string name;
+  net::Asn asn = 0;
+  std::vector<PhysicalPort> ports;  ///< empty ⇒ remote participant (§3.1)
+  std::vector<OutboundClause> outbound;
+  std::vector<InboundClause> inbound;
+
+  bool is_remote() const { return ports.empty(); }
+  const PhysicalPort& primary_port() const { return ports.front(); }
+
+  std::vector<net::PortId> port_ids() const {
+    std::vector<net::PortId> out;
+    out.reserve(ports.size());
+    for (const auto& p : ports) out.push_back(p.id);
+    return out;
+  }
+};
+
+/// Renders the participant's outbound clauses into the Pyretic-style AST:
+///   Σ_clauses  match(clause) >> fwd(vport(to))
+policy::Policy outbound_policy(const Participant& p, const PortMap& ports);
+
+/// Renders the inbound clauses; a clause with rewrites applies them before
+/// forwarding to the selected physical port.
+policy::Policy inbound_policy(const Participant& p, const PortMap& ports);
+
+/// Validates that a participant's clauses only reference other registered
+/// participants / its own ports. Throws std::invalid_argument otherwise —
+/// this is the static half of isolation (§4.1).
+void validate_participant(const Participant& p,
+                          const std::vector<Participant>& all);
+
+}  // namespace sdx::core

@@ -1,0 +1,59 @@
+#include "sdx/port_map.hpp"
+
+namespace sdx::core {
+
+void PortMap::register_participant(ParticipantId id,
+                                   const std::vector<PortId>& phys) {
+  if (vports_.contains(id)) {
+    throw std::invalid_argument("participant already registered: " +
+                                std::to_string(id));
+  }
+  for (PortId p : phys) {
+    if (is_virtual(p)) {
+      throw std::invalid_argument("physical port id in virtual range");
+    }
+    if (phys_owner_.contains(p)) {
+      throw std::invalid_argument("physical port already owned: " +
+                                  std::to_string(p));
+    }
+  }
+  const PortId v = next_vport_++;
+  vports_[id] = v;
+  vport_owner_[v] = id;
+  for (PortId p : phys) phys_owner_[p] = id;
+  phys_[id] = phys;
+}
+
+PortId PortMap::vport(ParticipantId id) const {
+  auto it = vports_.find(id);
+  if (it == vports_.end()) {
+    throw std::out_of_range("unknown participant " + std::to_string(id));
+  }
+  return it->second;
+}
+
+ParticipantId PortMap::vport_owner(PortId vport) const {
+  auto it = vport_owner_.find(vport);
+  if (it == vport_owner_.end()) {
+    throw std::out_of_range("not a virtual port: " + std::to_string(vport));
+  }
+  return it->second;
+}
+
+ParticipantId PortMap::phys_owner(PortId port) const {
+  auto it = phys_owner_.find(port);
+  if (it == phys_owner_.end()) {
+    throw std::out_of_range("unowned physical port: " + std::to_string(port));
+  }
+  return it->second;
+}
+
+const std::vector<PortId>& PortMap::phys_ports(ParticipantId id) const {
+  auto it = phys_.find(id);
+  if (it == phys_.end()) {
+    throw std::out_of_range("unknown participant " + std::to_string(id));
+  }
+  return it->second;
+}
+
+}  // namespace sdx::core

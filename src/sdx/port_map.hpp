@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file port_map.hpp
+/// The port-id space of the virtual SDX topology (paper §3.1, Figure 1a).
+///
+/// Every participant is given the illusion of its own virtual switch. For
+/// compilation onto one physical switch, a packet's location (Field::kPort)
+/// ranges over two id classes:
+///
+///   * physical ports — where participant border routers attach;
+///   * one virtual port per participant — "the packet is now at X's virtual
+///     switch". fwd(X) in a policy writes X's virtual-port id; the second
+///     pipeline stage (X's inbound policy + default) then picks the real
+///     egress port.
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "netbase/packet.hpp"
+
+namespace sdx::core {
+
+using bgp::ParticipantId;
+using net::PortId;
+
+class PortMap {
+ public:
+  /// Virtual port ids live above this base; physical ids below it.
+  static constexpr PortId kVirtualBase = 1u << 20;
+
+  static constexpr bool is_virtual(PortId p) { return p >= kVirtualBase; }
+
+  /// Registers a participant and its physical ports. Port ids must be
+  /// unique and below kVirtualBase.
+  void register_participant(ParticipantId id, const std::vector<PortId>& phys);
+
+  /// The participant's virtual-port id.
+  PortId vport(ParticipantId id) const;
+
+  /// The participant owning a virtual port.
+  ParticipantId vport_owner(PortId vport) const;
+
+  /// The participant owning a physical port.
+  ParticipantId phys_owner(PortId port) const;
+
+  const std::vector<PortId>& phys_ports(ParticipantId id) const;
+
+  bool has(ParticipantId id) const { return vports_.contains(id); }
+
+ private:
+  std::unordered_map<ParticipantId, PortId> vports_;
+  std::unordered_map<PortId, ParticipantId> vport_owner_;
+  std::unordered_map<PortId, ParticipantId> phys_owner_;
+  std::unordered_map<ParticipantId, std::vector<PortId>> phys_;
+  PortId next_vport_ = kVirtualBase;
+};
+
+}  // namespace sdx::core

@@ -1,0 +1,303 @@
+#include "sdx/runtime.hpp"
+
+#include <stdexcept>
+
+namespace sdx::core {
+
+SdxRuntime::SdxRuntime(bgp::DecisionConfig decision, CompileOptions options)
+    : server_(decision), options_(options) {}
+
+ParticipantId SdxRuntime::add_participant(const std::string& name,
+                                          net::Asn asn,
+                                          std::size_t port_count) {
+  if (installed()) {
+    throw std::logic_error("add participants before install()");
+  }
+  if (port_count == 0) {
+    throw std::invalid_argument("physical participants need ≥1 port");
+  }
+  Participant p;
+  p.id = static_cast<ParticipantId>(participants_.size() + 1);
+  p.name = name;
+  p.asn = asn;
+  for (std::size_t i = 0; i < port_count; ++i) {
+    PhysicalPort port;
+    port.id = next_port_++;
+    // 00:16:3e — a universally-administered OUI, so router MACs can never
+    // collide with the locally-administered VMAC space.
+    port.router_mac = net::MacAddress(0x00'16'3E'00'00'00ull | port.id);
+    port.router_ip =
+        net::Ipv4Address(net::Ipv4Address::parse("10.0.0.0").value() +
+                         next_host_++);
+    p.ports.push_back(port);
+  }
+  participants_.push_back(std::move(p));
+  Participant& stored = participants_.back();
+  port_map_.register_participant(stored.id, stored.port_ids());
+  server_.add_peer({stored.id, asn, stored.primary_port().router_ip});
+  for (const auto& port : stored.ports) {
+    routers_.emplace_back(asn, port.id, port.router_mac, port.router_ip);
+    router_index_[stored.id].push_back(routers_.size() - 1);
+    fabric_.attach(routers_.back());
+  }
+  if (frontend_) {
+    frontend_->connect(stored.id,
+                       routers_[router_index_.at(stored.id).front()]);
+  }
+  return stored.id;
+}
+
+ParticipantId SdxRuntime::add_remote_participant(const std::string& name,
+                                                 net::Asn asn) {
+  if (installed()) {
+    throw std::logic_error("add participants before install()");
+  }
+  Participant p;
+  p.id = static_cast<ParticipantId>(participants_.size() + 1);
+  p.name = name;
+  p.asn = asn;
+  participants_.push_back(std::move(p));
+  Participant& stored = participants_.back();
+  port_map_.register_participant(stored.id, {});
+  server_.add_peer(
+      {stored.id, asn,
+       net::Ipv4Address(net::Ipv4Address::parse("192.0.2.0").value() +
+                        next_host_++)});
+  return stored.id;
+}
+
+Participant& SdxRuntime::participant(ParticipantId id) {
+  for (auto& p : participants_) {
+    if (p.id == id) return p;
+  }
+  throw std::out_of_range("unknown participant " + std::to_string(id));
+}
+
+const Participant& SdxRuntime::participant(ParticipantId id) const {
+  for (const auto& p : participants_) {
+    if (p.id == id) return p;
+  }
+  throw std::out_of_range("unknown participant " + std::to_string(id));
+}
+
+Participant* SdxRuntime::find(const std::string& name) {
+  for (auto& p : participants_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+void SdxRuntime::set_outbound(ParticipantId id,
+                              std::vector<OutboundClause> clauses) {
+  participant(id).outbound = std::move(clauses);
+  validate_participant(participant(id), participants_);
+}
+
+void SdxRuntime::set_inbound(ParticipantId id,
+                             std::vector<InboundClause> clauses) {
+  participant(id).inbound = std::move(clauses);
+  validate_participant(participant(id), participants_);
+}
+
+void SdxRuntime::enable_rpki(bgp::RoaTable table, RpkiMode mode) {
+  roas_ = std::move(table);
+  rpki_mode_ = mode;
+}
+
+void SdxRuntime::announce(ParticipantId from, Ipv4Prefix prefix,
+                          std::optional<net::AsPath> path,
+                          std::vector<bgp::Community> communities) {
+  const Participant& p = participant(from);
+  if (rpki_mode_ != RpkiMode::kOff) {
+    const net::Asn origin =
+        path && !path->empty() ? path->origin_as() : p.asn;
+    const auto validity = roas_.validate(prefix, origin);
+    const bool must_be_valid =
+        p.is_remote() && rpki_mode_ != RpkiMode::kOff;
+    if ((must_be_valid && validity != bgp::RoaValidity::kValid) ||
+        (rpki_mode_ == RpkiMode::kStrict &&
+         validity == bgp::RoaValidity::kInvalid)) {
+      throw std::invalid_argument(
+          p.name + ": RPKI validation failed for " + prefix.to_string() +
+          " (origin AS" + std::to_string(origin) + ": " +
+          std::string(bgp::validity_name(validity)) + ")");
+    }
+  }
+  bgp::Route route;
+  route.prefix = prefix;
+  route.attrs.as_path = path.value_or(net::AsPath{p.asn});
+  route.attrs.communities = std::move(communities);
+  route.attrs.next_hop = p.is_remote()
+                             ? net::Ipv4Address{}
+                             : p.primary_port().router_ip;
+  route.learned_from = from;
+  route.peer_router_id = server_.peer(from)->router_id;
+  server_.announce(std::move(route));
+  if (installed()) {
+    handle_post_install_update(prefix);
+  } else {
+    readvertise(prefix);
+  }
+}
+
+std::size_t SdxRuntime::session_down(ParticipantId id) {
+  Participant& p = participant(id);
+  p.outbound.clear();
+  p.inbound.clear();
+  // Other participants' clauses toward a dead peer stay installed — their
+  // reach sets simply become empty, exactly as with any withdrawal.
+  const auto advertised = server_.advertised_by(id);
+  for (auto prefix : advertised) withdraw(id, prefix);
+  if (installed()) {
+    // Policies changed, so the two-stage fast path is not enough: rebuild.
+    background_recompile();
+  }
+  return advertised.size();
+}
+
+void SdxRuntime::withdraw(ParticipantId from, Ipv4Prefix prefix) {
+  server_.withdraw(from, prefix);
+  if (installed()) {
+    handle_post_install_update(prefix);
+  } else {
+    readvertise(prefix);
+  }
+}
+
+const CompiledSdx& SdxRuntime::deploy() {
+  const CompiledSdx& compiled = engine_->full_recompile(vnh_);
+
+  // One binding per remote participant, advertised as the next hop of its
+  // otherwise-unreachable announcements so senders can frame the traffic.
+  remote_bindings_.clear();
+  for (const auto& p : participants_) {
+    if (p.is_remote()) remote_bindings_[p.id] = vnh_.allocate();
+  }
+
+  auto& table = fabric_.sdx_switch().table();
+  table.clear();
+  table.install_classifier(compiled.fabric, kBasePriority, kBaseCookie);
+  fast_bindings_.clear();
+  bind_arp(compiled);
+  for (auto prefix : server_.all_prefixes()) readvertise(prefix);
+  return compiled;
+}
+
+const CompiledSdx& SdxRuntime::install() {
+  for (const auto& p : participants_) {
+    validate_participant(p, participants_);
+  }
+  engine_ = std::make_unique<IncrementalEngine>(
+      SdxCompiler(participants_, port_map_, server_, options_));
+  return deploy();
+}
+
+const CompiledSdx& SdxRuntime::background_recompile() {
+  if (!installed()) {
+    throw std::logic_error("install() before background_recompile()");
+  }
+  return deploy();
+}
+
+void SdxRuntime::bind_arp(const CompiledSdx& compiled) {
+  for (const auto& b : compiled.bindings) {
+    fabric_.arp().bind(b.vnh, b.vmac);
+  }
+  for (const auto& [id, b] : remote_bindings_) {
+    fabric_.arp().bind(b.vnh, b.vmac);
+  }
+}
+
+std::optional<VnhBinding> SdxRuntime::advertised_binding(
+    Ipv4Prefix prefix) const {
+  if (auto it = fast_bindings_.find(prefix); it != fast_bindings_.end()) {
+    return it->second;
+  }
+  if (installed()) {
+    if (auto b = compiled().binding_for(prefix)) return b;
+  }
+  return std::nullopt;
+}
+
+std::optional<VnhBinding> SdxRuntime::current_binding(
+    Ipv4Prefix prefix) const {
+  return advertised_binding(prefix);
+}
+
+std::optional<VnhBinding> SdxRuntime::remote_binding(
+    ParticipantId advertiser) const {
+  auto it = remote_bindings_.find(advertiser);
+  if (it == remote_bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+void SdxRuntime::use_wire_distribution() {
+  if (frontend_) return;
+  frontend_ = std::make_unique<BgpFrontend>();
+  for (const auto& p : participants_) {
+    if (p.is_remote()) continue;
+    // One session per participant, terminated at its primary router; the
+    // router applies the updates to the shared participant RIB view.
+    frontend_->connect(p.id, routers_[router_index_.at(p.id).front()]);
+  }
+}
+
+void SdxRuntime::readvertise(Ipv4Prefix prefix) {
+  const auto binding = advertised_binding(prefix);
+  for (const auto& p : participants_) {
+    if (p.is_remote()) continue;
+    bgp::UpdateMessage msg;
+    auto best = server_.best_route(p.id, prefix);
+    if (!best) {
+      msg.withdrawn.push_back(prefix);
+    } else {
+      bgp::RouteAttributes attrs = best->attrs;
+      if (binding) {
+        attrs.next_hop = binding->vnh;
+      } else if (auto rb = remote_bindings_.find(best->learned_from);
+                 rb != remote_bindings_.end()) {
+        attrs.next_hop = rb->second.vnh;
+      }
+      msg.attrs = std::move(attrs);
+      msg.nlri.push_back(prefix);
+    }
+    if (frontend_ && frontend_->established(p.id)) {
+      frontend_->distribute(p.id, msg);
+      // Secondary routers of multi-port participants share the view.
+      for (std::size_t k = 1; k < router_index_[p.id].size(); ++k) {
+        routers_[router_index_[p.id][k]].process_update(msg);
+      }
+    } else {
+      for (std::size_t ri : router_index_[p.id]) {
+        routers_[ri].process_update(msg);
+      }
+    }
+  }
+}
+
+void SdxRuntime::handle_post_install_update(Ipv4Prefix prefix) {
+  auto result = engine_->fast_update(prefix, vnh_);
+  if (result.binding) {
+    fast_bindings_[prefix] = *result.binding;
+    fabric_.arp().bind(result.binding->vnh, result.binding->vmac);
+    auto& table = fabric_.sdx_switch().table();
+    policy::Classifier extra(std::move(result.rules));
+    table.install_classifier(extra, kFastPriority, next_cookie_++);
+  }
+  readvertise(prefix);
+  update_log_.push_back(
+      UpdateReport{prefix, result.additional_rules, result.seconds});
+}
+
+dp::BorderRouter& SdxRuntime::router(ParticipantId id,
+                                     std::size_t port_index) {
+  return routers_.at(router_index_.at(id).at(port_index));
+}
+
+std::vector<dp::Fabric::Delivery> SdxRuntime::send(ParticipantId from,
+                                                   net::PacketHeader payload,
+                                                   std::size_t port_index) {
+  return fabric_.send(router(from, port_index), std::move(payload));
+}
+
+}  // namespace sdx::core

@@ -1,0 +1,186 @@
+#pragma once
+
+/// \file runtime.hpp
+/// The SDX controller (paper Figure 3): route server + policy compiler +
+/// incremental engine + data-plane driver, behind one facade.
+///
+/// Lifecycle:
+///   1. add_participant() / add_remote_participant(), set policies;
+///   2. announce() routes (participants' border routers feed the route
+///      server);
+///   3. install() — full compilation, flow-rule installation, ARP/VNH
+///      bindings and BGP re-advertisement to every participant router;
+///   4. further announce()/withdraw() calls run the §4.3.2 fast path
+///      automatically (higher-priority rules + re-advertisement), logging
+///      per-update cost; background_recompile() coalesces.
+///   5. send() pushes packets through the emulated data plane end to end.
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/route_server.hpp"
+#include "bgp/rpki.hpp"
+#include "dataplane/fabric.hpp"
+#include "sdx/bgp_frontend.hpp"
+#include "sdx/compiler.hpp"
+#include "sdx/incremental.hpp"
+#include "sdx/participant.hpp"
+
+namespace sdx::core {
+
+class SdxRuntime {
+ public:
+  explicit SdxRuntime(bgp::DecisionConfig decision = {},
+                      CompileOptions options = {});
+
+  // --- topology -----------------------------------------------------------
+
+  /// Adds a participant with \p port_count attachment ports (ids, MACs and
+  /// IPs assigned automatically) and returns its id. (An id, not a
+  /// reference: the participant table may reallocate as members join —
+  /// use participant(id) for access.)
+  ParticipantId add_participant(const std::string& name, net::Asn asn,
+                                std::size_t port_count = 1);
+
+  /// Adds a remote participant (no physical presence, §3.1): it can install
+  /// rewrite policies and originate routes but sends no traffic.
+  ParticipantId add_remote_participant(const std::string& name, net::Asn asn);
+
+  Participant& participant(ParticipantId id);
+  const Participant& participant(ParticipantId id) const;
+  Participant* find(const std::string& name);
+  const std::vector<Participant>& participants() const {
+    return participants_;
+  }
+  const PortMap& ports() const { return port_map_; }
+
+  // --- policies (recompiled on the next install()) -------------------------
+
+  void set_outbound(ParticipantId id, std::vector<OutboundClause> clauses);
+  void set_inbound(ParticipantId id, std::vector<InboundClause> clauses);
+
+  // --- BGP ------------------------------------------------------------------
+
+  /// Participant \p from announces \p prefix. The AS path defaults to the
+  /// participant's own ASN (an originated route); longer paths model
+  /// transit; communities drive the route server's export policy (RFC 1997
+  /// NO_EXPORT/NO_ADVERTISE, "0:<asn>" per-peer blocking). After install(),
+  /// the fast path runs and the report is logged.
+  void announce(ParticipantId from, Ipv4Prefix prefix,
+                std::optional<net::AsPath> path = std::nullopt,
+                std::vector<bgp::Community> communities = {});
+  void withdraw(ParticipantId from, Ipv4Prefix prefix);
+
+  /// A participant's BGP session drops (maintenance, failure, departure):
+  /// every route it advertised is withdrawn and its policies are removed
+  /// (they may reference routes that no longer exist). Its ports remain in
+  /// the topology, and re-announcing later brings it back. Runs the fast
+  /// path per affected prefix when installed. Returns the number of
+  /// prefixes withdrawn.
+  std::size_t session_down(ParticipantId id);
+
+  bgp::RouteServer& route_server() { return server_; }
+  const bgp::RouteServer& route_server() const { return server_; }
+
+  /// Switches re-advertisement to the wire path: every UPDATE toward a
+  /// border router is framed, travels through a pair of RFC 4271 sessions
+  /// (BgpFrontend) and lands in the router's RIB via the decoder — instead
+  /// of the default in-process delivery. Call before the first announce().
+  /// Behaviour must be identical either way (property-tested).
+  void use_wire_distribution();
+  bool wire_distribution() const { return frontend_ != nullptr; }
+  const BgpFrontend* frontend() const { return frontend_.get(); }
+
+  /// RPKI origin validation (paper §3.2: the SDX verifies prefix ownership
+  /// before originating a route for a remote participant).
+  enum class RpkiMode {
+    kOff,         ///< no validation (default)
+    kRemoteOnly,  ///< SDX-originated (remote-participant) routes must be Valid
+    kStrict,      ///< additionally reject Invalid routes from anyone
+  };
+  void enable_rpki(bgp::RoaTable table, RpkiMode mode = RpkiMode::kRemoteOnly);
+  const bgp::RoaTable& roa_table() const { return roas_; }
+
+  // --- compilation & deployment --------------------------------------------
+
+  /// Full compile + install: flow rules, VNH ARP bindings, re-advertising
+  /// every prefix to every participant router. Returns the compile result.
+  const CompiledSdx& install();
+
+  bool installed() const { return engine_ && engine_->has_compiled(); }
+  const CompiledSdx& compiled() const { return engine_->current(); }
+
+  /// Runs the background (optimal) recompilation: rebuilds the minimal
+  /// table and drops the accumulated fast-path rules.
+  const CompiledSdx& background_recompile();
+
+  struct UpdateReport {
+    Ipv4Prefix prefix;
+    std::size_t additional_rules = 0;
+    double fast_seconds = 0;
+  };
+  const std::vector<UpdateReport>& update_log() const { return update_log_; }
+  void clear_update_log() { update_log_.clear(); }
+
+  // --- data plane -----------------------------------------------------------
+
+  dp::Fabric& fabric() { return fabric_; }
+  const dp::Fabric& fabric() const { return fabric_; }
+  dp::BorderRouter& router(ParticipantId id, std::size_t port_index = 0);
+
+  /// The (VNH, VMAC) binding currently advertised for \p prefix — the
+  /// fast-path binding when one is live, else the compiled group binding,
+  /// else the remote-participant binding for its advertiser; std::nullopt
+  /// when the prefix is advertised with its real next hop.
+  std::optional<VnhBinding> current_binding(Ipv4Prefix prefix) const;
+
+  /// The next-hop binding assigned to a remote participant's own
+  /// announcements (std::nullopt for physical participants).
+  std::optional<VnhBinding> remote_binding(ParticipantId advertiser) const;
+
+  /// Sends an IP payload from a participant's border router through the
+  /// fabric; returns the deliveries at egress ports.
+  std::vector<dp::Fabric::Delivery> send(ParticipantId from,
+                                         net::PacketHeader payload,
+                                         std::size_t port_index = 0);
+
+ private:
+  static constexpr std::uint32_t kBasePriority = 1000;
+  static constexpr std::uint32_t kFastPriority = 1u << 24;
+  static constexpr std::uint64_t kBaseCookie = 1;
+
+  const CompiledSdx& deploy();
+  void readvertise(Ipv4Prefix prefix);
+  void bind_arp(const CompiledSdx& compiled);
+  void handle_post_install_update(Ipv4Prefix prefix);
+  std::optional<VnhBinding> advertised_binding(Ipv4Prefix prefix) const;
+
+  bgp::RouteServer server_;
+  CompileOptions options_;
+  bgp::RoaTable roas_;
+  RpkiMode rpki_mode_ = RpkiMode::kOff;
+  std::vector<Participant> participants_;
+  PortMap port_map_;
+  VnhAllocator vnh_;
+  dp::Fabric fabric_;
+  /// Routers keyed in participant slot order, one per physical port; deque
+  /// keeps addresses stable for fabric attachment.
+  std::deque<dp::BorderRouter> routers_;
+  std::unordered_map<ParticipantId, std::vector<std::size_t>> router_index_;
+  std::unique_ptr<IncrementalEngine> engine_;
+  std::unique_ptr<BgpFrontend> frontend_;
+  std::vector<UpdateReport> update_log_;
+  /// Fast-path bindings installed since the last full compile.
+  std::unordered_map<Ipv4Prefix, VnhBinding> fast_bindings_;
+  /// Per-remote-participant next-hop binding so senders can frame traffic
+  /// toward prefixes only a remote participant announces.
+  std::unordered_map<ParticipantId, VnhBinding> remote_bindings_;
+  std::uint64_t next_cookie_ = kBaseCookie + 1;
+  net::PortId next_port_ = 1;
+  std::uint32_t next_host_ = 1;
+};
+
+}  // namespace sdx::core

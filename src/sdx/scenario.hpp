@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file scenario.hpp
+/// A line-oriented scenario language for driving the SDX — the operator
+/// surface of this repository. Scripts declare participants, policies and
+/// BGP events, deploy the controller, inject traffic and assert outcomes:
+///
+///     participant A 65001
+///     participant B 65002 ports 2
+///     announce B 100.1.0.0/16 path 65002 10
+///     outbound A match dstport=80 -> B
+///     inbound B match srcip=0.0.0.0/1 port 0
+///     install
+///     send A srcip=96.25.160.5 dstip=100.1.2.3 dstport=80
+///     expect port B 0
+///
+/// Full grammar in the command table of scenario.cpp. The interpreter is a
+/// library class so scripts are unit-testable; examples/sdx_shell wraps it
+/// for files and interactive use.
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "sdx/runtime.hpp"
+
+namespace sdx::core {
+
+class ScenarioInterpreter {
+ public:
+  ScenarioInterpreter();
+  ~ScenarioInterpreter();
+
+  ScenarioInterpreter(const ScenarioInterpreter&) = delete;
+  ScenarioInterpreter& operator=(const ScenarioInterpreter&) = delete;
+
+  struct Result {
+    bool ok = true;
+    std::string output;  ///< human-readable response (may be empty)
+  };
+
+  /// Executes one line (blank lines and `#` comments are no-ops).
+  /// Errors never throw; they come back as ok=false with a diagnostic.
+  Result execute_line(const std::string& line);
+
+  /// Runs a whole script; writes each command's output (prefixed with the
+  /// line number on errors) to \p out. Returns the number of failed lines.
+  std::size_t run(std::istream& in, std::ostream& out,
+                  bool echo_commands = false);
+
+  SdxRuntime& runtime();
+  const SdxRuntime& runtime() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sdx::core

@@ -1,0 +1,2 @@
+// vnh_allocator.hpp is header-only; this translation unit anchors the target.
+#include "sdx/vnh_allocator.hpp"

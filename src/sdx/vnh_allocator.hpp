@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file vnh_allocator.hpp
+/// Virtual next-hop (VNH) IP and virtual MAC (VMAC) allocation (paper §4.2).
+///
+/// Each forwarding equivalence class gets a (VNH, VMAC) pair: the route
+/// server advertises the VNH as the BGP next-hop, the ARP responder answers
+/// VNH queries with the VMAC, and border routers consequently tag packets
+/// with the VMAC — turning 500k prefix matches into one 48-bit tag match.
+///
+/// VNHs are drawn from a dedicated pool (default 172.16.0.0/12, never
+/// announced); VMACs carry the locally-administered bit.
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "netbase/ip.hpp"
+#include "netbase/mac.hpp"
+
+namespace sdx::core {
+
+struct VnhBinding {
+  net::Ipv4Address vnh;
+  net::MacAddress vmac;
+
+  friend bool operator==(const VnhBinding&, const VnhBinding&) = default;
+};
+
+class VnhAllocator {
+ public:
+  explicit VnhAllocator(
+      net::Ipv4Prefix pool = net::Ipv4Prefix::parse("172.16.0.0/12"))
+      : pool_(pool) {}
+
+  /// Allocates the next (VNH, VMAC) pair. Throws std::length_error when the
+  /// pool is exhausted.
+  VnhBinding allocate() {
+    if (next_ >= pool_.size()) {
+      throw std::length_error("VNH pool exhausted");
+    }
+    VnhBinding b;
+    b.vnh = net::Ipv4Address(pool_.network().value() +
+                             static_cast<std::uint32_t>(next_));
+    // 0x02 prefix: locally administered, unicast.
+    b.vmac = net::MacAddress(0x02'00'00'00'00'00ull | next_);
+    ++next_;
+    return b;
+  }
+
+  /// Releases everything (used before a full recompilation; the background
+  /// pass re-derives a minimal set of bindings, §4.3.2).
+  void reset() { next_ = 0; }
+
+  std::uint64_t allocated() const { return next_; }
+  net::Ipv4Prefix pool() const { return pool_; }
+
+ private:
+  net::Ipv4Prefix pool_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace sdx::core

@@ -1,0 +1,250 @@
+/// Tests for the BGP session layer: framing over a byte stream, the RFC
+/// 4271 state machine, keepalive/hold-timer behaviour, and interop of two
+/// endpoints wired head-to-head.
+
+#include <gtest/gtest.h>
+
+#include "bgp/session.hpp"
+#include "netbase/rng.hpp"
+
+namespace sdx::bgp {
+namespace {
+
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+
+Session::Config config(Asn asn, const char* id, std::uint16_t hold = 90) {
+  return Session::Config{asn, Ipv4Address::parse(id), hold};
+}
+
+/// Pumps bytes between two sessions until both output queues drain.
+std::vector<Session::Event> pump(Session& a, Session& b) {
+  std::vector<Session::Event> events;
+  for (int round = 0; round < 16; ++round) {
+    auto from_a = a.take_output();
+    auto from_b = b.take_output();
+    if (from_a.empty() && from_b.empty()) break;
+    for (auto& ev : b.receive(from_a)) events.push_back(std::move(ev));
+    for (auto& ev : a.receive(from_b)) events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+TEST(SessionTest, HandshakeReachesEstablished) {
+  Session a(config(65001, "10.0.0.1"));
+  Session b(config(65002, "10.0.0.2"));
+  a.start();
+  b.start();
+  auto events = pump(a, b);
+  EXPECT_EQ(a.state(), Session::State::kEstablished);
+  EXPECT_EQ(b.state(), Session::State::kEstablished);
+  ASSERT_TRUE(a.peer_open().has_value());
+  EXPECT_EQ(a.peer_open()->my_as, 65002u);
+  EXPECT_EQ(b.peer_open()->my_as, 65001u);
+  // Each side sees exactly one kEstablished event.
+  int established = 0;
+  for (const auto& ev : events) {
+    established += ev.kind == Session::Event::Kind::kEstablished;
+  }
+  EXPECT_EQ(established, 2);
+}
+
+TEST(SessionTest, StartTwiceThrows) {
+  Session a(config(65001, "10.0.0.1"));
+  a.start();
+  EXPECT_THROW(a.start(), std::logic_error);
+}
+
+TEST(SessionTest, UpdateFlowsEndToEnd) {
+  Session a(config(65001, "10.0.0.1"));
+  Session b(config(65002, "10.0.0.2"));
+  a.start();
+  b.start();
+  pump(a, b);
+
+  UpdateMessage u;
+  RouteAttributes attrs;
+  attrs.as_path = net::AsPath{65001, 7};
+  attrs.next_hop = Ipv4Address::parse("10.0.0.1");
+  u.attrs = attrs;
+  u.nlri = {Ipv4Prefix::parse("100.1.0.0/16")};
+  a.send_update(u);
+  auto events = b.receive(a.take_output());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, Session::Event::Kind::kUpdate);
+  EXPECT_EQ(events[0].update, u);
+  EXPECT_EQ(a.updates_sent(), 1u);
+  EXPECT_EQ(b.updates_received(), 1u);
+}
+
+TEST(SessionTest, SendUpdateBeforeEstablishedThrows) {
+  Session a(config(65001, "10.0.0.1"));
+  UpdateMessage u;
+  EXPECT_THROW(a.send_update(u), std::logic_error);
+  a.start();
+  EXPECT_THROW(a.send_update(u), std::logic_error);
+}
+
+TEST(SessionTest, FragmentedDeliveryReassembles) {
+  Session a(config(65001, "10.0.0.1"));
+  Session b(config(65002, "10.0.0.2"));
+  a.start();
+  b.start();
+  pump(a, b);
+
+  UpdateMessage u;
+  RouteAttributes attrs;
+  attrs.as_path = net::AsPath{65001};
+  attrs.next_hop = Ipv4Address::parse("10.0.0.1");
+  u.attrs = attrs;
+  for (int i = 0; i < 20; ++i) {
+    u.nlri.push_back(Ipv4Prefix(
+        Ipv4Address((100u + static_cast<std::uint32_t>(i)) << 24), 16));
+  }
+  a.send_update(u);
+  auto bytes = a.take_output();
+  // Deliver one byte at a time: the framer must buffer partial messages.
+  std::vector<Session::Event> events;
+  for (auto byte : bytes) {
+    auto evs = b.receive(std::span(&byte, 1));
+    for (auto& ev : evs) events.push_back(std::move(ev));
+  }
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].update, u);
+}
+
+TEST(SessionTest, CoalescedDeliverySplitsFrames) {
+  Session a(config(65001, "10.0.0.1"));
+  Session b(config(65002, "10.0.0.2"));
+  a.start();
+  b.start();
+  pump(a, b);
+  UpdateMessage u1, u2;
+  RouteAttributes attrs;
+  attrs.as_path = net::AsPath{65001};
+  attrs.next_hop = Ipv4Address::parse("10.0.0.1");
+  u1.attrs = attrs;
+  u1.nlri = {Ipv4Prefix::parse("100.0.0.0/8")};
+  u2.withdrawn = {Ipv4Prefix::parse("101.0.0.0/8")};
+  a.send_update(u1);
+  a.send_update(u2);
+  auto events = b.receive(a.take_output());  // both frames in one read
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].update, u1);
+  EXPECT_EQ(events[1].update, u2);
+}
+
+TEST(SessionTest, CorruptMarkerClosesWithNotification) {
+  Session a(config(65001, "10.0.0.1"));
+  Session b(config(65002, "10.0.0.2"));
+  a.start();
+  b.start();
+  pump(a, b);
+  auto junk = encode(KeepaliveMessage{});
+  junk[0] = 0x00;
+  auto events = b.receive(junk);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, Session::Event::Kind::kClosed);
+  EXPECT_EQ(b.state(), Session::State::kClosed);
+  // The peer learns about it from the NOTIFICATION.
+  auto peer_events = a.receive(b.take_output());
+  ASSERT_EQ(peer_events.size(), 1u);
+  EXPECT_EQ(peer_events[0].kind,
+            Session::Event::Kind::kNotificationReceived);
+  EXPECT_EQ(a.state(), Session::State::kClosed);
+}
+
+TEST(SessionTest, UpdateBeforeOpenIsFsmError) {
+  Session a(config(65001, "10.0.0.1"));
+  a.start();  // OpenSent; an UPDATE now violates the FSM
+  UpdateMessage u;
+  u.withdrawn = {Ipv4Prefix::parse("100.0.0.0/8")};
+  auto events = a.receive(encode(u));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, Session::Event::Kind::kClosed);
+  EXPECT_EQ(events[0].notification.code, 5);  // FSM error
+}
+
+TEST(SessionTest, HoldTimerExpiryClosesSession) {
+  Session a(config(65001, "10.0.0.1", /*hold=*/30));
+  Session b(config(65002, "10.0.0.2", /*hold=*/30));
+  a.start();
+  b.start();
+  pump(a, b);
+  ASSERT_EQ(a.state(), Session::State::kEstablished);
+  // Silence for the full hold time: a closes with code 4.
+  auto events = a.advance_clock(31.0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, Session::Event::Kind::kClosed);
+  EXPECT_EQ(events[0].notification.code, 4);
+  EXPECT_EQ(a.state(), Session::State::kClosed);
+}
+
+TEST(SessionTest, KeepalivesKeepTheSessionAlive) {
+  Session a(config(65001, "10.0.0.1", /*hold=*/30));
+  Session b(config(65002, "10.0.0.2", /*hold=*/30));
+  a.start();
+  b.start();
+  pump(a, b);
+  // Advance both clocks in lockstep, exchanging traffic each tick: the
+  // automatic keepalives (hold/3) must keep both sides Established.
+  for (int tick = 0; tick < 20; ++tick) {
+    auto ea = a.advance_clock(5.0);
+    auto eb = b.advance_clock(5.0);
+    EXPECT_TRUE(ea.empty());
+    EXPECT_TRUE(eb.empty());
+    pump(a, b);
+  }
+  EXPECT_EQ(a.state(), Session::State::kEstablished);
+  EXPECT_EQ(b.state(), Session::State::kEstablished);
+}
+
+TEST(SessionTest, ZeroHoldTimeDisablesTimer) {
+  Session a(config(65001, "10.0.0.1", /*hold=*/0));
+  Session b(config(65002, "10.0.0.2", /*hold=*/0));
+  a.start();
+  b.start();
+  pump(a, b);
+  EXPECT_TRUE(a.advance_clock(1e6).empty());
+  EXPECT_EQ(a.state(), Session::State::kEstablished);
+}
+
+TEST(SessionTest, RandomFragmentationTornWrites) {
+  net::SplitMix64 rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    Session a(config(65001, "10.0.0.1"));
+    Session b(config(65002, "10.0.0.2"));
+    a.start();
+    b.start();
+    pump(a, b);
+    std::vector<UpdateMessage> sent;
+    for (int i = 0; i < 5; ++i) {
+      UpdateMessage u;
+      RouteAttributes attrs;
+      attrs.as_path = net::AsPath{65001, static_cast<Asn>(rng.range(1, 999))};
+      attrs.next_hop = Ipv4Address::parse("10.0.0.1");
+      u.attrs = attrs;
+      u.nlri = {Ipv4Prefix(Ipv4Address(static_cast<std::uint32_t>(rng())),
+                           static_cast<int>(rng.range(8, 28)))};
+      a.send_update(u);
+      sent.push_back(std::move(u));
+    }
+    auto bytes = a.take_output();
+    std::vector<Session::Event> events;
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng.below(40), bytes.size() - pos);
+      auto evs = b.receive(std::span(bytes).subspan(pos, chunk));
+      for (auto& ev : evs) events.push_back(std::move(ev));
+      pos += chunk;
+    }
+    ASSERT_EQ(events.size(), sent.size());
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      EXPECT_EQ(events[i].update, sent[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdx::bgp

@@ -1,0 +1,256 @@
+/// Tests for the data-plane substrate: flow table (priorities, cookies,
+/// counters, classifier install), switch simulator, ARP responder, border
+/// router (FIB → ARP → frame) and the end-to-end fabric harness.
+
+#include <gtest/gtest.h>
+
+#include "dataplane/fabric.hpp"
+#include "policy/compile.hpp"
+
+namespace sdx::dp {
+namespace {
+
+using net::Field;
+using net::FlowMatch;
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+using net::MacAddress;
+using net::PacketBuilder;
+using policy::ActionSeq;
+
+FlowRule rule(std::uint32_t priority, FlowMatch match, net::PortId out,
+              std::uint64_t cookie = 0) {
+  FlowRule r;
+  r.priority = priority;
+  r.match = std::move(match);
+  r.actions = {ActionSeq::set(Field::kPort, out)};
+  r.cookie = cookie;
+  return r;
+}
+
+TEST(FlowTableTest, HigherPriorityWins) {
+  FlowTable t;
+  t.install(rule(10, FlowMatch::on(Field::kDstPort, 80), 1));
+  t.install(rule(20, FlowMatch::on(Field::kDstPort, 80), 2));
+  auto out = t.process(PacketBuilder().dst_port(80).build());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].port(), 2u);
+}
+
+TEST(FlowTableTest, InsertionOrderBreaksPriorityTies) {
+  FlowTable t;
+  t.install(rule(10, FlowMatch::on(Field::kDstPort, 80), 1));
+  t.install(rule(10, FlowMatch::any(), 2));
+  auto out = t.process(PacketBuilder().dst_port(80).build());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].port(), 1u);  // earlier install wins the tie
+}
+
+TEST(FlowTableTest, MissAndDropAccounting) {
+  FlowTable t;
+  FlowRule drop_rule;
+  drop_rule.priority = 5;
+  drop_rule.match = FlowMatch::on(Field::kDstPort, 22);
+  t.install(drop_rule);
+
+  EXPECT_TRUE(t.process(PacketBuilder().dst_port(22).build()).empty());
+  EXPECT_TRUE(t.process(PacketBuilder().dst_port(80).build()).empty());
+  EXPECT_EQ(t.total_matched(), 1u);
+  EXPECT_EQ(t.total_missed(), 1u);
+  EXPECT_EQ(t.rules()[0].packet_count, 1u);
+}
+
+TEST(FlowTableTest, CookieRemoval) {
+  FlowTable t;
+  t.install(rule(1, FlowMatch::any(), 1, /*cookie=*/7));
+  t.install(rule(2, FlowMatch::any(), 2, /*cookie=*/8));
+  t.install(rule(3, FlowMatch::any(), 3, /*cookie=*/7));
+  EXPECT_EQ(t.remove_by_cookie(7), 2u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rules()[0].cookie, 8u);
+  EXPECT_EQ(t.remove_by_cookie(7), 0u);
+}
+
+TEST(FlowTableTest, InstallClassifierPreservesOrder) {
+  // Classifier order (index 0 = highest) must survive the priority mapping.
+  policy::Policy p = (policy::match(Field::kDstPort, 80) >> policy::fwd(1)) +
+                     (policy::match(Field::kSrcPort, 9) >> policy::fwd(2));
+  auto c = policy::compile(p);
+  FlowTable t;
+  t.install_classifier(c, 1000, 1);
+  ASSERT_EQ(t.size(), c.size());
+  for (int i = 0; i < 50; ++i) {
+    auto h = PacketBuilder()
+                 .dst_port(i % 2 ? 80 : 443)
+                 .src_port(i % 3 ? 9 : 10)
+                 .build();
+    auto via_classifier = c.evaluate(h);
+    auto via_table = t.process(h);
+    EXPECT_EQ(via_classifier, via_table);
+  }
+}
+
+TEST(FlowTableTest, FastBandOverridesBaseBand) {
+  FlowTable t;
+  t.install(rule(1000, FlowMatch::on(Field::kDstPort, 80), 1, 1));
+  t.install(rule(1u << 24, FlowMatch::on(Field::kDstPort, 80), 9, 2));
+  EXPECT_EQ(t.process(PacketBuilder().dst_port(80).build())[0].port(), 9u);
+  t.remove_by_cookie(2);
+  EXPECT_EQ(t.process(PacketBuilder().dst_port(80).build())[0].port(), 1u);
+}
+
+TEST(SwitchTest, CountsPerPortAndDropsHairpin) {
+  SwitchSim sw;
+  sw.table().install(rule(1, FlowMatch::on(Field::kPort, 1), 2));
+  sw.table().install(rule(1, FlowMatch::on(Field::kPort, 2), 2));
+
+  auto out = sw.inject(PacketBuilder().port(1).build());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].port(), 2u);
+
+  // Ingress port 2, egress port 2: hairpin suppressed.
+  EXPECT_TRUE(sw.inject(PacketBuilder().port(2).build()).empty());
+
+  EXPECT_EQ(sw.rx_packets(1), 1u);
+  EXPECT_EQ(sw.rx_packets(2), 1u);
+  EXPECT_EQ(sw.tx_packets(2), 1u);
+  EXPECT_EQ(sw.dropped(), 1u);
+  sw.reset_counters();
+  EXPECT_EQ(sw.rx_packets(1), 0u);
+}
+
+TEST(ArpTest, ResolveBindUnbind) {
+  ArpResponder arp;
+  auto ip = Ipv4Address::parse("172.16.0.1");
+  auto mac = MacAddress(0x02'00'00'00'00'07ull);
+  EXPECT_FALSE(arp.resolve(ip).has_value());
+  arp.bind(ip, mac);
+  EXPECT_EQ(arp.resolve(ip), mac);
+  arp.bind(ip, MacAddress(0x02'00'00'00'00'08ull));  // rebind wins
+  EXPECT_EQ(arp.resolve(ip)->bits(), 0x02'00'00'00'00'08ull);
+  EXPECT_TRUE(arp.unbind(ip));
+  EXPECT_FALSE(arp.unbind(ip));
+  EXPECT_EQ(arp.queries(), 3u);
+  EXPECT_EQ(arp.misses(), 1u);
+}
+
+class BorderRouterFixture : public ::testing::Test {
+ protected:
+  BorderRouterFixture()
+      : router(65001, 3, MacAddress(0x00'16'3E'00'00'03ull),
+               Ipv4Address::parse("10.0.0.3")) {
+    bgp::UpdateMessage msg;
+    bgp::RouteAttributes attrs;
+    attrs.as_path = net::AsPath{65002};
+    attrs.next_hop = Ipv4Address::parse("172.16.0.1");  // a VNH
+    msg.attrs = attrs;
+    msg.nlri = {Ipv4Prefix::parse("100.1.0.0/16")};
+    router.process_update(msg);
+    arp.bind(Ipv4Address::parse("172.16.0.1"),
+             MacAddress(0x02'00'00'00'00'01ull));
+  }
+  ArpResponder arp;
+  BorderRouter router;
+};
+
+TEST_F(BorderRouterFixture, TagsFramesWithResolvedVmac) {
+  auto frame = router.forward(
+      PacketBuilder().dst_ip("100.1.2.3").dst_port(80).build(), arp);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->dst_mac().bits(), 0x02'00'00'00'00'01ull);
+  EXPECT_EQ(frame->src_mac(), router.mac());
+  EXPECT_EQ(frame->port(), 3u);
+  EXPECT_EQ(frame->get(Field::kEthType), net::kEthTypeIpv4);
+  EXPECT_EQ(router.forwarded(), 1u);
+}
+
+TEST_F(BorderRouterFixture, BlackholesWithoutRoute) {
+  EXPECT_FALSE(
+      router.forward(PacketBuilder().dst_ip("99.0.0.1").build(), arp));
+  EXPECT_EQ(router.blackholed(), 1u);
+}
+
+TEST_F(BorderRouterFixture, BlackholesWithoutArpAnswer) {
+  bgp::UpdateMessage msg;
+  bgp::RouteAttributes attrs;
+  attrs.as_path = net::AsPath{65003};
+  attrs.next_hop = Ipv4Address::parse("172.16.9.9");  // unbound
+  msg.attrs = attrs;
+  msg.nlri = {Ipv4Prefix::parse("101.0.0.0/16")};
+  router.process_update(msg);
+  EXPECT_FALSE(
+      router.forward(PacketBuilder().dst_ip("101.0.0.1").build(), arp));
+}
+
+TEST_F(BorderRouterFixture, WithdrawalRemovesFibEntry) {
+  bgp::UpdateMessage msg;
+  msg.withdrawn = {Ipv4Prefix::parse("100.1.0.0/16")};
+  router.process_update(msg);
+  EXPECT_FALSE(
+      router.forward(PacketBuilder().dst_ip("100.1.2.3").build(), arp));
+}
+
+TEST_F(BorderRouterFixture, AcceptsOwnMacAndBroadcastOnly) {
+  EXPECT_TRUE(router.accepts(
+      PacketBuilder().dst_mac(router.mac()).build()));
+  EXPECT_TRUE(router.accepts(
+      PacketBuilder().dst_mac(MacAddress::broadcast()).build()));
+  EXPECT_FALSE(router.accepts(
+      PacketBuilder().dst_mac(MacAddress(0x42)).build()));
+}
+
+TEST(FabricTest, AttachRejectsPortCollision) {
+  Fabric fabric;
+  BorderRouter r1(65001, 1, MacAddress(1), Ipv4Address::parse("10.0.0.1"));
+  BorderRouter r2(65002, 1, MacAddress(2), Ipv4Address::parse("10.0.0.2"));
+  fabric.attach(r1);
+  EXPECT_THROW(fabric.attach(r2), std::invalid_argument);
+  EXPECT_EQ(fabric.router_at(1), &r1);
+  EXPECT_EQ(fabric.router_at(9), nullptr);
+}
+
+TEST(FabricTest, EndToEndSendDeliversAndMarksAcceptance) {
+  Fabric fabric;
+  BorderRouter src(65001, 1, MacAddress(0x00'16'3E'00'00'01ull),
+                   Ipv4Address::parse("10.0.0.1"));
+  BorderRouter dst(65002, 2, MacAddress(0x00'16'3E'00'00'02ull),
+                   Ipv4Address::parse("10.0.0.2"));
+  fabric.attach(src);
+  fabric.attach(dst);
+
+  // src learns a route whose next hop is dst's router address (plain IXP
+  // peering, no VNH) — the fabric ARP table already has the binding.
+  bgp::UpdateMessage msg;
+  bgp::RouteAttributes attrs;
+  attrs.as_path = net::AsPath{65002};
+  attrs.next_hop = dst.ip();
+  msg.attrs = attrs;
+  msg.nlri = {Ipv4Prefix::parse("100.0.0.0/8")};
+  src.process_update(msg);
+
+  // Forwarding rule: anything addressed to dst's MAC goes to port 2.
+  fabric.sdx_switch().table().install(
+      rule(1, FlowMatch::on(Field::kDstMac, dst.mac().bits()), 2));
+
+  auto deliveries =
+      fabric.send(src, PacketBuilder().dst_ip("100.1.1.1").build());
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].port, 2u);
+  EXPECT_EQ(deliveries[0].receiver, &dst);
+  EXPECT_TRUE(deliveries[0].accepted);
+}
+
+TEST(FabricTest, DeliveryToUnattachedPortIsNotAccepted) {
+  Fabric fabric;
+  BorderRouter src(65001, 1, MacAddress(0x11), Ipv4Address::parse("10.0.0.1"));
+  fabric.attach(src);
+  fabric.sdx_switch().table().install(rule(1, FlowMatch::any(), 5));
+  auto deliveries =
+      fabric.inject(PacketBuilder().port(1).dst_ip("1.2.3.4").build());
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].receiver, nullptr);
+  EXPECT_FALSE(deliveries[0].accepted);
+}
+
+}  // namespace
+}  // namespace sdx::dp

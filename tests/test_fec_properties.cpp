@@ -1,0 +1,148 @@
+/// Property tests for the minimum-disjoint-subsets computation (invariant
+/// 8 of DESIGN.md): over random clause collections, the produced groups
+/// must partition the covered prefixes, be behaviour-homogeneous, and be
+/// maximal (no two groups with identical signatures).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "netbase/rng.hpp"
+#include "sdx/fec.hpp"
+
+namespace sdx::core {
+namespace {
+
+using net::Ipv4Prefix;
+using net::SplitMix64;
+
+struct RandomInput {
+  std::vector<ClauseReach> clauses;
+  std::vector<Ipv4Prefix> universe;
+  std::vector<DefaultVector> defaults_by_index;  // per universe index
+
+  DefaultVector defaults_of(Ipv4Prefix p) const {
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+      if (universe[i] == p) return defaults_by_index[i];
+    }
+    return {};
+  }
+};
+
+RandomInput make_input(SplitMix64& rng) {
+  RandomInput in;
+  const std::size_t n_prefixes = 20 + rng.below(60);
+  for (std::size_t i = 0; i < n_prefixes; ++i) {
+    in.universe.push_back(Ipv4Prefix(
+        net::Ipv4Address((10u << 24) | (static_cast<std::uint32_t>(i) << 12)),
+        24));
+    DefaultVector d(3);
+    for (auto& slot : d) {
+      if (rng.chance(0.8)) slot = static_cast<ParticipantId>(rng.below(4));
+    }
+    in.defaults_by_index.push_back(std::move(d));
+  }
+  const std::size_t n_clauses = rng.below(8);
+  for (std::size_t c = 0; c < n_clauses; ++c) {
+    ClauseReach cr;
+    for (std::size_t i = 0; i < n_prefixes; ++i) {
+      if (rng.chance(0.35)) cr.prefixes.push_back(in.universe[i]);
+    }
+    in.clauses.push_back(std::move(cr));
+  }
+  return in;
+}
+
+/// The signature the groups must be homogeneous over.
+std::pair<std::vector<std::uint32_t>, DefaultVector> signature_of(
+    const RandomInput& in, Ipv4Prefix p) {
+  std::vector<std::uint32_t> member;
+  for (std::uint32_t c = 0; c < in.clauses.size(); ++c) {
+    if (std::find(in.clauses[c].prefixes.begin(),
+                  in.clauses[c].prefixes.end(),
+                  p) != in.clauses[c].prefixes.end()) {
+      member.push_back(c);
+    }
+  }
+  return {member, in.defaults_of(p)};
+}
+
+class FecProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FecProperties, GroupsPartitionCoveredPrefixes) {
+  SplitMix64 rng(GetParam() * 101);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto in = make_input(rng);
+    auto result = compute_fecs(
+        in.clauses, [&in](Ipv4Prefix p) { return in.defaults_of(p); });
+
+    // Exactly the covered prefixes are grouped, each exactly once.
+    std::set<Ipv4Prefix> covered;
+    for (const auto& c : in.clauses) {
+      covered.insert(c.prefixes.begin(), c.prefixes.end());
+    }
+    std::set<Ipv4Prefix> grouped;
+    for (const auto& g : result.groups) {
+      for (auto p : g.prefixes) {
+        EXPECT_TRUE(grouped.insert(p).second) << "duplicate " << p;
+      }
+      EXPECT_FALSE(g.prefixes.empty());
+    }
+    EXPECT_EQ(grouped, covered);
+    // group_of agrees with the group contents.
+    for (std::uint32_t g = 0; g < result.groups.size(); ++g) {
+      for (auto p : result.groups[g].prefixes) {
+        EXPECT_EQ(result.group_of.at(p), g);
+      }
+    }
+  }
+}
+
+TEST_P(FecProperties, GroupsAreHomogeneousAndMaximal) {
+  SplitMix64 rng(GetParam() * 211);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto in = make_input(rng);
+    auto result = compute_fecs(
+        in.clauses, [&in](Ipv4Prefix p) { return in.defaults_of(p); });
+
+    // Homogeneous: every prefix of a group carries the group's signature.
+    for (const auto& g : result.groups) {
+      for (auto p : g.prefixes) {
+        auto [member, defaults] = signature_of(in, p);
+        EXPECT_EQ(member, g.clauses) << p;
+        EXPECT_EQ(defaults, g.defaults) << p;
+      }
+    }
+    // Maximal: no two groups share a signature ("any two prefixes sharing
+    // the same behavior should always belong to the same group").
+    for (std::size_t i = 0; i < result.groups.size(); ++i) {
+      for (std::size_t j = i + 1; j < result.groups.size(); ++j) {
+        EXPECT_FALSE(result.groups[i].clauses == result.groups[j].clauses &&
+                     result.groups[i].defaults == result.groups[j].defaults)
+            << "groups " << i << " and " << j << " should have merged";
+      }
+    }
+  }
+}
+
+TEST_P(FecProperties, GroupCountNeverExceedsCoveredPrefixes) {
+  SplitMix64 rng(GetParam() * 307);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto in = make_input(rng);
+    auto result = compute_fecs(
+        in.clauses, [&in](Ipv4Prefix p) { return in.defaults_of(p); });
+    EXPECT_LE(result.group_count(), result.group_of.size());
+    // And is bounded by the theoretical signature count.
+    std::set<std::pair<std::vector<std::uint32_t>, DefaultVector>> sigs;
+    for (const auto& [p, _] : result.group_of) {
+      sigs.insert(signature_of(in, p));
+    }
+    EXPECT_EQ(result.group_count(), sigs.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FecProperties, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace sdx::core

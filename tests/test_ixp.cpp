@@ -1,0 +1,198 @@
+/// Tests for the synthetic IXP workload generator (§6.1 methodology) and
+/// the RIS-like update trace generator + streaming analyzer (§4.3 / Table 1
+/// calibration).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ixp/ixp_generator.hpp"
+#include "ixp/trace_stats.hpp"
+#include "ixp/update_trace.hpp"
+#include "sdx/compiler.hpp"
+#include "sdx/vnh_allocator.hpp"
+
+namespace sdx::ixp {
+namespace {
+
+GeneratorConfig small_config() {
+  GeneratorConfig cfg;
+  cfg.participants = 100;
+  cfg.prefixes = 2000;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(IxpGenerator, DeterministicForSameSeed) {
+  auto a = generate_ixp(small_config());
+  auto b = generate_ixp(small_config());
+  ASSERT_EQ(a.participants.size(), b.participants.size());
+  EXPECT_EQ(a.announced_counts, b.announced_counts);
+  EXPECT_EQ(a.server.prefix_count(), b.server.prefix_count());
+  auto cfg2 = small_config();
+  cfg2.seed = 12;
+  auto c = generate_ixp(cfg2);
+  EXPECT_NE(a.announced_counts, c.announced_counts);
+}
+
+TEST(IxpGenerator, EveryPrefixIsOriginated) {
+  auto ixp = generate_ixp(small_config());
+  EXPECT_EQ(ixp.server.prefix_count(), ixp.prefixes.size());
+  const std::size_t total = std::accumulate(
+      ixp.announced_counts.begin(), ixp.announced_counts.end(),
+      std::size_t{0});
+  EXPECT_EQ(total, ixp.prefixes.size());
+}
+
+TEST(IxpGenerator, PrefixCountsAreHeavilySkewed) {
+  GeneratorConfig cfg = small_config();
+  cfg.participants = 300;
+  cfg.prefixes = 20000;
+  auto ixp = generate_ixp(cfg);
+  auto sorted = ixp.announced_counts;
+  std::sort(sorted.rbegin(), sorted.rend());
+  // §6.1: ~1% of ASes announce >50% of prefixes...
+  std::size_t top1 = 0;
+  for (std::size_t i = 0; i < sorted.size() / 100 + 1; ++i) top1 += sorted[i];
+  EXPECT_GT(top1 * 2, cfg.prefixes);
+  // ...and the bottom 90% combined announce only a sliver.
+  std::size_t bottom90 = 0;
+  for (std::size_t i = sorted.size() / 10; i < sorted.size(); ++i) {
+    bottom90 += sorted[i];
+  }
+  EXPECT_LT(bottom90 * 10, cfg.prefixes);
+}
+
+TEST(IxpGenerator, TransitConesCreateAlternateRoutes) {
+  auto ixp = generate_ixp(small_config());
+  std::size_t multi = 0;
+  for (auto prefix : ixp.prefixes) {
+    const auto* cands = ixp.server.candidates(prefix);
+    ASSERT_NE(cands, nullptr);
+    if (cands->size() > 1) ++multi;
+  }
+  EXPECT_GT(multi, 0u);
+}
+
+TEST(IxpGenerator, SomeParticipantsHaveTwoPorts) {
+  auto ixp = generate_ixp(small_config());
+  std::size_t multi = 0;
+  for (const auto& p : ixp.participants) multi += p.ports.size() > 1;
+  EXPECT_GT(multi, 5u);
+  EXPECT_LT(multi, ixp.participants.size() / 2);
+}
+
+TEST(IxpGenerator, ProfilesMatchTable1) {
+  EXPECT_EQ(IxpProfile::amsix().total_peers, 639u);
+  EXPECT_EQ(IxpProfile::decix().prefixes, 518391u);
+  EXPECT_EQ(IxpProfile::linx().collector_peers, 71u);
+  EXPECT_NEAR(IxpProfile::amsix().frac_prefixes_updated, 0.0988, 1e-6);
+}
+
+TEST(PolicySynth, InstallsValidClauses) {
+  auto ixp = generate_ixp(small_config());
+  const std::size_t clauses = synthesize_policies(ixp, {});
+  EXPECT_GT(clauses, 10u);
+  std::size_t outbound = 0, inbound = 0;
+  for (const auto& p : ixp.participants) {
+    core::validate_participant(p, ixp.participants);
+    outbound += p.outbound.size();
+    inbound += p.inbound.size();
+  }
+  EXPECT_GT(outbound, 0u);
+  EXPECT_GT(inbound, 0u);
+  EXPECT_EQ(outbound + inbound, clauses);
+}
+
+TEST(PolicySynth, GeneratedWorkloadCompiles) {
+  auto ixp = generate_ixp(small_config());
+  synthesize_policies(ixp, {});
+  core::SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server);
+  core::VnhAllocator vnh;
+  auto compiled = compiler.compile(vnh);
+  EXPECT_GT(compiled.stats.prefix_groups, 0u);
+  EXPECT_GT(compiled.stats.final_rules, compiled.stats.prefix_groups);
+  EXPECT_EQ(compiled.bindings.size(), compiled.fecs.groups.size());
+  // Fabric stays total.
+  ASSERT_FALSE(compiled.fabric.empty());
+  EXPECT_TRUE(compiled.fabric.rules().back().match.is_wildcard());
+}
+
+TEST(UpdateTrace, DeterministicAndTimeOrdered) {
+  TraceConfig cfg;
+  cfg.duration_s = 3600;
+  cfg.prefix_count = 1000;
+  cfg.seed = 5;
+  auto a = generate_trace_vector(cfg);
+  auto b = generate_trace_vector(cfg);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].prefix_index, b[i].prefix_index);
+    EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+    if (i > 0) {
+      EXPECT_GE(a[i].timestamp, a[i - 1].timestamp);
+    }
+    EXPECT_LT(a[i].timestamp, cfg.duration_s + 1000);
+    EXPECT_LT(a[i].prefix_index, cfg.prefix_count);
+  }
+}
+
+TEST(UpdateTrace, MatchesCalibrationTargets) {
+  TraceConfig cfg;
+  cfg.duration_s = 86400 * 2;
+  cfg.prefix_count = 5000;
+  cfg.frac_prefixes_updated = 0.12;
+  cfg.seed = 9;
+  TraceAnalyzer analyzer(5.0);
+  generate_trace(cfg, [&analyzer](const TraceEvent& ev) {
+    analyzer.feed(ev);
+  });
+  auto stats = analyzer.finish();
+  ASSERT_GT(stats.burst_count, 100u);
+  // 75% of bursts affect ≤3 prefixes (paper §4.3.2).
+  EXPECT_LE(stats.p75_burst_size, 3.0);
+  // Inter-arrival calibration: ≥10 s at p25, >45 s at the median.
+  EXPECT_GE(stats.p25_interarrival_s, 8.0);
+  EXPECT_GT(stats.median_interarrival_s, 40.0);
+  // Only the hot fraction of prefixes sees updates.
+  EXPECT_LE(stats.distinct_prefixes,
+            static_cast<std::size_t>(0.125 * 5000) + 1);
+  EXPECT_GT(stats.distinct_prefixes, 300u);
+  // A few withdrawals are mixed in.
+  EXPECT_GT(stats.withdrawal_count, 0u);
+  EXPECT_GT(stats.announcement_count, stats.withdrawal_count);
+}
+
+TEST(UpdateTrace, StreamingAnalyzerMatchesBatchStats) {
+  TraceConfig cfg;
+  cfg.duration_s = 7200;
+  cfg.prefix_count = 500;
+  cfg.seed = 77;
+  auto events = generate_trace_vector(cfg);
+  ASSERT_FALSE(events.empty());
+
+  TraceAnalyzer analyzer(5.0);
+  std::vector<bgp::TimedUpdate> stream;
+  for (const auto& ev : events) {
+    analyzer.feed(ev);
+    bgp::TimedUpdate u;
+    u.timestamp = ev.timestamp;
+    u.prefix = net::Ipv4Prefix(
+        net::Ipv4Address(static_cast<std::uint32_t>(ev.prefix_index) << 8),
+        24);
+    if (!ev.withdrawal) u.attrs = bgp::RouteAttributes{};
+    stream.push_back(std::move(u));
+  }
+  auto streaming = analyzer.finish();
+  auto batch = bgp::compute_stats(stream, 5.0);
+  EXPECT_EQ(streaming.total_updates, batch.total_updates);
+  EXPECT_EQ(streaming.distinct_prefixes, batch.distinct_prefixes);
+  EXPECT_EQ(streaming.burst_count, batch.burst_count);
+  EXPECT_EQ(streaming.announcement_count, batch.announcement_count);
+  EXPECT_DOUBLE_EQ(streaming.p75_burst_size, batch.p75_burst_size);
+  EXPECT_DOUBLE_EQ(streaming.max_burst_size, batch.max_burst_size);
+}
+
+}  // namespace
+}  // namespace sdx::ixp

@@ -1,0 +1,218 @@
+/// Tests for the MRT (RFC 6396) codec: record framing, BGP4MP update
+/// records, TABLE_DUMP_V2 RIB snapshots (round-tripped through a live
+/// route server), and corrupt-input rejection.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgp/mrt.hpp"
+#include "netbase/rng.hpp"
+
+namespace sdx::bgp {
+namespace {
+
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+
+TEST(MrtRecordTest, FramingRoundTrip) {
+  MrtRecord record;
+  record.timestamp = 1388534400;  // 2014-01-01
+  record.type = kMrtTypeBgp4mp;
+  record.subtype = kMrtSubtypeBgp4mpMessageAs4;
+  record.body = {1, 2, 3, 4, 5};
+
+  std::stringstream ss;
+  write_record(ss, record);
+  auto back = read_record(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, record);
+  EXPECT_FALSE(read_record(ss).has_value());  // clean EOF
+}
+
+TEST(MrtRecordTest, TruncatedHeaderThrows) {
+  std::stringstream ss;
+  ss.write("\x00\x01\x02", 3);
+  EXPECT_THROW(read_record(ss), std::runtime_error);
+}
+
+TEST(MrtRecordTest, TruncatedBodyThrows) {
+  MrtRecord record;
+  record.body = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::stringstream ss;
+  write_record(ss, record);
+  std::string data = ss.str();
+  data.resize(data.size() - 3);
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_record(truncated), std::runtime_error);
+}
+
+TEST(MrtRecordTest, OversizedLengthRejected) {
+  std::stringstream ss;
+  const std::uint8_t header[12] = {0, 0, 0, 0, 0,    16,  0,   4,
+                                   0xFF, 0xFF, 0xFF, 0xFF};
+  ss.write(reinterpret_cast<const char*>(header), sizeof(header));
+  EXPECT_THROW(read_record(ss), std::runtime_error);
+}
+
+TEST(MrtBgp4mpTest, UpdateRoundTrip) {
+  UpdateMessage u;
+  RouteAttributes attrs;
+  attrs.as_path = net::AsPath{65001, 43515};
+  attrs.next_hop = Ipv4Address::parse("10.0.0.1");
+  attrs.med = 20;
+  u.attrs = attrs;
+  u.nlri = {Ipv4Prefix::parse("100.1.0.0/16")};
+  u.withdrawn = {Ipv4Prefix::parse("100.2.0.0/16")};
+
+  Bgp4mpMessage msg;
+  msg.peer_as = 65001;
+  msg.local_as = 64999;
+  msg.peer_ip = Ipv4Address::parse("10.0.0.1");
+  msg.local_ip = Ipv4Address::parse("10.0.0.254");
+  msg.message = u;
+
+  auto record = encode_bgp4mp(1388534400, msg);
+  EXPECT_EQ(record.timestamp, 1388534400u);
+  auto back = decode_bgp4mp(record);
+  EXPECT_EQ(back, msg);
+}
+
+TEST(MrtBgp4mpTest, RejectsWrongSubtype) {
+  MrtRecord record;
+  record.type = kMrtTypeTableDumpV2;
+  record.subtype = kMrtSubtypeRibIpv4Unicast;
+  EXPECT_THROW(decode_bgp4mp(record), std::runtime_error);
+}
+
+TEST(MrtBgp4mpTest, RejectsCorruptEmbeddedMessage) {
+  Bgp4mpMessage msg;
+  msg.peer_as = 65001;
+  msg.local_as = 64999;
+  msg.message = KeepaliveMessage{};
+  auto record = encode_bgp4mp(0, msg);
+  record.body[record.body.size() - 19] = 0x00;  // wreck the BGP marker
+  EXPECT_THROW(decode_bgp4mp(record), std::runtime_error);
+}
+
+TEST(MrtBgp4mpTest, StreamOfManyUpdatesRoundTrips) {
+  net::SplitMix64 rng(33);
+  std::stringstream ss;
+  std::vector<Bgp4mpMessage> sent;
+  for (int i = 0; i < 100; ++i) {
+    UpdateMessage u;
+    if (rng.chance(0.8)) {
+      RouteAttributes attrs;
+      attrs.as_path =
+          net::AsPath{static_cast<Asn>(65000 + rng.below(100)),
+                      static_cast<Asn>(rng.range(1, 400000))};
+      attrs.next_hop = Ipv4Address(static_cast<std::uint32_t>(rng()));
+      u.attrs = attrs;
+      u.nlri = {Ipv4Prefix(Ipv4Address(static_cast<std::uint32_t>(rng())),
+                           static_cast<int>(rng.range(8, 28)))};
+    } else {
+      u.withdrawn = {Ipv4Prefix(
+          Ipv4Address(static_cast<std::uint32_t>(rng())), 24)};
+    }
+    Bgp4mpMessage msg;
+    msg.peer_as = static_cast<Asn>(65000 + rng.below(100));
+    msg.local_as = 64999;
+    msg.peer_ip = Ipv4Address(static_cast<std::uint32_t>(rng()));
+    msg.message = u;
+    write_record(ss, encode_bgp4mp(static_cast<std::uint32_t>(i), msg));
+    sent.push_back(std::move(msg));
+  }
+  std::size_t read = 0;
+  while (auto record = read_record(ss)) {
+    ASSERT_LT(read, sent.size());
+    EXPECT_EQ(decode_bgp4mp(*record), sent[read]);
+    ++read;
+  }
+  EXPECT_EQ(read, sent.size());
+}
+
+TEST(MrtRibDumpTest, RouteServerSnapshotRoundTrips) {
+  RouteServer server;
+  server.add_peer({1, 65001, Ipv4Address::parse("10.0.0.1")});
+  server.add_peer({2, 65002, Ipv4Address::parse("10.0.0.2")});
+  server.add_peer({3, 65003, Ipv4Address::parse("10.0.0.3")});
+
+  auto route = [](const char* prefix, std::initializer_list<Asn> path,
+                  ParticipantId from, const char* id) {
+    Route r;
+    r.prefix = Ipv4Prefix::parse(prefix);
+    r.attrs.as_path = net::AsPath(path);
+    r.attrs.next_hop = Ipv4Address::parse(id);
+    r.learned_from = from;
+    r.peer_router_id = Ipv4Address::parse(id);
+    return r;
+  };
+  server.announce(route("100.1.0.0/16", {65001, 7}, 1, "10.0.0.1"));
+  server.announce(route("100.1.0.0/16", {65002, 8, 7}, 2, "10.0.0.2"));
+  server.announce(route("100.2.0.0/16", {65003}, 3, "10.0.0.3"));
+
+  std::stringstream ss;
+  const std::size_t records = write_rib_dump(ss, server, 1388534400);
+  EXPECT_EQ(records, 3u);  // index table + 2 prefixes
+
+  auto dump = read_rib_dump(ss);
+  ASSERT_EQ(dump.peers.size(), 3u);
+  EXPECT_EQ(dump.peers[0].asn, 65001u);
+  ASSERT_EQ(dump.routes.size(), 3u);
+
+  // Reload into a fresh server: per-participant bests must agree.
+  RouteServer reloaded;
+  for (const auto& p : dump.peers) reloaded.add_peer(p);
+  for (const auto& r : dump.routes) reloaded.announce(r);
+  for (auto prefix :
+       {Ipv4Prefix::parse("100.1.0.0/16"), Ipv4Prefix::parse("100.2.0.0/16")}) {
+    for (ParticipantId id : {1u, 2u, 3u}) {
+      auto original = server.best_route(id, prefix);
+      auto restored = reloaded.best_route(id, prefix);
+      ASSERT_EQ(original.has_value(), restored.has_value());
+      if (original) {
+        EXPECT_EQ(original->attrs, restored->attrs);
+        EXPECT_EQ(original->learned_from, restored->learned_from);
+      }
+    }
+  }
+}
+
+TEST(MrtRibDumpTest, RejectsMissingIndexTable) {
+  MrtRecord rib;
+  rib.type = kMrtTypeTableDumpV2;
+  rib.subtype = kMrtSubtypeRibIpv4Unicast;
+  std::stringstream ss;
+  write_record(ss, rib);
+  EXPECT_THROW(read_rib_dump(ss), std::runtime_error);
+}
+
+TEST(MrtRibDumpTest, RejectsDanglingPeerIndex) {
+  RouteServer server;
+  server.add_peer({1, 65001, Ipv4Address::parse("10.0.0.1")});
+  Route r;
+  r.prefix = Ipv4Prefix::parse("100.1.0.0/16");
+  r.attrs.as_path = net::AsPath{65001};
+  r.attrs.next_hop = Ipv4Address::parse("10.0.0.1");
+  r.learned_from = 1;
+  r.peer_router_id = Ipv4Address::parse("10.0.0.1");
+  server.announce(r);
+
+  std::stringstream ss;
+  write_rib_dump(ss, server);
+  std::string data = ss.str();
+  // Find the RIB record's peer-index field and wreck it. The index table
+  // record is first; the RIB record's entry index is 6 bytes after its
+  // prefix field. Easier: flip the last-but-N bytes until decode fails
+  // with the right message — deterministic here: the peer index is at a
+  // fixed offset from the end (attrs are fixed for this route).
+  // attr block for {origin, as_path(1), next_hop} = 3+9+7 = 19 bytes,
+  // preceded by u16 len and u32 orig-time; index u16 sits 27 bytes from
+  // the end.
+  data[data.size() - 27] = 0x7F;
+  std::stringstream corrupted(data);
+  EXPECT_THROW(read_rib_dump(corrupted), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sdx::bgp

@@ -1,0 +1,286 @@
+/// Tests for multi-switch SDX fabrics (§4.1 topology abstraction): the
+/// translated deployment must be packet-for-packet equivalent to the
+/// single-switch one, loop-free, and must only use trunks when ingress and
+/// egress live on different switches.
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+#include "sdx/multi_switch.hpp"
+#include "sdx/runtime.hpp"
+#include "sdx/verifier.hpp"
+
+namespace sdx::core {
+namespace {
+
+using net::Ipv4Prefix;
+using net::PacketBuilder;
+using net::PacketHeader;
+
+TEST(FabricTopologyTest, PlacementAndTrunks) {
+  FabricTopology topo(3);
+  topo.place_port(1, 0);
+  topo.place_port(2, 1);
+  topo.add_link(0, 1001, 1, 1002);
+  topo.add_link(1, 1003, 2, 1004);
+
+  EXPECT_EQ(topo.switch_of(1), 0u);
+  EXPECT_TRUE(topo.is_edge_port(2));
+  EXPECT_TRUE(topo.is_trunk_port(1003));
+  EXPECT_FALSE(topo.is_trunk_port(2));
+  EXPECT_EQ(topo.trunk_peer(1001), (std::pair<SwitchId, net::PortId>{1, 1002}));
+
+  // Next hops along the line 0–1–2.
+  EXPECT_EQ(topo.next_hop_trunk(0, 1), 1001u);
+  EXPECT_EQ(topo.next_hop_trunk(0, 2), 1001u);
+  EXPECT_EQ(topo.next_hop_trunk(2, 0), 1004u);
+}
+
+TEST(FabricTopologyTest, RejectsBadConfiguration) {
+  FabricTopology topo(2);
+  EXPECT_THROW(FabricTopology(0), std::invalid_argument);
+  topo.place_port(1, 0);
+  EXPECT_THROW(topo.place_port(2, 9), std::out_of_range);
+  EXPECT_THROW(topo.add_link(0, 1, 1, 1002), std::invalid_argument);  // edge reused
+  EXPECT_THROW(topo.add_link(0, 1001, 0, 1002), std::invalid_argument);
+  topo.add_link(0, 1001, 1, 1002);
+  EXPECT_THROW(topo.add_link(0, 1001, 1, 1003), std::invalid_argument);
+  EXPECT_THROW(topo.switch_of(99), std::out_of_range);
+}
+
+TEST(FabricTopologyTest, DisconnectedGraphIsAnError) {
+  FabricTopology topo(2);
+  topo.place_port(1, 0);
+  topo.place_port(2, 1);
+  EXPECT_THROW(topo.next_hop_trunk(0, 1), std::logic_error);
+}
+
+/// Builds the Figure-1 runtime and exercises a topology against the
+/// single-switch deployment.
+class MultiSwitchEquivalence : public ::testing::Test {
+ protected:
+  MultiSwitchEquivalence() {
+    a = rt.add_participant("A", 65001);
+    b = rt.add_participant("B", 65002, 2);
+    c = rt.add_participant("C", 65003);
+    rt.set_outbound(a, {OutboundClause{ClauseMatch{}.dst_port(80), b},
+                        OutboundClause{ClauseMatch{}.dst_port(443), c}});
+    rt.set_inbound(
+        b, {InboundClause{ClauseMatch{}.src(Ipv4Prefix::parse("0.0.0.0/1")),
+                          {},
+                          0},
+            InboundClause{
+                ClauseMatch{}.src(Ipv4Prefix::parse("128.0.0.0/1")),
+                {},
+                1}});
+    rt.announce(b, Ipv4Prefix::parse("100.1.0.0/16"),
+                net::AsPath{65002, 900, 10});
+    rt.announce(b, Ipv4Prefix::parse("100.3.0.0/16"), net::AsPath{65002, 30});
+    rt.announce(c, Ipv4Prefix::parse("100.1.0.0/16"), net::AsPath{65003, 10});
+    rt.announce(c, Ipv4Prefix::parse("100.4.0.0/16"), net::AsPath{65003, 40});
+    rt.install();
+  }
+
+  /// Random scenario traffic as router-tagged frames.
+  std::optional<PacketHeader> frame(bgp::ParticipantId sender,
+                                    const PacketHeader& payload) {
+    return rt.router(sender).forward(payload, rt.fabric().arp());
+  }
+
+  void check_equivalence(const FabricTopology& topo) {
+    auto programs = compile_multi_switch(rt.compiled(), rt.participants(),
+                                         topo);
+    auto program_audit =
+        audit_multi_switch(programs, topo, rt.participants());
+    ASSERT_TRUE(program_audit.ok()) << program_audit.to_string();
+    MultiSwitchFabric fabric(topo, programs);
+    net::SplitMix64 rng(77);
+    std::vector<bgp::ParticipantId> senders{a, b, c};
+    int compared = 0;
+    for (int i = 0; i < 300; ++i) {
+      const auto sender = senders[rng.below(senders.size())];
+      auto payload =
+          PacketBuilder()
+              .src_ip(net::Ipv4Address(static_cast<std::uint32_t>(rng())))
+              .dst_ip(net::Ipv4Address(
+                  (100u << 24) |
+                  ((1u + static_cast<std::uint32_t>(rng.below(5))) << 16) |
+                  0x0101))
+              .proto(net::kProtoTcp)
+              .dst_port(rng.chance(0.4) ? 80 : (rng.chance(0.4) ? 443 : 53))
+              .build();
+      auto f = frame(sender, payload);
+      // Single-switch reference.
+      auto single = rt.fabric().inject(f ? *f : payload);
+      if (!f) continue;
+      auto multi = fabric.inject(*f);
+      ASSERT_EQ(multi.size(), single.size()) << payload.to_string();
+      if (!single.empty()) {
+        EXPECT_EQ(multi[0].port(), single[0].port) << payload.to_string();
+        EXPECT_EQ(multi[0], single[0].frame) << payload.to_string();
+        ++compared;
+      }
+    }
+    EXPECT_GT(compared, 100);
+  }
+
+  SdxRuntime rt;
+  bgp::ParticipantId a = 0, b = 0, c = 0;
+};
+
+TEST_F(MultiSwitchEquivalence, SingleSwitchTopologyIsIdentity) {
+  FabricTopology topo(1);
+  for (const auto& p : rt.participants()) {
+    for (auto port : p.port_ids()) topo.place_port(port, 0);
+  }
+  check_equivalence(topo);
+}
+
+TEST_F(MultiSwitchEquivalence, TwoSwitchSplit) {
+  FabricTopology topo(2);
+  // A on switch 0; B and C on switch 1.
+  topo.place_port(rt.participant(a).ports[0].id, 0);
+  topo.place_port(rt.participant(b).ports[0].id, 1);
+  topo.place_port(rt.participant(b).ports[1].id, 1);
+  topo.place_port(rt.participant(c).ports[0].id, 1);
+  topo.add_link(0, 1001, 1, 1002);
+  check_equivalence(topo);
+}
+
+TEST_F(MultiSwitchEquivalence, ThreeSwitchLineUsesTrunks) {
+  FabricTopology topo(3);
+  topo.place_port(rt.participant(a).ports[0].id, 0);
+  topo.place_port(rt.participant(b).ports[0].id, 1);
+  topo.place_port(rt.participant(b).ports[1].id, 1);
+  topo.place_port(rt.participant(c).ports[0].id, 2);
+  topo.add_link(0, 1001, 1, 1002);
+  topo.add_link(1, 1003, 2, 1004);
+
+  auto programs =
+      compile_multi_switch(rt.compiled(), rt.participants(), topo);
+  MultiSwitchFabric fabric(topo, programs);
+
+  // A → C crosses two trunks (switch 0 → 1 → 2).
+  auto payload = PacketBuilder()
+                     .src_ip("96.25.160.5")
+                     .dst_ip("100.4.1.1")
+                     .proto(net::kProtoTcp)
+                     .dst_port(443)
+                     .build();
+  auto f = rt.router(a).forward(payload, rt.fabric().arp());
+  ASSERT_TRUE(f.has_value());
+  auto delivered = fabric.inject(*f);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].port(), rt.participant(c).ports[0].id);
+  EXPECT_EQ(fabric.trunk_hops(), 2u);
+
+  check_equivalence(topo);
+}
+
+TEST_F(MultiSwitchEquivalence, LinkFailureReroutesAfterRecompilation) {
+  // Triangle topology: 0–1, 1–2, 0–2. Kill the direct 0–2 link; traffic
+  // from A (switch 0) to C (switch 2) must reroute via switch 1.
+  FabricTopology topo(3);
+  topo.place_port(rt.participant(a).ports[0].id, 0);
+  topo.place_port(rt.participant(b).ports[0].id, 1);
+  topo.place_port(rt.participant(b).ports[1].id, 1);
+  topo.place_port(rt.participant(c).ports[0].id, 2);
+  topo.add_link(0, 1001, 1, 1002);
+  topo.add_link(1, 1003, 2, 1004);
+  topo.add_link(0, 1005, 2, 1006);
+
+  auto send_ac = [this](MultiSwitchFabric& fabric) {
+    auto payload = PacketBuilder()
+                       .src_ip("96.25.160.5")
+                       .dst_ip("100.4.1.1")
+                       .proto(net::kProtoTcp)
+                       .dst_port(443)
+                       .build();
+    auto f = rt.router(a).forward(payload, rt.fabric().arp());
+    EXPECT_TRUE(f.has_value());
+    return fabric.inject(*f);
+  };
+
+  {
+    auto programs =
+        compile_multi_switch(rt.compiled(), rt.participants(), topo);
+    MultiSwitchFabric fabric(topo, programs);
+    auto delivered = send_ac(fabric);
+    ASSERT_EQ(delivered.size(), 1u);
+    EXPECT_EQ(fabric.trunk_hops(), 1u);  // direct 0→2 link
+  }
+
+  ASSERT_TRUE(topo.remove_link(1005));
+  EXPECT_FALSE(topo.remove_link(1005));  // already gone
+  {
+    auto programs =
+        compile_multi_switch(rt.compiled(), rt.participants(), topo);
+    auto report = audit_multi_switch(programs, topo, rt.participants());
+    ASSERT_TRUE(report.ok()) << report.to_string();
+    MultiSwitchFabric fabric(topo, programs);
+    auto delivered = send_ac(fabric);
+    ASSERT_EQ(delivered.size(), 1u);
+    EXPECT_EQ(delivered[0].port(), rt.participant(c).ports[0].id);
+    EXPECT_EQ(fabric.trunk_hops(), 2u);  // rerouted 0→1→2
+    check_equivalence(topo);
+  }
+
+  // Losing the remaining path to switch 2 disconnects the graph: the
+  // recompilation must refuse rather than blackhole silently.
+  ASSERT_TRUE(topo.remove_link(1003));
+  EXPECT_THROW(
+      compile_multi_switch(rt.compiled(), rt.participants(), topo),
+      std::logic_error);
+}
+
+TEST_F(MultiSwitchEquivalence, ProgramAuditCatchesCorruption) {
+  FabricTopology topo(2);
+  topo.place_port(rt.participant(a).ports[0].id, 0);
+  topo.place_port(rt.participant(b).ports[0].id, 1);
+  topo.place_port(rt.participant(b).ports[1].id, 1);
+  topo.place_port(rt.participant(c).ports[0].id, 1);
+  topo.add_link(0, 1001, 1, 1002);
+  auto programs =
+      compile_multi_switch(rt.compiled(), rt.participants(), topo);
+  ASSERT_TRUE(audit_multi_switch(programs, topo, rt.participants()).ok());
+
+  // Corrupt: a rule on switch 0 outputting to a port on switch 1.
+  policy::Rule bad;
+  bad.match = net::FlowMatch::on(net::Field::kDstPort, 9999);
+  bad.actions = {policy::ActionSeq::set(net::Field::kPort,
+                                        rt.participant(b).ports[0].id)};
+  programs[0].rules.rules().insert(programs[0].rules.rules().begin(), bad);
+  auto report = audit_multi_switch(programs, topo, rt.participants());
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations[0].what.find("non-local port"),
+            std::string::npos);
+}
+
+TEST_F(MultiSwitchEquivalence, SameSwitchTrafficStaysLocal) {
+  FabricTopology topo(2);
+  topo.place_port(rt.participant(a).ports[0].id, 0);
+  topo.place_port(rt.participant(b).ports[0].id, 1);
+  topo.place_port(rt.participant(b).ports[1].id, 1);
+  topo.place_port(rt.participant(c).ports[0].id, 0);  // C with A
+  topo.add_link(0, 1001, 1, 1002);
+
+  auto programs =
+      compile_multi_switch(rt.compiled(), rt.participants(), topo);
+  MultiSwitchFabric fabric(topo, programs);
+  // A → C (default HTTPS prefix via C) never leaves switch 0.
+  auto payload = PacketBuilder()
+                     .src_ip("96.25.160.5")
+                     .dst_ip("100.4.1.1")
+                     .proto(net::kProtoTcp)
+                     .dst_port(53)
+                     .build();
+  auto f = rt.router(a).forward(payload, rt.fabric().arp());
+  ASSERT_TRUE(f.has_value());
+  auto delivered = fabric.inject(*f);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(fabric.trunk_hops(), 0u);
+  check_equivalence(topo);
+}
+
+}  // namespace
+}  // namespace sdx::core

@@ -1,0 +1,372 @@
+/// Unit and property tests for the Pyretic-style policy language:
+/// predicate algebra, interpreter semantics, and the compiler invariant
+/// (DESIGN.md §6.1) that the classifier agrees with the interpreter on
+/// every packet.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "netbase/rng.hpp"
+#include "policy/compile.hpp"
+#include "policy/policy.hpp"
+
+namespace sdx::policy {
+namespace {
+
+using net::Field;
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+using net::PacketBuilder;
+using net::PacketHeader;
+using net::SplitMix64;
+
+PacketHeader web_packet() {
+  return PacketBuilder()
+      .port(1)
+      .dst_ip("74.125.1.1")
+      .src_ip("96.25.160.5")
+      .proto(net::kProtoTcp)
+      .dst_port(80)
+      .build();
+}
+
+// ---------------------------------------------------------------------------
+// Predicate algebra
+
+TEST(Predicate, TestEvaluation) {
+  auto p = Predicate::test(Field::kDstPort, 80);
+  EXPECT_TRUE(p.eval(web_packet()));
+  auto q = Predicate::test(Field::kDstPort, 443);
+  EXPECT_FALSE(q.eval(web_packet()));
+}
+
+TEST(Predicate, PrefixTest) {
+  auto p = Predicate::test(Field::kSrcIp, Ipv4Prefix::parse("96.25.160.0/24"));
+  EXPECT_TRUE(p.eval(web_packet()));
+  auto q = Predicate::test(Field::kSrcIp, Ipv4Prefix::parse("128.0.0.0/1"));
+  EXPECT_FALSE(q.eval(web_packet()));
+}
+
+TEST(Predicate, BooleanConnectives) {
+  auto web = Predicate::test(Field::kDstPort, 80);
+  auto tcp = Predicate::test(Field::kIpProto, net::kProtoTcp);
+  EXPECT_TRUE((web & tcp).eval(web_packet()));
+  EXPECT_FALSE((web & !tcp).eval(web_packet()));
+  EXPECT_TRUE(((!web) | tcp).eval(web_packet()));
+  EXPECT_FALSE((!web).eval(web_packet()));
+}
+
+TEST(Predicate, SimplificationIdentities) {
+  auto t = Predicate::truth();
+  auto f = Predicate::falsity();
+  auto x = Predicate::test(Field::kDstPort, 80);
+  EXPECT_EQ((t & x).to_string(), x.to_string());
+  EXPECT_EQ((f & x).kind(), Predicate::Kind::kFalse);
+  EXPECT_EQ((f | x).to_string(), x.to_string());
+  EXPECT_EQ((t | x).kind(), Predicate::Kind::kTrue);
+  EXPECT_EQ((!!x).to_string(), x.to_string());
+}
+
+TEST(Predicate, AnyOfMatchesUnionOfPrefixes) {
+  auto filt = Predicate::any_of(
+      Field::kDstIp,
+      {Ipv4Prefix::parse("10.0.0.0/8"), Ipv4Prefix::parse("20.0.0.0/8")});
+  EXPECT_TRUE(filt.eval(PacketBuilder().dst_ip("10.1.1.1").build()));
+  EXPECT_TRUE(filt.eval(PacketBuilder().dst_ip("20.1.1.1").build()));
+  EXPECT_FALSE(filt.eval(PacketBuilder().dst_ip("30.1.1.1").build()));
+  EXPECT_EQ(Predicate::any_of(Field::kDstIp, {}).kind(),
+            Predicate::Kind::kFalse);
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter semantics
+
+TEST(PolicyEval, DropAndIdentity) {
+  EXPECT_TRUE(drop().eval(web_packet()).empty());
+  auto out = identity().eval(web_packet());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], web_packet());
+}
+
+TEST(PolicyEval, FwdRelocatesPacket) {
+  auto out = fwd(7).eval(web_packet());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].port(), 7u);
+}
+
+TEST(PolicyEval, PaperSection31OutboundPolicy) {
+  // (match(dstport=80) >> fwd(B)) + (match(dstport=443) >> fwd(C))
+  constexpr net::PortId kB = 10, kC = 11;
+  Policy pa = (match(Field::kDstPort, 80) >> fwd(kB)) +
+              (match(Field::kDstPort, 443) >> fwd(kC));
+
+  auto web = pa.eval(web_packet());
+  ASSERT_EQ(web.size(), 1u);
+  EXPECT_EQ(web[0].port(), kB);
+
+  auto https = PacketBuilder().dst_port(443).build();
+  auto out = pa.eval(https);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].port(), kC);
+
+  // "If neither of the two policies matches, the packet is dropped."
+  auto dns = PacketBuilder().dst_port(53).build();
+  EXPECT_TRUE(pa.eval(dns).empty());
+}
+
+TEST(PolicyEval, PaperSection31LoadBalancerRewrite) {
+  // match(dstip=74.125.1.1) >> (match(srcip=96.25.160.0/24) >>
+  //   mod(dstip=74.125.224.161)) + ...
+  Policy lb =
+      match(Field::kDstIp, Ipv4Prefix::host(Ipv4Address::parse("74.125.1.1")))
+      >> ((match(Field::kSrcIp, Ipv4Prefix::parse("96.25.160.0/24")) >>
+           modify(Field::kDstIp, Ipv4Address::parse("74.125.224.161"))) +
+          (match(Field::kSrcIp, Ipv4Prefix::parse("128.125.163.0/24")) >>
+           modify(Field::kDstIp, Ipv4Address::parse("74.125.137.139"))));
+
+  auto out = lb.eval(web_packet());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].dst_ip(), Ipv4Address::parse("74.125.224.161"));
+
+  auto other = PacketBuilder().dst_ip("74.125.1.1").src_ip("1.1.1.1").build();
+  EXPECT_TRUE(lb.eval(other).empty());
+
+  auto not_anycast =
+      PacketBuilder().dst_ip("74.125.1.2").src_ip("96.25.160.5").build();
+  EXPECT_TRUE(lb.eval(not_anycast).empty());
+}
+
+TEST(PolicyEval, ParallelUnionsAndDeduplicates) {
+  Policy p = fwd(3) + fwd(3) + fwd(4);
+  auto out = p.eval(web_packet());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].port(), 3u);
+  EXPECT_EQ(out[1].port(), 4u);
+}
+
+TEST(PolicyEval, SequentialThreadsThroughMulticast) {
+  // Multicast to ports 3 and 4, then rewrite port-3 copies to port 5.
+  Policy p = (fwd(3) + fwd(4)) >>
+             (if_(Predicate::test(Field::kPort, 3), fwd(5), identity()));
+  auto out = p.eval(web_packet());
+  std::vector<net::PortId> ports;
+  for (const auto& h : out) ports.push_back(h.port());
+  std::sort(ports.begin(), ports.end());
+  EXPECT_EQ(ports, (std::vector<net::PortId>{4, 5}));
+}
+
+TEST(PolicyEval, IfSelectsBranch) {
+  Policy p = if_(Predicate::test(Field::kDstPort, 80), fwd(1), fwd(2));
+  EXPECT_EQ(p.eval(web_packet())[0].port(), 1u);
+  EXPECT_EQ(p.eval(PacketBuilder().dst_port(22).build())[0].port(), 2u);
+}
+
+TEST(PolicyEval, AlgebraicUnits) {
+  // drop is the unit of +, identity the unit of >>.
+  Policy p = fwd(3);
+  EXPECT_EQ((p + drop()).to_string(), p.to_string());
+  EXPECT_EQ((identity() >> p).to_string(), p.to_string());
+  EXPECT_EQ((p >> drop()).kind(), Policy::Kind::kDrop);
+}
+
+// ---------------------------------------------------------------------------
+// Compiler: unit cases
+
+TEST(Compile, TotalityInvariant) {
+  Policy p = (match(Field::kDstPort, 80) >> fwd(2)) + match(Field::kSrcPort, 9);
+  Classifier c = compile(p);
+  ASSERT_FALSE(c.empty());
+  EXPECT_TRUE(c.rules().back().match.is_wildcard());
+}
+
+TEST(Compile, PaperOutboundPolicyRuleShape) {
+  constexpr net::PortId kB = 10, kC = 11;
+  Policy pa = (match(Field::kDstPort, 80) >> fwd(kB)) +
+              (match(Field::kDstPort, 443) >> fwd(kC));
+  Classifier c = compile(pa);
+  // web → B
+  auto out = c.evaluate(web_packet());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].port(), kB);
+  // everything else → drop
+  EXPECT_TRUE(c.evaluate(PacketBuilder().dst_port(53).build()).empty());
+}
+
+TEST(Compile, NegationOfPrefixTest) {
+  Policy p = match(!Predicate::test(Field::kDstIp,
+                                    Ipv4Prefix::parse("10.0.0.0/8"))) >>
+             fwd(1);
+  Classifier c = compile(p);
+  EXPECT_TRUE(c.evaluate(PacketBuilder().dst_ip("10.9.9.9").build()).empty());
+  auto out = c.evaluate(PacketBuilder().dst_ip("11.0.0.1").build());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].port(), 1u);
+}
+
+TEST(Compile, SequentialPullsMatchesBackwardThroughMods) {
+  // Rewrite dstport to 80 then match on dstport=80: everything passes.
+  Policy p = modify(Field::kDstPort, 80) >> match(Field::kDstPort, 80) >>
+             fwd(9);
+  Classifier c = compile(p);
+  auto out = c.evaluate(PacketBuilder().dst_port(443).build());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].port(), 9u);
+  EXPECT_EQ(out[0].get(Field::kDstPort), 80u);
+
+  // Rewrite to 81 then match 80: nothing passes.
+  Policy q = modify(Field::kDstPort, 81) >> match(Field::kDstPort, 80);
+  EXPECT_TRUE(compile(q).evaluate(web_packet()).empty());
+}
+
+TEST(Compile, MulticastThroughSequentialComposition) {
+  Policy p = (fwd(3) + fwd(4)) >>
+             (if_(Predicate::test(Field::kPort, 3), fwd(5), identity()));
+  Classifier c = compile(p);
+  auto expect = p.eval(web_packet());
+  auto got = c.evaluate(web_packet());
+  std::sort(expect.begin(), expect.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(expect, got);
+}
+
+TEST(Compile, BigPrefixListStaysLinear) {
+  // An OR of n prefix tests must compile to O(n) rules, not O(n^2) — this is
+  // what keeps BGP reachability filters tractable (paper §4.2 motivation).
+  std::vector<Ipv4Prefix> prefixes;
+  for (int i = 0; i < 200; ++i) {
+    prefixes.push_back(Ipv4Prefix(
+        Ipv4Address(static_cast<std::uint32_t>(i) << 12), 24));
+  }
+  Policy p = match(Predicate::any_of(Field::kDstIp, prefixes)) >> fwd(1);
+  Classifier c = compile(p);
+  EXPECT_LE(c.size(), prefixes.size() + 2);
+}
+
+// ---------------------------------------------------------------------------
+// Compiler: the central property test — interpreter vs classifier.
+
+class RandomPolicyGenerator {
+ public:
+  explicit RandomPolicyGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  Predicate random_predicate(int depth) {
+    if (depth <= 0 || rng_.chance(0.45)) {
+      switch (rng_.below(5)) {
+        case 0:
+          return Predicate::test(Field::kDstPort, rng_.range(0, 2));
+        case 1:
+          return Predicate::test(Field::kPort, rng_.range(0, 2));
+        case 2:
+          return Predicate::test(
+              Field::kDstIp,
+              Ipv4Prefix(Ipv4Address(static_cast<std::uint32_t>(
+                             rng_.range(0, 3) << 30)),
+                         static_cast<int>(rng_.range(1, 3))));
+        case 3:
+          return Predicate::truth();
+        default:
+          return Predicate::falsity();
+      }
+    }
+    switch (rng_.below(3)) {
+      case 0:
+        return random_predicate(depth - 1) & random_predicate(depth - 1);
+      case 1:
+        return random_predicate(depth - 1) | random_predicate(depth - 1);
+      default:
+        return !random_predicate(depth - 1);
+    }
+  }
+
+  Policy random_policy(int depth) {
+    if (depth <= 0 || rng_.chance(0.4)) {
+      switch (rng_.below(5)) {
+        case 0:
+          return drop();
+        case 1:
+          return identity();
+        case 2:
+          return fwd(static_cast<net::PortId>(rng_.range(0, 2)));
+        case 3:
+          return modify(Field::kDstPort, rng_.range(0, 2));
+        default:
+          return match(random_predicate(1));
+      }
+    }
+    switch (rng_.below(2)) {
+      case 0:
+        return random_policy(depth - 1) + random_policy(depth - 1);
+      default:
+        return random_policy(depth - 1) >> random_policy(depth - 1);
+    }
+  }
+
+  PacketHeader random_packet() {
+    return PacketBuilder()
+        .port(static_cast<net::PortId>(rng_.range(0, 2)))
+        .dst_ip(Ipv4Address(
+            static_cast<std::uint32_t>(rng_.range(0, 3) << 30)))
+        .dst_port(rng_.range(0, 2))
+        .build();
+  }
+
+ private:
+  SplitMix64 rng_;
+};
+
+class CompilerFidelity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompilerFidelity, ClassifierAgreesWithInterpreter) {
+  RandomPolicyGenerator gen(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    Policy p = gen.random_policy(3);
+    Classifier c = compile(p);
+    ASSERT_TRUE(!c.empty() && c.rules().back().match.is_wildcard())
+        << "classifier must be total: " << p.to_string();
+    for (int i = 0; i < 25; ++i) {
+      PacketHeader h = gen.random_packet();
+      auto expect = p.eval(h);
+      auto got = c.evaluate(h);
+      std::sort(expect.begin(), expect.end());
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(expect, got)
+          << "policy: " << p.to_string() << "\npacket: " << h.to_string()
+          << "\nclassifier:\n"
+          << c.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompilerFidelity,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+// Full-subsumption optimization must also preserve semantics.
+class OptimizerFidelity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimizerFidelity, OptimizePreservesSemantics) {
+  RandomPolicyGenerator gen(GetParam() * 7919);
+  for (int trial = 0; trial < 20; ++trial) {
+    Policy p = gen.random_policy(3);
+    Classifier c = compile(p);
+    Classifier opt = c;
+    opt.optimize(/*full=*/true);
+    EXPECT_LE(opt.size(), c.size());
+    for (int i = 0; i < 25; ++i) {
+      PacketHeader h = gen.random_packet();
+      auto a = c.evaluate(h);
+      auto b = opt.evaluate(h);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      ASSERT_EQ(a, b) << p.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerFidelity,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace sdx::policy

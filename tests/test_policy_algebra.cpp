@@ -1,0 +1,192 @@
+/// Algebraic laws of the policy language, property-tested over random
+/// policies and packets: the equations Pyretic's semantics promise (and
+/// the SDX compiler silently relies on when it reorders and prunes
+/// compositions).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netbase/rng.hpp"
+#include "policy/compile.hpp"
+#include "policy/policy.hpp"
+
+namespace sdx::policy {
+namespace {
+
+using net::Field;
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+using net::PacketBuilder;
+using net::PacketHeader;
+using net::SplitMix64;
+
+/// Sorted evaluation for set comparison.
+std::vector<PacketHeader> norm_eval(const Policy& p, const PacketHeader& h) {
+  auto out = p.eval(h);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class Gen {
+ public:
+  explicit Gen(std::uint64_t seed) : rng_(seed) {}
+
+  Predicate pred() {
+    switch (rng_.below(4)) {
+      case 0:
+        return Predicate::test(Field::kDstPort, rng_.range(0, 2));
+      case 1:
+        return Predicate::test(
+            Field::kDstIp, Ipv4Prefix(Ipv4Address(static_cast<std::uint32_t>(
+                                          rng_.below(4) << 30)),
+                                      static_cast<int>(rng_.range(1, 2))));
+      case 2:
+        return Predicate::test(Field::kPort, rng_.range(0, 2));
+      default:
+        return rng_.chance(0.5) ? Predicate::truth() : Predicate::falsity();
+    }
+  }
+
+  Policy atom() {
+    switch (rng_.below(5)) {
+      case 0:
+        return drop();
+      case 1:
+        return identity();
+      case 2:
+        return fwd(static_cast<net::PortId>(rng_.range(0, 2)));
+      case 3:
+        return modify(Field::kDstPort, rng_.range(0, 2));
+      default:
+        return match(pred());
+    }
+  }
+
+  Policy policy(int depth) {
+    if (depth <= 0 || rng_.chance(0.4)) return atom();
+    return rng_.chance(0.5) ? policy(depth - 1) + policy(depth - 1)
+                            : policy(depth - 1) >> policy(depth - 1);
+  }
+
+  PacketHeader packet() {
+    return PacketBuilder()
+        .port(static_cast<net::PortId>(rng_.range(0, 2)))
+        .dst_ip(Ipv4Address(static_cast<std::uint32_t>(rng_.below(4) << 30)))
+        .dst_port(rng_.range(0, 2))
+        .build();
+  }
+
+ private:
+  SplitMix64 rng_;
+};
+
+class PolicyAlgebra : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void check_equal(const Policy& lhs, const Policy& rhs, Gen& gen,
+                   const char* law) {
+    for (int i = 0; i < 20; ++i) {
+      PacketHeader h = gen.packet();
+      ASSERT_EQ(norm_eval(lhs, h), norm_eval(rhs, h))
+          << law << "\n  lhs: " << lhs.to_string()
+          << "\n  rhs: " << rhs.to_string() << "\n  pkt: " << h.to_string();
+    }
+  }
+};
+
+TEST_P(PolicyAlgebra, ParallelIsCommutativeAndAssociative) {
+  Gen gen(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    Policy a = gen.policy(2), b = gen.policy(2), c = gen.policy(2);
+    check_equal(a + b, b + a, gen, "commutativity of +");
+    check_equal((a + b) + c, a + (b + c), gen, "associativity of +");
+  }
+}
+
+TEST_P(PolicyAlgebra, SequentialIsAssociativeWithIdentityUnit) {
+  Gen gen(GetParam() * 3 + 1);
+  for (int trial = 0; trial < 25; ++trial) {
+    Policy a = gen.policy(2), b = gen.policy(2), c = gen.policy(2);
+    check_equal((a >> b) >> c, a >> (b >> c), gen, "associativity of >>");
+    check_equal(identity() >> a, a, gen, "left identity");
+    check_equal(a >> identity(), a, gen, "right identity");
+  }
+}
+
+TEST_P(PolicyAlgebra, DropAnnihilatesAndIsParallelUnit) {
+  Gen gen(GetParam() * 5 + 2);
+  for (int trial = 0; trial < 25; ++trial) {
+    Policy a = gen.policy(2);
+    check_equal(a + drop(), a, gen, "drop is unit of +");
+    check_equal(drop() >> a, drop(), gen, "drop annihilates on the left");
+    check_equal(a >> drop(), drop(), gen, "drop annihilates on the right");
+  }
+}
+
+TEST_P(PolicyAlgebra, SequentialDistributesOverParallelFromTheRight) {
+  // (a + b) >> c  ≡  (a >> c) + (b >> c) — the distributivity §4.3.1 uses
+  // to decompose the global composition into pairwise terms.
+  Gen gen(GetParam() * 7 + 3);
+  for (int trial = 0; trial < 25; ++trial) {
+    Policy a = gen.policy(2), b = gen.policy(2), c = gen.policy(2);
+    check_equal((a + b) >> c, (a >> c) + (b >> c), gen,
+                "right distributivity");
+  }
+}
+
+TEST_P(PolicyAlgebra, FilterConjunctionEqualsSequentialFilters) {
+  Gen gen(GetParam() * 11 + 4);
+  for (int trial = 0; trial < 25; ++trial) {
+    Predicate p = gen.pred(), q = gen.pred();
+    check_equal(match(p & q), match(p) >> match(q),
+                gen, "filter(p∧q) = filter(p) >> filter(q)");
+    check_equal(match(p | q), match(p) + match(q), gen,
+                "filter(p∨q) = filter(p) + filter(q)");
+  }
+}
+
+TEST_P(PolicyAlgebra, PredicateDeMorganAndComplement) {
+  Gen gen(GetParam() * 13 + 5);
+  for (int trial = 0; trial < 25; ++trial) {
+    Predicate p = gen.pred(), q = gen.pred();
+    check_equal(match(!(p & q)), match((!p) | (!q)), gen, "De Morgan ∧");
+    check_equal(match(!(p | q)), match((!p) & (!q)), gen, "De Morgan ∨");
+    check_equal(match(p) + match(!p), identity(), gen,
+                "p ∨ ¬p passes everything");
+    check_equal(match(p) >> match(!p), drop(), gen,
+                "p ∧ ¬p passes nothing");
+  }
+}
+
+TEST_P(PolicyAlgebra, IfIsFilterDecomposition) {
+  Gen gen(GetParam() * 17 + 6);
+  for (int trial = 0; trial < 25; ++trial) {
+    Predicate p = gen.pred();
+    Policy a = gen.policy(2), b = gen.policy(2);
+    check_equal(if_(p, a, b),
+                (match(p) >> a) + (match(!p) >> b), gen,
+                "if_ decomposition");
+  }
+}
+
+TEST_P(PolicyAlgebra, ModOverwriteAndAbsorption) {
+  Gen gen(GetParam() * 19 + 7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::uint64_t v1 = gen.packet().get(Field::kDstPort);
+    const std::uint64_t v2 = v1 + 1;
+    // Later writes win.
+    check_equal(modify(Field::kDstPort, v1) >> modify(Field::kDstPort, v2),
+                modify(Field::kDstPort, v2), gen, "mod absorption");
+    // A mod followed by a test of the written value passes everything.
+    check_equal(
+        modify(Field::kDstPort, v1) >>
+            match(Predicate::test(Field::kDstPort, v1)),
+        modify(Field::kDstPort, v1), gen, "mod then matching test");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyAlgebra,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace sdx::policy

@@ -1,0 +1,179 @@
+/// Tests for the policy text parser: grammar coverage, precedence, error
+/// reporting, and the round-trip property parse(to_string(p)) ≡ p.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netbase/rng.hpp"
+#include "policy/parser.hpp"
+
+namespace sdx::policy {
+namespace {
+
+using net::Field;
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+using net::PacketBuilder;
+using net::PacketHeader;
+
+TEST(PolicyParser, Atoms) {
+  EXPECT_EQ(parse_policy("drop").kind(), Policy::Kind::kDrop);
+  EXPECT_EQ(parse_policy("id").kind(), Policy::Kind::kIdentity);
+  EXPECT_EQ(parse_policy("identity").kind(), Policy::Kind::kIdentity);
+  auto f = parse_policy("fwd(7)");
+  EXPECT_EQ(f.kind(), Policy::Kind::kMod);
+  EXPECT_EQ(f.mod_value(), 7u);
+  auto m = parse_policy("mod(dstport:=443)");
+  EXPECT_EQ(m.mod_field(), Field::kDstPort);
+  EXPECT_EQ(m.mod_value(), 443u);
+}
+
+TEST(PolicyParser, ValueForms) {
+  // Dotted-quad value in a mod.
+  auto m = parse_policy("mod(dstip:=74.125.224.161)");
+  EXPECT_EQ(m.mod_value(), Ipv4Address::parse("74.125.224.161").value());
+  // MAC value.
+  auto mac = parse_policy("mod(dstmac:=aa:bb:cc:00:01:ff)");
+  EXPECT_EQ(mac.mod_value(), net::MacAddress::parse("aa:bb:cc:00:01:ff").bits());
+  // Prefix test vs host test.
+  auto pfx = parse_policy("match(srcip=96.25.160.0/24)");
+  EXPECT_TRUE(pfx.eval(PacketBuilder().src_ip("96.25.160.9").build()).size());
+  auto host = parse_policy("match(dstip=74.125.1.1)");
+  EXPECT_EQ(host.eval(PacketBuilder().dst_ip("74.125.1.1").build()).size(),
+            1u);
+  EXPECT_TRUE(host.eval(PacketBuilder().dst_ip("74.125.1.2").build()).empty());
+}
+
+TEST(PolicyParser, PaperPolicyFromText) {
+  auto p = parse_policy(
+      "(match(dstport=80) >> fwd(10)) + (match(dstport=443) >> fwd(11))");
+  auto web = PacketBuilder().dst_port(80).build();
+  auto https = PacketBuilder().dst_port(443).build();
+  auto other = PacketBuilder().dst_port(53).build();
+  EXPECT_EQ(p.eval(web)[0].port(), 10u);
+  EXPECT_EQ(p.eval(https)[0].port(), 11u);
+  EXPECT_TRUE(p.eval(other).empty());
+}
+
+TEST(PolicyParser, PrecedenceSeqBindsTighterThanSum) {
+  // a >> b + c must parse as (a >> b) + c.
+  auto p = parse_policy("match(dstport=80) >> fwd(1) + fwd(2)");
+  auto web = PacketBuilder().dst_port(80).build();
+  auto out = p.eval(web);
+  std::vector<net::PortId> ports;
+  for (const auto& h : out) ports.push_back(h.port());
+  std::sort(ports.begin(), ports.end());
+  EXPECT_EQ(ports, (std::vector<net::PortId>{1, 2}));
+  // Non-web traffic: only the bare fwd(2) arm applies.
+  auto other = p.eval(PacketBuilder().dst_port(53).build());
+  ASSERT_EQ(other.size(), 1u);
+  EXPECT_EQ(other[0].port(), 2u);
+}
+
+TEST(PolicyParser, PredicateConnectivesAndNegation) {
+  auto p = parse_policy(
+      "match((dstport=80 | dstport=443) & !(srcip=10.0.0.0/8)) >> fwd(1)");
+  EXPECT_FALSE(
+      p.eval(PacketBuilder().dst_port(80).src_ip("11.0.0.1").build())
+          .empty());
+  EXPECT_TRUE(
+      p.eval(PacketBuilder().dst_port(80).src_ip("10.1.1.1").build())
+          .empty());
+  EXPECT_TRUE(
+      p.eval(PacketBuilder().dst_port(22).src_ip("11.0.0.1").build())
+          .empty());
+  EXPECT_EQ(parse_predicate("true").kind(), Predicate::Kind::kTrue);
+  EXPECT_EQ(parse_predicate("false").kind(), Predicate::Kind::kFalse);
+}
+
+TEST(PolicyParser, ErrorsCarryPositions) {
+  auto expect_error = [](const char* text, const char* fragment) {
+    std::string error;
+    EXPECT_FALSE(try_parse_policy(text, &error).has_value()) << text;
+    EXPECT_NE(error.find(fragment), std::string::npos)
+        << text << " -> " << error;
+  };
+  expect_error("", "a policy term");
+  expect_error("fwd(", "a port number");
+  expect_error("fwd(80", "')'");
+  expect_error("mod(dstport=80)", "':='");
+  expect_error("match(bogus=1)", "unknown field");
+  expect_error("frobnicate", "unknown policy term");
+  expect_error("match(dstport=80) @", "unexpected character");
+  expect_error("fwd(1) fwd(2)", "end of input");
+  expect_error("match(dstport=zzz)", "expected a value");
+}
+
+// Round trip: parse(to_string(p)) must be semantically identical to p.
+class ParserRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserRoundTrip, ToStringParsesBackEquivalently) {
+  net::SplitMix64 rng(GetParam() * 97);
+  auto random_pred = [&rng](auto&& self, int depth) -> Predicate {
+    if (depth <= 0 || rng.chance(0.5)) {
+      switch (rng.below(4)) {
+        case 0:
+          return Predicate::test(Field::kDstPort, rng.range(0, 3));
+        case 1:
+          return Predicate::test(
+              Field::kSrcIp,
+              Ipv4Prefix(Ipv4Address(static_cast<std::uint32_t>(
+                             rng.below(4) << 30)),
+                         static_cast<int>(rng.range(1, 8))));
+        case 2:
+          return Predicate::test(Field::kIpProto, rng.chance(0.5) ? 6 : 17);
+        default:
+          return rng.chance(0.5) ? Predicate::truth() : Predicate::falsity();
+      }
+    }
+    switch (rng.below(3)) {
+      case 0:
+        return self(self, depth - 1) & self(self, depth - 1);
+      case 1:
+        return self(self, depth - 1) | self(self, depth - 1);
+      default:
+        return !self(self, depth - 1);
+    }
+  };
+  auto random_policy = [&](auto&& self, int depth) -> Policy {
+    if (depth <= 0 || rng.chance(0.4)) {
+      switch (rng.below(5)) {
+        case 0: return drop();
+        case 1: return identity();
+        case 2: return fwd(static_cast<net::PortId>(rng.range(0, 3)));
+        case 3: return modify(Field::kDstPort, rng.range(0, 3));
+        default: return match(random_pred(random_pred, 2));
+      }
+    }
+    return rng.chance(0.5)
+               ? self(self, depth - 1) + self(self, depth - 1)
+               : self(self, depth - 1) >> self(self, depth - 1);
+  };
+
+  for (int trial = 0; trial < 40; ++trial) {
+    Policy original = random_policy(random_policy, 3);
+    Policy reparsed = parse_policy(original.to_string());
+    for (int i = 0; i < 25; ++i) {
+      PacketHeader h = PacketBuilder()
+                           .port(static_cast<net::PortId>(rng.range(0, 3)))
+                           .src_ip(Ipv4Address(static_cast<std::uint32_t>(
+                               rng.below(4) << 30)))
+                           .proto(rng.chance(0.5) ? 6 : 17)
+                           .dst_port(rng.range(0, 3))
+                           .build();
+      auto a = original.eval(h);
+      auto b = reparsed.eval(h);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      ASSERT_EQ(a, b) << original.to_string() << "\n -> "
+                      << reparsed.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace sdx::policy

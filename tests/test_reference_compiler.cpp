@@ -1,0 +1,267 @@
+/// Tests for the paper-literal transformation chain (§4.1): isolation,
+/// BGP-consistency augmentation, default forwarding, and the composed
+/// reference policy SDX = (ΣPX'') >> (ΣPX'') — validated on the Figure 1
+/// worked example and randomized against the oracle.
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+#include "policy/compile.hpp"
+#include "sdx/bgp_consistency.hpp"
+#include "sdx/default_forwarding.hpp"
+#include "sdx/isolation.hpp"
+#include "sdx/oracle.hpp"
+
+namespace sdx::core {
+namespace {
+
+using net::Field;
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+using net::PacketBuilder;
+using net::PacketHeader;
+
+/// Hand-built Figure 1 world (no SdxRuntime: the reference path models a
+/// route server that does NOT rewrite next hops, so border routers tag
+/// packets with real next-hop router MACs).
+class ReferenceFigure1 : public ::testing::Test {
+ protected:
+  ReferenceFigure1()
+      : p1(Ipv4Prefix::parse("100.1.0.0/16")),
+        p2(Ipv4Prefix::parse("100.2.0.0/16")),
+        p3(Ipv4Prefix::parse("100.3.0.0/16")),
+        p4(Ipv4Prefix::parse("100.4.0.0/16")),
+        p5(Ipv4Prefix::parse("100.5.0.0/16")) {
+    auto make = [this](const char* name, net::Asn asn,
+                       std::vector<net::PortId> port_ids) {
+      Participant p;
+      p.id = next_id_++;
+      p.name = name;
+      p.asn = asn;
+      for (auto pid : port_ids) {
+        PhysicalPort port;
+        port.id = pid;
+        port.router_mac = net::MacAddress(0x00'16'3E'00'00'00ull | pid);
+        port.router_ip = Ipv4Address(
+            Ipv4Address::parse("10.0.0.0").value() + pid);
+        p.ports.push_back(port);
+      }
+      ports.register_participant(p.id, port_ids);
+      server.add_peer({p.id, asn, p.primary_port().router_ip});
+      participants.push_back(std::move(p));
+      return participants.back().id;
+    };
+    a = make("A", 65001, {1});
+    b = make("B", 65002, {2, 3});
+    c = make("C", 65003, {4});
+
+    participants[0].outbound = {
+        OutboundClause{ClauseMatch{}.dst_port(80), b},
+        OutboundClause{ClauseMatch{}.dst_port(443), c}};
+    participants[1].inbound = {
+        InboundClause{ClauseMatch{}.src(Ipv4Prefix::parse("0.0.0.0/1")),
+                      {},
+                      0},
+        InboundClause{ClauseMatch{}.src(Ipv4Prefix::parse("128.0.0.0/1")),
+                      {},
+                      1}};
+
+    announce(b, p1, {65002, 900, 800, 10});
+    announce(b, p2, {65002, 900, 800, 20});
+    announce(b, p3, {65002, 30});
+    announce(c, p1, {65003, 10});
+    announce(c, p2, {65003, 20});
+    announce(c, p3, {65003, 700, 600, 30});
+    announce(c, p4, {65003, 40});
+    announce(a, p5, {65001, 50});
+  }
+
+  void announce(ParticipantId from, Ipv4Prefix prefix,
+                std::initializer_list<net::Asn> path) {
+    const Participant* p = nullptr;
+    for (const auto& q : participants) {
+      if (q.id == from) p = &q;
+    }
+    bgp::Route r;
+    r.prefix = prefix;
+    r.attrs.as_path = net::AsPath(path);
+    r.attrs.next_hop = p->primary_port().router_ip;
+    r.learned_from = from;
+    r.peer_router_id = p->primary_port().router_ip;
+    server.announce(std::move(r));
+  }
+
+  /// Builds the frame as an unmodified border router would: destination
+  /// MAC = MAC of the BGP next hop's router port.
+  std::optional<PacketHeader> frame_from(ParticipantId sender,
+                                         PacketHeader payload) {
+    auto route = server.best_route_lpm(sender, payload.dst_ip());
+    if (!route) return std::nullopt;
+    const PhysicalPort* nh = nullptr;
+    for (const auto& q : participants) {
+      for (const auto& port : q.ports) {
+        if (port.router_ip == route->attrs.next_hop) nh = &port;
+      }
+    }
+    if (nh == nullptr) return std::nullopt;
+    const Participant* s = nullptr;
+    for (const auto& q : participants) {
+      if (q.id == sender) s = &q;
+    }
+    payload.set_port(s->primary_port().id);
+    payload.set_src_mac(s->primary_port().router_mac);
+    payload.set_dst_mac(nh->router_mac);
+    payload.set(Field::kEthType, net::kEthTypeIpv4);
+    return payload;
+  }
+
+  PacketHeader packet(const char* src, Ipv4Prefix dst_block,
+                      std::uint64_t dst_port) {
+    return PacketBuilder()
+        .src_ip(src)
+        .dst_ip(Ipv4Address(dst_block.network().value() + 0x0101))
+        .proto(net::kProtoTcp)
+        .dst_port(dst_port)
+        .build();
+  }
+
+  std::vector<Participant> participants;
+  PortMap ports;
+  bgp::RouteServer server;
+  ParticipantId a = 0, b = 0, c = 0;
+  Ipv4Prefix p1, p2, p3, p4, p5;
+  ParticipantId next_id_ = 1;
+};
+
+TEST_F(ReferenceFigure1, IsolationRestrictsPolicyToOwnPorts) {
+  const auto& A = participants[0];
+  policy::Policy pa = isolate_outbound(outbound_policy(A, ports), A, ports);
+  auto at_a = packet("1.1.1.1", p1, 80);
+  at_a.set_port(A.primary_port().id);
+  EXPECT_FALSE(pa.eval(at_a).empty());
+  // The same packet at B's port must not be touched by A's policy.
+  auto at_b = at_a;
+  at_b.set_port(participants[1].primary_port().id);
+  EXPECT_TRUE(pa.eval(at_b).empty());
+}
+
+TEST_F(ReferenceFigure1, BgpAugmentationFiltersUnexportedPrefixes) {
+  const auto& A = participants[0];
+  policy::Policy pa = augment_with_bgp(
+      isolate_outbound(outbound_policy(A, ports), A, ports), A.id, server,
+      ports);
+  // Web traffic to p1 (B exported it) passes; to p4 (B did not) drops.
+  auto ok = packet("1.1.1.1", p1, 80);
+  ok.set_port(A.primary_port().id);
+  auto out = pa.eval(ok);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].port(), ports.vport(b));
+
+  auto filtered = packet("1.1.1.1", p4, 80);
+  filtered.set_port(A.primary_port().id);
+  EXPECT_TRUE(pa.eval(filtered).empty());
+
+  // HTTPS to p4 is fine — C exported it.
+  auto https = packet("1.1.1.1", p4, 443);
+  https.set_port(A.primary_port().id);
+  out = pa.eval(https);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].port(), ports.vport(c));
+}
+
+TEST_F(ReferenceFigure1, ReferencePolicyMatchesOracleOnScenarioTraffic) {
+  policy::Policy sdx = reference_sdx_policy(participants, ports, server);
+  policy::Classifier classifier = policy::compile(sdx);
+
+  struct Case {
+    ParticipantId sender;
+    const char* src;
+    Ipv4Prefix dst;
+    std::uint64_t port;
+  };
+  const std::vector<Case> cases = {
+      {a, "96.25.160.5", p1, 80},   // policy → B, inbound TE → B1
+      {a, "200.1.1.1", p1, 80},     // policy → B, inbound TE → B2
+      {a, "96.25.160.5", p2, 443},  // policy → C
+      {a, "96.25.160.5", p1, 53},   // default → C
+      {a, "96.25.160.5", p3, 53},   // default → B
+      {a, "96.25.160.5", p4, 80},   // unexported: default → C
+      {b, "1.2.3.4", p5, 80},       // default → A
+      {c, "1.2.3.4", p3, 80},       // C → best B
+      {b, "1.2.3.4", p4, 443},      // B → C
+  };
+  for (const auto& tc : cases) {
+    PacketHeader payload = packet(tc.src, tc.dst, tc.port);
+    auto frame = frame_from(tc.sender, payload);
+    auto expected =
+        oracle_forward(participants, ports, server, tc.sender, 0, payload);
+    if (!frame) {
+      EXPECT_TRUE(expected.empty());
+      continue;
+    }
+    auto got = classifier.evaluate(*frame);
+    // Drop hairpins the way the switch does.
+    std::erase_if(got, [&frame](const PacketHeader& h) {
+      return h.port() == frame->port();
+    });
+    ASSERT_EQ(got.size(), expected.size())
+        << "sender=" << tc.sender << " " << payload.to_string();
+    if (!expected.empty()) {
+      EXPECT_EQ(got[0].port(), expected[0].egress) << payload.to_string();
+      EXPECT_EQ(got[0].dst_ip(), expected[0].frame.dst_ip());
+      EXPECT_EQ(got[0].dst_mac(), expected[0].frame.dst_mac())
+          << payload.to_string();
+    }
+  }
+}
+
+TEST_F(ReferenceFigure1, ReferencePolicyMatchesOracleOnRandomTraffic) {
+  policy::Policy sdx = reference_sdx_policy(participants, ports, server);
+  policy::Classifier classifier = policy::compile(sdx);
+  net::SplitMix64 rng(4242);
+  std::vector<ParticipantId> senders{a, b, c};
+  for (int trial = 0; trial < 300; ++trial) {
+    const ParticipantId sender = senders[rng.below(3)];
+    PacketHeader payload =
+        PacketBuilder()
+            .src_ip(Ipv4Address(static_cast<std::uint32_t>(rng())))
+            .dst_ip(Ipv4Address(
+                ((100u + static_cast<std::uint32_t>(rng.below(6))) << 24) |
+                (1u << 16) | static_cast<std::uint32_t>(rng.below(65536))))
+            .proto(net::kProtoTcp)
+            .dst_port(rng.chance(0.3) ? 80
+                                      : (rng.chance(0.3) ? 443 : 53))
+            .build();
+    auto frame = frame_from(sender, payload);
+    auto expected =
+        oracle_forward(participants, ports, server, sender, 0, payload);
+    if (!frame) {
+      EXPECT_TRUE(expected.empty()) << payload.to_string();
+      continue;
+    }
+    auto got = classifier.evaluate(*frame);
+    std::erase_if(got, [&frame](const PacketHeader& h) {
+      return h.port() == frame->port();
+    });
+    ASSERT_EQ(got.size(), expected.size()) << payload.to_string();
+    if (!expected.empty()) {
+      EXPECT_EQ(got[0].port(), expected[0].egress) << payload.to_string();
+      EXPECT_EQ(got[0].dst_mac(), expected[0].frame.dst_mac())
+          << payload.to_string();
+    }
+  }
+}
+
+TEST_F(ReferenceFigure1, ReferenceCompilerRejectsRemoteParticipants) {
+  Participant remote;
+  remote.id = 99;
+  remote.name = "remote";
+  remote.asn = 65099;
+  auto all = participants;
+  all.push_back(remote);
+  EXPECT_THROW(reference_sdx_policy(all, ports, server),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sdx::core

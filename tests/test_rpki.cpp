@@ -1,0 +1,142 @@
+/// Tests for RPKI route-origin validation (RFC 6811 semantics) and its
+/// enforcement by the SDX runtime on remote-participant announcements
+/// (paper §3.2).
+
+#include <gtest/gtest.h>
+
+#include "bgp/rpki.hpp"
+#include "sdx/runtime.hpp"
+
+namespace sdx {
+namespace {
+
+using bgp::RoaTable;
+using bgp::RoaValidity;
+using net::Ipv4Prefix;
+
+TEST(RoaTableTest, EmptyTableIsAllNotFound) {
+  RoaTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.validate(Ipv4Prefix::parse("10.0.0.0/8"), 65001),
+            RoaValidity::kNotFound);
+}
+
+TEST(RoaTableTest, ExactMatchValid) {
+  RoaTable table;
+  table.add(Ipv4Prefix::parse("74.125.0.0/16"), 15169);
+  EXPECT_EQ(table.validate(Ipv4Prefix::parse("74.125.0.0/16"), 15169),
+            RoaValidity::kValid);
+  EXPECT_EQ(table.validate(Ipv4Prefix::parse("74.125.0.0/16"), 65001),
+            RoaValidity::kInvalid);
+}
+
+TEST(RoaTableTest, MaxLengthGovernsMoreSpecifics) {
+  RoaTable table;
+  table.add(Ipv4Prefix::parse("74.125.0.0/16"), 15169, /*max_length=*/20);
+  // Within max-length: valid for the right origin.
+  EXPECT_EQ(table.validate(Ipv4Prefix::parse("74.125.16.0/20"), 15169),
+            RoaValidity::kValid);
+  // Too specific: covered but not authorized → invalid even for the owner.
+  EXPECT_EQ(table.validate(Ipv4Prefix::parse("74.125.1.0/24"), 15169),
+            RoaValidity::kInvalid);
+}
+
+TEST(RoaTableTest, DefaultMaxLengthIsPrefixLength) {
+  RoaTable table;
+  table.add(Ipv4Prefix::parse("74.125.0.0/16"), 15169);
+  EXPECT_EQ(table.validate(Ipv4Prefix::parse("74.125.1.0/24"), 15169),
+            RoaValidity::kInvalid);
+}
+
+TEST(RoaTableTest, MultipleRoasForSamePrefix) {
+  RoaTable table;
+  table.add(Ipv4Prefix::parse("10.0.0.0/8"), 65001);
+  table.add(Ipv4Prefix::parse("10.0.0.0/8"), 65002);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.validate(Ipv4Prefix::parse("10.0.0.0/8"), 65001),
+            RoaValidity::kValid);
+  EXPECT_EQ(table.validate(Ipv4Prefix::parse("10.0.0.0/8"), 65002),
+            RoaValidity::kValid);
+  EXPECT_EQ(table.validate(Ipv4Prefix::parse("10.0.0.0/8"), 65003),
+            RoaValidity::kInvalid);
+}
+
+TEST(RoaTableTest, CoveringRoaFromShorterPrefix) {
+  RoaTable table;
+  table.add(Ipv4Prefix::parse("10.0.0.0/8"), 65001, /*max_length=*/24);
+  // A /24 inside the /8 is covered and authorized.
+  EXPECT_EQ(table.validate(Ipv4Prefix::parse("10.20.30.0/24"), 65001),
+            RoaValidity::kValid);
+  // Wrong origin under a covering ROA: invalid, not not-found.
+  EXPECT_EQ(table.validate(Ipv4Prefix::parse("10.20.30.0/24"), 666),
+            RoaValidity::kInvalid);
+  // Outside the ROA: not found.
+  EXPECT_EQ(table.validate(Ipv4Prefix::parse("11.0.0.0/24"), 65001),
+            RoaValidity::kNotFound);
+}
+
+TEST(RoaTableTest, RejectsMalformedMaxLength) {
+  RoaTable table;
+  EXPECT_THROW(table.add(Ipv4Prefix::parse("10.0.0.0/16"), 1, 8),
+               std::invalid_argument);
+  EXPECT_THROW(table.add(Ipv4Prefix::parse("10.0.0.0/16"), 1, 33),
+               std::invalid_argument);
+}
+
+TEST(RoaTableTest, ValidatesRoutesByOriginAs) {
+  RoaTable table;
+  table.add(Ipv4Prefix::parse("74.125.0.0/16"), 15169);
+  bgp::Route r;
+  r.prefix = Ipv4Prefix::parse("74.125.0.0/16");
+  r.attrs.as_path = net::AsPath{65001, 15169};
+  EXPECT_EQ(table.validate(r), RoaValidity::kValid);
+  r.attrs.as_path = net::AsPath{};
+  EXPECT_EQ(table.validate(r, /*fallback_origin=*/15169),
+            RoaValidity::kValid);
+  EXPECT_EQ(table.validate(r, /*fallback_origin=*/65009),
+            RoaValidity::kInvalid);
+}
+
+TEST(RuntimeRpki, RemoteAnnouncementRequiresValidRoa) {
+  core::SdxRuntime rt;
+  rt.add_participant("A", 65001);
+  const auto d = rt.add_remote_participant("tenant", 65010);
+
+  bgp::RoaTable roas;
+  roas.add(Ipv4Prefix::parse("198.18.0.0/24"), 65010);
+  rt.enable_rpki(std::move(roas));
+
+  // Owned prefix: accepted.
+  rt.announce(d, Ipv4Prefix::parse("198.18.0.0/24"));
+  // Unowned prefix: rejected before reaching the route server.
+  EXPECT_THROW(rt.announce(d, Ipv4Prefix::parse("8.8.8.0/24")),
+               std::invalid_argument);
+  EXPECT_FALSE(
+      rt.route_server().best_route(1, Ipv4Prefix::parse("8.8.8.0/24")));
+}
+
+TEST(RuntimeRpki, RemoteOnlyModeLeavesPhysicalPeersAlone) {
+  core::SdxRuntime rt;
+  const auto a = rt.add_participant("A", 65001);
+  bgp::RoaTable roas;
+  roas.add(Ipv4Prefix::parse("10.0.0.0/8"), 99999);  // someone else's space
+  rt.enable_rpki(std::move(roas), core::SdxRuntime::RpkiMode::kRemoteOnly);
+  // A physical peer announcing an Invalid route is tolerated in this mode
+  // (the paper only gates SDX-originated routes).
+  EXPECT_NO_THROW(rt.announce(a, Ipv4Prefix::parse("10.1.0.0/16")));
+}
+
+TEST(RuntimeRpki, StrictModeRejectsInvalidFromAnyone) {
+  core::SdxRuntime rt;
+  const auto a = rt.add_participant("A", 65001);
+  bgp::RoaTable roas;
+  roas.add(Ipv4Prefix::parse("10.0.0.0/8"), 99999, 16);
+  rt.enable_rpki(std::move(roas), core::SdxRuntime::RpkiMode::kStrict);
+  EXPECT_THROW(rt.announce(a, Ipv4Prefix::parse("10.1.0.0/16")),
+               std::invalid_argument);
+  // NotFound is still fine in strict mode.
+  EXPECT_NO_THROW(rt.announce(a, Ipv4Prefix::parse("20.0.0.0/16")));
+}
+
+}  // namespace
+}  // namespace sdx

@@ -1,0 +1,191 @@
+/// Tests for the scenario language: parsing, execution semantics,
+/// assertions, and error handling for every command family.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "sdx/scenario.hpp"
+
+namespace sdx::core {
+namespace {
+
+class ScenarioFixture : public ::testing::Test {
+ protected:
+  /// Executes lines, asserting each succeeds; returns the last output.
+  std::string run_ok(std::initializer_list<const char*> lines) {
+    std::string last;
+    for (const char* line : lines) {
+      auto result = interp.execute_line(line);
+      EXPECT_TRUE(result.ok) << line << " -> " << result.output;
+      last = result.output;
+    }
+    return last;
+  }
+
+  std::string run_fail(const char* line) {
+    auto result = interp.execute_line(line);
+    EXPECT_FALSE(result.ok) << line;
+    return result.output;
+  }
+
+  ScenarioInterpreter interp;
+};
+
+TEST_F(ScenarioFixture, CommentsAndBlankLinesAreNoOps) {
+  EXPECT_TRUE(interp.execute_line("").ok);
+  EXPECT_TRUE(interp.execute_line("   ").ok);
+  EXPECT_TRUE(interp.execute_line("# a comment").ok);
+  EXPECT_TRUE(interp.execute_line("participant A 65001 # trailing").ok);
+}
+
+TEST_F(ScenarioFixture, ParticipantLifecycle) {
+  run_ok({"participant A 65001", "participant B 65002 ports 2",
+          "remote T 65010"});
+  EXPECT_EQ(interp.runtime().participants().size(), 3u);
+  EXPECT_EQ(interp.runtime().find("B")->ports.size(), 2u);
+  EXPECT_TRUE(interp.runtime().find("T")->is_remote());
+  run_fail("participant A 65009");       // duplicate
+  run_fail("participant X notanumber");  // bad ASN
+  run_fail("participant X 1 ports 0");   // zero ports
+}
+
+TEST_F(ScenarioFixture, AnnounceWithdrawRoundTrip) {
+  run_ok({"participant A 65001", "participant B 65002",
+          "announce B 100.1.0.0/16 path 65002 7"});
+  EXPECT_TRUE(interp.runtime().route_server().best_route(
+      1, net::Ipv4Prefix::parse("100.1.0.0/16")));
+  run_ok({"withdraw B 100.1.0.0/16"});
+  EXPECT_FALSE(interp.runtime().route_server().best_route(
+      1, net::Ipv4Prefix::parse("100.1.0.0/16")));
+  run_fail("announce Z 1.0.0.0/8");          // unknown participant
+  run_fail("announce B 1.0.0.0");            // not a prefix
+  run_fail("announce B 1.0.0.0/8 path");     // empty path
+}
+
+TEST_F(ScenarioFixture, Figure1EndToEnd) {
+  std::istringstream script(R"(
+participant A 65001
+participant B 65002 ports 2
+participant C 65003
+announce B 100.1.0.0/16 path 65002 900 10
+announce C 100.1.0.0/16 path 65003 10
+outbound A match dstport=80 -> B
+inbound B match srcip=0.0.0.0/1 port 0
+inbound B match srcip=128.0.0.0/1 port 1
+install
+send A srcip=96.25.160.5 dstip=100.1.2.3 dstport=80
+expect port B 0
+send A srcip=200.1.1.1 dstip=100.1.2.3 dstport=80
+expect port B 1
+send A srcip=96.25.160.5 dstip=100.1.2.3 dstport=53
+expect port C 0
+audit
+)");
+  std::ostringstream out;
+  EXPECT_EQ(interp.run(script, out), 0u) << out.str();
+}
+
+TEST_F(ScenarioFixture, ExpectationsCatchWrongOutcomes) {
+  run_ok({"participant A 65001", "participant B 65002",
+          "announce B 100.1.0.0/16", "install",
+          "send A dstip=100.1.2.3 dstport=80"});
+  run_fail("expect drop");                 // it was delivered
+  run_ok({"expect port B 0"});
+  run_fail("expect port A 0");             // wrong port
+  run_ok({"send A dstip=99.0.0.1"});       // no route
+  run_ok({"expect drop"});
+  run_fail("expect port B 0");
+}
+
+TEST_F(ScenarioFixture, InboundRewriteAndDstipExpectation) {
+  run_ok({"participant A 65001", "participant B 65002", "remote T 65010",
+          "announce B 74.125.0.0/16 path 65002 16509",
+          "inbound T match dstip=74.125.1.1 srcip=96.25.160.0/24 "
+          "set dstip=74.125.224.161",
+          "install",
+          "send A srcip=96.25.160.9 dstip=74.125.1.1 dstport=80"});
+  run_ok({"expect port B 0", "expect dstip 74.125.224.161"});
+}
+
+TEST_F(ScenarioFixture, ChainCommand) {
+  run_ok({"participant S 65001", "participant M 65002",
+          "participant D 65003", "announce D 203.0.113.0/24",
+          "chain S via M match dstport=80 dstip=203.0.113.0/24",
+          "install",
+          "send S dstip=203.0.113.5 dstport=80", "expect port M 0"});
+  run_fail("chain S via match dstport=80");  // no middleboxes
+}
+
+TEST_F(ScenarioFixture, MultiSwitchCommands) {
+  run_ok({"participant A 65001", "participant B 65002",
+          "announce B 100.1.0.0/16", "install",
+          "topology switches 2", "topology place A 0 0",
+          "topology place B 0 1", "topology link 0 1", "install-multi",
+          "send A dstip=100.1.2.3 dstport=80", "expect port B 0"});
+  // A plain re-install invalidates the multi deployment.
+  run_ok({"install"});
+  run_ok({"send A dstip=100.1.2.3 dstport=80", "expect port B 0"});
+  // Error paths.
+  run_fail("topology place Z 0 0");
+  run_fail("topology place A 9 0");
+  run_fail("topology link 0 0");
+}
+
+TEST_F(ScenarioFixture, InstallMultiRequiresTopologyAndInstall) {
+  run_ok({"participant A 65001"});
+  run_fail("install-multi");
+  run_ok({"topology switches 1"});
+  run_fail("install-multi");  // not installed yet
+}
+
+TEST_F(ScenarioFixture, RpkiCommands) {
+  run_ok({"participant A 65001", "remote T 65010",
+          "rpki add 198.18.0.0/24 as 65010", "rpki mode remote",
+          "announce T 198.18.0.0/24"});
+  run_fail("announce T 8.8.8.0/24");  // no ROA
+  run_fail("rpki mode sideways");
+}
+
+TEST_F(ScenarioFixture, ShowCommandsAfterInstall) {
+  run_fail("show stats");  // before install
+  run_ok({"participant A 65001", "participant B 65002",
+          "announce B 1.0.0.0/8", "install"});
+  EXPECT_NE(run_ok({"show stats"}).find("rules="), std::string::npos);
+  EXPECT_FALSE(run_ok({"show rules 5"}).empty());
+  run_ok({"show log"});
+  run_fail("show nonsense");
+}
+
+TEST_F(ScenarioFixture, RecompileCoalescesFastPathRules) {
+  run_ok({"participant A 65001", "participant B 65002",
+          "participant C 65003",
+          "announce B 100.1.0.0/16 path 65002 9",
+          "outbound A match dstport=80 -> B", "install",
+          "announce C 100.1.0.0/16 path 65003",  // shorter: fast path fires
+          "recompile",
+          "send A dstip=100.1.2.3 dstport=53", "expect port C 0"});
+}
+
+TEST(ScenarioScripts, ShippedScriptsRunClean) {
+  for (const char* name : {"figure1.sdx", "load_balancer.sdx",
+                           "service_chain.sdx", "multi_switch.sdx"}) {
+    std::ifstream file(std::string(SDX_SOURCE_DIR) +
+                       "/examples/scenarios/" + name);
+    ASSERT_TRUE(file.is_open()) << name;
+    ScenarioInterpreter interp;
+    std::ostringstream out;
+    EXPECT_EQ(interp.run(file, out), 0u) << name << "\n" << out.str();
+  }
+}
+
+TEST_F(ScenarioFixture, RunReportsFailuresWithLineNumbers) {
+  std::istringstream script("participant A 65001\nbogus command\n");
+  std::ostringstream out;
+  EXPECT_EQ(interp.run(script, out), 1u);
+  EXPECT_NE(out.str().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdx::core

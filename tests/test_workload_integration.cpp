@@ -1,0 +1,265 @@
+/// Workload-scale integration: a generated §6.1 IXP (dozens of
+/// participants, hundreds of prefixes, synthesized policies) is compiled,
+/// installed into a flow table, and exercised with randomized traffic —
+/// with border-router VMAC tagging emulated from the advertisement plan —
+/// against the forwarding oracle. Also: remote participants mixed into the
+/// randomized oracle check.
+
+#include <gtest/gtest.h>
+
+#include "dataplane/flow_table.hpp"
+#include "ixp/ixp_generator.hpp"
+#include "netbase/rng.hpp"
+#include "sdx/multi_switch.hpp"
+#include "sdx/oracle.hpp"
+#include "sdx/runtime.hpp"
+#include "sdx/verifier.hpp"
+
+namespace sdx::core {
+namespace {
+
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+using net::PacketBuilder;
+using net::PacketHeader;
+using net::SplitMix64;
+
+/// Emulates an unmodified border router against the compiled state: LPM
+/// over the routes the server advertises to the sender, next-hop → MAC via
+/// the advertisement plan (VNH binding for grouped prefixes, the real
+/// next-hop router MAC otherwise).
+std::optional<PacketHeader> tag_frame(const ixp::GeneratedIxp& ixp,
+                                      const CompiledSdx& compiled,
+                                      bgp::ParticipantId sender,
+                                      PacketHeader payload) {
+  auto route = ixp.server.best_route_lpm(sender, payload.dst_ip());
+  if (!route) return std::nullopt;
+  net::MacAddress dst_mac;
+  if (auto binding = compiled.binding_for(route->prefix)) {
+    dst_mac = binding->vmac;
+  } else {
+    const net::MacAddress* found = nullptr;
+    for (const auto& p : ixp.participants) {
+      for (const auto& port : p.ports) {
+        if (port.router_ip == route->attrs.next_hop) {
+          found = &port.router_mac;
+        }
+      }
+    }
+    if (found == nullptr) return std::nullopt;  // unresolvable next hop
+    dst_mac = *found;
+  }
+  const auto& sender_port =
+      ixp.participants[ixp.slot_of(sender)].primary_port();
+  payload.set_port(sender_port.id);
+  payload.set_src_mac(sender_port.router_mac);
+  payload.set_dst_mac(dst_mac);
+  payload.set(net::Field::kEthType, net::kEthTypeIpv4);
+  return payload;
+}
+
+class WorkloadIntegration : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorkloadIntegration, GeneratedFabricMatchesOracleUnderTraffic) {
+  ixp::GeneratorConfig cfg;
+  cfg.participants = 40;
+  cfg.prefixes = 800;
+  cfg.seed = GetParam();
+  auto ixp = ixp::generate_ixp(cfg);
+  ixp::PolicySynthConfig pcfg;
+  pcfg.seed = GetParam() * 3;
+  pcfg.policy_prefixes = ixp::sample_policy_prefixes(ixp, 600, GetParam());
+  ixp::synthesize_policies(ixp, pcfg);
+
+  SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server);
+  VnhAllocator vnh;
+  auto compiled = compiler.compile(vnh);
+  ASSERT_GT(compiled.stats.prefix_groups, 0u);
+
+  // The compiled table must pass the audit before we even push traffic.
+  auto report = audit(compiled, ixp.participants, ixp.ports, ixp.server);
+  ASSERT_TRUE(report.ok()) << report.to_string();
+
+  dp::FlowTable table;
+  table.install_classifier(compiled.fabric, 1000, 1);
+
+  SplitMix64 rng(GetParam() * 7919 + 13);
+  int delivered = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto& sender =
+        ixp.participants[rng.below(ixp.participants.size())];
+    auto payload =
+        PacketBuilder()
+            .src_ip(Ipv4Address(static_cast<std::uint32_t>(rng())))
+            .dst_ip(Ipv4Address(
+                ixp.prefixes[rng.below(ixp.prefixes.size())]
+                    .network()
+                    .value() |
+                rng.below(256)))
+            .proto(rng.chance(0.5) ? net::kProtoTcp : net::kProtoUdp)
+            .src_port(1024 + rng.below(64))
+            .dst_port(rng.chance(0.4) ? 80
+                                      : (rng.chance(0.4) ? 443 : 53))
+            .build();
+    auto expected = oracle_forward(ixp.participants, ixp.ports, ixp.server,
+                                   sender.id, 0, payload);
+    auto frame = tag_frame(ixp, compiled, sender.id, payload);
+    std::vector<PacketHeader> got;
+    if (frame) {
+      got = table.process(*frame);
+      // Mirror the switch's hairpin suppression.
+      std::erase_if(got, [&frame](const PacketHeader& h) {
+        return h.port() == frame->port();
+      });
+    }
+    ASSERT_EQ(got.size(), expected.size())
+        << "sender " << sender.name << " " << payload.to_string();
+    if (!expected.empty()) {
+      EXPECT_EQ(got[0].port(), expected[0].egress) << payload.to_string();
+      EXPECT_EQ(got[0], expected[0].frame) << payload.to_string();
+      ++delivered;
+    }
+  }
+  EXPECT_GT(delivered, 150) << "workload produced too little live traffic";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadIntegration,
+                         ::testing::Values(5, 17, 23));
+
+TEST(WorkloadMultiSwitch, GeneratedWorkloadSurvivesTopologySplit) {
+  // The 40-participant workload deployed across two switches must forward
+  // identically to the single-table deployment.
+  ixp::GeneratorConfig cfg;
+  cfg.participants = 40;
+  cfg.prefixes = 600;
+  cfg.seed = 12;
+  auto ixp = ixp::generate_ixp(cfg);
+  ixp::PolicySynthConfig pcfg;
+  pcfg.seed = 12;
+  pcfg.policy_prefixes = ixp::sample_policy_prefixes(ixp, 400, 12);
+  ixp::synthesize_policies(ixp, pcfg);
+  SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server);
+  VnhAllocator vnh;
+  auto compiled = compiler.compile(vnh);
+
+  FabricTopology topo(2);
+  for (std::size_t i = 0; i < ixp.participants.size(); ++i) {
+    for (auto port : ixp.participants[i].port_ids()) {
+      topo.place_port(port, static_cast<SwitchId>(i % 2));
+    }
+  }
+  topo.add_link(0, 100001, 1, 100002);
+  auto programs = compile_multi_switch(compiled, ixp.participants, topo);
+  ASSERT_TRUE(
+      audit_multi_switch(programs, topo, ixp.participants).ok());
+  MultiSwitchFabric multi(topo, programs);
+
+  dp::FlowTable single;
+  single.install_classifier(compiled.fabric, 1000, 1);
+
+  SplitMix64 rng(99);
+  int compared = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto& sender =
+        ixp.participants[rng.below(ixp.participants.size())];
+    auto payload =
+        PacketBuilder()
+            .src_ip(Ipv4Address(static_cast<std::uint32_t>(rng())))
+            .dst_ip(Ipv4Address(
+                ixp.prefixes[rng.below(ixp.prefixes.size())]
+                    .network()
+                    .value() |
+                1))
+            .proto(net::kProtoTcp)
+            .dst_port(rng.chance(0.5) ? 80 : 443)
+            .build();
+    auto frame = tag_frame(ixp, compiled, sender.id, payload);
+    if (!frame) continue;
+    auto single_out = single.process(*frame);
+    std::erase_if(single_out, [&frame](const PacketHeader& h) {
+      return h.port() == frame->port();
+    });
+    auto multi_out = multi.inject(*frame);
+    ASSERT_EQ(single_out, multi_out) << payload.to_string();
+    compared += !single_out.empty();
+  }
+  EXPECT_GT(compared, 100);
+}
+
+// ---------------------------------------------------------------------------
+// Remote participants in the randomized oracle equivalence check.
+
+class RemoteVsOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RemoteVsOracle, RewriteCausesMatchOracleEverywhere) {
+  SplitMix64 rng(GetParam() * 37);
+  SdxRuntime rt;
+  std::vector<bgp::ParticipantId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(rt.add_participant("P" + std::to_string(i),
+                                     65001 + static_cast<net::Asn>(i)));
+  }
+  auto tenant = rt.add_remote_participant("tenant", 65100);
+
+  // Announced blocks, one per participant.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    rt.announce(ids[i],
+                Ipv4Prefix(Ipv4Address((100u << 24) |
+                                       (static_cast<std::uint32_t>(i + 1)
+                                        << 16)),
+                           16));
+  }
+  // The tenant rewrites anycast addresses inside participant 0's block to
+  // hosts inside other participants' blocks, keyed on source halves.
+  const auto anycast = Ipv4Address::parse("100.1.1.1");
+  rt.set_inbound(
+      tenant,
+      {InboundClause{ClauseMatch{}
+                         .dst(Ipv4Prefix::host(anycast))
+                         .src(Ipv4Prefix::parse("0.0.0.0/1")),
+                     {{net::Field::kDstIp,
+                       Ipv4Address::parse("100.2.0.77").value()}},
+                     std::nullopt},
+       InboundClause{ClauseMatch{}
+                         .dst(Ipv4Prefix::host(anycast))
+                         .src(Ipv4Prefix::parse("128.0.0.0/1")),
+                     {{net::Field::kDstIp,
+                       Ipv4Address::parse("100.3.0.88").value()}},
+                     std::nullopt}});
+  // Some senders also run outbound policies, to force interleaving.
+  rt.set_outbound(ids[1],
+                  {OutboundClause{ClauseMatch{}.dst_port(80), ids[2]}});
+  rt.install();
+
+  for (int trial = 0; trial < 250; ++trial) {
+    const auto sender = ids[rng.below(ids.size())];
+    auto payload =
+        PacketBuilder()
+            .src_ip(Ipv4Address(static_cast<std::uint32_t>(rng())))
+            .dst_ip(rng.chance(0.4)
+                        ? anycast
+                        : Ipv4Address((100u << 24) |
+                                      (static_cast<std::uint32_t>(
+                                           1 + rng.below(4))
+                                       << 16) |
+                                      1))
+            .proto(net::kProtoTcp)
+            .dst_port(rng.chance(0.5) ? 80 : 53)
+            .build();
+    auto expected = oracle_forward(rt.participants(), rt.ports(),
+                                   rt.route_server(), sender, 0, payload);
+    auto got = rt.send(sender, payload);
+    ASSERT_EQ(got.size(), expected.size())
+        << "sender " << sender << " " << payload.to_string();
+    if (!expected.empty()) {
+      EXPECT_EQ(got[0].port, expected[0].egress) << payload.to_string();
+      EXPECT_EQ(got[0].frame, expected[0].frame) << payload.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RemoteVsOracle,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace sdx::core
