@@ -21,6 +21,7 @@ namespace {
 
 void run_variant(const char* name, const ixp::GeneratedIxp& ixp,
                  core::CompileOptions options) {
+  options.threads = bench::bench_threads();  // same width for every variant
   core::SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server,
                              options);
   core::VnhAllocator vnh;

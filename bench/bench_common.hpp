@@ -7,12 +7,26 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "ixp/ixp_generator.hpp"
 #include "sdx/compiler.hpp"
 #include "sdx/vnh_allocator.hpp"
 
 namespace sdx::bench {
+
+/// Compile-pipeline width for the benchmarks: the SDX_BENCH_THREADS
+/// environment variable when set (1 = serial, N = N threads), else 0 =
+/// one thread per hardware thread. Output is identical at any width, so
+/// serial-vs-parallel speedup is a one-liner:
+///   SDX_BENCH_THREADS=1 bench_fig08_compile_time   # serial baseline
+///   SDX_BENCH_THREADS=4 bench_fig08_compile_time   # 4-thread pipeline
+inline unsigned bench_threads() {
+  if (const char* env = std::getenv("SDX_BENCH_THREADS")) {
+    return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  return 0;
+}
 
 /// A generated IXP with §6.1 policies installed. \p policy_prefix_count is
 /// the paper's x knob — the number of randomly-selected prefixes that SDX

@@ -16,9 +16,12 @@ int main() {
   std::printf(
       "participants,prefix_groups,final_rules,total_ms,"
       "fast_path_p50_us,fast_path_p99_us\n");
+  core::CompileOptions options;
+  options.threads = bench::bench_threads();
   for (std::size_t participants : {300u, 450u, 600u}) {
     auto ixp = bench::make_workload(participants, 25000, 25000);
-    core::SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server);
+    core::SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server,
+                               options);
     core::IncrementalEngine engine(compiler);
     core::VnhAllocator vnh;
     bench::Stopwatch watch;

@@ -15,10 +15,13 @@ int main() {
   std::printf(
       "participants,policy_prefixes,prefix_groups,flow_rules,"
       "rules_per_group\n");
+  core::CompileOptions options;
+  options.threads = bench::bench_threads();
   for (std::size_t participants : {100, 200, 300}) {
     for (std::size_t px : {2000u, 5000u, 10000u, 15000u, 20000u, 25000u}) {
       auto ixp = bench::make_workload(participants, 25000, px);
-      core::SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server);
+      core::SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server,
+                                 options);
       core::VnhAllocator vnh;
       auto compiled = compiler.compile(vnh);
       const auto& s = compiled.stats;

@@ -13,21 +13,25 @@ int main() {
   using namespace sdx;
   std::printf("# Figure 8 — initial compilation time vs prefix groups\n");
   std::printf(
-      "participants,prefixes,prefix_groups,vnh_ms,synth_ms,compose_ms,"
-      "total_ms,final_rules\n");
+      "participants,prefixes,prefix_groups,threads,vnh_ms,synth_ms,"
+      "compose_ms,total_ms,final_rules\n");
+  core::CompileOptions options;
+  options.threads = bench::bench_threads();
   for (std::size_t participants : {100, 200, 300}) {
     for (std::size_t policy_prefixes :
          {2000u, 5000u, 10000u, 15000u, 20000u, 25000u}) {
       auto ixp =
           bench::make_workload(participants, 25000, policy_prefixes);
-      core::SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server);
+      core::SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server,
+                                 options);
       core::VnhAllocator vnh;
       auto compiled = compiler.compile(vnh);
       const auto& s = compiled.stats;
-      std::printf("%zu,%zu,%zu,%.2f,%.2f,%.2f,%.2f,%zu\n", participants,
-                  policy_prefixes, s.prefix_groups, s.vnh_seconds * 1e3,
-                  s.synth_seconds * 1e3, s.compose_seconds * 1e3,
-                  s.total_seconds * 1e3, s.final_rules);
+      std::printf("%zu,%zu,%zu,%u,%.2f,%.2f,%.2f,%.2f,%zu\n", participants,
+                  policy_prefixes, s.prefix_groups, s.threads_used,
+                  s.vnh_seconds * 1e3, s.synth_seconds * 1e3,
+                  s.compose_seconds * 1e3, s.total_seconds * 1e3,
+                  s.final_rules);
       std::fflush(stdout);
     }
   }

@@ -18,9 +18,12 @@ int main() {
   using namespace sdx;
   std::printf("# Figure 9 — additional (fast-path) rules vs burst size\n");
   std::printf("participants,burst_size,additional_rules\n");
+  core::CompileOptions options;
+  options.threads = bench::bench_threads();
   for (std::size_t participants : {100, 200, 300}) {
     auto ixp = bench::make_workload(participants, 25000, 25000);
-    core::SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server);
+    core::SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server,
+                               options);
     core::IncrementalEngine engine(compiler);
     core::VnhAllocator vnh;
     engine.full_recompile(vnh);

@@ -18,9 +18,12 @@ int main() {
   constexpr int kUpdates = 500;
   std::printf("# Figure 10 — single-update fast-path processing time\n");
   std::printf("participants,percentile,time_ms\n");
+  core::CompileOptions options;
+  options.threads = bench::bench_threads();
   for (std::size_t participants : {100, 200, 300}) {
     auto ixp = bench::make_workload(participants, 25000, 25000);
-    core::SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server);
+    core::SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server,
+                               options);
     core::IncrementalEngine engine(compiler);
     core::VnhAllocator vnh;
     engine.full_recompile(vnh);

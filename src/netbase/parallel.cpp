@@ -1,0 +1,100 @@
+#include "netbase/parallel.hpp"
+
+#include <algorithm>
+
+namespace sdx::net {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  size_ = threads == 0 ? hw : threads;
+  workers_.reserve(size_ - 1);
+  for (unsigned i = 0; i + 1 < size_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::drain(Job& job) {
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunks) return;
+    const std::size_t begin = c * job.chunk;
+    const std::size_t end = std::min(job.n, begin + job.chunk);
+    try {
+      (*job.body)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.chunks) {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    wake_.wait(lk, [this, seen] { return stop_ || epoch_ != seen; });
+    if (stop_) return;
+    seen = epoch_;
+    Job* job = job_;
+    if (job == nullptr) continue;  // job already retired by the caller
+    ++job->active;
+    lk.unlock();
+    drain(*job);
+    lk.lock();
+    if (--job->active == 0) done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  // Cap chunk count at a small multiple of the width: enough slack that an
+  // uneven chunk doesn't serialize the tail, few enough that the claim
+  // counter stays cold.
+  const std::size_t max_chunks = static_cast<std::size_t>(size_) * 4;
+  std::size_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
+  std::size_t chunks = (n + chunk - 1) / chunk;
+  if (size_ == 1 || chunks <= 1) {
+    body(0, n);  // serial fast path: no pool machinery at all
+    return;
+  }
+
+  Job job;
+  job.body = &body;
+  job.n = n;
+  job.chunk = chunk;
+  job.chunks = chunks;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+    ++epoch_;
+  }
+  wake_.notify_all();
+  drain(job);  // the caller is a full participant
+  std::unique_lock<std::mutex> lk(mu_);
+  done_.wait(lk, [&job] {
+    return job.finished.load(std::memory_order_acquire) == job.chunks &&
+           job.active == 0;
+  });
+  job_ = nullptr;
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace sdx::net

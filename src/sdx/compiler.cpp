@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 #include <unordered_set>
 
+#include "netbase/parallel.hpp"
 #include "policy/compile.hpp"
 
 namespace sdx::core {
@@ -49,12 +51,18 @@ std::vector<Ipv4Prefix> SdxCompiler::clause_reach(
   for (auto dp : clause.match.dst_prefixes) {
     by_length[dp.length()].insert(dp);
   }
+  // Probe populated lengths in sorted order, not hash order: shortest
+  // blocks first, and a filter cost that doesn't vary with the hash seed.
+  std::vector<int> lengths;
+  lengths.reserve(by_length.size());
+  for (const auto& [len, _] : by_length) lengths.push_back(len);
+  std::sort(lengths.begin(), lengths.end());
   std::vector<Ipv4Prefix> filtered;
   filtered.reserve(reach.size());
   for (auto p : reach) {
-    for (const auto& [len, blocks] : by_length) {
-      if (len > p.length()) continue;
-      if (blocks.contains(Ipv4Prefix(p.network(), len))) {
+    for (int len : lengths) {
+      if (len > p.length()) break;  // lengths ascend: no later one can fit
+      if (by_length.find(len)->second.contains(Ipv4Prefix(p.network(), len))) {
         filtered.push_back(p);
         break;
       }
@@ -69,6 +77,17 @@ DefaultVector SdxCompiler::defaults_for(Ipv4Prefix prefix) const {
     if (auto best = server_.best_route(participants_[i].id, prefix)) {
       out[i] = best->learned_from;
     }
+  }
+  return out;
+}
+
+DefaultVector SdxCompiler::defaults_from(const BestRouteSnapshot& snapshot,
+                                         Ipv4Prefix prefix) const {
+  DefaultVector out(participants_.size());
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const auto& best = snapshot[i];
+    if (best.empty()) continue;  // empty RIB: no probe, no allocation
+    if (auto it = best.find(prefix); it != best.end()) out[i] = it->second;
   }
   return out;
 }
@@ -194,59 +213,83 @@ void SdxCompiler::synthesize_group_defaults(const DefaultVector& defaults,
 }
 
 Classifier SdxCompiler::compose(std::vector<Rule> stage1,
-                                CompileStats& stats) const {
-  std::unordered_map<ParticipantId, Classifier> cache;
+                                CompileStats& stats,
+                                net::ThreadPool& pool) const {
+  // Stage-2 classifiers are memoized once up front, per participant slot
+  // (built concurrently, read-only afterward — no locking on the hot path).
+  std::vector<std::unique_ptr<Classifier>> stage2_by_slot(
+      participants_.size());
+  const bool prebuild = !options_.prune_pairs || options_.memoize_stage2;
+  if (prebuild) {
+    pool.parallel_for(
+        participants_.size(), 1, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            if (participants_[i].is_remote()) continue;
+            stage2_by_slot[i] =
+                std::make_unique<Classifier>(stage2_for(participants_[i]));
+          }
+        });
+  }
   Classifier merged_stage2;  // used when pair pruning is disabled
   if (!options_.prune_pairs) {
     std::vector<Rule> all;
-    for (const auto& p : participants_) {
-      if (p.is_remote()) continue;
-      Classifier s2 = stage2_for(p);
+    for (const auto& s2 : stage2_by_slot) {
+      if (s2 == nullptr) continue;
       // Strip the per-participant catch-all drop; one shared one suffices.
-      all.insert(all.end(), s2.rules().begin(), s2.rules().end() - 1);
+      all.insert(all.end(), s2->rules().begin(), s2->rules().end() - 1);
     }
     all.push_back(Rule{FlowMatch::any(), {}});
     merged_stage2 = Classifier(std::move(all));
   }
 
-  std::vector<Rule> out;
-  out.reserve(stage1.size() * 2);
-  for (auto& r : stage1) {
-    if (r.drops()) {
-      out.push_back(std::move(r));
-      continue;
-    }
-    const ActionSeq& act = r.actions.front();
-    const auto port_written = act.written(Field::kPort);
-    if (!port_written || !PortMap::is_virtual(
-                             static_cast<net::PortId>(*port_written))) {
-      out.push_back(std::move(r));
-      continue;
-    }
-    const auto vport = static_cast<net::PortId>(*port_written);
-    const Classifier* stage2 = nullptr;
-    Classifier fresh;
-    if (!options_.prune_pairs) {
-      stage2 = &merged_stage2;
-    } else {
-      const ParticipantId target = ports_.vport_owner(vport);
-      if (options_.memoize_stage2) {
-        auto it = cache.find(target);
-        if (it == cache.end()) {
-          it = cache.emplace(target,
-                             stage2_for(participants_[slot_of_.at(target)]))
-                   .first;
+  // Fan pull_back out across stage-1 rules. Each rule writes its composed
+  // run into its own slot; concatenating slots in order reproduces the
+  // serial rule order exactly.
+  std::vector<std::vector<Rule>> composed(stage1.size());
+  std::vector<std::size_t> visits(stage1.size(), 0);
+  pool.parallel_for(
+      stage1.size(), 16, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Rule& r = stage1[i];
+          if (r.drops()) {
+            composed[i].push_back(std::move(r));
+            continue;
+          }
+          const ActionSeq& act = r.actions.front();
+          const auto port_written = act.written(Field::kPort);
+          if (!port_written ||
+              !PortMap::is_virtual(static_cast<net::PortId>(*port_written))) {
+            composed[i].push_back(std::move(r));
+            continue;
+          }
+          const auto vport = static_cast<net::PortId>(*port_written);
+          const Classifier* stage2 = nullptr;
+          Classifier fresh;
+          if (!options_.prune_pairs) {
+            stage2 = &merged_stage2;
+          } else {
+            const ParticipantId target = ports_.vport_owner(vport);
+            const std::size_t slot = slot_of_.at(target);
+            if (options_.memoize_stage2) {
+              stage2 = stage2_by_slot[slot].get();
+            } else {
+              fresh = stage2_for(participants_[slot]);
+              stage2 = &fresh;
+            }
+          }
+          visits[i] = stage2->size();
+          composed[i] = policy::pull_back(r.match, act, *stage2);
         }
-        stage2 = &it->second;
-      } else {
-        fresh = stage2_for(participants_[slot_of_.at(target)]);
-        stage2 = &fresh;
-      }
-    }
-    stats.pair_compositions += stage2->size();
-    auto composed = policy::pull_back(r.match, act, *stage2);
-    out.insert(out.end(), std::make_move_iterator(composed.begin()),
-               std::make_move_iterator(composed.end()));
+      });
+
+  std::size_t total = 0;
+  for (const auto& run : composed) total += run.size();
+  std::vector<Rule> out;
+  out.reserve(total);
+  for (std::size_t i = 0; i < composed.size(); ++i) {
+    stats.pair_compositions += visits[i];
+    out.insert(out.end(), std::make_move_iterator(composed[i].begin()),
+               std::make_move_iterator(composed[i].end()));
   }
   Classifier c(std::move(out));
   c.optimize(false);
@@ -255,32 +298,65 @@ Classifier SdxCompiler::compose(std::vector<Rule> stage1,
 
 CompiledSdx SdxCompiler::compile(VnhAllocator& vnh) const {
   const auto t_start = std::chrono::steady_clock::now();
+  net::ThreadPool pool(options_.threads);
   CompiledSdx result;
   CompileStats& stats = result.stats;
   stats.participants = participants_.size();
   stats.prefixes_total = server_.prefix_count();
+  stats.threads_used = pool.size();
+
+  // 0. Per-participant best-route snapshot: one RIB pass per participant,
+  // taken concurrently. Every defaults lookup below hits the snapshot
+  // instead of probing the route server per (participant, prefix).
+  auto t0 = std::chrono::steady_clock::now();
+  BestRouteSnapshot snapshot(participants_.size());
+  pool.parallel_for(
+      participants_.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          snapshot[i] = server_.best_nexthops(participants_[i].id);
+        }
+      });
+  stats.snapshot_seconds = seconds_since(t0);
 
   // 1. Clause reach sets, in global clause order (participant slot-major).
-  auto t0 = std::chrono::steady_clock::now();
+  // Clauses are independent: each writes its pre-sized slot.
+  t0 = std::chrono::steady_clock::now();
+  struct ClauseRef {
+    const Participant* owner;
+    std::size_t index;
+  };
+  std::vector<ClauseRef> clause_list;
   for (const auto& p : participants_) {
     for (std::size_t ci = 0; ci < p.outbound.size(); ++ci) {
-      ClauseReach cr;
-      cr.owner = p.id;
-      cr.clause_index = ci;
-      cr.prefixes = clause_reach(p, p.outbound[ci]);
-      result.reaches.push_back(std::move(cr));
+      clause_list.push_back(ClauseRef{&p, ci});
     }
   }
+  result.reaches.resize(clause_list.size());
+  pool.parallel_for(
+      clause_list.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& [owner, ci] = clause_list[i];
+          ClauseReach cr;
+          cr.owner = owner->id;
+          cr.clause_index = ci;
+          cr.prefixes = clause_reach(*owner, owner->outbound[ci]);
+          result.reaches[i] = std::move(cr);
+        }
+      });
   stats.clause_count = result.reaches.size();
   stats.reach_seconds = seconds_since(t0);
 
-  // 2+3. FEC computation and VNH/VMAC assignment.
+  // 2+3. FEC computation (sharded by prefix hash, canonical merge) and
+  // VNH/VMAC assignment.
   t0 = std::chrono::steady_clock::now();
   vnh.reset();
   if (options_.vmac_grouping) {
     result.fecs = compute_fecs(
         result.reaches,
-        [this](Ipv4Prefix prefix) { return defaults_for(prefix); });
+        [this, &snapshot](Ipv4Prefix prefix) {
+          return defaults_from(snapshot, prefix);
+        },
+        &pool);
     result.bindings.reserve(result.fecs.groups.size());
     for (std::size_t g = 0; g < result.fecs.groups.size(); ++g) {
       result.bindings.push_back(vnh.allocate());
@@ -387,7 +463,7 @@ CompiledSdx SdxCompiler::compile(VnhAllocator& vnh) const {
 
   // 5+6. Targeted composition through stage-2.
   t0 = std::chrono::steady_clock::now();
-  result.fabric = compose(std::move(stage1), stats);
+  result.fabric = compose(std::move(stage1), stats, pool);
   stats.compose_seconds = seconds_since(t0);
 
   if (options_.full_optimize) result.fabric.optimize(/*full=*/true);

@@ -39,6 +39,10 @@
 #include "sdx/port_map.hpp"
 #include "sdx/vnh_allocator.hpp"
 
+namespace sdx::net {
+class ThreadPool;
+}
+
 namespace sdx::core {
 
 struct CompileOptions {
@@ -54,6 +58,13 @@ struct CompileOptions {
   bool memoize_stage2 = true;
   /// Run full (quadratic) shadow elimination on the final classifier.
   bool full_optimize = false;
+  /// Execution width of the parallel pipeline stages (clause reach,
+  /// best-route snapshot, FEC sharding, targeted composition): 0 = one
+  /// thread per hardware thread, 1 = fully serial. The compiled output is
+  /// byte-identical for every value — parallel stages write into
+  /// index-owned slots and shard merges are canonicalized, never appended
+  /// under contention.
+  unsigned threads = 0;
 };
 
 struct CompileStats {
@@ -65,6 +76,8 @@ struct CompileStats {
   std::size_t stage1_rules = 0;
   std::size_t final_rules = 0;
   std::size_t pair_compositions = 0;  ///< (stage-1 rule × stage-2 rule) visits
+  unsigned threads_used = 1;          ///< pool width of the parallel stages
+  double snapshot_seconds = 0;        ///< per-participant best-route snapshot
   double reach_seconds = 0;           ///< clause reach computation
   double vnh_seconds = 0;             ///< FEC + VNH assignment (paper's "VNH computation")
   double synth_seconds = 0;           ///< rule synthesis
@@ -119,8 +132,24 @@ class SdxCompiler {
   }
   const CompileOptions& options() const { return options_; }
 
+  /// Re-sizes the parallel pipeline for subsequent compile() calls (0 =
+  /// one thread per hardware thread). Output is unaffected.
+  void set_threads(unsigned threads) { options_.threads = threads; }
+
  private:
   friend class IncrementalEngine;
+
+  /// Per-participant best-route next hops, taken once per compile with one
+  /// RIB pass per participant (indexed by participant slot). Participants
+  /// with no eligible routes have an empty map and are skipped wholesale
+  /// when assembling default vectors.
+  using BestRouteSnapshot =
+      std::vector<std::unordered_map<Ipv4Prefix, ParticipantId>>;
+
+  /// defaults_for() against the snapshot instead of per-(participant,
+  /// prefix) route-server probes — the compile-time hot path.
+  DefaultVector defaults_from(const BestRouteSnapshot& snapshot,
+                              Ipv4Prefix prefix) const;
 
   /// Expands a clause match into flow matches (cross product of the source
   /// prefix list; dst prefixes are consumed by grouping unless
@@ -136,9 +165,12 @@ class SdxCompiler {
                                  std::vector<policy::Rule>& out) const;
 
   /// Targeted sequential composition of the stage-1 rule list through the
-  /// stage-2 classifiers.
+  /// stage-2 classifiers, fanned out across \p pool (stage-2 classifiers
+  /// are built up front and read-only on the hot path; composed rule runs
+  /// land in per-rule slots and concatenate in stage-1 order).
   policy::Classifier compose(std::vector<policy::Rule> stage1,
-                             CompileStats& stats) const;
+                             CompileStats& stats,
+                             net::ThreadPool& pool) const;
 
   const std::vector<Participant>& participants_;
   const PortMap& ports_;

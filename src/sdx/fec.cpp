@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "netbase/parallel.hpp"
+
 namespace sdx::core {
 
 namespace {
@@ -20,11 +22,32 @@ std::uint64_t hash_signature(const std::vector<std::uint32_t>& clauses,
   return h;
 }
 
+/// One shard-local group: prefixes of one signature that hashed into this
+/// shard. `first` is the global canonical (sorted-prefix) index of the
+/// group's first prefix — the merge key that makes shard merging
+/// order-independent.
+struct ShardGroup {
+  std::vector<std::uint32_t> clauses;
+  DefaultVector defaults;
+  std::vector<Ipv4Prefix> prefixes;  ///< ascending (inserted in sorted order)
+  std::uint64_t sig = 0;
+  std::size_t first = 0;
+};
+
+struct Shard {
+  std::vector<std::size_t> indices;  ///< canonical indices, ascending
+  std::vector<ShardGroup> groups;
+  /// signature hash → candidate group offsets (exact compare disambiguates
+  /// hash collisions).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+};
+
 }  // namespace
 
 FecResult compute_fecs(
     const std::vector<ClauseReach>& clauses,
-    const std::function<DefaultVector(Ipv4Prefix)>& defaults_of) {
+    const std::function<DefaultVector(Ipv4Prefix)>& defaults_of,
+    net::ThreadPool* pool) {
   // Pass 1: per-prefix clause membership.
   std::unordered_map<Ipv4Prefix, std::vector<std::uint32_t>> membership;
   for (std::uint32_t cid = 0; cid < clauses.size(); ++cid) {
@@ -33,24 +56,87 @@ FecResult compute_fecs(
     }
   }
 
+  // Canonical processing order: sorted prefixes. Group ids are assigned by
+  // first appearance in this order, which fixes them independently of hash
+  // iteration order and of the sharding below.
+  std::vector<Ipv4Prefix> order;
+  order.reserve(membership.size());
+  for (const auto& [prefix, _] : membership) order.push_back(prefix);
+  std::sort(order.begin(), order.end());
+
+  // Passes 2+3, sharded: each shard groups its own prefixes by (clause
+  // set, default vector); shards are independent so they run in parallel.
+  // The expensive part is defaults_of — one call per distinct prefix.
+  const std::size_t width = pool != nullptr ? pool->size() : 1;
+  const std::size_t n_shards =
+      std::clamp<std::size_t>(width * 2, 1, std::max<std::size_t>(
+                                                order.size() / 64, 1));
+  std::vector<Shard> shards(n_shards);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    shards[std::hash<Ipv4Prefix>{}(order[i]) % n_shards].indices.push_back(i);
+  }
+
+  auto run_shard = [&](Shard& shard) {
+    for (std::size_t i : shard.indices) {
+      const Ipv4Prefix prefix = order[i];
+      auto& cids = membership.find(prefix)->second;
+      std::sort(cids.begin(), cids.end());
+      cids.erase(std::unique(cids.begin(), cids.end()), cids.end());
+      DefaultVector defaults = defaults_of(prefix);
+      const std::uint64_t sig = hash_signature(cids, defaults);
+
+      ShardGroup* group = nullptr;
+      for (std::uint32_t candidate : shard.buckets[sig]) {
+        ShardGroup& g = shard.groups[candidate];
+        if (g.clauses == cids && g.defaults == defaults) {
+          group = &g;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        shard.buckets[sig].push_back(
+            static_cast<std::uint32_t>(shard.groups.size()));
+        ShardGroup g;
+        g.clauses = cids;
+        g.defaults = std::move(defaults);
+        g.sig = sig;
+        g.first = i;
+        shard.groups.push_back(std::move(g));
+        group = &shard.groups.back();
+      }
+      group->prefixes.push_back(prefix);
+    }
+  };
+
+  if (pool != nullptr && n_shards > 1) {
+    pool->parallel_for(n_shards, 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) run_shard(shards[s]);
+    });
+  } else {
+    for (auto& shard : shards) run_shard(shard);
+  }
+
+  // Merge: shard groups ordered by their first canonical index reproduce
+  // exactly the serial first-appearance order; groups with equal signatures
+  // that landed in different shards concatenate.
+  std::vector<ShardGroup*> merged_order;
+  for (auto& shard : shards) {
+    for (auto& g : shard.groups) merged_order.push_back(&g);
+  }
+  std::sort(merged_order.begin(), merged_order.end(),
+            [](const ShardGroup* a, const ShardGroup* b) {
+              return a->first < b->first;
+            });
+
   FecResult result;
   result.group_of.reserve(membership.size());
-
-  // Passes 2+3 fused: group prefixes by (clause set, default vector).
-  // Hash buckets hold candidate group indices; exact comparison guards
-  // against hash collisions.
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
-  for (auto& [prefix, cids] : membership) {
-    std::sort(cids.begin(), cids.end());
-    cids.erase(std::unique(cids.begin(), cids.end()), cids.end());
-    DefaultVector defaults = defaults_of(prefix);
-    const std::uint64_t sig = hash_signature(cids, defaults);
-
+  for (ShardGroup* sg : merged_order) {
     std::uint32_t group_id = 0;
     bool found = false;
-    for (std::uint32_t candidate : buckets[sig]) {
+    for (std::uint32_t candidate : buckets[sg->sig]) {
       const PrefixGroup& g = result.groups[candidate];
-      if (g.clauses == cids && g.defaults == defaults) {
+      if (g.clauses == sg->clauses && g.defaults == sg->defaults) {
         group_id = candidate;
         found = true;
         break;
@@ -59,13 +145,16 @@ FecResult compute_fecs(
     if (!found) {
       group_id = static_cast<std::uint32_t>(result.groups.size());
       PrefixGroup g;
-      g.clauses = cids;
-      g.defaults = std::move(defaults);
+      g.clauses = std::move(sg->clauses);
+      g.defaults = std::move(sg->defaults);
       result.groups.push_back(std::move(g));
-      buckets[sig].push_back(group_id);
+      buckets[sg->sig].push_back(group_id);
     }
-    result.groups[group_id].prefixes.push_back(prefix);
-    result.group_of.emplace(prefix, group_id);
+    auto& prefixes = result.groups[group_id].prefixes;
+    prefixes.insert(prefixes.end(), sg->prefixes.begin(), sg->prefixes.end());
+    for (auto prefix : sg->prefixes) {
+      result.group_of.emplace(prefix, group_id);
+    }
   }
 
   for (auto& g : result.groups) {

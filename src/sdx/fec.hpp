@@ -14,6 +14,13 @@
 ///
 /// The computation is a single hash-grouping pass over prefix signatures —
 /// polynomial (in fact near-linear) as the paper requires.
+///
+/// Grouping is canonical: prefixes are processed in sorted order and group
+/// ids are assigned by first appearance, so the result depends only on the
+/// input, never on hash iteration order. The parallel path shards prefixes
+/// by hash, groups per shard, then merges shard groups by exact signature
+/// in canonical order — byte-identical to the serial result for any shard
+/// or thread count.
 
 #include <cstdint>
 #include <functional>
@@ -22,6 +29,10 @@
 #include <vector>
 
 #include "bgp/route.hpp"
+
+namespace sdx::net {
+class ThreadPool;
+}
 
 namespace sdx::core {
 
@@ -59,8 +70,14 @@ struct FecResult {
 /// once per distinct prefix appearing in any reach set; prefixes in no
 /// reach set keep their default behaviour and are deliberately not grouped
 /// (paper §4.2 last paragraph).
+///
+/// When \p pool is non-null the signature computation (including the
+/// \p defaults_of calls — by far the dominant cost) and per-shard grouping
+/// run on the pool, so \p defaults_of must be safe to invoke concurrently.
+/// Group ids, group contents and `group_of` are identical either way.
 FecResult compute_fecs(const std::vector<ClauseReach>& clauses,
                        const std::function<DefaultVector(Ipv4Prefix)>&
-                           defaults_of);
+                           defaults_of,
+                       net::ThreadPool* pool = nullptr);
 
 }  // namespace sdx::core

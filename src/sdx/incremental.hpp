@@ -26,8 +26,13 @@ class IncrementalEngine {
       : compiler_(std::move(compiler)) {}
 
   /// The background stage: full pipeline, minimal rule table. Replaces the
-  /// engine's current state.
+  /// engine's current state. Runs the compiler's parallel pipeline at
+  /// CompileOptions::threads width (see set_threads()).
   const CompiledSdx& full_recompile(VnhAllocator& vnh);
+
+  /// Re-sizes the parallel pipeline used by full_recompile() (0 = one
+  /// thread per hardware thread). Output is unaffected.
+  void set_threads(unsigned threads) { compiler_.set_threads(threads); }
 
   bool has_compiled() const { return current_.has_value(); }
   const CompiledSdx& current() const { return *current_; }

@@ -199,6 +199,11 @@ const CompiledSdx& SdxRuntime::background_recompile() {
   return deploy();
 }
 
+void SdxRuntime::set_compile_threads(unsigned threads) {
+  options_.threads = threads;
+  if (engine_) engine_->set_threads(threads);
+}
+
 void SdxRuntime::bind_arp(const CompiledSdx& compiled) {
   for (const auto& b : compiled.bindings) {
     fabric_.arp().bind(b.vnh, b.vmac);

@@ -117,6 +117,13 @@ class SdxRuntime {
   /// table and drops the accumulated fast-path rules.
   const CompiledSdx& background_recompile();
 
+  /// Sets the worker-thread count for subsequent compilations — install()
+  /// and background_recompile() — with 0 meaning one thread per hardware
+  /// thread. Compiled output is byte-identical for every width, so this is
+  /// purely a latency knob.
+  void set_compile_threads(unsigned threads);
+  const CompileOptions& compile_options() const { return options_; }
+
   struct UpdateReport {
     Ipv4Prefix prefix;
     std::size_t additional_rules = 0;
