@@ -8,10 +8,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "ixp/ixp_generator.hpp"
 #include "sdx/compiler.hpp"
 #include "sdx/vnh_allocator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sdx::bench {
 
@@ -48,6 +52,26 @@ inline ixp::GeneratedIxp make_workload(std::size_t participants,
   }
   ixp::synthesize_policies(ixp, pcfg);
   return ixp;
+}
+
+/// Prints the registry's Prometheus exposition after the CSV rows, each
+/// line prefixed with "# " so CSV consumers skip it, and additionally
+/// writes the raw exposition to the file named by SDX_BENCH_METRICS when
+/// that variable is set (for scraping or diffing runs). The counter series
+/// are byte-stable across thread widths, so two runs of the same bench at
+/// different SDX_BENCH_THREADS settings must produce identical `_total`
+/// lines — a free determinism check on every bench run.
+inline void emit_metrics_snapshot(telemetry::MetricRegistry& metrics) {
+  const std::string dump = metrics.render_prometheus();
+  std::printf("# --- metrics snapshot ---\n");
+  std::istringstream is(dump);
+  for (std::string line; std::getline(is, line);) {
+    std::printf("# %s\n", line.c_str());
+  }
+  if (const char* path = std::getenv("SDX_BENCH_METRICS")) {
+    std::ofstream out(path);
+    out << dump;
+  }
 }
 
 inline double now_seconds() {

@@ -17,6 +17,7 @@ int main() {
       "compose_ms,total_ms,final_rules\n");
   core::CompileOptions options;
   options.threads = bench::bench_threads();
+  telemetry::Telemetry telemetry;
   for (std::size_t participants : {100, 200, 300}) {
     for (std::size_t policy_prefixes :
          {2000u, 5000u, 10000u, 15000u, 20000u, 25000u}) {
@@ -24,6 +25,7 @@ int main() {
           bench::make_workload(participants, 25000, policy_prefixes);
       core::SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server,
                                  options);
+      compiler.set_telemetry(&telemetry);
       core::VnhAllocator vnh;
       auto compiled = compiler.compile(vnh);
       const auto& s = compiled.stats;
@@ -35,5 +37,8 @@ int main() {
       std::fflush(stdout);
     }
   }
+  // Aggregate per-stage latency histograms and rule counters across every
+  // row above, in comment-prefixed Prometheus form.
+  bench::emit_metrics_snapshot(telemetry.metrics);
   return 0;
 }

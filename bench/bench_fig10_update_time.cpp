@@ -20,11 +20,18 @@ int main() {
   std::printf("participants,percentile,time_ms\n");
   core::CompileOptions options;
   options.threads = bench::bench_threads();
+  telemetry::Telemetry telemetry;
+  auto& fast_seconds = telemetry.metrics.histogram(
+      "sdx_fast_path_seconds", "per-update fast-path latency (seconds)");
+  auto& fast_rules = telemetry.metrics.counter(
+      "sdx_fast_path_rules_total",
+      "additional higher-priority rules installed by the fast path");
   for (std::size_t participants : {100, 200, 300}) {
     auto ixp = bench::make_workload(participants, 25000, 25000);
     core::SdxCompiler compiler(ixp.participants, ixp.ports, ixp.server,
                                options);
     core::IncrementalEngine engine(compiler);
+    engine.set_telemetry(&telemetry);
     core::VnhAllocator vnh;
     engine.full_recompile(vnh);
 
@@ -50,6 +57,8 @@ int main() {
       r.peer_router_id = net::Ipv4Address(1);
       ixp.server.announce(std::move(r));
       auto result = engine.fast_update(prefix, vnh);
+      fast_seconds.observe(result.seconds);
+      fast_rules.inc(result.additional_rules);
       times_ms.push_back(result.seconds * 1e3);
     }
     std::sort(times_ms.begin(), times_ms.end());
@@ -62,5 +71,8 @@ int main() {
     }
     std::fflush(stdout);
   }
+  // Fast-path latency histogram and rule counters across all updates, in
+  // comment-prefixed Prometheus form.
+  bench::emit_metrics_snapshot(telemetry.metrics);
   return 0;
 }

@@ -7,6 +7,7 @@
 /// end — border-router FIB, VMAC tagging, fabric rules, egress rewrite.
 
 #include <cstdio>
+#include <string>
 
 #include "sdx/runtime.hpp"
 
@@ -94,5 +95,15 @@ int main() {
                                        .proto(net::kProtoUdp)
                                        .dst_port(53)
                                        .build());
+
+  // Everything above was measured as it ran: dump the controller-wide
+  // Prometheus exposition (route-server churn, per-stage compile latency,
+  // flow-table hits) and the span trace — save the latter as trace.json
+  // and load it in about:tracing or https://ui.perfetto.dev to see the
+  // compiler stages nested under the install.
+  std::printf("\nmetrics (%zu trace spans recorded):\n",
+              sdx.telemetry().tracer.records().size());
+  const std::string metrics = sdx.dump_metrics();
+  std::printf("%s", metrics.c_str());
   return 0;
 }

@@ -14,6 +14,24 @@ void RouteServer::add_peer(Peer peer) {
   peers_.push_back(peer);
 }
 
+void RouteServer::set_telemetry(telemetry::MetricRegistry* registry) {
+  if (registry == nullptr) {
+    announcements_ = withdrawals_ = best_changes_ = nullptr;
+    prefixes_gauge_ = nullptr;
+    return;
+  }
+  announcements_ = &registry->counter("sdx_route_server_announcements_total",
+                                      "BGP announcements processed");
+  withdrawals_ = &registry->counter("sdx_route_server_withdrawals_total",
+                                    "BGP withdrawals processed");
+  best_changes_ = &registry->counter(
+      "sdx_route_server_best_changes_total",
+      "per-participant best-route changes (churn driving recompilation)");
+  prefixes_gauge_ = &registry->gauge("sdx_route_server_prefixes",
+                                     "prefixes currently in the RIB");
+  prefixes_gauge_->set(static_cast<double>(rib_.size()));
+}
+
 const RouteServer::Peer* RouteServer::peer(ParticipantId id) const {
   auto it = peer_index_.find(id);
   return it == peer_index_.end() ? nullptr : &peers_[it->second];
@@ -65,7 +83,7 @@ std::vector<RouteServer::BestChange> RouteServer::announce(Route route) {
                                 std::to_string(route.learned_from));
   }
   const Ipv4Prefix prefix = route.prefix;
-  return apply_and_diff(prefix, [this, &route, prefix]() {
+  auto changes = apply_and_diff(prefix, [this, &route, prefix]() {
     auto& ranked = rib_[prefix];
     std::erase_if(ranked, [&route](const Route& r) {
       return r.learned_from == route.learned_from;
@@ -78,6 +96,12 @@ std::vector<RouteServer::BestChange> RouteServer::announce(Route route) {
     adv_[route.learned_from].insert(prefix);
     ranked.insert(pos, std::move(route));
   });
+  if (announcements_ != nullptr) {
+    announcements_->inc();
+    best_changes_->inc(changes.size());
+    prefixes_gauge_->set(static_cast<double>(rib_.size()));
+  }
+  return changes;
 }
 
 std::vector<RouteServer::BestChange> RouteServer::withdraw(
@@ -86,7 +110,7 @@ std::vector<RouteServer::BestChange> RouteServer::withdraw(
     throw std::invalid_argument("withdraw from unknown participant " +
                                 std::to_string(from));
   }
-  return apply_and_diff(prefix, [this, from, prefix]() {
+  auto changes = apply_and_diff(prefix, [this, from, prefix]() {
     auto it = rib_.find(prefix);
     if (it == rib_.end()) return;
     std::erase_if(it->second, [from](const Route& r) {
@@ -95,6 +119,12 @@ std::vector<RouteServer::BestChange> RouteServer::withdraw(
     if (it->second.empty()) rib_.erase(it);
     if (auto a = adv_.find(from); a != adv_.end()) a->second.erase(prefix);
   });
+  if (withdrawals_ != nullptr) {
+    withdrawals_->inc();
+    best_changes_->inc(changes.size());
+    prefixes_gauge_->set(static_cast<double>(rib_.size()));
+  }
+  return changes;
 }
 
 std::unordered_map<Ipv4Prefix, ParticipantId> RouteServer::best_nexthops(

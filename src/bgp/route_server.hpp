@@ -25,6 +25,7 @@
 
 #include "bgp/decision.hpp"
 #include "bgp/route.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sdx::bgp {
 
@@ -50,6 +51,13 @@ class RouteServer {
   /// Registers a participant session. Throws std::invalid_argument on a
   /// duplicate participant id.
   void add_peer(Peer peer);
+
+  /// Hooks the server into a metric registry (nullptr detaches). Exposes
+  /// `sdx_route_server_announcements_total` / `_withdrawals_total`, the
+  /// best-route churn counter `sdx_route_server_best_changes_total` (one
+  /// increment per per-participant BestChange produced), and the RIB-size
+  /// gauge `sdx_route_server_prefixes`. The registry must outlive the hook.
+  void set_telemetry(telemetry::MetricRegistry* registry);
 
   const std::vector<Peer>& peers() const { return peers_; }
   const Peer* peer(ParticipantId id) const;
@@ -143,6 +151,10 @@ class RouteServer {
 
   DecisionConfig cfg_;
   std::vector<Peer> peers_;
+  telemetry::Counter* announcements_ = nullptr;
+  telemetry::Counter* withdrawals_ = nullptr;
+  telemetry::Counter* best_changes_ = nullptr;
+  telemetry::Gauge* prefixes_gauge_ = nullptr;
   std::unordered_map<ParticipantId, std::size_t> peer_index_;
   /// prefix → candidates ranked best-first by the decision process.
   std::unordered_map<Ipv4Prefix, std::vector<Route>> rib_;

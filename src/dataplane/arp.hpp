@@ -12,6 +12,7 @@
 
 #include "netbase/ip.hpp"
 #include "netbase/mac.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sdx::dp {
 
@@ -23,12 +24,21 @@ class ArpResponder {
   /// Removes a binding; returns true when present.
   bool unbind(net::Ipv4Address ip) { return table_.erase(ip) > 0; }
 
+  /// Mirrors query/miss accounting into registry counters (either may be
+  /// nullptr to detach). The counters must outlive the responder's use.
+  void set_counters(telemetry::Counter* queries, telemetry::Counter* misses) {
+    query_counter_ = queries;
+    miss_counter_ = misses;
+  }
+
   /// Answers an ARP query. std::nullopt when the address is unknown.
   std::optional<net::MacAddress> resolve(net::Ipv4Address ip) const {
     ++queries_;
+    if (query_counter_ != nullptr) query_counter_->inc();
     auto it = table_.find(ip);
     if (it == table_.end()) {
       ++misses_;
+      if (miss_counter_ != nullptr) miss_counter_->inc();
       return std::nullopt;
     }
     return it->second;
@@ -42,6 +52,8 @@ class ArpResponder {
   std::unordered_map<net::Ipv4Address, net::MacAddress> table_;
   mutable std::uint64_t queries_ = 0;
   mutable std::uint64_t misses_ = 0;
+  telemetry::Counter* query_counter_ = nullptr;
+  telemetry::Counter* miss_counter_ = nullptr;
 };
 
 }  // namespace sdx::dp

@@ -75,9 +75,11 @@ std::vector<PacketHeader> FlowTable::process(const PacketHeader& h) const {
   const FlowRule* r = lookup(h);
   if (r == nullptr) {
     ++missed_;
+    if (miss_counter_ != nullptr) miss_counter_->inc();
     return {};
   }
   ++matched_;
+  if (match_counter_ != nullptr) match_counter_->inc();
   ++r->packet_count;
   std::vector<PacketHeader> out;
   out.reserve(r->actions.size());

@@ -16,6 +16,7 @@
 #include "netbase/field_match.hpp"
 #include "netbase/packet.hpp"
 #include "policy/classifier.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sdx::dp {
 
@@ -68,6 +69,13 @@ class FlowTable {
   std::uint64_t total_matched() const { return matched_; }
   std::uint64_t total_missed() const { return missed_; }
 
+  /// Mirrors match/miss accounting into registry counters (either may be
+  /// nullptr to detach). The counters must outlive the table's use.
+  void set_counters(telemetry::Counter* matched, telemetry::Counter* missed) {
+    match_counter_ = matched;
+    miss_counter_ = missed;
+  }
+
   std::string to_string() const;
 
  private:
@@ -77,6 +85,8 @@ class FlowTable {
   std::uint64_t next_sequence_ = 0;
   mutable std::uint64_t matched_ = 0;
   mutable std::uint64_t missed_ = 0;
+  telemetry::Counter* match_counter_ = nullptr;
+  telemetry::Counter* miss_counter_ = nullptr;
 };
 
 std::ostream& operator<<(std::ostream& os, const FlowTable& t);

@@ -14,7 +14,11 @@
 ///     which thread ran which chunk and of the thread count;
 ///   * 1-thread pools and tiny ranges never touch the pool machinery —
 ///     the loop body runs inline on the caller, so a serial configuration
-///     is exactly the pre-parallel code path.
+///     is exactly the pre-parallel code path;
+///   * loop bodies may update telemetry instruments (src/telemetry/ —
+///     relaxed-atomic counters/gauges/histograms) freely: no ordering is
+///     promised between chunks, which is exactly what those instruments
+///     need. tests/test_telemetry.cpp holds this contract under TSan.
 ///
 /// The pool is cheap to construct (workers are spawned once, parked on a
 /// condition variable between loops) but it is not reentrant: calling

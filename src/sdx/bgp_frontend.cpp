@@ -68,7 +68,9 @@ std::size_t BgpFrontend::distribute(ParticipantId participant,
   }
   it->second.server_side.send_update(update);
   ++updates_;
-  return pump(it->second);
+  const std::size_t moved = pump(it->second);
+  bytes_ += moved;
+  return moved;
 }
 
 std::size_t BgpFrontend::distribute_all(const bgp::UpdateMessage& update) {
@@ -78,6 +80,7 @@ std::size_t BgpFrontend::distribute_all(const bgp::UpdateMessage& update) {
     ++updates_;
     moved += pump(link);
   }
+  bytes_ += moved;
   return moved;
 }
 
@@ -89,6 +92,10 @@ std::vector<ParticipantId> BgpFrontend::advance_clock(double seconds) {
     pump(link);
     if (!a.empty() || !b.empty()) dropped.push_back(id);
   }
+  // A dead FSM pair can't carry further updates: tear the links down so
+  // established() reflects reality and the drop can't be re-reported.
+  for (auto id : dropped) links_.erase(id);
+  drops_ += dropped.size();
   return dropped;
 }
 

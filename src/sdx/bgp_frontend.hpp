@@ -43,10 +43,19 @@ class BgpFrontend {
   std::size_t distribute_all(const bgp::UpdateMessage& update);
 
   /// Advances both sides' hold/keepalive clocks and pumps any keepalives.
-  /// Returns the participants whose sessions dropped.
+  /// Returns the participants whose sessions dropped. A dropped session's
+  /// link is torn down (established() turns false; the runtime falls back
+  /// to in-process delivery) — reconnect with connect() to bring it back.
   std::vector<ParticipantId> advance_clock(double seconds);
 
   std::uint64_t updates_distributed() const { return updates_; }
+  /// Wire bytes moved by distribute()/distribute_all() — UPDATE frames
+  /// plus any keepalives pumped alongside them (handshake traffic from
+  /// connect() and pure keepalive ticks are not distribution and don't
+  /// count).
+  std::uint64_t bytes_distributed() const { return bytes_; }
+  /// Sessions that dropped across all advance_clock() calls.
+  std::uint64_t session_drops() const { return drops_; }
 
  private:
   struct Link {
@@ -66,6 +75,8 @@ class BgpFrontend {
   net::Ipv4Address server_id_;
   std::unordered_map<ParticipantId, Link> links_;
   std::uint64_t updates_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t drops_ = 0;
 };
 
 }  // namespace sdx::core

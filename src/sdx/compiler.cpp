@@ -8,6 +8,7 @@
 
 #include "netbase/parallel.hpp"
 #include "policy/compile.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sdx::core {
 
@@ -22,6 +23,42 @@ using net::FlowMatch;
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Post-compile metric recording: stage timings as histograms (they vary
+/// run to run) and the work the pipeline did as counters (deterministic —
+/// the compiled output is byte-identical at any thread width, so these
+/// series are too).
+void record_compile_metrics(telemetry::MetricRegistry& reg,
+                            const CompileStats& s) {
+  static constexpr const char* kStageHelp =
+      "per-stage compile wall time (seconds)";
+  const std::pair<const char*, double> stages[] = {
+      {"snapshot", s.snapshot_seconds}, {"reach", s.reach_seconds},
+      {"fec_vnh", s.vnh_seconds},       {"synth", s.synth_seconds},
+      {"compose", s.compose_seconds},
+  };
+  for (const auto& [stage, seconds] : stages) {
+    reg.histogram("sdx_compile_stage_seconds", kStageHelp, {},
+                  {{"stage", stage}})
+        .observe(seconds);
+  }
+  reg.histogram("sdx_compile_seconds", "full compile wall time (seconds)")
+      .observe(s.total_seconds);
+  reg.counter("sdx_compile_runs_total", "full pipeline compilations").inc();
+  reg.counter("sdx_compile_rules_total",
+              "flow rules emitted by full compilations (cumulative)")
+      .inc(s.final_rules);
+  reg.counter("sdx_compile_pair_compositions_total",
+              "stage-1 x stage-2 rule visits during targeted composition")
+      .inc(s.pair_compositions);
+  reg.gauge("sdx_compile_last_rules", "flow rules in the latest compile")
+      .set(static_cast<double>(s.final_rules));
+  reg.gauge("sdx_compile_last_groups",
+            "prefix groups (FECs) in the latest compile")
+      .set(static_cast<double>(s.prefix_groups));
+  reg.gauge("sdx_compile_threads", "pool width of the latest compile")
+      .set(static_cast<double>(s.threads_used));
 }
 
 }  // namespace
@@ -297,6 +334,9 @@ Classifier SdxCompiler::compose(std::vector<Rule> stage1,
 }
 
 CompiledSdx SdxCompiler::compile(VnhAllocator& vnh) const {
+  telemetry::SpanTracer* tracer =
+      telemetry_ != nullptr ? &telemetry_->tracer : nullptr;
+  telemetry::Span compile_span(tracer, "compile");
   const auto t_start = std::chrono::steady_clock::now();
   net::ThreadPool pool(options_.threads);
   CompiledSdx result;
@@ -309,6 +349,7 @@ CompiledSdx SdxCompiler::compile(VnhAllocator& vnh) const {
   // taken concurrently. Every defaults lookup below hits the snapshot
   // instead of probing the route server per (participant, prefix).
   auto t0 = std::chrono::steady_clock::now();
+  telemetry::Span stage_span(tracer, "snapshot");
   BestRouteSnapshot snapshot(participants_.size());
   pool.parallel_for(
       participants_.size(), 1, [&](std::size_t begin, std::size_t end) {
@@ -317,10 +358,12 @@ CompiledSdx SdxCompiler::compile(VnhAllocator& vnh) const {
         }
       });
   stats.snapshot_seconds = seconds_since(t0);
+  stage_span.finish();
 
   // 1. Clause reach sets, in global clause order (participant slot-major).
   // Clauses are independent: each writes its pre-sized slot.
   t0 = std::chrono::steady_clock::now();
+  stage_span = telemetry::Span(tracer, "reach");
   struct ClauseRef {
     const Participant* owner;
     std::size_t index;
@@ -345,10 +388,12 @@ CompiledSdx SdxCompiler::compile(VnhAllocator& vnh) const {
       });
   stats.clause_count = result.reaches.size();
   stats.reach_seconds = seconds_since(t0);
+  stage_span.finish();
 
   // 2+3. FEC computation (sharded by prefix hash, canonical merge) and
   // VNH/VMAC assignment.
   t0 = std::chrono::steady_clock::now();
+  stage_span = telemetry::Span(tracer, "fec_vnh");
   vnh.reset();
   if (options_.vmac_grouping) {
     result.fecs = compute_fecs(
@@ -365,6 +410,7 @@ CompiledSdx SdxCompiler::compile(VnhAllocator& vnh) const {
   stats.prefix_groups = result.fecs.groups.size();
   stats.prefixes_grouped = result.fecs.group_of.size();
   stats.vnh_seconds = seconds_since(t0);
+  stage_span.finish();
 
   // Index: global clause id → groups fully inside its reach set.
   std::vector<std::vector<std::uint32_t>> clause_groups(
@@ -377,6 +423,7 @@ CompiledSdx SdxCompiler::compile(VnhAllocator& vnh) const {
 
   // 4. Stage-1 synthesis.
   t0 = std::chrono::steady_clock::now();
+  stage_span = telemetry::Span(tracer, "synth");
   std::vector<Rule> stage1;
   std::size_t clause_id = 0;
   for (const auto& p : participants_) {
@@ -460,15 +507,22 @@ CompiledSdx SdxCompiler::compile(VnhAllocator& vnh) const {
   stage1.push_back(Rule{FlowMatch::any(), {}});
   stats.stage1_rules = stage1.size();
   stats.synth_seconds = seconds_since(t0);
+  stage_span.finish();
 
   // 5+6. Targeted composition through stage-2.
   t0 = std::chrono::steady_clock::now();
+  stage_span = telemetry::Span(tracer, "compose");
   result.fabric = compose(std::move(stage1), stats, pool);
   stats.compose_seconds = seconds_since(t0);
+  stage_span.finish();
 
   if (options_.full_optimize) result.fabric.optimize(/*full=*/true);
   stats.final_rules = result.fabric.size();
   stats.total_seconds = seconds_since(t_start);
+  compile_span.finish();
+  if (telemetry_ != nullptr) {
+    record_compile_metrics(telemetry_->metrics, stats);
+  }
   return result;
 }
 

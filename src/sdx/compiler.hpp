@@ -43,6 +43,10 @@ namespace sdx::net {
 class ThreadPool;
 }
 
+namespace sdx::telemetry {
+struct Telemetry;
+}
+
 namespace sdx::core {
 
 struct CompileOptions {
@@ -136,6 +140,17 @@ class SdxCompiler {
   /// one thread per hardware thread). Output is unaffected.
   void set_threads(unsigned threads) { options_.threads = threads; }
 
+  /// Attaches the measurement plane (nullptr detaches). Each compile()
+  /// then opens a "compile" span with one child span per pipeline stage
+  /// (snapshot/reach/fec_vnh/synth/compose), observes the same stage
+  /// timings into `sdx_compile_stage_seconds{stage=...}` histograms, and
+  /// bumps the deterministic work counters (`sdx_compile_runs_total`,
+  /// `_rules_total`, `_pair_compositions_total`). The bundle must outlive
+  /// the compiler.
+  void set_telemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
  private:
   friend class IncrementalEngine;
 
@@ -176,6 +191,7 @@ class SdxCompiler {
   const PortMap& ports_;
   const bgp::RouteServer& server_;
   CompileOptions options_;
+  telemetry::Telemetry* telemetry_ = nullptr;
   std::unordered_map<ParticipantId, std::size_t> slot_of_;
 };
 

@@ -34,6 +34,12 @@ class IncrementalEngine {
   /// thread per hardware thread). Output is unaffected.
   void set_threads(unsigned threads) { compiler_.set_threads(threads); }
 
+  /// Attaches the measurement plane to the underlying compiler (see
+  /// SdxCompiler::set_telemetry); nullptr detaches.
+  void set_telemetry(telemetry::Telemetry* telemetry) {
+    compiler_.set_telemetry(telemetry);
+  }
+
   bool has_compiled() const { return current_.has_value(); }
   const CompiledSdx& current() const { return *current_; }
   CompiledSdx& current() { return *current_; }

@@ -36,9 +36,16 @@ std::vector<TrafficMonitor::HeavyHitter> TrafficMonitor::heavy_hitters(
     hh.packets = count;
     out.push_back(hh);
   }
+  // Heaviest first; ties in deterministic (block, victim) order rather
+  // than unordered_map iteration order, so reactive applications act on a
+  // stable list across runs and standard libraries.
   std::sort(out.begin(), out.end(),
             [](const HeavyHitter& a, const HeavyHitter& b) {
-              return a.packets > b.packets;
+              if (a.packets != b.packets) return a.packets > b.packets;
+              if (!(a.source_block == b.source_block)) {
+                return a.source_block < b.source_block;
+              }
+              return a.victim < b.victim;
             });
   return out;
 }

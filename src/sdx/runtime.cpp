@@ -5,7 +5,31 @@
 namespace sdx::core {
 
 SdxRuntime::SdxRuntime(bgp::DecisionConfig decision, CompileOptions options)
-    : server_(decision), options_(options) {}
+    : server_(decision), options_(options) {
+  auto& reg = telemetry_.metrics;
+  server_.set_telemetry(&reg);
+  fabric_.arp().set_counters(
+      &reg.counter("sdx_arp_queries_total", "ARP queries answered"),
+      &reg.counter("sdx_arp_misses_total", "ARP queries with no binding"));
+  fabric_.sdx_switch().table().set_counters(
+      &reg.counter("sdx_flow_table_matched_total",
+                   "packets matched by a flow rule"),
+      &reg.counter("sdx_flow_table_missed_total",
+                   "packets matching no flow rule"));
+  fast_updates_ = &reg.counter("sdx_fast_path_updates_total",
+                               "BGP updates run through the 4.3.2 fast path");
+  fast_rules_ = &reg.counter(
+      "sdx_fast_path_rules_total",
+      "additional higher-priority rules installed by the fast path");
+  fast_seconds_ = &reg.histogram("sdx_fast_path_seconds",
+                                 "per-update fast-path latency (seconds)");
+  frontend_updates_ = &reg.counter("sdx_frontend_updates_total",
+                                   "UPDATE messages distributed on the wire");
+  frontend_bytes_ = &reg.counter("sdx_frontend_bytes_total",
+                                 "bytes moved by wire distribution");
+  frontend_drops_ = &reg.counter("sdx_frontend_session_drops_total",
+                                 "wire sessions lost to hold-timer expiry");
+}
 
 ParticipantId SdxRuntime::add_participant(const std::string& name,
                                           net::Asn asn,
@@ -184,11 +208,13 @@ const CompiledSdx& SdxRuntime::deploy() {
 }
 
 const CompiledSdx& SdxRuntime::install() {
+  telemetry::Span span = telemetry_.tracer.span("install");
   for (const auto& p : participants_) {
     validate_participant(p, participants_);
   }
   engine_ = std::make_unique<IncrementalEngine>(
       SdxCompiler(participants_, port_map_, server_, options_));
+  engine_->set_telemetry(&telemetry_);
   return deploy();
 }
 
@@ -196,6 +222,7 @@ const CompiledSdx& SdxRuntime::background_recompile() {
   if (!installed()) {
     throw std::logic_error("install() before background_recompile()");
   }
+  telemetry::Span span = telemetry_.tracer.span("background_recompile");
   return deploy();
 }
 
@@ -247,6 +274,31 @@ void SdxRuntime::use_wire_distribution() {
   }
 }
 
+std::vector<ParticipantId> SdxRuntime::advance_clock(double seconds) {
+  if (!frontend_) return {};
+  auto dropped = frontend_->advance_clock(seconds);
+  frontend_drops_->inc(dropped.size());
+  // A lost session is a participant departure (see session_down): withdraw
+  // its routes and drop its policies rather than advertising stale state.
+  for (auto id : dropped) session_down(id);
+  return dropped;
+}
+
+std::string SdxRuntime::dump_metrics() {
+  auto& reg = telemetry_.metrics;
+  reg.gauge("sdx_flow_table_rules", "flow rules installed in the fabric")
+      .set(static_cast<double>(fabric_.sdx_switch().table().size()));
+  reg.gauge("sdx_arp_bindings", "entries in the ARP responder")
+      .set(static_cast<double>(fabric_.arp().size()));
+  reg.gauge("sdx_route_server_prefixes", "prefixes currently in the RIB")
+      .set(static_cast<double>(server_.prefix_count()));
+  return reg.render_prometheus();
+}
+
+std::string SdxRuntime::dump_trace() const {
+  return telemetry_.tracer.render_chrome_json();
+}
+
 void SdxRuntime::readvertise(Ipv4Prefix prefix) {
   const auto binding = advertised_binding(prefix);
   for (const auto& p : participants_) {
@@ -267,7 +319,8 @@ void SdxRuntime::readvertise(Ipv4Prefix prefix) {
       msg.nlri.push_back(prefix);
     }
     if (frontend_ && frontend_->established(p.id)) {
-      frontend_->distribute(p.id, msg);
+      frontend_bytes_->inc(frontend_->distribute(p.id, msg));
+      frontend_updates_->inc();
       // Secondary routers of multi-port participants share the view.
       for (std::size_t k = 1; k < router_index_[p.id].size(); ++k) {
         routers_[router_index_[p.id][k]].process_update(msg);
@@ -281,7 +334,11 @@ void SdxRuntime::readvertise(Ipv4Prefix prefix) {
 }
 
 void SdxRuntime::handle_post_install_update(Ipv4Prefix prefix) {
+  telemetry::Span span = telemetry_.tracer.span("fast_update");
   auto result = engine_->fast_update(prefix, vnh_);
+  fast_updates_->inc();
+  fast_rules_->inc(result.additional_rules);
+  fast_seconds_->observe(result.seconds);
   if (result.binding) {
     fast_bindings_[prefix] = *result.binding;
     fabric_.arp().bind(result.binding->vnh, result.binding->vmac);

@@ -28,6 +28,7 @@
 #include "sdx/compiler.hpp"
 #include "sdx/incremental.hpp"
 #include "sdx/participant.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sdx::core {
 
@@ -94,6 +95,14 @@ class SdxRuntime {
   bool wire_distribution() const { return frontend_ != nullptr; }
   const BgpFrontend* frontend() const { return frontend_.get(); }
 
+  /// Advances the wire sessions' hold/keepalive clocks (no-op without wire
+  /// distribution). A session that drops is surfaced, not swallowed: the
+  /// drop is counted (`sdx_frontend_session_drops_total`), the
+  /// participant's routes are withdrawn and its policies removed via
+  /// session_down(), and the dropped ids are returned so the operator loop
+  /// can react (e.g. reconnect).
+  std::vector<ParticipantId> advance_clock(double seconds);
+
   /// RPKI origin validation (paper §3.2: the SDX verifies prefix ownership
   /// before originating a route for a remote participant).
   enum class RpkiMode {
@@ -132,6 +141,25 @@ class SdxRuntime {
   const std::vector<UpdateReport>& update_log() const { return update_log_; }
   void clear_update_log() { update_log_.clear(); }
 
+  // --- telemetry ------------------------------------------------------------
+
+  /// The runtime's measurement plane. Every layer reports here: route
+  /// server (RIB size, churn), compiler (per-stage spans + histograms),
+  /// §4.3.2 fast path, BGP frontend (updates, bytes, session drops), ARP
+  /// responder and fabric flow table.
+  telemetry::Telemetry& telemetry() { return telemetry_; }
+  const telemetry::Telemetry& telemetry() const { return telemetry_; }
+
+  /// Prometheus text exposition of every metric, with occupancy gauges
+  /// (flow-table rules, ARP bindings, RIB size) refreshed first. The
+  /// counter series are byte-stable across CompileOptions::threads values.
+  std::string dump_metrics();
+
+  /// Chrome trace-event JSON of every recorded span (open in
+  /// about:tracing or ui.perfetto.dev). Compiler-stage spans nest under
+  /// their compile span.
+  std::string dump_trace() const;
+
   // --- data plane -----------------------------------------------------------
 
   dp::Fabric& fabric() { return fabric_; }
@@ -164,6 +192,18 @@ class SdxRuntime {
   void bind_arp(const CompiledSdx& compiled);
   void handle_post_install_update(Ipv4Prefix prefix);
   std::optional<VnhBinding> advertised_binding(Ipv4Prefix prefix) const;
+
+  /// Declared first so every layer holding metric handles (route server,
+  /// fabric hooks, cached counters below) is destroyed before it.
+  telemetry::Telemetry telemetry_;
+  /// Cached instrument handles for the per-update hot paths (registered
+  /// once in the constructor; registry handles are stable).
+  telemetry::Counter* fast_updates_ = nullptr;
+  telemetry::Counter* fast_rules_ = nullptr;
+  telemetry::Histogram* fast_seconds_ = nullptr;
+  telemetry::Counter* frontend_updates_ = nullptr;
+  telemetry::Counter* frontend_bytes_ = nullptr;
+  telemetry::Counter* frontend_drops_ = nullptr;
 
   bgp::RouteServer server_;
   CompileOptions options_;

@@ -1,0 +1,273 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdx::telemetry {
+
+namespace {
+
+/// Numbers render deterministically: integral values without a decimal
+/// point, everything else with enough digits to round-trip shapes we care
+/// about. (Counter series must be byte-stable across runs; %g would print
+/// 3 as "3" anyway, but keep the rule explicit.)
+std::string fmt_number(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// `{k="v",k2="v2"}` — empty string for no labels. Doubles as the
+/// instrument's sort/identity key inside its family.
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+/// Label string with one extra pair spliced in (for histogram `le`).
+std::string render_labels_with(const Labels& labels, std::string_view key,
+                               std::string_view value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return render_labels(extended);
+}
+
+std::string_view kind_name(int kind) {
+  switch (kind) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("histogram bounds must ascend");
+  }
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::cumulative() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    out[i] = running;
+  }
+  return out;
+}
+
+std::vector<double> time_buckets() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+MetricRegistry::Family& MetricRegistry::family(std::string_view name,
+                                               std::string_view help,
+                                               Kind kind) {
+  auto [it, inserted] = families_.try_emplace(std::string(name));
+  Family& fam = it->second;
+  if (inserted) {
+    fam.kind = kind;
+    fam.help = help;
+  } else if (fam.kind != kind) {
+    throw std::invalid_argument(
+        std::string(name) + " already registered as " +
+        std::string(kind_name(static_cast<int>(fam.kind))));
+  }
+  return fam;
+}
+
+MetricRegistry::Instrument& MetricRegistry::instrument(Family& fam,
+                                                       Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  auto [it, _] = fam.instruments.try_emplace(render_labels(labels));
+  Instrument& inst = it->second;
+  inst.labels = std::move(labels);
+  return inst;
+}
+
+Counter& MetricRegistry::counter(std::string_view name, std::string_view help,
+                                 Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst =
+      instrument(family(name, help, Kind::kCounter), std::move(labels));
+  if (!inst.counter) inst.counter = std::make_unique<Counter>();
+  return *inst.counter;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name, std::string_view help,
+                             Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst =
+      instrument(family(name, help, Kind::kGauge), std::move(labels));
+  if (!inst.gauge) inst.gauge = std::make_unique<Gauge>();
+  return *inst.gauge;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name,
+                                     std::string_view help,
+                                     std::vector<double> bounds,
+                                     Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bounds.empty()) bounds = time_buckets();
+  Family& fam = family(name, help, Kind::kHistogram);
+  if (fam.instruments.empty()) {
+    fam.bounds = bounds;
+  } else if (fam.bounds != bounds) {
+    throw std::invalid_argument(std::string(name) +
+                                ": histogram bounds differ from family");
+  }
+  Instrument& inst = instrument(fam, std::move(labels));
+  if (!inst.histogram) inst.histogram = std::make_unique<Histogram>(bounds);
+  return *inst.histogram;
+}
+
+std::string MetricRegistry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, fam] : families_) {
+    if (!fam.help.empty()) os << "# HELP " << name << " " << fam.help << "\n";
+    os << "# TYPE " << name << " "
+       << kind_name(static_cast<int>(fam.kind)) << "\n";
+    for (const auto& [label_str, inst] : fam.instruments) {
+      switch (fam.kind) {
+        case Kind::kCounter:
+          os << name << label_str << " " << inst.counter->value() << "\n";
+          break;
+        case Kind::kGauge:
+          os << name << label_str << " " << fmt_number(inst.gauge->value())
+             << "\n";
+          break;
+        case Kind::kHistogram: {
+          const auto cumulative = inst.histogram->cumulative();
+          const auto& bounds = inst.histogram->bounds();
+          for (std::size_t i = 0; i < cumulative.size(); ++i) {
+            const std::string le = i < bounds.size()
+                                       ? fmt_number(bounds[i])
+                                       : std::string("+Inf");
+            os << name << "_bucket"
+               << render_labels_with(inst.labels, "le", le) << " "
+               << cumulative[i] << "\n";
+          }
+          os << name << "_sum" << label_str << " "
+             << fmt_number(inst.histogram->sum()) << "\n";
+          os << name << "_count" << label_str << " "
+             << inst.histogram->count() << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string MetricRegistry::render_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  auto labels_json = [](const Labels& labels) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += "\"" + json_escape(labels[i].first) + "\":\"" +
+             json_escape(labels[i].second) + "\"";
+    }
+    out.push_back('}');
+    return out;
+  };
+  os << "{\"counters\":[";
+  bool first = true;
+  for (const auto& [name, fam] : families_) {
+    if (fam.kind != Kind::kCounter) continue;
+    for (const auto& [_, inst] : fam.instruments) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"" << json_escape(name)
+         << "\",\"labels\":" << labels_json(inst.labels)
+         << ",\"value\":" << inst.counter->value() << "}";
+    }
+  }
+  os << "],\"gauges\":[";
+  first = true;
+  for (const auto& [name, fam] : families_) {
+    if (fam.kind != Kind::kGauge) continue;
+    for (const auto& [_, inst] : fam.instruments) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"" << json_escape(name)
+         << "\",\"labels\":" << labels_json(inst.labels)
+         << ",\"value\":" << fmt_number(inst.gauge->value()) << "}";
+    }
+  }
+  os << "],\"histograms\":[";
+  first = true;
+  for (const auto& [name, fam] : families_) {
+    if (fam.kind != Kind::kHistogram) continue;
+    for (const auto& [_, inst] : fam.instruments) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"" << json_escape(name)
+         << "\",\"labels\":" << labels_json(inst.labels)
+         << ",\"count\":" << inst.histogram->count()
+         << ",\"sum\":" << fmt_number(inst.histogram->sum())
+         << ",\"buckets\":[";
+      const auto cumulative = inst.histogram->cumulative();
+      const auto& bounds = inst.histogram->bounds();
+      for (std::size_t i = 0; i < cumulative.size(); ++i) {
+        if (i > 0) os << ",";
+        os << "{\"le\":\""
+           << (i < bounds.size() ? fmt_number(bounds[i]) : "+Inf")
+           << "\",\"count\":" << cumulative[i] << "}";
+      }
+      os << "]}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace sdx::telemetry

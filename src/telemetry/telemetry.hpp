@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file telemetry.hpp
+/// The bundle a component hands around to be measured: one metric registry
+/// plus one span tracer. SdxRuntime owns a Telemetry and threads a pointer
+/// to it through the compiler and incremental engine; standalone users
+/// (benchmarks, tests) construct their own. All members are individually
+/// thread-safe, so one bundle can serve every layer of the controller at
+/// once.
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace sdx::telemetry {
+
+struct Telemetry {
+  MetricRegistry metrics;
+  SpanTracer tracer;
+};
+
+}  // namespace sdx::telemetry

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sdx/bgp_frontend.hpp"
 #include "sdx/runtime.hpp"
 
@@ -59,6 +61,57 @@ TEST(BgpFrontendTest, KeepalivesSurviveLongIdlePeriods) {
   for (int tick = 0; tick < 30; ++tick) {
     EXPECT_TRUE(frontend.advance_clock(10.0).empty());
   }
+  EXPECT_TRUE(frontend.established(1));
+}
+
+TEST(BgpFrontendTest, CountsDistributionBytesButNotHandshakes) {
+  BgpFrontend frontend;
+  dp::BorderRouter r1(65001, 1, net::MacAddress(0x11),
+                      Ipv4Address::parse("10.0.0.1"));
+  dp::BorderRouter r2(65002, 2, net::MacAddress(0x22),
+                      Ipv4Address::parse("10.0.0.2"));
+  frontend.connect(1, r1);
+  frontend.connect(2, r2);
+  // Handshake traffic (OPEN/KEEPALIVE) is not distribution.
+  EXPECT_EQ(frontend.bytes_distributed(), 0u);
+
+  bgp::UpdateMessage u;
+  bgp::RouteAttributes attrs;
+  attrs.as_path = net::AsPath{64999, 65002};
+  attrs.next_hop = Ipv4Address::parse("172.16.0.1");
+  u.attrs = attrs;
+  u.nlri = {Ipv4Prefix::parse("100.1.0.0/16")};
+  const std::size_t first = frontend.distribute(1, u);
+  EXPECT_EQ(frontend.bytes_distributed(), first);
+  const std::size_t broadcast = frontend.distribute_all(u);
+  EXPECT_EQ(frontend.bytes_distributed(), first + broadcast);
+  EXPECT_GE(broadcast, 2 * first);  // two peers, same frame each way
+  EXPECT_EQ(frontend.updates_distributed(), 3u);
+}
+
+TEST(BgpFrontendTest, HoldTimerExpiryDropsAndTearsDownSessions) {
+  BgpFrontend frontend;
+  dp::BorderRouter r1(65001, 1, net::MacAddress(0x11),
+                      Ipv4Address::parse("10.0.0.1"));
+  dp::BorderRouter r2(65002, 2, net::MacAddress(0x22),
+                      Ipv4Address::parse("10.0.0.2"));
+  frontend.connect(1, r1);
+  frontend.connect(2, r2);
+
+  // One jump past the 90 s hold time expires both sessions at once.
+  auto dropped = frontend.advance_clock(1000.0);
+  std::sort(dropped.begin(), dropped.end());
+  EXPECT_EQ(dropped, (std::vector<ParticipantId>{1, 2}));
+  EXPECT_EQ(frontend.session_drops(), 2u);
+  EXPECT_FALSE(frontend.established(1));
+  EXPECT_FALSE(frontend.established(2));
+  // The links are torn down, not left as zombies: nothing re-reports, and
+  // distribution to a dropped peer is a hard error until reconnect.
+  EXPECT_TRUE(frontend.advance_clock(1000.0).empty());
+  EXPECT_EQ(frontend.session_drops(), 2u);
+  EXPECT_THROW(frontend.distribute(1, bgp::UpdateMessage{}),
+               std::out_of_range);
+  frontend.connect(1, r1);
   EXPECT_TRUE(frontend.established(1));
 }
 

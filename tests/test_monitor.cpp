@@ -55,6 +55,54 @@ TEST(TrafficMonitor, HeaviestFirstOrdering) {
   EXPECT_EQ(hh[2].packets, 3u);
 }
 
+TEST(TrafficMonitor, TieOrderingIsDeterministic) {
+  // Equal-weight hitters must come back in (block, victim) order no matter
+  // what order the hash map iterated them in — reactive applications key
+  // decisions off the list head, so ties cannot depend on the standard
+  // library. Interleave the observations to scramble insertion order.
+  TrafficMonitor mon(10.0);
+  for (int i = 0; i < 4; ++i) {
+    mon.observe(0.0, from("20.0.0.1"), 1);
+    mon.observe(0.0, from("10.0.0.1"), 2);
+    mon.observe(0.0, from("10.0.0.1"), 1);
+    mon.observe(0.0, from("30.0.0.1"), 1);
+  }
+  auto hh = mon.heavy_hitters(0.0, 4);
+  ASSERT_EQ(hh.size(), 4u);
+  EXPECT_EQ(hh[0].source_block, Ipv4Prefix::parse("10.0.0.0/24"));
+  EXPECT_EQ(hh[0].victim, 1u);
+  EXPECT_EQ(hh[1].source_block, Ipv4Prefix::parse("10.0.0.0/24"));
+  EXPECT_EQ(hh[1].victim, 2u);
+  EXPECT_EQ(hh[2].source_block, Ipv4Prefix::parse("20.0.0.0/24"));
+  EXPECT_EQ(hh[3].source_block, Ipv4Prefix::parse("30.0.0.0/24"));
+}
+
+TEST(TrafficMonitor, TieOrderingSurvivesWindowPruning) {
+  // Pruning can demote a leader into a tie; the demoted key must then slot
+  // into the deterministic order, not keep its old position.
+  TrafficMonitor mon(/*window_s=*/5.0);
+  mon.observe(0.0, from("30.0.0.1"), 1);
+  mon.observe(0.0, from("30.0.0.1"), 1);
+  for (const char* src : {"10.0.0.1", "20.0.0.1", "30.0.0.1"}) {
+    for (int i = 0; i < 3; ++i) mon.observe(3.0, from(src), 1);
+  }
+  // Inside the window 30/24 leads with 5.
+  auto before = mon.heavy_hitters(4.0, 1);
+  ASSERT_EQ(before.size(), 3u);
+  EXPECT_EQ(before[0].source_block, Ipv4Prefix::parse("30.0.0.0/24"));
+  EXPECT_EQ(before[0].packets, 5u);
+  EXPECT_EQ(before[1].source_block, Ipv4Prefix::parse("10.0.0.0/24"));
+  EXPECT_EQ(before[2].source_block, Ipv4Prefix::parse("20.0.0.0/24"));
+  // At t=6 the two t=0 samples age out: a three-way tie at 3 packets,
+  // reported in block order.
+  auto after = mon.heavy_hitters(6.0, 1);
+  ASSERT_EQ(after.size(), 3u);
+  EXPECT_EQ(after[0].source_block, Ipv4Prefix::parse("10.0.0.0/24"));
+  EXPECT_EQ(after[1].source_block, Ipv4Prefix::parse("20.0.0.0/24"));
+  EXPECT_EQ(after[2].source_block, Ipv4Prefix::parse("30.0.0.0/24"));
+  for (const auto& hh : after) EXPECT_EQ(hh.packets, 3u);
+}
+
 TEST(TrafficMonitor, ConfigurableBlockLength) {
   TrafficMonitor mon(10.0, /*block_len=*/16);
   mon.observe(0, from("198.18.7.9"), 1);

@@ -1,0 +1,193 @@
+/// Acceptance tests for the runtime's telemetry wiring (ISSUE tentpole):
+/// a full install() plus one fast-path announce() must surface route-server,
+/// compiler-stage, fast-path, frontend and flow-table series in one
+/// Prometheus dump; the trace must nest the five compiler stages under one
+/// compile span; and the counter series must be byte-identical across
+/// CompileOptions::threads values.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sdx/runtime.hpp"
+
+namespace sdx::core {
+namespace {
+
+using net::Ipv4Prefix;
+using telemetry::SpanTracer;
+
+/// The shared workload: wire distribution, an outbound policy, two
+/// announcements before install, one fast-path announcement and a withdraw
+/// after, and a couple of data-plane packets.
+void drive(SdxRuntime& rt) {
+  rt.use_wire_distribution();
+  auto a = rt.add_participant("A", 65001);
+  auto b = rt.add_participant("B", 65002);
+  auto c = rt.add_participant("C", 65003);
+  rt.set_outbound(a, {OutboundClause{ClauseMatch{}.dst_port(80), b}});
+  rt.announce(b, Ipv4Prefix::parse("100.1.0.0/16"), net::AsPath{65002, 9});
+  rt.announce(c, Ipv4Prefix::parse("100.1.0.0/16"), net::AsPath{65003});
+  rt.install();
+  rt.announce(c, Ipv4Prefix::parse("100.2.0.0/16"), net::AsPath{65003});
+  rt.withdraw(b, Ipv4Prefix::parse("100.1.0.0/16"));
+  for (std::uint64_t port : {80u, 53u}) {
+    auto payload = net::PacketBuilder()
+                       .src_ip("96.25.160.5")
+                       .dst_ip("100.1.2.3")
+                       .proto(net::kProtoTcp)
+                       .dst_port(port)
+                       .build();
+    rt.send(a, payload);
+  }
+}
+
+/// The byte-stability contract covers the counter series: every sample (and
+/// header) line of a `_total` family, in exposition order.
+std::vector<std::string> counter_lines(const std::string& dump) {
+  std::vector<std::string> out;
+  std::istringstream is(dump);
+  for (std::string line; std::getline(is, line);) {
+    if (line.find("_total") != std::string::npos) out.push_back(line);
+  }
+  return out;
+}
+
+TEST(RuntimeTelemetry, InstallPlusFastPathSurfacesEverySeries) {
+  SdxRuntime rt;
+  drive(rt);
+  const std::string dump = rt.dump_metrics();
+
+  // Route server: churn counters and the occupancy gauge. Three
+  // announcements, one withdrawal; 100.1.0.0/16 best-route changes on the
+  // second announce and on the withdrawal.
+  EXPECT_NE(dump.find("sdx_route_server_announcements_total 3"),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("sdx_route_server_withdrawals_total 1"),
+            std::string::npos);
+  EXPECT_NE(dump.find("sdx_route_server_prefixes 2"), std::string::npos);
+  EXPECT_NE(dump.find("# TYPE sdx_route_server_best_changes_total counter"),
+            std::string::npos);
+
+  // Compiler: one full pipeline run, every stage priced once.
+  EXPECT_NE(dump.find("sdx_compile_runs_total 1"), std::string::npos);
+  for (const char* stage :
+       {"snapshot", "reach", "fec_vnh", "synth", "compose"}) {
+    EXPECT_NE(dump.find("sdx_compile_stage_seconds_count{stage=\"" +
+                        std::string(stage) + "\"} 1"),
+              std::string::npos)
+        << stage;
+  }
+
+  // §4.3.2 fast path: the post-install announce and withdraw ran it.
+  EXPECT_NE(dump.find("sdx_fast_path_updates_total 2"), std::string::npos);
+  EXPECT_NE(dump.find("# TYPE sdx_fast_path_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(dump.find("sdx_fast_path_seconds_count 2"), std::string::npos);
+
+  // Frontend: pre-install readvertisements (2 announces × 3 peers),
+  // install's readvertisement (1 prefix × 3) and two fast-path
+  // readvertisements (2 × 3) all crossed the wire.
+  EXPECT_NE(dump.find("sdx_frontend_updates_total 15"), std::string::npos);
+  EXPECT_GT(rt.telemetry().metrics.counter("sdx_frontend_bytes_total").value(),
+            0u);
+  EXPECT_NE(dump.find("sdx_frontend_session_drops_total 0"),
+            std::string::npos);
+
+  // Data plane: one delivered packet per port-80 send, occupancy gauges
+  // refreshed by dump_metrics().
+  EXPECT_NE(dump.find("sdx_flow_table_matched_total"), std::string::npos);
+  EXPECT_GT(rt.telemetry().metrics.counter("sdx_flow_table_matched_total")
+                .value(),
+            0u);
+  EXPECT_GT(rt.telemetry().metrics.gauge("sdx_flow_table_rules").value(), 0);
+  EXPECT_NE(dump.find("# TYPE sdx_arp_queries_total counter"),
+            std::string::npos);
+}
+
+TEST(RuntimeTelemetry, CompilerStageSpansNestUnderOneCompileSpan) {
+  SdxRuntime rt;
+  drive(rt);
+  const auto records = rt.telemetry().tracer.records();
+
+  std::vector<SpanTracer::Record> compiles;
+  for (const auto& r : records) {
+    if (r.name == "compile") compiles.push_back(r);
+  }
+  ASSERT_EQ(compiles.size(), 1u);  // one install() → one pipeline run
+  const auto& compile = compiles.front();
+
+  for (const char* stage :
+       {"snapshot", "reach", "fec_vnh", "synth", "compose"}) {
+    auto it = std::find_if(
+        records.begin(), records.end(),
+        [stage](const SpanTracer::Record& r) { return r.name == stage; });
+    ASSERT_NE(it, records.end()) << stage;
+    EXPECT_TRUE(compile.encloses(*it)) << stage;
+  }
+  // The compile itself sits inside the install() span, and the post-install
+  // updates recorded fast_update spans.
+  auto install = std::find_if(
+      records.begin(), records.end(),
+      [](const SpanTracer::Record& r) { return r.name == "install"; });
+  ASSERT_NE(install, records.end());
+  EXPECT_TRUE(install->encloses(compile));
+  EXPECT_EQ(std::count_if(records.begin(), records.end(),
+                          [](const SpanTracer::Record& r) {
+                            return r.name == "fast_update";
+                          }),
+            2);
+
+  // And the exported Chrome JSON carries them as complete events.
+  const std::string json = rt.dump_trace();
+  EXPECT_NE(json.find("\"name\":\"compile\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"compose\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(RuntimeTelemetry, CounterSeriesByteStableAcrossThreadCounts) {
+  auto run = [](unsigned threads) {
+    CompileOptions opt;
+    opt.threads = threads;
+    SdxRuntime rt({}, opt);
+    drive(rt);
+    return rt.dump_metrics();
+  };
+  const auto serial = counter_lines(run(1));
+  const auto parallel = counter_lines(run(8));
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(RuntimeTelemetry, AdvanceClockSurfacesSessionDrops) {
+  SdxRuntime rt;
+  rt.use_wire_distribution();
+  auto a = rt.add_participant("A", 65001);
+  auto b = rt.add_participant("B", 65002);
+  rt.announce(b, Ipv4Prefix::parse("100.1.0.0/16"), net::AsPath{65002});
+  rt.install();
+  ASSERT_EQ(rt.route_server().prefix_count(), 1u);
+
+  // One jump past the 90 s hold time kills both sessions. The runtime
+  // surfaces the drops: returned ids, counted drops, withdrawn routes.
+  auto dropped = rt.advance_clock(1000.0);
+  std::sort(dropped.begin(), dropped.end());
+  EXPECT_EQ(dropped, (std::vector<ParticipantId>{a, b}));
+  EXPECT_FALSE(rt.frontend()->established(a));
+  EXPECT_EQ(rt.route_server().prefix_count(), 0u);
+  EXPECT_NE(rt.dump_metrics().find("sdx_frontend_session_drops_total 2"),
+            std::string::npos);
+  // The sessions are gone, not zombies: another tick reports nothing new.
+  EXPECT_TRUE(rt.advance_clock(1000.0).empty());
+
+  // Without wire distribution the clock is a no-op.
+  SdxRuntime direct;
+  EXPECT_TRUE(direct.advance_clock(1000.0).empty());
+}
+
+}  // namespace
+}  // namespace sdx::core
