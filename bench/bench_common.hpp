@@ -32,6 +32,15 @@ inline unsigned bench_threads() {
   return 0;
 }
 
+/// Smoke mode (SDX_BENCH_SMOKE=1): benches shrink their workloads and
+/// iteration counts so CI can exercise every code path end-to-end in
+/// seconds. The rows keep their shape (same columns, fewer/smaller
+/// configurations) — useful as an artifact, not as a measurement.
+inline bool smoke() {
+  const char* env = std::getenv("SDX_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 /// A generated IXP with §6.1 policies installed. \p policy_prefix_count is
 /// the paper's x knob — the number of randomly-selected prefixes that SDX
 /// policies apply to (0 = clauses unrestricted).

@@ -96,6 +96,7 @@ std::vector<RouteServer::BestChange> RouteServer::announce(Route route) {
     adv_[route.learned_from].insert(prefix);
     ranked.insert(pos, std::move(route));
   });
+  ++version_;
   if (announcements_ != nullptr) {
     announcements_->inc();
     best_changes_->inc(changes.size());
@@ -119,6 +120,7 @@ std::vector<RouteServer::BestChange> RouteServer::withdraw(
     if (it->second.empty()) rib_.erase(it);
     if (auto a = adv_.find(from); a != adv_.end()) a->second.erase(prefix);
   });
+  ++version_;
   if (withdrawals_ != nullptr) {
     withdrawals_->inc();
     best_changes_->inc(changes.size());

@@ -43,12 +43,37 @@ void ThreadPool::drain(Job& job) {
   }
 }
 
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> result = packaged.get_future();
+  if (size_ == 1) {
+    packaged();  // no workers: degenerate to synchronous execution
+    return result;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tasks_.push_back(std::move(packaged));
+  }
+  wake_.notify_all();
+  return result;
+}
+
 void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    wake_.wait(lk, [this, seen] { return stop_ || epoch_ != seen; });
+    wake_.wait(lk, [this, seen] {
+      return stop_ || epoch_ != seen || !tasks_.empty();
+    });
     if (stop_) return;
+    if (!tasks_.empty()) {
+      std::packaged_task<void()> task = std::move(tasks_.front());
+      tasks_.pop_front();
+      lk.unlock();
+      task();  // exceptions land in the task's future
+      lk.lock();
+      continue;
+    }
     seen = epoch_;
     Job* job = job_;
     if (job == nullptr) continue;  // job already retired by the caller

@@ -20,6 +20,12 @@
 ///     promised between chunks, which is exactly what those instruments
 ///     need. tests/test_telemetry.cpp holds this contract under TSan.
 ///
+/// Besides the fork/join loops the pool accepts one-off background tasks
+/// (`submit`) — the execution vehicle of the runtime's asynchronous
+/// background recompilation. Tasks and loops share the workers: a worker
+/// busy on a task simply doesn't claim loop chunks (the caller always
+/// participates, so loops still complete).
+///
 /// The pool is cheap to construct (workers are spawned once, parked on a
 /// condition variable between loops) but it is not reentrant: calling
 /// `parallel_for` from inside a loop body is undefined.
@@ -27,8 +33,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -56,6 +64,14 @@ class ThreadPool {
   /// after the loop completes.
   void parallel_for(std::size_t n, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// One-off background task: runs \p task on the first free worker (FIFO)
+  /// and returns a future that becomes ready when it finishes (exceptions
+  /// propagate through the future). With no workers (size() == 1) the task
+  /// runs inline on the submitting thread and the future is already ready.
+  /// Tasks still queued when the pool is destroyed are dropped — their
+  /// futures surface std::future_error(broken_promise).
+  std::future<void> submit(std::function<void()> task);
 
   /// Index-slotted map: out[i] = fn(i), with fn invoked concurrently.
   template <typename F>
@@ -89,6 +105,7 @@ class ThreadPool {
   std::condition_variable wake_;  ///< workers: a new job is posted
   std::condition_variable done_;  ///< caller: job complete, workers drained
   Job* job_ = nullptr;            ///< current job (under mu_)
+  std::deque<std::packaged_task<void()>> tasks_;  ///< submitted (under mu_)
   std::uint64_t epoch_ = 0;       ///< bumped per job so workers wake once
   bool stop_ = false;
 };

@@ -63,6 +63,45 @@ void record_compile_metrics(telemetry::MetricRegistry& reg,
 
 }  // namespace
 
+std::string CompiledSdx::fingerprint() const {
+  std::string out = fabric.to_string();
+  out += "--bindings--\n";
+  for (const auto& b : bindings) {
+    out += b.vnh.to_string();
+    out += '/';
+    out += b.vmac.to_string();
+    out += '\n';
+  }
+  out += "--groups--\n";
+  for (const auto& g : fecs.groups) {
+    for (auto p : g.prefixes) {
+      out += p.to_string();
+      out += ' ';
+    }
+    out += '|';
+    for (auto c : g.clauses) {
+      out += std::to_string(c);
+      out += ' ';
+    }
+    out += '|';
+    for (const auto& d : g.defaults) {
+      out += d ? std::to_string(*d) : "-";
+      out += ' ';
+    }
+    out += '\n';
+  }
+  out += "--reaches--\n";
+  for (const auto& r : reaches) {
+    out += std::to_string(r.owner);
+    out += ':';
+    out += std::to_string(r.clause_index);
+    out += '=';
+    out += std::to_string(r.prefixes.size());
+    out += '\n';
+  }
+  return out;
+}
+
 SdxCompiler::SdxCompiler(const std::vector<Participant>& participants,
                          const PortMap& ports,
                          const bgp::RouteServer& server,

@@ -105,6 +105,13 @@ struct CompiledSdx {
     if (it == fecs.group_of.end()) return std::nullopt;
     return bindings[it->second];
   }
+
+  /// Deterministic digest of the compiled artifact: fabric rules (contents
+  /// and order), VNH/VMAC bindings, FEC groups and clause reach sets —
+  /// everything except timings/stats. Two compilations are byte-identical
+  /// iff their fingerprints compare equal; the async-vs-sync and
+  /// threads-1-vs-N golden tests pivot on this.
+  std::string fingerprint() const;
 };
 
 class SdxCompiler {

@@ -1,6 +1,7 @@
 #include "sdx/fec.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "netbase/parallel.hpp"
 
@@ -48,21 +49,31 @@ FecResult compute_fecs(
     const std::vector<ClauseReach>& clauses,
     const std::function<DefaultVector(Ipv4Prefix)>& defaults_of,
     net::ThreadPool* pool) {
-  // Pass 1: per-prefix clause membership.
+  // Pass 1: per-prefix clause membership. Sized for the no-overlap worst
+  // case (every reach entry a distinct prefix) so the hot insert loop never
+  // rehashes.
   std::unordered_map<Ipv4Prefix, std::vector<std::uint32_t>> membership;
+  std::size_t reach_total = 0;
+  for (const auto& c : clauses) reach_total += c.prefixes.size();
+  membership.reserve(reach_total);
   for (std::uint32_t cid = 0; cid < clauses.size(); ++cid) {
     for (auto prefix : clauses[cid].prefixes) {
       membership[prefix].push_back(cid);
     }
   }
 
-  // Canonical processing order: sorted prefixes. Group ids are assigned by
-  // first appearance in this order, which fixes them independently of hash
+  // Canonical processing order: sorted prefixes, each carrying its clause
+  // set out of the membership map — built once here so the sharded pass
+  // below never re-probes the map. Group ids are assigned by first
+  // appearance in this order, which fixes them independently of hash
   // iteration order and of the sharding below.
-  std::vector<Ipv4Prefix> order;
+  std::vector<std::pair<Ipv4Prefix, std::vector<std::uint32_t>>> order;
   order.reserve(membership.size());
-  for (const auto& [prefix, _] : membership) order.push_back(prefix);
-  std::sort(order.begin(), order.end());
+  for (auto& [prefix, cids] : membership) {
+    order.emplace_back(prefix, std::move(cids));
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
 
   // Passes 2+3, sharded: each shard groups its own prefixes by (clause
   // set, default vector); shards are independent so they run in parallel.
@@ -72,21 +83,27 @@ FecResult compute_fecs(
       std::clamp<std::size_t>(width * 2, 1, std::max<std::size_t>(
                                                 order.size() / 64, 1));
   std::vector<Shard> shards(n_shards);
+  for (auto& shard : shards) {
+    shard.indices.reserve(order.size() / n_shards + 1);
+  }
   for (std::size_t i = 0; i < order.size(); ++i) {
-    shards[std::hash<Ipv4Prefix>{}(order[i]) % n_shards].indices.push_back(i);
+    shards[std::hash<Ipv4Prefix>{}(order[i].first) % n_shards]
+        .indices.push_back(i);
   }
 
   auto run_shard = [&](Shard& shard) {
     for (std::size_t i : shard.indices) {
-      const Ipv4Prefix prefix = order[i];
-      auto& cids = membership.find(prefix)->second;
+      const Ipv4Prefix prefix = order[i].first;
+      auto& cids = order[i].second;
       std::sort(cids.begin(), cids.end());
       cids.erase(std::unique(cids.begin(), cids.end()), cids.end());
       DefaultVector defaults = defaults_of(prefix);
       const std::uint64_t sig = hash_signature(cids, defaults);
 
+      // One bucket probe serves both the candidate scan and a miss insert.
+      auto& bucket = shard.buckets[sig];
       ShardGroup* group = nullptr;
-      for (std::uint32_t candidate : shard.buckets[sig]) {
+      for (std::uint32_t candidate : bucket) {
         ShardGroup& g = shard.groups[candidate];
         if (g.clauses == cids && g.defaults == defaults) {
           group = &g;
@@ -94,8 +111,7 @@ FecResult compute_fecs(
         }
       }
       if (group == nullptr) {
-        shard.buckets[sig].push_back(
-            static_cast<std::uint32_t>(shard.groups.size()));
+        bucket.push_back(static_cast<std::uint32_t>(shard.groups.size()));
         ShardGroup g;
         g.clauses = cids;
         g.defaults = std::move(defaults);

@@ -2,18 +2,37 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <unordered_set>
+#include <utility>
 
 #include "policy/compile.hpp"
 
 namespace sdx::core {
 
 using policy::ActionSeq;
+using policy::Classifier;
 using policy::Rule;
 using net::Field;
 using net::FlowMatch;
 
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
 const CompiledSdx& IncrementalEngine::full_recompile(VnhAllocator& vnh) {
   current_ = compiler_.compile(vnh);
+  stage2_cache_.clear();
+  return *current_;
+}
+
+const CompiledSdx& IncrementalEngine::adopt(CompiledSdx compiled) {
+  current_ = std::move(compiled);
   stage2_cache_.clear();
   return *current_;
 }
@@ -31,58 +50,33 @@ const policy::Classifier& IncrementalEngine::stage2_cached(ParticipantId id) {
   return it->second;
 }
 
-IncrementalEngine::FastPathResult IncrementalEngine::fast_update(
-    Ipv4Prefix prefix, VnhAllocator& vnh) {
-  const auto t0 = std::chrono::steady_clock::now();
-  FastPathResult result;
-  result.prefix = prefix;
-
-  const auto& participants = compiler_.participants();
-  const PortMap& ports = compiler_.ports_;
-  const bgp::RouteServer& server = compiler_.server_;
-
+std::vector<IncrementalEngine::Hit> IncrementalEngine::hits_for(
+    Ipv4Prefix prefix) const {
   // Which clauses does the prefix fall into now? (Restricted compilation:
   // only the parts of the policy related to p.)
-  struct Hit {
-    const Participant* owner;
-    const OutboundClause* clause;
-  };
+  const bgp::RouteServer& server = compiler_.server_;
   std::vector<Hit> hits;
-  for (const auto& p : participants) {
+  std::uint32_t id = 0;
+  for (const auto& p : compiler_.participants()) {
     for (const auto& c : p.outbound) {
+      const std::uint32_t clause_id = id++;
       if (!server.exports_to(c.to, p.id, prefix)) continue;
       if (!c.match.dst_prefixes.empty()) {
         bool contained = false;
         for (auto dp : c.match.dst_prefixes) contained |= dp.contains(prefix);
         if (!contained) continue;
       }
-      hits.push_back(Hit{&p, &c});
+      hits.push_back(Hit{&p, &c, clause_id});
     }
   }
+  return hits;
+}
 
-  const DefaultVector defaults = compiler_.defaults_for(prefix);
-  const bool any_default =
-      std::any_of(defaults.begin(), defaults.end(),
-                  [](const auto& d) { return d.has_value(); });
-
-  if (hits.empty() && !any_default) {
-    result.seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - t0)
-                         .count();
-    return result;  // prefix fully withdrawn: nothing to install
-  }
-  if (hits.empty() && !compiler_.options_.vmac_grouping) {
-    // Without VMAC grouping there are no per-prefix default rules either.
-    result.seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - t0)
-                         .count();
-    return result;
-  }
-
-  // Assume a new VNH is needed — no minimum-disjoint-set computation.
-  const VnhBinding binding = vnh.allocate();
-  result.binding = binding;
-
+std::size_t IncrementalEngine::synth_and_compose(
+    const std::vector<Hit>& hits, const DefaultVector& defaults,
+    const VnhBinding& binding, std::vector<Rule>& out,
+    std::size_t& compositions) {
+  const PortMap& ports = compiler_.ports_;
   std::vector<Rule> stage1;
   for (const auto& hit : hits) {
     const ActionSeq act = ActionSeq::set(Field::kPort,
@@ -99,26 +93,128 @@ IncrementalEngine::FastPathResult IncrementalEngine::fast_update(
   compiler_.synthesize_group_defaults(defaults, binding.vmac, stage1);
 
   // Targeted composition through the memoized stage-2 classifiers.
+  std::vector<Rule> composed;
   for (auto& r : stage1) {
     const ActionSeq& act = r.actions.front();
     const auto port_written = act.written(Field::kPort);
     if (!port_written ||
         !PortMap::is_virtual(static_cast<net::PortId>(*port_written))) {
-      result.rules.push_back(std::move(r));
+      composed.push_back(std::move(r));
       continue;
     }
     const ParticipantId target =
         ports.vport_owner(static_cast<net::PortId>(*port_written));
-    auto composed = policy::pull_back(r.match, act, stage2_cached(target));
-    result.rules.insert(result.rules.end(),
-                        std::make_move_iterator(composed.begin()),
-                        std::make_move_iterator(composed.end()));
+    auto run = policy::pull_back(r.match, act, stage2_cached(target));
+    ++compositions;
+    composed.insert(composed.end(), std::make_move_iterator(run.begin()),
+                    std::make_move_iterator(run.end()));
   }
 
-  result.additional_rules = result.rules.size();
-  result.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  // De-duplicated installation: drop exact-duplicate matches (first wins —
+  // priority-correct) so a burst never installs the same rule twice.
+  Classifier dedup(std::move(composed));
+  dedup.optimize(false);
+  std::vector<Rule> rules = std::move(dedup.rules());
+  const std::size_t appended = rules.size();
+  out.insert(out.end(), std::make_move_iterator(rules.begin()),
+             std::make_move_iterator(rules.end()));
+  return appended;
+}
+
+IncrementalEngine::FastPathResult IncrementalEngine::fast_update(
+    Ipv4Prefix prefix, VnhAllocator& vnh) {
+  const auto t0 = std::chrono::steady_clock::now();
+  FastPathResult result;
+  result.prefix = prefix;
+
+  const std::vector<Hit> hits = hits_for(prefix);
+  const DefaultVector defaults = compiler_.defaults_for(prefix);
+  const bool any_default =
+      std::any_of(defaults.begin(), defaults.end(),
+                  [](const auto& d) { return d.has_value(); });
+
+  if (hits.empty() &&
+      (!any_default || !compiler_.options_.vmac_grouping)) {
+    // Fully withdrawn (nothing to install), or no per-prefix default rules
+    // without VMAC grouping: a plain re-advertisement suffices.
+    result.seconds = seconds_since(t0);
+    return result;
+  }
+
+  // Assume a new VNH is needed — no minimum-disjoint-set computation.
+  const VnhBinding binding = vnh.allocate();
+  result.binding = binding;
+  result.additional_rules = synth_and_compose(hits, defaults, binding,
+                                              result.rules,
+                                              result.compositions);
+  result.seconds = seconds_since(t0);
+  return result;
+}
+
+IncrementalEngine::BatchResult IncrementalEngine::fast_update_batch(
+    const std::vector<Ipv4Prefix>& prefixes, VnhAllocator& vnh) {
+  const auto t0 = std::chrono::steady_clock::now();
+  BatchResult result;
+
+  // Deduplicate, keeping first-occurrence order (the burst's arrival order
+  // fixes group ids and hence the combined rule order deterministically).
+  std::unordered_set<Ipv4Prefix> seen;
+  seen.reserve(prefixes.size());
+  for (auto prefix : prefixes) {
+    if (seen.insert(prefix).second) {
+      result.items.push_back(BatchItem{prefix, std::nullopt, 0});
+    }
+  }
+
+  // Restricted signature per dirty prefix: (clause hit set, default
+  // vector). Prefixes with equal signatures behave identically through the
+  // fabric — the §4.2 argument, applied to the dirty set only — so they
+  // share one fresh binding and one synthesized rule group.
+  struct Group {
+    std::vector<Hit> hits;
+    DefaultVector defaults;
+    std::vector<std::size_t> members;  ///< item indices
+  };
+  std::vector<Group> groups;
+  using SignatureKey = std::pair<std::vector<std::uint32_t>, DefaultVector>;
+  std::map<SignatureKey, std::size_t> group_of;
+  for (std::size_t i = 0; i < result.items.size(); ++i) {
+    const Ipv4Prefix prefix = result.items[i].prefix;
+    std::vector<Hit> hits = hits_for(prefix);
+    DefaultVector defaults = compiler_.defaults_for(prefix);
+    const bool any_default =
+        std::any_of(defaults.begin(), defaults.end(),
+                    [](const auto& d) { return d.has_value(); });
+    if (hits.empty() &&
+        (!any_default || !compiler_.options_.vmac_grouping)) {
+      continue;  // re-advertisement only, no binding, no rules
+    }
+    SignatureKey key;
+    key.first.reserve(hits.size());
+    for (const auto& h : hits) key.first.push_back(h.id);
+    key.second = defaults;
+    auto [it, inserted] = group_of.emplace(key, groups.size());
+    if (inserted) {
+      groups.push_back(Group{std::move(hits), std::move(defaults), {}});
+    }
+    groups[it->second].members.push_back(i);
+  }
+
+  // Single VNH-allocation sweep, then one synthesis + composition walk per
+  // group (not per update) through the shared stage-2 memo.
+  result.groups = groups.size();
+  for (const auto& g : groups) {
+    const VnhBinding binding = vnh.allocate();
+    const std::size_t appended = synth_and_compose(
+        g.hits, g.defaults, binding, result.rules, result.compositions);
+    for (std::size_t k = 0; k < g.members.size(); ++k) {
+      result.items[g.members[k]].binding = binding;
+      if (k == 0) result.items[g.members[k]].additional_rules = appended;
+    }
+    result.additional_rules += appended;
+  }
+
+  result.seconds = seconds_since(t0);
   return result;
 }
 

@@ -11,7 +11,14 @@
 /// stage-2 classifiers and hands them back for installation at a higher
 /// priority. The optimal recompilation (compute the true minimum disjoint
 /// sets, rebuild the whole table) runs in the background between update
-/// bursts — full_recompile().
+/// bursts — full_recompile(), or adopt() when the pipeline ran off-thread.
+///
+/// fast_update_batch() is the burst-amortized variant: one pass over a set
+/// of dirty prefixes that shares the clause scan, groups prefixes with
+/// identical restricted signatures (a mini-FEC over the dirty set) under
+/// one fresh binding, allocates VNHs in a single sweep, and composes the
+/// combined rule list through the shared stage-2 memo in one walk — so an
+/// N-update burst costs one composition walk, not N.
 
 #include <optional>
 #include <vector>
@@ -29,6 +36,12 @@ class IncrementalEngine {
   /// engine's current state. Runs the compiler's parallel pipeline at
   /// CompileOptions::threads width (see set_threads()).
   const CompiledSdx& full_recompile(VnhAllocator& vnh);
+
+  /// Installs an externally-compiled result as the engine's current state,
+  /// exactly as if full_recompile() had produced it — the swap half of the
+  /// asynchronous background recompilation's double buffer. Clears the
+  /// stage-2 memo (the policy view may have changed since it was built).
+  const CompiledSdx& adopt(CompiledSdx compiled);
 
   /// Re-sizes the parallel pipeline used by full_recompile() (0 = one
   /// thread per hardware thread). Output is unaffected.
@@ -53,16 +66,60 @@ class IncrementalEngine {
     /// through stage 2.
     std::vector<policy::Rule> rules;
     std::size_t additional_rules = 0;
+    /// Stage-1 rules pushed through a stage-2 pull_back walk.
+    std::size_t compositions = 0;
     double seconds = 0;
   };
 
   /// The fast stage for one updated prefix.
   FastPathResult fast_update(Ipv4Prefix prefix, VnhAllocator& vnh);
 
+  /// One dirty prefix of a batched flush. Prefixes whose restricted
+  /// signatures coincide share a binding (and their rules were emitted
+  /// once); `additional_rules` attributes the group's rule count to its
+  /// first member so the per-item counts sum to the batch total.
+  struct BatchItem {
+    Ipv4Prefix prefix;
+    std::optional<VnhBinding> binding;
+    std::size_t additional_rules = 0;
+  };
+
+  struct BatchResult {
+    std::vector<BatchItem> items;     ///< input order, deduplicated
+    std::vector<policy::Rule> rules;  ///< combined, duplicate-free
+    std::size_t additional_rules = 0;
+    std::size_t groups = 0;           ///< distinct signatures given a binding
+    std::size_t compositions = 0;     ///< stage-1 rules composed (whole batch)
+    double seconds = 0;
+  };
+
+  /// The fast stage for a burst: one restricted-compilation pass over every
+  /// prefix in \p prefixes (duplicates collapse to their first occurrence).
+  BatchResult fast_update_batch(const std::vector<Ipv4Prefix>& prefixes,
+                                VnhAllocator& vnh);
+
   const SdxCompiler& compiler() const { return compiler_; }
 
  private:
+  struct Hit {
+    const Participant* owner;
+    const OutboundClause* clause;
+    std::uint32_t id;  ///< global clause id (slot-major) — the signature key
+  };
+
   const policy::Classifier& stage2_cached(ParticipantId id);
+  std::vector<Hit> hits_for(Ipv4Prefix prefix) const;
+
+  /// Synthesizes the restricted stage-1 rules for one (hits, defaults)
+  /// signature under \p binding, composes them through the shared stage-2
+  /// memo and appends the (deduplicated) result to \p out. Returns the
+  /// number of rules appended; \p compositions accumulates the stage-1
+  /// rules that went through a pull_back walk.
+  std::size_t synth_and_compose(const std::vector<Hit>& hits,
+                                const DefaultVector& defaults,
+                                const VnhBinding& binding,
+                                std::vector<policy::Rule>& out,
+                                std::size_t& compositions);
 
   SdxCompiler compiler_;
   std::optional<CompiledSdx> current_;

@@ -1,8 +1,20 @@
 #include "sdx/runtime.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <utility>
 
 namespace sdx::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 SdxRuntime::SdxRuntime(bgp::DecisionConfig decision, CompileOptions options)
     : server_(decision), options_(options) {
@@ -21,8 +33,27 @@ SdxRuntime::SdxRuntime(bgp::DecisionConfig decision, CompileOptions options)
   fast_rules_ = &reg.counter(
       "sdx_fast_path_rules_total",
       "additional higher-priority rules installed by the fast path");
+  fast_compositions_ = &reg.counter(
+      "sdx_fast_path_compositions_total",
+      "stage-1 rules composed through stage-2 classifiers by the fast path");
   fast_seconds_ = &reg.histogram("sdx_fast_path_seconds",
                                  "per-update fast-path latency (seconds)");
+  batch_flushes_ = &reg.counter("sdx_fast_path_batches_total",
+                                "batched fast-path flushes");
+  batch_updates_ = &reg.counter("sdx_fast_path_batched_updates_total",
+                                "updates absorbed by a batched flush");
+  batch_size_ = &reg.histogram(
+      "sdx_fast_path_batch_size", "dirty prefixes per batched flush",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096});
+  async_recompiles_ = &reg.counter(
+      "sdx_recompile_async_total",
+      "asynchronous background recompilations started");
+  stale_recompiles_ = &reg.counter(
+      "sdx_recompile_stale_total",
+      "asynchronous recompilations discarded as stale");
+  swap_seconds_ = &reg.histogram(
+      "sdx_recompile_swap_seconds",
+      "control-thread latency of swapping in a finished recompilation");
   frontend_updates_ = &reg.counter("sdx_frontend_updates_total",
                                    "UPDATE messages distributed on the wire");
   frontend_bytes_ = &reg.counter("sdx_frontend_bytes_total",
@@ -115,12 +146,14 @@ void SdxRuntime::set_outbound(ParticipantId id,
                               std::vector<OutboundClause> clauses) {
   participant(id).outbound = std::move(clauses);
   validate_participant(participant(id), participants_);
+  ++policy_epoch_;
 }
 
 void SdxRuntime::set_inbound(ParticipantId id,
                              std::vector<InboundClause> clauses) {
   participant(id).inbound = std::move(clauses);
   validate_participant(participant(id), participants_);
+  ++policy_epoch_;
 }
 
 void SdxRuntime::enable_rpki(bgp::RoaTable table, RpkiMode mode) {
@@ -158,7 +191,7 @@ void SdxRuntime::announce(ParticipantId from, Ipv4Prefix prefix,
   route.peer_router_id = server_.peer(from)->router_id;
   server_.announce(std::move(route));
   if (installed()) {
-    handle_post_install_update(prefix);
+    note_post_install_update(prefix);
   } else {
     readvertise(prefix);
   }
@@ -168,11 +201,27 @@ std::size_t SdxRuntime::session_down(ParticipantId id) {
   Participant& p = participant(id);
   p.outbound.clear();
   p.inbound.clear();
+  ++policy_epoch_;
   // Other participants' clauses toward a dead peer stay installed — their
   // reach sets simply become empty, exactly as with any withdrawal.
   const auto advertised = server_.advertised_by(id);
   for (auto prefix : advertised) withdraw(id, prefix);
   if (installed()) {
+    // Purge the withdrawn prefixes from any pending batch and drop their
+    // fast-path bindings *before* recompiling, so nothing pending can
+    // re-install state for routes that no longer exist.
+    for (auto prefix : advertised) {
+      if (dirty_set_.erase(prefix) != 0) {
+        dirty_order_.erase(
+            std::remove(dirty_order_.begin(), dirty_order_.end(), prefix),
+            dirty_order_.end());
+        // The batched withdrawal this purge swallows still has to reach
+        // the border routers.
+        readvertise(prefix);
+      }
+      fast_bindings_.erase(prefix);
+    }
+    if (dirty_order_.empty()) pending_clock_ = 0;
     // Policies changed, so the two-stage fast path is not enough: rebuild.
     background_recompile();
   }
@@ -182,13 +231,16 @@ std::size_t SdxRuntime::session_down(ParticipantId id) {
 void SdxRuntime::withdraw(ParticipantId from, Ipv4Prefix prefix) {
   server_.withdraw(from, prefix);
   if (installed()) {
-    handle_post_install_update(prefix);
+    note_post_install_update(prefix);
   } else {
     readvertise(prefix);
   }
 }
 
 const CompiledSdx& SdxRuntime::deploy() {
+  // A synchronous rebuild outruns any in-flight asynchronous one: mark the
+  // job superseded so its (older) result is discarded at poll time.
+  if (job_) job_->superseded = true;
   const CompiledSdx& compiled = engine_->full_recompile(vnh_);
 
   // One binding per remote participant, advertised as the next hop of its
@@ -203,7 +255,19 @@ const CompiledSdx& SdxRuntime::deploy() {
   table.install_classifier(compiled.fabric, kBasePriority, kBaseCookie);
   fast_bindings_.clear();
   bind_arp(compiled);
+  // The rebuild covers every update absorbed so far: pending batches, raced
+  // deltas and the per-update log are all superseded. Pending prefixes that
+  // left the RIB entirely still need their (deferred) withdrawal
+  // re-advertised — the loop below only walks prefixes the RIB still holds.
+  std::vector<Ipv4Prefix> pending = std::move(dirty_order_);
+  dirty_order_.clear();
+  dirty_set_.clear();
+  pending_clock_ = 0;
+  raced_order_.clear();
+  raced_set_.clear();
+  update_log_.clear();
   for (auto prefix : server_.all_prefixes()) readvertise(prefix);
+  for (auto prefix : pending) readvertise(prefix);
   return compiled;
 }
 
@@ -224,6 +288,106 @@ const CompiledSdx& SdxRuntime::background_recompile() {
   }
   telemetry::Span span = telemetry_.tracer.span("background_recompile");
   return deploy();
+}
+
+bool SdxRuntime::start_background_recompile() {
+  if (!installed()) {
+    throw std::logic_error("install() before start_background_recompile()");
+  }
+  if (job_) return false;
+  // Size 2: one pool worker owns the job (size 1 would run submit() inline
+  // on the control thread, which is exactly what "asynchronous" must not
+  // do). The compiler spreads its parallel stages at options_.threads width
+  // over its own pool, so this one stays small.
+  if (!async_pool_) async_pool_ = std::make_unique<net::ThreadPool>(2);
+  auto job = std::make_unique<RecompileJob>();
+  job->participants = participants_;
+  job->ports = port_map_;
+  job->server = server_.snapshot();
+  job->policy_epoch = policy_epoch_;
+  raced_order_.clear();
+  raced_set_.clear();
+  // The worker sees only the job's own snapshots (and the thread-safe
+  // telemetry bundle) — never live runtime state. The raw pointer is
+  // stable: the job is heap-held and outlives `done` by construction.
+  RecompileJob* raw = job.get();
+  const CompileOptions opts = options_;
+  telemetry::Telemetry* telemetry = &telemetry_;
+  job->done = async_pool_->submit([raw, opts, telemetry] {
+    SdxCompiler compiler(raw->participants, raw->ports, raw->server, opts);
+    compiler.set_telemetry(telemetry);
+    raw->result = compiler.compile(raw->vnh);
+  });
+  job_ = std::move(job);
+  async_recompiles_->inc();
+  return true;
+}
+
+bool SdxRuntime::poll_background_recompile() {
+  if (!job_) return false;
+  if (job_->done.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    return false;
+  }
+  std::unique_ptr<RecompileJob> job = std::move(job_);
+  job->done.get();  // surfaces a worker exception, if any
+  if (job->superseded) {
+    stale_recompiles_->inc();
+    return false;
+  }
+  if (job->policy_epoch != policy_epoch_) {
+    // Policies changed mid-flight: the result answers yesterday's question.
+    // Discard it and recompile against the current policy state.
+    stale_recompiles_->inc();
+    start_background_recompile();
+    return false;
+  }
+  apply_recompile(std::move(*job));
+  return true;
+}
+
+const CompiledSdx& SdxRuntime::wait_background_recompile() {
+  while (job_) {
+    job_->done.wait();
+    poll_background_recompile();
+  }
+  return compiled();
+}
+
+void SdxRuntime::apply_recompile(RecompileJob job) {
+  telemetry::Span span = telemetry_.tracer.span("recompile_swap");
+  const auto t0 = std::chrono::steady_clock::now();
+  // Double-buffer swap: adopt the worker's compiled state and allocator,
+  // then rebuild the derived installation exactly as deploy() would —
+  // the same allocator sequence keeps async byte-identical to sync.
+  vnh_ = std::move(job.vnh);
+  const CompiledSdx& compiled = engine_->adopt(std::move(job.result));
+  remote_bindings_.clear();
+  for (const auto& p : participants_) {
+    if (p.is_remote()) remote_bindings_[p.id] = vnh_.allocate();
+  }
+  auto& table = fabric_.sdx_switch().table();
+  table.clear();
+  table.install_classifier(compiled.fabric, kBasePriority, kBaseCookie);
+  fast_bindings_.clear();
+  bind_arp(compiled);
+  update_log_.clear();
+  // Every pending dirty prefix predating the snapshot is covered by the new
+  // table; anything that raced past it re-applies through one batched fast
+  // pass on top of the new base (note_post_install_update recorded both).
+  // Pending prefixes whose deferred withdrawal emptied their RIB entry get
+  // an explicit re-advertisement — the all_prefixes() walk can't see them.
+  std::vector<Ipv4Prefix> pending = std::move(dirty_order_);
+  dirty_order_.clear();
+  dirty_set_.clear();
+  pending_clock_ = 0;
+  std::vector<Ipv4Prefix> raced = std::move(raced_order_);
+  raced_order_.clear();
+  raced_set_.clear();
+  for (auto prefix : server_.all_prefixes()) readvertise(prefix);
+  for (auto prefix : pending) readvertise(prefix);
+  install_batch(raced);
+  swap_seconds_->observe(seconds_since(t0));
 }
 
 void SdxRuntime::set_compile_threads(unsigned threads) {
@@ -275,13 +439,58 @@ void SdxRuntime::use_wire_distribution() {
 }
 
 std::vector<ParticipantId> SdxRuntime::advance_clock(double seconds) {
-  if (!frontend_) return {};
-  auto dropped = frontend_->advance_clock(seconds);
-  frontend_drops_->inc(dropped.size());
-  // A lost session is a participant departure (see session_down): withdraw
-  // its routes and drop its policies rather than advertising stale state.
-  for (auto id : dropped) session_down(id);
+  std::vector<ParticipantId> dropped;
+  if (frontend_) {
+    dropped = frontend_->advance_clock(seconds);
+    frontend_drops_->inc(dropped.size());
+    // A lost session is a participant departure (see session_down): withdraw
+    // its routes and drop its policies rather than advertising stale state.
+    for (auto id : dropped) session_down(id);
+  }
+  if (batching_ && !dirty_order_.empty() &&
+      batch_options_.max_delay_seconds > 0) {
+    pending_clock_ += seconds;
+    if (pending_clock_ >= batch_options_.max_delay_seconds) flush();
+  }
   return dropped;
+}
+
+void SdxRuntime::enable_batching(BatchOptions options) {
+  batching_ = true;
+  batch_options_ = options;
+  if (batch_options_.max_pending != 0 &&
+      dirty_order_.size() >= batch_options_.max_pending) {
+    flush();
+  }
+}
+
+void SdxRuntime::disable_batching() {
+  flush();
+  batching_ = false;
+}
+
+std::size_t SdxRuntime::flush() {
+  pending_clock_ = 0;
+  if (dirty_order_.empty()) return 0;
+  std::vector<Ipv4Prefix> prefixes = std::move(dirty_order_);
+  dirty_order_.clear();
+  dirty_set_.clear();
+  batch_flushes_->inc();
+  batch_updates_->inc(prefixes.size());
+  batch_size_->observe(static_cast<double>(prefixes.size()));
+  install_batch(prefixes);
+  return prefixes.size();
+}
+
+void SdxRuntime::set_update_log_capacity(std::size_t capacity) {
+  update_log_capacity_ = capacity;
+  while (update_log_.size() > update_log_capacity_) update_log_.pop_front();
+}
+
+void SdxRuntime::log_update(UpdateReport report) {
+  if (update_log_capacity_ == 0) return;
+  update_log_.push_back(std::move(report));
+  while (update_log_.size() > update_log_capacity_) update_log_.pop_front();
 }
 
 std::string SdxRuntime::dump_metrics() {
@@ -333,11 +542,30 @@ void SdxRuntime::readvertise(Ipv4Prefix prefix) {
   }
 }
 
+void SdxRuntime::note_post_install_update(Ipv4Prefix prefix) {
+  // Raced-delta bookkeeping first: while an asynchronous recompile flies,
+  // every touched prefix must be re-applied on top of its result, whether
+  // the update runs inline or waits in a batch.
+  if (job_ && raced_set_.insert(prefix).second) {
+    raced_order_.push_back(prefix);
+  }
+  if (batching_) {
+    if (dirty_set_.insert(prefix).second) dirty_order_.push_back(prefix);
+    if (batch_options_.max_pending != 0 &&
+        dirty_order_.size() >= batch_options_.max_pending) {
+      flush();
+    }
+    return;
+  }
+  handle_post_install_update(prefix);
+}
+
 void SdxRuntime::handle_post_install_update(Ipv4Prefix prefix) {
   telemetry::Span span = telemetry_.tracer.span("fast_update");
   auto result = engine_->fast_update(prefix, vnh_);
   fast_updates_->inc();
   fast_rules_->inc(result.additional_rules);
+  fast_compositions_->inc(result.compositions);
   fast_seconds_->observe(result.seconds);
   if (result.binding) {
     fast_bindings_[prefix] = *result.binding;
@@ -347,8 +575,35 @@ void SdxRuntime::handle_post_install_update(Ipv4Prefix prefix) {
     table.install_classifier(extra, kFastPriority, next_cookie_++);
   }
   readvertise(prefix);
-  update_log_.push_back(
-      UpdateReport{prefix, result.additional_rules, result.seconds});
+  log_update(UpdateReport{prefix, result.additional_rules, result.seconds});
+}
+
+void SdxRuntime::install_batch(const std::vector<Ipv4Prefix>& prefixes) {
+  if (prefixes.empty()) return;
+  telemetry::Span span = telemetry_.tracer.span("fast_update_batch");
+  auto batch = engine_->fast_update_batch(prefixes, vnh_);
+  fast_updates_->inc(batch.items.size());
+  fast_rules_->inc(batch.additional_rules);
+  fast_compositions_->inc(batch.compositions);
+  const double amortized =
+      batch.items.empty() ? 0.0 : batch.seconds / batch.items.size();
+  if (!batch.rules.empty()) {
+    // One combined classifier, one cookie: the whole flush installs (and
+    // can later be dropped) as a unit.
+    policy::Classifier extra(std::move(batch.rules));
+    fabric_.sdx_switch().table().install_classifier(extra, kFastPriority,
+                                                    next_cookie_++);
+  }
+  for (const auto& item : batch.items) {
+    if (item.binding) {
+      fast_bindings_[item.prefix] = *item.binding;
+      fabric_.arp().bind(item.binding->vnh, item.binding->vmac);
+    }
+    fast_seconds_->observe(amortized);
+    readvertise(item.prefix);
+    log_update(
+        UpdateReport{item.prefix, item.additional_rules, amortized});
+  }
 }
 
 dp::BorderRouter& SdxRuntime::router(ParticipantId id,

@@ -12,18 +12,26 @@
 ///      bindings and BGP re-advertisement to every participant router;
 ///   4. further announce()/withdraw() calls run the §4.3.2 fast path
 ///      automatically (higher-priority rules + re-advertisement), logging
-///      per-update cost; background_recompile() coalesces.
+///      per-update cost. With enable_batching() they enqueue instead and a
+///      flush() (explicit, size- or clock-triggered) amortizes the burst;
+///      background_recompile() coalesces synchronously, while
+///      start_background_recompile() runs the optimal pipeline off-thread
+///      against a versioned snapshot and swaps the result in atomically.
 ///   5. send() pushes packets through the emulated data plane end to end.
 
+#include <cstdint>
 #include <deque>
+#include <future>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "bgp/route_server.hpp"
 #include "bgp/rpki.hpp"
 #include "dataplane/fabric.hpp"
+#include "netbase/parallel.hpp"
 #include "sdx/bgp_frontend.hpp"
 #include "sdx/compiler.hpp"
 #include "sdx/incremental.hpp"
@@ -69,7 +77,8 @@ class SdxRuntime {
   /// participant's own ASN (an originated route); longer paths model
   /// transit; communities drive the route server's export policy (RFC 1997
   /// NO_EXPORT/NO_ADVERTISE, "0:<asn>" per-peer blocking). After install(),
-  /// the fast path runs and the report is logged.
+  /// the fast path runs (or the prefix is enqueued under batching) and the
+  /// report is logged.
   void announce(ParticipantId from, Ipv4Prefix prefix,
                 std::optional<net::AsPath> path = std::nullopt,
                 std::vector<bgp::Community> communities = {});
@@ -78,9 +87,10 @@ class SdxRuntime {
   /// A participant's BGP session drops (maintenance, failure, departure):
   /// every route it advertised is withdrawn and its policies are removed
   /// (they may reference routes that no longer exist). Its ports remain in
-  /// the topology, and re-announcing later brings it back. Runs the fast
-  /// path per affected prefix when installed. Returns the number of
-  /// prefixes withdrawn.
+  /// the topology, and re-announcing later brings it back. Withdrawn
+  /// prefixes are purged from any pending batch and their fast-path
+  /// bindings dropped before the full recompilation runs. Returns the
+  /// number of prefixes withdrawn.
   std::size_t session_down(ParticipantId id);
 
   bgp::RouteServer& route_server() { return server_; }
@@ -96,8 +106,9 @@ class SdxRuntime {
   const BgpFrontend* frontend() const { return frontend_.get(); }
 
   /// Advances the wire sessions' hold/keepalive clocks (no-op without wire
-  /// distribution). A session that drops is surfaced, not swallowed: the
-  /// drop is counted (`sdx_frontend_session_drops_total`), the
+  /// distribution) and ages any pending update batch (see BatchOptions::
+  /// max_delay_seconds). A session that drops is surfaced, not swallowed:
+  /// the drop is counted (`sdx_frontend_session_drops_total`), the
   /// participant's routes are withdrawn and its policies removed via
   /// session_down(), and the dropped ids are returned so the operator loop
   /// can react (e.g. reconnect).
@@ -122,31 +133,108 @@ class SdxRuntime {
   bool installed() const { return engine_ && engine_->has_compiled(); }
   const CompiledSdx& compiled() const { return engine_->current(); }
 
-  /// Runs the background (optimal) recompilation: rebuilds the minimal
-  /// table and drops the accumulated fast-path rules.
+  /// Runs the background (optimal) recompilation synchronously: rebuilds
+  /// the minimal table and drops the accumulated fast-path rules. Any
+  /// in-flight asynchronous recompile is superseded (its result will be
+  /// discarded and counted stale).
   const CompiledSdx& background_recompile();
 
+  // --- asynchronous optimal recompilation ----------------------------------
+  //
+  // The paper's §4.3.2 background stage, actually in the background: the
+  // control loop keeps absorbing updates through the fast path while the
+  // full pipeline runs on a worker thread over a versioned snapshot of the
+  // RIB and policy state. Completion is applied on the control thread
+  // (poll/wait): the compiled tables swap in atomically, superseded
+  // fast-path rules drop, and updates that raced past the snapshot are
+  // re-applied through one batched fast pass on top of the new base. If the
+  // *policies* changed mid-flight the result is unusable — it is discarded
+  // (counted in `sdx_recompile_stale_total`) and the recompile restarts.
+
+  /// Snapshots the current RIB/policy state and starts the full pipeline on
+  /// a pool worker. Returns false (and does nothing) when a job is already
+  /// in flight. Throws std::logic_error before install().
+  bool start_background_recompile();
+
+  /// True while an asynchronous recompile is pending (running or finished
+  /// but not yet swapped in).
+  bool recompile_in_flight() const { return job_ != nullptr; }
+
+  /// Non-blocking completion check: swaps the finished result in and
+  /// returns true; returns false when no job is pending, it is still
+  /// running, or it completed stale (stale results restart automatically
+  /// unless superseded by a synchronous recompile).
+  bool poll_background_recompile();
+
+  /// Blocks until the pending recompile (and any automatic restart) has
+  /// been swapped in — or returns immediately when none is pending. Returns
+  /// the current compiled state either way.
+  const CompiledSdx& wait_background_recompile();
+
   /// Sets the worker-thread count for subsequent compilations — install()
-  /// and background_recompile() — with 0 meaning one thread per hardware
-  /// thread. Compiled output is byte-identical for every width, so this is
-  /// purely a latency knob.
+  /// and background_recompile(), synchronous or asynchronous — with 0
+  /// meaning one thread per hardware thread. Compiled output is
+  /// byte-identical for every width, so this is purely a latency knob.
   void set_compile_threads(unsigned threads);
   const CompileOptions& compile_options() const { return options_; }
+
+  // --- burst batching (§4.3.2 "between update bursts") ----------------------
+
+  struct BatchOptions {
+    /// Auto-flush once this many distinct prefixes are dirty (0 = only
+    /// explicit or clock-triggered flushes).
+    std::size_t max_pending = 64;
+    /// Auto-flush when the oldest dirty prefix has aged this long across
+    /// advance_clock() calls (0 = no clock trigger).
+    double max_delay_seconds = 0.05;
+  };
+
+  /// Switches announce()/withdraw() after install() from inline fast-path
+  /// compilation to enqueueing: a burst of N updates then costs one batched
+  /// pass (shared clause scan and stage-2 memo, one VNH sweep, one
+  /// composition walk, de-duplicated installation) instead of N restricted
+  /// compilations. Updates are *visible* only after the flush.
+  void enable_batching(BatchOptions options);
+  void enable_batching() { enable_batching(BatchOptions{}); }
+
+  /// Flushes any pending updates, then returns to inline fast-path mode.
+  void disable_batching();
+
+  bool batching() const { return batching_; }
+  const BatchOptions& batch_options() const { return batch_options_; }
+
+  /// Distinct prefixes waiting for the next flush.
+  std::size_t pending_updates() const { return dirty_order_.size(); }
+
+  /// Runs one batched fast-path pass over the dirty set: rules install at
+  /// high priority under one cookie, each prefix re-advertises once.
+  /// Returns the number of prefixes flushed (0 when idle).
+  std::size_t flush();
 
   struct UpdateReport {
     Ipv4Prefix prefix;
     std::size_t additional_rules = 0;
     double fast_seconds = 0;
   };
-  const std::vector<UpdateReport>& update_log() const { return update_log_; }
+
+  /// The per-update fast-path log: a bounded ring (see
+  /// set_update_log_capacity) holding the most recent reports. Superseded
+  /// entries are cleared by a successful background recompilation.
+  const std::deque<UpdateReport>& update_log() const { return update_log_; }
   void clear_update_log() { update_log_.clear(); }
+
+  /// Caps the update log (default 4096; oldest entries drop first so long
+  /// burst replays can't grow memory without bound). 0 disables logging.
+  void set_update_log_capacity(std::size_t capacity);
+  std::size_t update_log_capacity() const { return update_log_capacity_; }
 
   // --- telemetry ------------------------------------------------------------
 
   /// The runtime's measurement plane. Every layer reports here: route
   /// server (RIB size, churn), compiler (per-stage spans + histograms),
-  /// §4.3.2 fast path, BGP frontend (updates, bytes, session drops), ARP
-  /// responder and fabric flow table.
+  /// §4.3.2 fast path (inline and batched), background-recompile swaps,
+  /// BGP frontend (updates, bytes, session drops), ARP responder and
+  /// fabric flow table.
   telemetry::Telemetry& telemetry() { return telemetry_; }
   const telemetry::Telemetry& telemetry() const { return telemetry_; }
 
@@ -187,10 +275,35 @@ class SdxRuntime {
   static constexpr std::uint32_t kFastPriority = 1u << 24;
   static constexpr std::uint64_t kBaseCookie = 1;
 
+  /// One asynchronous recompilation: self-contained snapshots of the
+  /// compiler inputs (so the worker never touches live runtime state), the
+  /// double-buffered result, and the epochs that decide staleness at swap
+  /// time. Heap-held so its address is stable for the worker.
+  struct RecompileJob {
+    std::vector<Participant> participants;
+    PortMap ports;
+    bgp::RouteServer server;  ///< versioned snapshot (telemetry detached)
+    std::uint64_t policy_epoch = 0;
+    VnhAllocator vnh;         ///< worker-owned; swapped into vnh_ on finish
+    CompiledSdx result;       ///< written by the worker, read after `done`
+    std::future<void> done;
+    bool superseded = false;  ///< a synchronous recompile outran this job
+  };
+
   const CompiledSdx& deploy();
   void readvertise(Ipv4Prefix prefix);
   void bind_arp(const CompiledSdx& compiled);
+  /// Post-install update routing: raced-delta tracking, then either the
+  /// inline fast path or the dirty queue (batching).
+  void note_post_install_update(Ipv4Prefix prefix);
   void handle_post_install_update(Ipv4Prefix prefix);
+  /// One batched fast pass over \p prefixes: compile, install, re-advertise,
+  /// log. Shared by flush() and the post-swap raced-delta re-application.
+  void install_batch(const std::vector<Ipv4Prefix>& prefixes);
+  /// Applies a finished, non-stale job on the control thread: swap tables,
+  /// drop superseded fast rules, re-apply raced deltas, re-advertise.
+  void apply_recompile(RecompileJob job);
+  void log_update(UpdateReport report);
   std::optional<VnhBinding> advertised_binding(Ipv4Prefix prefix) const;
 
   /// Declared first so every layer holding metric handles (route server,
@@ -200,7 +313,14 @@ class SdxRuntime {
   /// once in the constructor; registry handles are stable).
   telemetry::Counter* fast_updates_ = nullptr;
   telemetry::Counter* fast_rules_ = nullptr;
+  telemetry::Counter* fast_compositions_ = nullptr;
   telemetry::Histogram* fast_seconds_ = nullptr;
+  telemetry::Counter* batch_flushes_ = nullptr;
+  telemetry::Counter* batch_updates_ = nullptr;
+  telemetry::Histogram* batch_size_ = nullptr;
+  telemetry::Counter* async_recompiles_ = nullptr;
+  telemetry::Counter* stale_recompiles_ = nullptr;
+  telemetry::Histogram* swap_seconds_ = nullptr;
   telemetry::Counter* frontend_updates_ = nullptr;
   telemetry::Counter* frontend_bytes_ = nullptr;
   telemetry::Counter* frontend_drops_ = nullptr;
@@ -219,15 +339,35 @@ class SdxRuntime {
   std::unordered_map<ParticipantId, std::vector<std::size_t>> router_index_;
   std::unique_ptr<IncrementalEngine> engine_;
   std::unique_ptr<BgpFrontend> frontend_;
-  std::vector<UpdateReport> update_log_;
+  std::deque<UpdateReport> update_log_;
+  std::size_t update_log_capacity_ = 4096;
   /// Fast-path bindings installed since the last full compile.
   std::unordered_map<Ipv4Prefix, VnhBinding> fast_bindings_;
   /// Per-remote-participant next-hop binding so senders can frame traffic
   /// toward prefixes only a remote participant announces.
   std::unordered_map<ParticipantId, VnhBinding> remote_bindings_;
+
+  // Burst batching state (control thread only).
+  bool batching_ = false;
+  BatchOptions batch_options_;
+  std::vector<Ipv4Prefix> dirty_order_;  ///< arrival order, deduplicated
+  std::unordered_set<Ipv4Prefix> dirty_set_;
+  double pending_clock_ = 0;  ///< advance_clock() time since first dirty
+
+  // Async recompilation state. policy_epoch_ bumps on any post-install
+  // policy mutation; raced_* records prefixes updated while a job flies.
+  std::uint64_t policy_epoch_ = 0;
+  std::vector<Ipv4Prefix> raced_order_;
+  std::unordered_set<Ipv4Prefix> raced_set_;
+  std::unique_ptr<RecompileJob> job_;
+
   std::uint64_t next_cookie_ = kBaseCookie + 1;
   net::PortId next_port_ = 1;
   std::uint32_t next_host_ = 1;
+
+  /// Declared last: destroyed first, joining any worker still compiling
+  /// before the job buffers and telemetry above go away.
+  std::unique_ptr<net::ThreadPool> async_pool_;
 };
 
 }  // namespace sdx::core

@@ -1,0 +1,358 @@
+/// Burst batching and asynchronous background recompilation (the §4.3.2
+/// pipeline made concurrent): flush triggers and equivalence with the
+/// inline fast path, composition-sharing across a batch (counter-
+/// verified), the raced-delta swap protocol, policy-staleness restarts,
+/// the bounded update log, and the thread-pool task API underneath.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "netbase/parallel.hpp"
+#include "sdx/incremental.hpp"
+#include "sdx/runtime.hpp"
+
+namespace sdx::core {
+namespace {
+
+using net::Ipv4Prefix;
+using net::PacketBuilder;
+
+class AsyncUpdatesFixture : public ::testing::Test {
+ protected:
+  AsyncUpdatesFixture() { build(rt); }
+
+  /// The fixture topology, reproducible into a second runtime for golden
+  /// comparisons: A applies an outbound policy toward B and C, B and C
+  /// announce.
+  void build(SdxRuntime& r) {
+    auto pa = r.add_participant("A", 65001);
+    auto pb = r.add_participant("B", 65002);
+    auto pc = r.add_participant("C", 65003);
+    r.set_outbound(pa, {OutboundClause{ClauseMatch{}.dst_port(80), pb},
+                        OutboundClause{ClauseMatch{}.dst_port(443), pc}});
+    r.announce(pb, Ipv4Prefix::parse("100.1.0.0/16"), net::AsPath{65002, 7});
+    r.announce(pb, Ipv4Prefix::parse("100.2.0.0/16"), net::AsPath{65002, 7});
+    r.announce(pc, Ipv4Prefix::parse("100.9.0.0/16"), net::AsPath{65003});
+    r.install();
+  }
+
+  std::uint64_t counter(SdxRuntime& r, const char* name) {
+    return r.telemetry().metrics.counter(name).value();
+  }
+
+  net::PortId egress(SdxRuntime& r, ParticipantId from, const char* dst_ip,
+                     std::uint16_t dst_port) {
+    auto out = r.send(
+        from, PacketBuilder().dst_ip(dst_ip).dst_port(dst_port).build());
+    return out.size() == 1 ? out[0].port : net::PortId{0};
+  }
+
+  SdxRuntime rt;
+  ParticipantId a = 1, b = 2, c = 3;
+};
+
+// --- burst batching ---------------------------------------------------------
+
+TEST_F(AsyncUpdatesFixture, FlushIsIdleWithoutDirtyPrefixes) {
+  rt.enable_batching();
+  EXPECT_EQ(rt.pending_updates(), 0u);
+  EXPECT_EQ(rt.flush(), 0u);
+}
+
+TEST_F(AsyncUpdatesFixture, BatchedFlushMatchesInlineForwarding) {
+  SdxRuntime inline_rt;
+  build(inline_rt);
+
+  // The same burst: C takes over both of B's prefixes.
+  const auto p1 = Ipv4Prefix::parse("100.1.0.0/16");
+  const auto p2 = Ipv4Prefix::parse("100.2.0.0/16");
+  inline_rt.announce(c, p1, net::AsPath{65003});
+  inline_rt.announce(c, p2, net::AsPath{65003});
+
+  rt.enable_batching({0, 0});  // explicit flushes only
+  rt.announce(c, p1, net::AsPath{65003});
+  rt.announce(c, p2, net::AsPath{65003});
+  EXPECT_EQ(rt.pending_updates(), 2u);
+  EXPECT_EQ(rt.flush(), 2u);
+  EXPECT_EQ(rt.pending_updates(), 0u);
+
+  // Policy traffic and default traffic land identically in both modes.
+  for (const char* ip : {"100.1.1.1", "100.2.2.2", "100.9.9.9"}) {
+    for (std::uint16_t port : {std::uint16_t{80}, std::uint16_t{443},
+                               std::uint16_t{53}}) {
+      EXPECT_EQ(egress(rt, a, ip, port), egress(inline_rt, a, ip, port))
+          << ip << ":" << port;
+    }
+  }
+}
+
+TEST_F(AsyncUpdatesFixture, BatchSharesCompositionsAcrossEqualSignatures) {
+  const auto p1 = Ipv4Prefix::parse("100.1.0.0/16");
+  const auto p2 = Ipv4Prefix::parse("100.2.0.0/16");
+
+  // Inline baseline: each update is its own restricted compilation.
+  const auto inline_before = counter(rt, "sdx_fast_path_compositions_total");
+  rt.announce(b, p1, net::AsPath{65002, 7});
+  rt.announce(b, p2, net::AsPath{65002, 7});
+  const auto inline_cost =
+      counter(rt, "sdx_fast_path_compositions_total") - inline_before;
+  ASSERT_GT(inline_cost, 0u);
+
+  // The identical burst, batched. p1 and p2 share their restricted
+  // signature (same clause hits, same default vector), so the mini-FEC
+  // folds them into one group: one composition walk, not two.
+  rt.background_recompile();
+  rt.enable_batching({0, 0});
+  const auto batched_before = counter(rt, "sdx_fast_path_compositions_total");
+  rt.announce(b, p1, net::AsPath{65002, 7});
+  rt.announce(b, p2, net::AsPath{65002, 7});
+  EXPECT_EQ(rt.flush(), 2u);
+  const auto batched_cost =
+      counter(rt, "sdx_fast_path_compositions_total") - batched_before;
+  EXPECT_LT(batched_cost, inline_cost);
+  EXPECT_EQ(batched_cost * 2, inline_cost);  // exactly one shared walk
+  EXPECT_EQ(counter(rt, "sdx_fast_path_batches_total"), 1u);
+  EXPECT_EQ(counter(rt, "sdx_fast_path_batched_updates_total"), 2u);
+
+  // Shared signature ⇒ shared binding.
+  ASSERT_TRUE(rt.current_binding(p1).has_value());
+  EXPECT_EQ(rt.current_binding(p1)->vmac, rt.current_binding(p2)->vmac);
+}
+
+TEST_F(AsyncUpdatesFixture, SizeTriggeredAutoFlush) {
+  rt.enable_batching({2, 0});
+  rt.announce(c, Ipv4Prefix::parse("100.1.0.0/16"), net::AsPath{65003});
+  EXPECT_EQ(rt.pending_updates(), 1u);
+  // A duplicate of a dirty prefix does not grow the batch.
+  rt.announce(c, Ipv4Prefix::parse("100.1.0.0/16"), net::AsPath{65003});
+  EXPECT_EQ(rt.pending_updates(), 1u);
+  rt.announce(c, Ipv4Prefix::parse("100.2.0.0/16"), net::AsPath{65003});
+  EXPECT_EQ(rt.pending_updates(), 0u);  // hit max_pending → flushed
+  EXPECT_EQ(counter(rt, "sdx_fast_path_batches_total"), 1u);
+  EXPECT_EQ(egress(rt, a, "100.1.1.1", 53), rt.participant(c).ports[0].id);
+}
+
+TEST_F(AsyncUpdatesFixture, ClockTriggeredFlush) {
+  rt.enable_batching({0, 1.0});
+  rt.announce(c, Ipv4Prefix::parse("100.1.0.0/16"), net::AsPath{65003});
+  rt.advance_clock(0.5);
+  EXPECT_EQ(rt.pending_updates(), 1u);
+  rt.advance_clock(0.6);  // 1.1s total > max_delay_seconds
+  EXPECT_EQ(rt.pending_updates(), 0u);
+  EXPECT_EQ(counter(rt, "sdx_fast_path_batches_total"), 1u);
+}
+
+TEST_F(AsyncUpdatesFixture, DisableBatchingFlushesAndReturnsInline) {
+  rt.enable_batching({0, 0});
+  rt.announce(c, Ipv4Prefix::parse("100.1.0.0/16"), net::AsPath{65003});
+  EXPECT_EQ(rt.pending_updates(), 1u);
+  rt.disable_batching();
+  EXPECT_FALSE(rt.batching());
+  EXPECT_EQ(rt.pending_updates(), 0u);
+  // Subsequent updates run inline again.
+  rt.announce(c, Ipv4Prefix::parse("100.2.0.0/16"), net::AsPath{65003});
+  EXPECT_EQ(rt.pending_updates(), 0u);
+  EXPECT_EQ(egress(rt, a, "100.2.1.1", 53), rt.participant(c).ports[0].id);
+}
+
+TEST_F(AsyncUpdatesFixture, SessionDownPurgesPendingBatch) {
+  rt.enable_batching({0, 0});
+  const auto pb1 = Ipv4Prefix::parse("100.1.0.0/16");
+  rt.announce(b, pb1, net::AsPath{65002});           // pending, from B
+  rt.announce(c, Ipv4Prefix::parse("100.9.0.0/16"),  // pending, from C
+              net::AsPath{65003});
+  ASSERT_EQ(rt.pending_updates(), 2u);
+
+  // B's session drops while its update is still queued: the withdrawn
+  // prefixes must leave the dirty set and shed their fast-path bindings —
+  // no later flush may resurrect state for routes that no longer exist.
+  rt.session_down(b);
+  EXPECT_EQ(rt.pending_updates(), 0u);  // purge + rebuild absorbed the rest
+  EXPECT_EQ(rt.flush(), 0u);
+  EXPECT_EQ(rt.fabric().sdx_switch().table().size(),
+            rt.compiled().fabric.size());  // no fast rules survived
+  // B's prefixes are gone; C's announcement is live via the rebuild.
+  EXPECT_EQ(egress(rt, a, "100.2.1.1", 53), net::PortId{0});
+  EXPECT_EQ(egress(rt, a, "100.9.1.1", 53), rt.participant(c).ports[0].id);
+}
+
+// --- asynchronous optimal recompilation -------------------------------------
+
+TEST_F(AsyncUpdatesFixture, AsyncRecompileByteIdenticalToSync) {
+  SdxRuntime sync_rt;
+  build(sync_rt);
+
+  // Same post-install churn on both, then sync vs async recompile.
+  for (SdxRuntime* r : {&rt, &sync_rt}) {
+    r->announce(c, Ipv4Prefix::parse("100.1.0.0/16"), net::AsPath{65003});
+    r->withdraw(c, Ipv4Prefix::parse("100.1.0.0/16"));
+    r->announce(c, Ipv4Prefix::parse("100.2.0.0/16"), net::AsPath{65003});
+  }
+  sync_rt.set_compile_threads(1);
+  sync_rt.background_recompile();
+
+  rt.set_compile_threads(8);
+  ASSERT_TRUE(rt.start_background_recompile());
+  EXPECT_FALSE(rt.start_background_recompile());  // one job at a time
+  rt.wait_background_recompile();
+  EXPECT_FALSE(rt.recompile_in_flight());
+
+  // Byte-identical across sync-vs-async *and* threads 1-vs-8.
+  EXPECT_EQ(rt.compiled().fingerprint(), sync_rt.compiled().fingerprint());
+  EXPECT_EQ(rt.fabric().sdx_switch().table().size(),
+            sync_rt.fabric().sdx_switch().table().size());
+  EXPECT_EQ(counter(rt, "sdx_recompile_async_total"), 1u);
+  EXPECT_EQ(counter(rt, "sdx_recompile_stale_total"), 0u);
+}
+
+TEST_F(AsyncUpdatesFixture, StartBeforeInstallThrows) {
+  SdxRuntime fresh;
+  EXPECT_THROW(fresh.start_background_recompile(), std::logic_error);
+}
+
+TEST_F(AsyncUpdatesFixture, SwapReappliesRacedDeltas) {
+  const auto p1 = Ipv4Prefix::parse("100.1.0.0/16");
+  ASSERT_TRUE(rt.start_background_recompile());
+  // This update races the in-flight job: its RIB change postdates the
+  // snapshot, so the swapped-in table alone would misroute it.
+  rt.announce(c, p1, net::AsPath{65003});
+  rt.wait_background_recompile();
+  EXPECT_FALSE(rt.recompile_in_flight());
+  // The raced delta was re-applied through a batched fast pass on top of
+  // the new base: default traffic follows C's better route.
+  EXPECT_EQ(egress(rt, a, "100.1.1.1", 53), rt.participant(c).ports[0].id);
+  // And it re-applied as *fast-path* state (rules above the base table).
+  EXPECT_GT(rt.fabric().sdx_switch().table().size(),
+            rt.compiled().fabric.size());
+  EXPECT_EQ(counter(rt, "sdx_recompile_stale_total"), 0u);
+}
+
+TEST_F(AsyncUpdatesFixture, PolicyChangeMidFlightDiscardsAndRestarts) {
+  ASSERT_TRUE(rt.start_background_recompile());
+  // Policies change while the job flies: its snapshot answers yesterday's
+  // question, so the result must be discarded and the compile restarted.
+  rt.set_outbound(a, {OutboundClause{ClauseMatch{}.dst_port(22), c}});
+  rt.wait_background_recompile();
+  EXPECT_FALSE(rt.recompile_in_flight());
+  EXPECT_EQ(counter(rt, "sdx_recompile_stale_total"), 1u);
+  EXPECT_EQ(counter(rt, "sdx_recompile_async_total"), 2u);  // the restart
+
+  // The final state reflects the *new* policy, bit-for-bit.
+  SdxRuntime golden;
+  build(golden);
+  golden.set_outbound(1, {OutboundClause{ClauseMatch{}.dst_port(22), 3}});
+  golden.background_recompile();
+  EXPECT_EQ(rt.compiled().fingerprint(), golden.compiled().fingerprint());
+}
+
+TEST_F(AsyncUpdatesFixture, SynchronousRecompileSupersedesAsyncJob) {
+  ASSERT_TRUE(rt.start_background_recompile());
+  rt.background_recompile();  // outruns the job
+  const auto fp = rt.compiled().fingerprint();
+  rt.wait_background_recompile();  // job completes stale, is discarded
+  EXPECT_EQ(counter(rt, "sdx_recompile_stale_total"), 1u);
+  EXPECT_EQ(rt.compiled().fingerprint(), fp);  // sync result stands
+}
+
+TEST_F(AsyncUpdatesFixture, BatchedUpdatesUnderInFlightJobAreReapplied) {
+  rt.enable_batching({0, 0});
+  const auto p1 = Ipv4Prefix::parse("100.1.0.0/16");
+  ASSERT_TRUE(rt.start_background_recompile());
+  rt.announce(c, p1, net::AsPath{65003});
+  EXPECT_EQ(rt.flush(), 1u);  // flushed onto the *old* base, and raced
+  rt.wait_background_recompile();
+  // Still correct after the swap replaced everything under the flush.
+  EXPECT_EQ(egress(rt, a, "100.1.1.1", 53), rt.participant(c).ports[0].id);
+}
+
+// --- bounded update log -----------------------------------------------------
+
+TEST_F(AsyncUpdatesFixture, UpdateLogIsBoundedRing) {
+  rt.set_update_log_capacity(3);
+  const auto p1 = Ipv4Prefix::parse("100.1.0.0/16");
+  for (int i = 0; i < 5; ++i) {
+    rt.announce(c, p1, net::AsPath{65003, static_cast<net::Asn>(100 + i)});
+  }
+  ASSERT_EQ(rt.update_log().size(), 3u);  // oldest two dropped
+  EXPECT_EQ(rt.update_log().front().prefix, p1);
+
+  // Shrinking the cap trims immediately; 0 disables logging.
+  rt.set_update_log_capacity(1);
+  EXPECT_EQ(rt.update_log().size(), 1u);
+  rt.set_update_log_capacity(0);
+  rt.announce(c, p1, net::AsPath{65003});
+  EXPECT_TRUE(rt.update_log().empty());
+}
+
+TEST_F(AsyncUpdatesFixture, RecompileClearsSupersededLogEntries) {
+  rt.announce(c, Ipv4Prefix::parse("100.1.0.0/16"), net::AsPath{65003});
+  ASSERT_FALSE(rt.update_log().empty());
+  rt.background_recompile();
+  EXPECT_TRUE(rt.update_log().empty());
+
+  rt.announce(c, Ipv4Prefix::parse("100.2.0.0/16"), net::AsPath{65003});
+  ASSERT_FALSE(rt.update_log().empty());
+  ASSERT_TRUE(rt.start_background_recompile());
+  rt.wait_background_recompile();
+  EXPECT_TRUE(rt.update_log().empty());
+}
+
+// --- thread-pool task submission --------------------------------------------
+
+TEST(ThreadPoolSubmit, RunsTaskAndCompletesFuture) {
+  net::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto f = pool.submit([&] { ran.fetch_add(1); });
+  f.wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolSubmit, RunsOffTheCallingThread) {
+  net::ThreadPool pool(2);
+  std::thread::id worker_id;
+  pool.submit([&] { worker_id = std::this_thread::get_id(); }).wait();
+  EXPECT_NE(worker_id, std::this_thread::get_id());
+}
+
+TEST(ThreadPoolSubmit, SerialPoolRunsInline) {
+  net::ThreadPool pool(1);
+  std::thread::id worker_id;
+  auto f = pool.submit([&] { worker_id = std::this_thread::get_id(); });
+  EXPECT_EQ(worker_id, std::this_thread::get_id());  // already ran
+  f.wait();
+}
+
+TEST(ThreadPoolSubmit, ManyTasksAllComplete) {
+  net::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolSubmit, TaskExceptionSurfacesThroughFuture) {
+  net::ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolSubmit, CoexistsWithParallelFor) {
+  net::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  auto f = pool.submit([&] { ran.fetch_add(1); });
+  std::atomic<int> sum{0};
+  pool.parallel_for(100, 1, [&](std::size_t begin, std::size_t end) {
+    sum.fetch_add(static_cast<int>(end - begin));
+  });
+  f.wait();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(sum.load(), 100);
+}
+
+}  // namespace
+}  // namespace sdx::core
