@@ -1,7 +1,11 @@
 /// sdx_shell — run SDX scenario scripts (or drive the exchange
 /// interactively from stdin). The scenario language covers the full
 /// lifecycle: participants, policies, BGP events, deployment, traffic
-/// injection and assertions; see src/sdx/scenario.cpp for the grammar.
+/// injection, assertions and durability (`save <dir>` checkpoints the
+/// exchange to a journal directory, `recover <dir>` rebuilds a fresh
+/// session from one — warm-restarting when the persisted tables still
+/// match — and `journal` prints the LSN/bytes/checkpoint status line); see
+/// src/sdx/scenario.cpp for the grammar.
 ///
 /// Usage:
 ///   sdx_shell <script.sdx>     # run a script, exit non-zero on failures

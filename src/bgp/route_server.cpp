@@ -205,6 +205,15 @@ std::vector<Ipv4Prefix> RouteServer::all_prefixes() const {
   return out;
 }
 
+std::vector<Route> RouteServer::dump_routes() const {
+  std::vector<Route> out;
+  for (Ipv4Prefix prefix : all_prefixes()) {
+    const auto& ranked = rib_.at(prefix);
+    out.insert(out.end(), ranked.begin(), ranked.end());
+  }
+  return out;
+}
+
 const std::vector<Route>* RouteServer::candidates(Ipv4Prefix prefix) const {
   auto it = rib_.find(prefix);
   return it == rib_.end() ? nullptr : &it->second;

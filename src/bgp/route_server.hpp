@@ -123,6 +123,13 @@ class RouteServer {
   /// Every prefix known to the server.
   std::vector<Ipv4Prefix> all_prefixes() const;
 
+  /// Full RIB dump: every candidate route of every prefix, prefixes in
+  /// sorted order and candidates in ranked (best-first) order. Re-announcing
+  /// the dump into a fresh server with the same peers reproduces the RIB
+  /// exactly (the decision process is a total order), which is what
+  /// checkpoint/restore relies on.
+  std::vector<Route> dump_routes() const;
+
   /// Candidate routes for a prefix, best first (nullptr when unknown).
   const std::vector<Route>* candidates(Ipv4Prefix prefix) const;
 

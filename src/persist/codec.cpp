@@ -1,0 +1,256 @@
+#include "persist/codec.hpp"
+
+#include <bit>
+
+namespace sdx::persist {
+
+namespace {
+
+net::Field get_field(Decoder& d) {
+  const std::uint8_t raw = d.u8();
+  if (raw >= net::kFieldCount) throw CodecError("field id out of range");
+  return static_cast<net::Field>(raw);
+}
+
+void put_field(Encoder& e, net::Field f) {
+  e.u8(static_cast<std::uint8_t>(f));
+}
+
+void put_mods(Encoder& e,
+              const std::vector<std::pair<net::Field, std::uint64_t>>& mods) {
+  e.u32(static_cast<std::uint32_t>(mods.size()));
+  for (const auto& [f, v] : mods) {
+    put_field(e, f);
+    e.u64(v);
+  }
+}
+
+std::vector<std::pair<net::Field, std::uint64_t>> get_mods(Decoder& d) {
+  const std::uint32_t n = d.u32();
+  std::vector<std::pair<net::Field, std::uint64_t>> mods;
+  mods.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto f = get_field(d);
+    const auto v = d.u64();
+    mods.emplace_back(f, v);
+  }
+  return mods;
+}
+
+/// Rebuilds a FieldMatch from its (value, mask) pair through the public
+/// factories (the value+mask constructor is private — deliberately, since
+/// arbitrary masks are meaningless). Every mask the compiler can produce
+/// is wildcard, exact or a 32-bit CIDR mask; anything else is corruption.
+net::FieldMatch field_match_from(std::uint64_t value, std::uint64_t mask) {
+  if (mask == 0) {
+    if (value != 0) throw CodecError("wildcard field match with value bits");
+    return net::FieldMatch::wildcard();
+  }
+  if (mask == ~std::uint64_t{0}) return net::FieldMatch::exact(value);
+  if (mask >> 32 != 0 || value >> 32 != 0) {
+    throw CodecError("non-CIDR field-match mask");
+  }
+  const int length = std::popcount(mask);
+  if (mask != net::netmask(length)) {
+    throw CodecError("non-contiguous field-match mask");
+  }
+  return net::FieldMatch::prefix(net::Ipv4Prefix(
+      net::Ipv4Address(static_cast<std::uint32_t>(value)), length));
+}
+
+}  // namespace
+
+void put_as_path(Encoder& e, const net::AsPath& path) {
+  e.u32(static_cast<std::uint32_t>(path.length()));
+  for (net::Asn asn : path.asns()) e.u32(asn);
+}
+
+net::AsPath get_as_path(Decoder& d) {
+  const std::uint32_t n = d.u32();
+  std::vector<net::Asn> asns;
+  asns.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) asns.push_back(d.u32());
+  return net::AsPath(std::move(asns));
+}
+
+void put_clause_match(Encoder& e, const core::ClauseMatch& m) {
+  put_mods(e, m.exact);
+  e.u32(static_cast<std::uint32_t>(m.src_prefixes.size()));
+  for (auto p : m.src_prefixes) e.prefix(p);
+  e.u32(static_cast<std::uint32_t>(m.dst_prefixes.size()));
+  for (auto p : m.dst_prefixes) e.prefix(p);
+}
+
+core::ClauseMatch get_clause_match(Decoder& d) {
+  core::ClauseMatch m;
+  m.exact = get_mods(d);
+  const std::uint32_t nsrc = d.u32();
+  m.src_prefixes.reserve(nsrc);
+  for (std::uint32_t i = 0; i < nsrc; ++i) m.src_prefixes.push_back(d.prefix());
+  const std::uint32_t ndst = d.u32();
+  m.dst_prefixes.reserve(ndst);
+  for (std::uint32_t i = 0; i < ndst; ++i) m.dst_prefixes.push_back(d.prefix());
+  return m;
+}
+
+void put_outbound_clause(Encoder& e, const core::OutboundClause& c) {
+  put_clause_match(e, c.match);
+  e.u32(c.to);
+}
+
+core::OutboundClause get_outbound_clause(Decoder& d) {
+  core::OutboundClause c;
+  c.match = get_clause_match(d);
+  c.to = d.u32();
+  return c;
+}
+
+void put_inbound_clause(Encoder& e, const core::InboundClause& c) {
+  put_clause_match(e, c.match);
+  put_mods(e, c.rewrites);
+  e.boolean(c.to_port.has_value());
+  if (c.to_port) e.u64(*c.to_port);
+}
+
+core::InboundClause get_inbound_clause(Decoder& d) {
+  core::InboundClause c;
+  c.match = get_clause_match(d);
+  c.rewrites = get_mods(d);
+  if (d.boolean()) c.to_port = static_cast<std::size_t>(d.u64());
+  return c;
+}
+
+void put_participant(Encoder& e, const core::Participant& p) {
+  e.u32(p.id);
+  e.str(p.name);
+  e.u32(p.asn);
+  e.u32(static_cast<std::uint32_t>(p.ports.size()));
+  for (const auto& port : p.ports) {
+    e.u32(port.id);
+    e.mac(port.router_mac);
+    e.ip(port.router_ip);
+  }
+  e.u32(static_cast<std::uint32_t>(p.outbound.size()));
+  for (const auto& c : p.outbound) put_outbound_clause(e, c);
+  e.u32(static_cast<std::uint32_t>(p.inbound.size()));
+  for (const auto& c : p.inbound) put_inbound_clause(e, c);
+}
+
+core::Participant get_participant(Decoder& d) {
+  core::Participant p;
+  p.id = d.u32();
+  p.name = d.str();
+  p.asn = d.u32();
+  const std::uint32_t nports = d.u32();
+  p.ports.reserve(nports);
+  for (std::uint32_t i = 0; i < nports; ++i) {
+    core::PhysicalPort port;
+    port.id = d.u32();
+    port.router_mac = d.mac();
+    port.router_ip = d.ip();
+    p.ports.push_back(port);
+  }
+  const std::uint32_t nout = d.u32();
+  p.outbound.reserve(nout);
+  for (std::uint32_t i = 0; i < nout; ++i) {
+    p.outbound.push_back(get_outbound_clause(d));
+  }
+  const std::uint32_t nin = d.u32();
+  p.inbound.reserve(nin);
+  for (std::uint32_t i = 0; i < nin; ++i) {
+    p.inbound.push_back(get_inbound_clause(d));
+  }
+  return p;
+}
+
+void put_route(Encoder& e, const bgp::Route& r) {
+  e.prefix(r.prefix);
+  e.u8(static_cast<std::uint8_t>(r.attrs.origin));
+  put_as_path(e, r.attrs.as_path);
+  e.ip(r.attrs.next_hop);
+  e.boolean(r.attrs.med.has_value());
+  if (r.attrs.med) e.u32(*r.attrs.med);
+  e.boolean(r.attrs.local_pref.has_value());
+  if (r.attrs.local_pref) e.u32(*r.attrs.local_pref);
+  e.u32(static_cast<std::uint32_t>(r.attrs.communities.size()));
+  for (bgp::Community c : r.attrs.communities) e.u32(c);
+  e.u32(r.learned_from);
+  e.ip(r.peer_router_id);
+}
+
+bgp::Route get_route(Decoder& d) {
+  bgp::Route r;
+  r.prefix = d.prefix();
+  const std::uint8_t origin = d.u8();
+  if (origin > 2) throw CodecError("origin out of range");
+  r.attrs.origin = static_cast<bgp::Origin>(origin);
+  r.attrs.as_path = get_as_path(d);
+  r.attrs.next_hop = d.ip();
+  if (d.boolean()) r.attrs.med = d.u32();
+  if (d.boolean()) r.attrs.local_pref = d.u32();
+  const std::uint32_t ncomm = d.u32();
+  r.attrs.communities.reserve(ncomm);
+  for (std::uint32_t i = 0; i < ncomm; ++i) {
+    r.attrs.communities.push_back(d.u32());
+  }
+  r.learned_from = d.u32();
+  r.peer_router_id = d.ip();
+  return r;
+}
+
+void put_flow_match(Encoder& e, const net::FlowMatch& m) {
+  for (net::Field f : net::kAllFields) {
+    e.u64(m.field(f).value());
+    e.u64(m.field(f).mask());
+  }
+}
+
+net::FlowMatch get_flow_match(Decoder& d) {
+  net::FlowMatch m;
+  for (net::Field f : net::kAllFields) {
+    const std::uint64_t value = d.u64();
+    const std::uint64_t mask = d.u64();
+    m.set(f, field_match_from(value, mask));
+  }
+  return m;
+}
+
+void put_action_seq(Encoder& e, const policy::ActionSeq& a) {
+  put_mods(e, a.mods());
+}
+
+policy::ActionSeq get_action_seq(Decoder& d) {
+  policy::ActionSeq a;
+  for (const auto& [f, v] : get_mods(d)) a.then_set(f, v);
+  return a;
+}
+
+void put_rule(Encoder& e, const policy::Rule& r) {
+  put_flow_match(e, r.match);
+  e.u32(static_cast<std::uint32_t>(r.actions.size()));
+  for (const auto& a : r.actions) put_action_seq(e, a);
+}
+
+policy::Rule get_rule(Decoder& d) {
+  policy::Rule r;
+  r.match = get_flow_match(d);
+  const std::uint32_t n = d.u32();
+  r.actions.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) r.actions.push_back(get_action_seq(d));
+  return r;
+}
+
+void put_classifier(Encoder& e, const policy::Classifier& c) {
+  e.u32(static_cast<std::uint32_t>(c.size()));
+  for (const auto& r : c.rules()) put_rule(e, r);
+}
+
+policy::Classifier get_classifier(Decoder& d) {
+  const std::uint32_t n = d.u32();
+  std::vector<policy::Rule> rules;
+  rules.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) rules.push_back(get_rule(d));
+  return policy::Classifier(std::move(rules));
+}
+
+}  // namespace sdx::persist

@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file codec.hpp
+/// The little-endian binary codec behind WAL records and checkpoints.
+///
+/// Two layers:
+///
+///   * Encoder/Decoder — bounds-checked primitives (fixed-width integers,
+///     length-prefixed strings, the netbase value types). The decoder
+///     throws CodecError instead of reading past the end, so a truncated
+///     or corrupted payload surfaces as a recoverable error, never as
+///     undefined behaviour;
+///   * put_*/get_* state codecs — serialization of the runtime's durable
+///     state (policy clauses, BGP routes, participants, classifiers). The
+///     clause codecs are binary rather than a policy-text round-trip: the
+///     scenario grammar has no clause *parser* exposed as a library, and a
+///     lossless binary form keeps recovery independent of pretty-printer
+///     changes.
+///
+/// Everything here works purely on header-defined sdx types — the persist
+/// library depends on sdx_core headers but never on its symbols, which is
+/// what lets sdx_core link against sdx_persist without a cycle.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "netbase/as_path.hpp"
+#include "netbase/ip.hpp"
+#include "netbase/mac.hpp"
+#include "policy/classifier.hpp"
+#include "sdx/participant.hpp"
+
+namespace sdx::persist {
+
+/// Thrown by Decoder and the get_* codecs on truncated, malformed or
+/// out-of-range input. Recovery treats it like a CRC failure: the bytes
+/// are not usable state.
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only little-endian byte sink.
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s);
+  }
+  void ip(net::Ipv4Address a) { u32(a.value()); }
+  void prefix(net::Ipv4Prefix p) {
+    ip(p.network());
+    u8(static_cast<std::uint8_t>(p.length()));
+  }
+  void mac(net::MacAddress m) { u64(m.bits()); }
+
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over an encoded payload.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{u8()} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{u8()} << (8 * i);
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string out(data_.substr(pos_, n));
+    pos_ += n;
+    return out;
+  }
+  net::Ipv4Address ip() { return net::Ipv4Address(u32()); }
+  net::Ipv4Prefix prefix() {
+    const auto network = ip();
+    const int length = u8();
+    if (length > 32) throw CodecError("prefix length out of range");
+    return net::Ipv4Prefix(network, length);
+  }
+  net::MacAddress mac() { return net::MacAddress(u64()); }
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) {
+    if (data_.size() - pos_ < n) throw CodecError("truncated payload");
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// --- state codecs ----------------------------------------------------------
+
+void put_as_path(Encoder& e, const net::AsPath& path);
+net::AsPath get_as_path(Decoder& d);
+
+void put_clause_match(Encoder& e, const core::ClauseMatch& m);
+core::ClauseMatch get_clause_match(Decoder& d);
+
+void put_outbound_clause(Encoder& e, const core::OutboundClause& c);
+core::OutboundClause get_outbound_clause(Decoder& d);
+
+void put_inbound_clause(Encoder& e, const core::InboundClause& c);
+core::InboundClause get_inbound_clause(Decoder& d);
+
+void put_participant(Encoder& e, const core::Participant& p);
+core::Participant get_participant(Decoder& d);
+
+void put_route(Encoder& e, const bgp::Route& r);
+bgp::Route get_route(Decoder& d);
+
+void put_flow_match(Encoder& e, const net::FlowMatch& m);
+net::FlowMatch get_flow_match(Decoder& d);
+
+void put_action_seq(Encoder& e, const policy::ActionSeq& a);
+policy::ActionSeq get_action_seq(Decoder& d);
+
+void put_rule(Encoder& e, const policy::Rule& r);
+policy::Rule get_rule(Decoder& d);
+
+void put_classifier(Encoder& e, const policy::Classifier& c);
+policy::Classifier get_classifier(Decoder& d);
+
+}  // namespace sdx::persist

@@ -1,0 +1,231 @@
+#include "persist/journal.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/metrics.hpp"
+
+namespace sdx::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string lsn_name(const char* stem, std::uint64_t lsn, const char* ext) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s-%020" PRIu64 "%s", stem, lsn, ext);
+  return buf;
+}
+
+}  // namespace
+
+Journal::Journal(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  fs::create_directories(dir_);
+  scan();
+}
+
+std::string Journal::segment_path(std::uint64_t first_lsn) const {
+  return dir_ + "/" + lsn_name("wal", first_lsn, ".log");
+}
+
+std::string Journal::checkpoint_path(std::uint64_t lsn) const {
+  return dir_ + "/" + lsn_name("checkpoint", lsn, ".ckpt");
+}
+
+void Journal::scan() {
+  std::vector<std::string> checkpoint_files;
+  std::vector<std::string> segment_files;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("checkpoint-") && name.ends_with(".ckpt")) {
+      checkpoint_files.push_back(entry.path().string());
+    } else if (name.starts_with("wal-") && name.ends_with(".log")) {
+      segment_files.push_back(entry.path().string());
+    }
+    // .tmp and anything else: a checkpoint write that never completed, or
+    // foreign files. Ignored.
+  }
+  // Zero-padded LSNs make lexical order LSN order.
+  std::sort(checkpoint_files.begin(), checkpoint_files.end());
+  std::sort(segment_files.begin(), segment_files.end());
+
+  // Newest checkpoint that validates wins; corrupt ones fall back to older
+  // and are left for the next write_checkpoint() to prune.
+  for (auto it = checkpoint_files.rbegin(); it != checkpoint_files.rend();
+       ++it) {
+    if (auto loaded = try_load_checkpoint(*it)) {
+      checkpoint_ = std::move(loaded);
+      last_checkpoint_lsn_ = checkpoint_->lsn;
+      break;
+    }
+  }
+
+  had_segments_ = !segment_files.empty();
+  const std::uint64_t ckpt_lsn = checkpoint_ ? checkpoint_->lsn : 0;
+  std::uint64_t lsn = ckpt_lsn;
+  bool stopped = false;
+  bool first = true;
+  for (const auto& path : segment_files) {
+    if (stopped) {
+      stale_paths_.push_back(path);
+      continue;
+    }
+    const WalSegment seg = read_wal_segment(path);
+    if (!seg.header_valid) {
+      // Crash raced segment creation: the file never got a whole header.
+      // Nothing in it (or after it) is reachable.
+      torn_bytes_ += seg.torn_bytes;
+      stale_paths_.push_back(path);
+      stopped = true;
+      continue;
+    }
+    if (first) {
+      lsn = seg.first_lsn;
+      complete_history_ = seg.genesis;
+      first = false;
+    } else if (seg.first_lsn != lsn) {
+      // Chain break — a gap no replay can bridge. Everything from here on
+      // is unreachable.
+      stale_paths_.push_back(path);
+      stopped = true;
+      continue;
+    }
+    bool decoded_ok = true;
+    for (const auto& payload : seg.payloads) {
+      WalRecord rec;
+      try {
+        rec = decode_record(payload);
+      } catch (const CodecError&) {
+        // CRC held but the payload is from an incompatible writer: treat
+        // like a torn tail at this record.
+        decoded_ok = false;
+        break;
+      }
+      if (lsn >= ckpt_lsn) tail_.push_back(std::move(rec));
+      ++lsn;
+    }
+    segments_.emplace_back(seg.first_lsn, path);
+    have_active_ = true;
+    active_valid_bytes_ = seg.valid_bytes;
+    torn_bytes_ += seg.torn_bytes;
+    if (!decoded_ok || seg.torn_bytes > 0) stopped = true;
+  }
+  next_lsn_ = std::max(lsn, ckpt_lsn);
+  if (checkpoint_ && lsn < ckpt_lsn) {
+    // The WAL lost records the checkpoint already covers (possible under
+    // Fsync::kNever). The checkpoint is still authoritative; the tail is
+    // simply empty and the surviving segments are superseded.
+    tail_.clear();
+    for (auto& seg : segments_) stale_paths_.push_back(seg.second);
+    segments_.clear();
+    have_active_ = false;
+    complete_history_ = false;
+  }
+}
+
+void Journal::start_recording(bool genesis_if_new) {
+  if (recording_) throw std::logic_error("journal already recording");
+  for (const auto& path : stale_paths_) {
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+  stale_paths_.clear();
+  if (have_active_) {
+    writer_ = WalWriter::open_append(segments_.back().second,
+                                     active_valid_bytes_);
+  } else {
+    const bool genesis =
+        genesis_if_new && !had_segments_ && !checkpoint_.has_value();
+    writer_ = WalWriter::create(segment_path(next_lsn_), next_lsn_, genesis);
+    segments_.emplace_back(next_lsn_, segment_path(next_lsn_));
+    have_active_ = true;
+    if (genesis) complete_history_ = true;
+  }
+  recording_ = true;
+}
+
+std::uint64_t Journal::append(const WalRecord& rec) {
+  if (!recording_) throw std::logic_error("journal not recording");
+  const std::size_t bytes = writer_->append(encode_record(rec));
+  bytes_appended_ += bytes;
+  if (options_.fsync == Options::Fsync::kEveryRecord) timed_sync();
+  if (hooks_.records) hooks_.records->inc();
+  if (hooks_.bytes) hooks_.bytes->inc(bytes);
+  return next_lsn_++;
+}
+
+void Journal::sync() {
+  if (recording_) timed_sync();
+}
+
+void Journal::timed_sync() {
+  const auto start = std::chrono::steady_clock::now();
+  writer_->sync();
+  if (hooks_.fsync_seconds) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    hooks_.fsync_seconds->observe(elapsed.count());
+  }
+}
+
+std::uint64_t Journal::write_checkpoint(CheckpointState state) {
+  const std::uint64_t lsn = next_lsn_;
+  state.lsn = lsn;
+  // Anchor the tail: records before the checkpoint LSN must be on disk
+  // before the segments holding them become prunable.
+  if (recording_ && options_.fsync != Options::Fsync::kNever) timed_sync();
+  write_checkpoint_file(checkpoint_path(lsn), state);
+
+  const std::uint64_t previous_checkpoint = last_checkpoint_lsn_;
+  const bool had_checkpoint = checkpoint_.has_value();
+  checkpoint_ = std::move(state);
+  last_checkpoint_lsn_ = lsn;
+  tail_.clear();
+
+  if (recording_) {
+    // Rotate: the new checkpoint owns everything before `lsn`, so the WAL
+    // restarts in a fresh segment anchored there.
+    writer_.reset();
+    writer_ = WalWriter::create(segment_path(lsn), lsn, false);
+    std::vector<std::pair<std::uint64_t, std::string>> keep;
+    for (auto& [first_lsn, path] : segments_) {
+      if (first_lsn < lsn) {
+        std::error_code ec;
+        fs::remove(path, ec);
+      } else {
+        keep.push_back({first_lsn, path});
+      }
+    }
+    segments_ = std::move(keep);
+    segments_.emplace_back(lsn, segment_path(lsn));
+    have_active_ = true;
+    complete_history_ = false;
+  }
+  if (had_checkpoint && previous_checkpoint != lsn) {
+    std::error_code ec;
+    fs::remove(checkpoint_path(previous_checkpoint), ec);
+  }
+  // Sweep any checkpoints left over from crashed runs (corrupt newer ones,
+  // superseded older ones).
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("checkpoint-") &&
+        (name.ends_with(".ckpt.tmp") ||
+         (name.ends_with(".ckpt") &&
+          entry.path().string() != checkpoint_path(lsn)))) {
+      std::error_code ec;
+      fs::remove(entry.path(), ec);
+    }
+  }
+  if (hooks_.checkpoints) hooks_.checkpoints->inc();
+  return lsn;
+}
+
+}  // namespace sdx::persist

@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file journal.hpp
+/// The journal: one directory holding the newest checkpoint plus the WAL
+/// segments that follow it. Owns segment rotation, torn-tail truncation,
+/// checkpoint-anchored pruning and the crash-recovery scan.
+///
+/// Directory contents:
+///
+///   checkpoint-<lsn>.ckpt   at most one after a clean checkpoint; an older
+///                           one may linger across the crash window and is
+///                           ignored once a newer one validates
+///   wal-<first-lsn>.log     segments in LSN order; the last one is the
+///                           append target
+///   *.tmp                   checkpoint write in flight; always ignored
+///
+/// Construction scans the directory: the newest *valid* checkpoint wins
+/// (corrupt ones fall back to older), segments are walked in LSN order,
+/// every record is assigned its LSN by position, records already covered by
+/// the checkpoint are skipped and the rest become the replay tail. The scan
+/// stops at the first torn frame — anything after it (including whole later
+/// segments) is unreachable state from a crashed process and is discarded
+/// when recording starts.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "persist/checkpoint.hpp"
+#include "persist/wal.hpp"
+
+namespace sdx::telemetry {
+class Counter;
+class Histogram;
+}  // namespace sdx::telemetry
+
+namespace sdx::persist {
+
+class Journal {
+ public:
+  struct Options {
+    enum class Fsync {
+      kNever,        ///< rely on the OS page cache (benchmarks)
+      kOnCheckpoint, ///< fsync segments only when a checkpoint anchors them
+      kEveryRecord,  ///< fsync after every append (full durability)
+    };
+    Fsync fsync = Fsync::kOnCheckpoint;
+  };
+
+  /// Telemetry attachment points (all optional; null = not recorded).
+  struct Hooks {
+    telemetry::Counter* records = nullptr;
+    telemetry::Counter* bytes = nullptr;
+    telemetry::Counter* checkpoints = nullptr;
+    telemetry::Histogram* fsync_seconds = nullptr;
+  };
+
+  /// Opens (creating if needed) the journal directory and scans it.
+  /// Throws std::system_error on I/O failure. (Two overloads rather than a
+  /// default argument: Options' member initializers are not available as a
+  /// default-argument initializer inside Journal's own definition.)
+  Journal(std::string dir, Options options);
+  explicit Journal(std::string dir) : Journal(std::move(dir), Options()) {}
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  const std::string& directory() const { return dir_; }
+
+  /// True when the directory held no checkpoint and no WAL records.
+  bool empty() const {
+    return !checkpoint_.has_value() && tail_.empty() && !had_segments_;
+  }
+
+  /// True when the surviving segment chain starts at the runtime's birth
+  /// (genesis segment, nothing pruned) — i.e. the WAL alone can rebuild the
+  /// full state even without a checkpoint.
+  bool complete_history() const { return complete_history_; }
+
+  const std::optional<CheckpointState>& checkpoint() const {
+    return checkpoint_;
+  }
+
+  /// Records past the checkpoint, in LSN order — the replay tail.
+  const std::vector<WalRecord>& tail() const { return tail_; }
+
+  /// Bytes discarded by torn-tail detection during the scan.
+  std::uint64_t torn_bytes() const { return torn_bytes_; }
+
+  std::uint64_t next_lsn() const { return next_lsn_; }
+  std::uint64_t last_checkpoint_lsn() const { return last_checkpoint_lsn_; }
+
+  /// Total WAL bytes appended through this handle (frames included).
+  std::uint64_t bytes_appended() const { return bytes_appended_; }
+
+  bool recording() const { return recording_; }
+
+  void set_hooks(const Hooks& hooks) { hooks_ = hooks; }
+
+  /// Transitions from scanning to appending: truncates the torn tail,
+  /// deletes unreachable post-tear segments, and opens (or creates) the
+  /// active segment. \p genesis_if_new marks a brand-new journal's first
+  /// segment as a complete-history chain.
+  void start_recording(bool genesis_if_new);
+
+  /// Appends one record; returns its LSN. Requires start_recording().
+  std::uint64_t append(const WalRecord& rec);
+
+  /// fsync the active segment (no-op when not recording).
+  void sync();
+
+  /// Writes \p state (its lsn field is overwritten with next_lsn()) as the
+  /// new checkpoint, rotates the WAL to a fresh segment anchored at that
+  /// LSN, and prunes segments and checkpoints the new checkpoint
+  /// supersedes. Returns the checkpoint LSN.
+  std::uint64_t write_checkpoint(CheckpointState state);
+
+ private:
+  std::string segment_path(std::uint64_t first_lsn) const;
+  std::string checkpoint_path(std::uint64_t lsn) const;
+  void scan();
+  void timed_sync();
+
+  std::string dir_;
+  Options options_;
+  Hooks hooks_;
+
+  std::optional<CheckpointState> checkpoint_;
+  std::vector<WalRecord> tail_;
+  std::uint64_t next_lsn_ = 0;
+  std::uint64_t last_checkpoint_lsn_ = 0;
+  std::uint64_t torn_bytes_ = 0;
+  std::uint64_t bytes_appended_ = 0;
+  bool had_segments_ = false;
+  bool complete_history_ = false;
+
+  /// (first_lsn, path) of every live segment, ascending.
+  std::vector<std::pair<std::uint64_t, std::string>> segments_;
+  /// Unreachable files found by the scan; deleted at start_recording().
+  std::vector<std::string> stale_paths_;
+  /// Append target (last of segments_) and its clean length.
+  std::uint64_t active_valid_bytes_ = 0;
+  bool have_active_ = false;
+
+  std::optional<WalWriter> writer_;
+  bool recording_ = false;
+};
+
+}  // namespace sdx::persist

@@ -1,0 +1,258 @@
+#include "persist/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "persist/crc32c.hpp"
+
+namespace sdx::persist {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'D', 'X', 'W', 'A', 'L', '0', '1'};
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+std::uint32_t load_u32(const char* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof v);
+  return v;  // written little-endian by Encoder on the same host family
+}
+
+void write_all(int fd, std::string_view data, const char* what) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(what);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string frame(std::string_view payload) {
+  Encoder e;
+  e.u32(static_cast<std::uint32_t>(payload.size()));
+  e.u32(crc32c(payload));
+  std::string out = e.take();
+  out.append(payload);
+  return out;
+}
+
+std::string header_bytes(std::uint64_t first_lsn, bool genesis) {
+  Encoder e;
+  for (char c : kMagic) e.u8(static_cast<std::uint8_t>(c));
+  e.u64(first_lsn);
+  e.boolean(genesis);
+  e.u32(crc32c(e.bytes()));
+  return e.take();
+}
+
+void put_path(Encoder& e, const WalRecord& rec) {
+  e.boolean(rec.has_path);
+  if (rec.has_path) put_as_path(e, rec.path);
+  e.u32(static_cast<std::uint32_t>(rec.communities.size()));
+  for (bgp::Community c : rec.communities) e.u32(c);
+}
+
+}  // namespace
+
+std::string encode_record(const WalRecord& rec) {
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(rec.type));
+  e.u32(rec.participant);
+  switch (rec.type) {
+    case WalRecordType::kAddParticipant:
+      e.str(rec.name);
+      e.u32(rec.asn);
+      e.u32(rec.port_count);
+      break;
+    case WalRecordType::kAddRemoteParticipant:
+      e.str(rec.name);
+      e.u32(rec.asn);
+      break;
+    case WalRecordType::kSetOutbound:
+      e.u32(static_cast<std::uint32_t>(rec.outbound.size()));
+      for (const auto& c : rec.outbound) put_outbound_clause(e, c);
+      break;
+    case WalRecordType::kSetInbound:
+      e.u32(static_cast<std::uint32_t>(rec.inbound.size()));
+      for (const auto& c : rec.inbound) put_inbound_clause(e, c);
+      break;
+    case WalRecordType::kAnnounce:
+      e.prefix(rec.prefix);
+      put_path(e, rec);
+      break;
+    case WalRecordType::kWithdraw:
+      e.prefix(rec.prefix);
+      break;
+    case WalRecordType::kSessionDown:
+    case WalRecordType::kInstall:
+      break;
+  }
+  return e.take();
+}
+
+WalRecord decode_record(std::string_view payload) {
+  Decoder d(payload);
+  WalRecord rec;
+  const std::uint8_t type = d.u8();
+  if (type < 1 || type > static_cast<std::uint8_t>(WalRecordType::kInstall)) {
+    throw CodecError("unknown WAL record type");
+  }
+  rec.type = static_cast<WalRecordType>(type);
+  rec.participant = d.u32();
+  switch (rec.type) {
+    case WalRecordType::kAddParticipant:
+      rec.name = d.str();
+      rec.asn = d.u32();
+      rec.port_count = d.u32();
+      break;
+    case WalRecordType::kAddRemoteParticipant:
+      rec.name = d.str();
+      rec.asn = d.u32();
+      break;
+    case WalRecordType::kSetOutbound: {
+      const std::uint32_t n = d.u32();
+      rec.outbound.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        rec.outbound.push_back(get_outbound_clause(d));
+      }
+      break;
+    }
+    case WalRecordType::kSetInbound: {
+      const std::uint32_t n = d.u32();
+      rec.inbound.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        rec.inbound.push_back(get_inbound_clause(d));
+      }
+      break;
+    }
+    case WalRecordType::kAnnounce: {
+      rec.prefix = d.prefix();
+      rec.has_path = d.boolean();
+      if (rec.has_path) rec.path = get_as_path(d);
+      const std::uint32_t n = d.u32();
+      rec.communities.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) rec.communities.push_back(d.u32());
+      break;
+    }
+    case WalRecordType::kWithdraw:
+      rec.prefix = d.prefix();
+      break;
+    case WalRecordType::kSessionDown:
+    case WalRecordType::kInstall:
+      break;
+  }
+  if (!d.done()) throw CodecError("trailing bytes in WAL record");
+  return rec;
+}
+
+WalSegment read_wal_segment(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw_errno("open WAL segment " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+
+  WalSegment seg;
+  if (data.size() >= kWalHeaderBytes &&
+      std::memcmp(data.data(), kMagic, sizeof kMagic) == 0) {
+    const std::uint32_t stored = load_u32(data.data() + kWalHeaderBytes - 4);
+    if (stored == crc32c({data.data(), kWalHeaderBytes - 4})) {
+      Decoder d(std::string_view(data).substr(sizeof kMagic));
+      seg.first_lsn = d.u64();
+      seg.genesis = d.boolean();
+      seg.header_valid = true;
+    }
+  }
+  if (!seg.header_valid) {
+    // A header that never hit the disk whole: the entire file is a torn
+    // prefix (only possible when the crash raced segment creation).
+    seg.torn_bytes = data.size();
+    return seg;
+  }
+  std::size_t pos = kWalHeaderBytes;
+  seg.valid_bytes = pos;
+  while (data.size() - pos >= kWalFrameBytes) {
+    const std::uint32_t len = load_u32(data.data() + pos);
+    const std::uint32_t stored_crc = load_u32(data.data() + pos + 4);
+    if (data.size() - pos - kWalFrameBytes < len) break;  // torn payload
+    const std::string_view payload(data.data() + pos + kWalFrameBytes, len);
+    if (crc32c(payload) != stored_crc) break;  // corrupt or torn frame
+    seg.payloads.emplace_back(payload);
+    pos += kWalFrameBytes + len;
+    seg.valid_bytes = pos;
+  }
+  seg.torn_bytes = data.size() - seg.valid_bytes;
+  return seg;
+}
+
+WalWriter WalWriter::create(const std::string& path, std::uint64_t first_lsn,
+                            bool genesis) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) throw_errno("create WAL segment " + path);
+  WalWriter w(fd, 0);
+  const std::string header = header_bytes(first_lsn, genesis);
+  write_all(fd, header, "write WAL header");
+  w.size_ = header.size();
+  return w;
+}
+
+WalWriter WalWriter::open_append(const std::string& path,
+                                 std::uint64_t valid_bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd < 0) throw_errno("open WAL segment " + path);
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("truncate torn WAL tail " + path);
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("seek WAL segment " + path);
+  }
+  return WalWriter(fd, valid_bytes);
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), size_(other.size_) {}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    size_ = other.size_;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t WalWriter::append(std::string_view payload) {
+  const std::string framed = frame(payload);
+  write_all(fd_, framed, "append WAL record");
+  size_ += framed.size();
+  return framed.size();
+}
+
+void WalWriter::sync() {
+  if (::fsync(fd_) != 0) throw_errno("fsync WAL segment");
+}
+
+}  // namespace sdx::persist

@@ -36,6 +36,8 @@ struct PhysicalPort {
   net::PortId id = 0;
   MacAddress router_mac;
   Ipv4Address router_ip;
+
+  friend bool operator==(const PhysicalPort&, const PhysicalPort&) = default;
 };
 
 /// The match side of a clause: a conjunction of exact header tests with
@@ -67,6 +69,8 @@ struct ClauseMatch {
 
   /// True when a header satisfies the clause match.
   bool matches(const net::PacketHeader& h) const;
+
+  friend bool operator==(const ClauseMatch&, const ClauseMatch&) = default;
 };
 
 /// An outbound clause: traffic the participant sends that matches is handed
@@ -75,6 +79,9 @@ struct ClauseMatch {
 struct OutboundClause {
   ClauseMatch match;
   ParticipantId to = 0;
+
+  friend bool operator==(const OutboundClause&,
+                         const OutboundClause&) = default;
 };
 
 /// An inbound clause: traffic arriving at the participant's virtual switch
@@ -88,6 +95,8 @@ struct InboundClause {
   /// Index into Participant::ports; nullopt = primary port (or, for remote
   /// participants, resolve by BGP after rewriting).
   std::optional<std::size_t> to_port;
+
+  friend bool operator==(const InboundClause&, const InboundClause&) = default;
 };
 
 struct Participant {
@@ -107,6 +116,10 @@ struct Participant {
     for (const auto& p : ports) out.push_back(p.id);
     return out;
   }
+
+  /// Structural equality — used by recovery to verify that re-registering
+  /// checkpointed participants regenerated the identical state.
+  friend bool operator==(const Participant&, const Participant&) = default;
 };
 
 /// Renders the participant's outbound clauses into the Pyretic-style AST:

@@ -14,6 +14,21 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Scoped flag override; restores the previous value on any exit path.
+class FlagOverride {
+ public:
+  FlagOverride(bool& flag, bool value) : flag_(flag), saved_(flag) {
+    flag_ = value;
+  }
+  ~FlagOverride() { flag_ = saved_; }
+  FlagOverride(const FlagOverride&) = delete;
+  FlagOverride& operator=(const FlagOverride&) = delete;
+
+ private:
+  bool& flag_;
+  bool saved_;
+};
+
 }  // namespace
 
 SdxRuntime::SdxRuntime(bgp::DecisionConfig decision, CompileOptions options)
@@ -99,6 +114,15 @@ ParticipantId SdxRuntime::add_participant(const std::string& name,
     frontend_->connect(stored.id,
                        routers_[router_index_.at(stored.id).front()]);
   }
+  if (journal_recording_) {
+    persist::WalRecord rec;
+    rec.type = persist::WalRecordType::kAddParticipant;
+    rec.participant = stored.id;
+    rec.name = name;
+    rec.asn = asn;
+    rec.port_count = static_cast<std::uint32_t>(port_count);
+    journal_->append(rec);
+  }
   return stored.id;
 }
 
@@ -118,6 +142,14 @@ ParticipantId SdxRuntime::add_remote_participant(const std::string& name,
       {stored.id, asn,
        net::Ipv4Address(net::Ipv4Address::parse("192.0.2.0").value() +
                         next_host_++)});
+  if (journal_recording_) {
+    persist::WalRecord rec;
+    rec.type = persist::WalRecordType::kAddRemoteParticipant;
+    rec.participant = stored.id;
+    rec.name = name;
+    rec.asn = asn;
+    journal_->append(rec);
+  }
   return stored.id;
 }
 
@@ -147,6 +179,13 @@ void SdxRuntime::set_outbound(ParticipantId id,
   participant(id).outbound = std::move(clauses);
   validate_participant(participant(id), participants_);
   ++policy_epoch_;
+  if (journal_recording_) {
+    persist::WalRecord rec;
+    rec.type = persist::WalRecordType::kSetOutbound;
+    rec.participant = id;
+    rec.outbound = participant(id).outbound;
+    journal_->append(rec);
+  }
 }
 
 void SdxRuntime::set_inbound(ParticipantId id,
@@ -154,6 +193,13 @@ void SdxRuntime::set_inbound(ParticipantId id,
   participant(id).inbound = std::move(clauses);
   validate_participant(participant(id), participants_);
   ++policy_epoch_;
+  if (journal_recording_) {
+    persist::WalRecord rec;
+    rec.type = persist::WalRecordType::kSetInbound;
+    rec.participant = id;
+    rec.inbound = participant(id).inbound;
+    journal_->append(rec);
+  }
 }
 
 void SdxRuntime::enable_rpki(bgp::RoaTable table, RpkiMode mode) {
@@ -180,6 +226,18 @@ void SdxRuntime::announce(ParticipantId from, Ipv4Prefix prefix,
           std::string(bgp::validity_name(validity)) + ")");
     }
   }
+  if (journal_recording_) {
+    // Write-ahead: the record lands before the mutation, capturing the
+    // inputs (communities are moved into the route below).
+    persist::WalRecord rec;
+    rec.type = persist::WalRecordType::kAnnounce;
+    rec.participant = from;
+    rec.prefix = prefix;
+    rec.has_path = path.has_value();
+    if (path) rec.path = *path;
+    rec.communities = communities;
+    journal_->append(rec);
+  }
   bgp::Route route;
   route.prefix = prefix;
   route.attrs.as_path = path.value_or(net::AsPath{p.asn});
@@ -199,6 +257,16 @@ void SdxRuntime::announce(ParticipantId from, Ipv4Prefix prefix,
 
 std::size_t SdxRuntime::session_down(ParticipantId id) {
   Participant& p = participant(id);
+  if (journal_recording_) {
+    persist::WalRecord rec;
+    rec.type = persist::WalRecordType::kSessionDown;
+    rec.participant = id;
+    journal_->append(rec);
+  }
+  // The inner withdraw()/recompile calls below are derived effects of this
+  // one record — suppress their own journaling so replay, which re-runs
+  // session_down() wholesale, does not double-apply them.
+  FlagOverride suppress(journal_recording_, false);
   p.outbound.clear();
   p.inbound.clear();
   ++policy_epoch_;
@@ -229,6 +297,13 @@ std::size_t SdxRuntime::session_down(ParticipantId id) {
 }
 
 void SdxRuntime::withdraw(ParticipantId from, Ipv4Prefix prefix) {
+  if (journal_recording_) {
+    persist::WalRecord rec;
+    rec.type = persist::WalRecordType::kWithdraw;
+    rec.participant = from;
+    rec.prefix = prefix;
+    journal_->append(rec);
+  }
   server_.withdraw(from, prefix);
   if (installed()) {
     note_post_install_update(prefix);
@@ -275,6 +350,11 @@ const CompiledSdx& SdxRuntime::install() {
   telemetry::Span span = telemetry_.tracer.span("install");
   for (const auto& p : participants_) {
     validate_participant(p, participants_);
+  }
+  if (journal_recording_) {
+    persist::WalRecord rec;
+    rec.type = persist::WalRecordType::kInstall;
+    journal_->append(rec);
   }
   engine_ = std::make_unique<IncrementalEngine>(
       SdxCompiler(participants_, port_map_, server_, options_));
@@ -489,8 +569,10 @@ void SdxRuntime::set_update_log_capacity(std::size_t capacity) {
 
 void SdxRuntime::log_update(UpdateReport report) {
   if (update_log_capacity_ == 0) return;
+  // Trim before admitting, so the ring never transiently exceeds its
+  // capacity (capacity 0 admits nothing at all).
+  while (update_log_.size() >= update_log_capacity_) update_log_.pop_front();
   update_log_.push_back(std::move(report));
-  while (update_log_.size() > update_log_capacity_) update_log_.pop_front();
 }
 
 std::string SdxRuntime::dump_metrics() {
@@ -604,6 +686,234 @@ void SdxRuntime::install_batch(const std::vector<Ipv4Prefix>& prefixes) {
     log_update(
         UpdateReport{item.prefix, item.additional_rules, amortized});
   }
+}
+
+void SdxRuntime::wire_journal_hooks() {
+  auto& reg = telemetry_.metrics;
+  persist::Journal::Hooks hooks;
+  hooks.records =
+      &reg.counter("sdx_journal_records_total", "WAL records appended");
+  hooks.bytes = &reg.counter("sdx_journal_bytes_total",
+                             "WAL bytes appended (framing included)");
+  hooks.checkpoints =
+      &reg.counter("sdx_journal_checkpoints_total", "checkpoints written");
+  hooks.fsync_seconds =
+      &reg.histogram("sdx_journal_fsync_seconds", "WAL fsync latency");
+  journal_->set_hooks(hooks);
+}
+
+void SdxRuntime::attach_journal(const std::string& dir,
+                                persist::Journal::Options options) {
+  if (journal_) throw std::logic_error("journal already attached");
+  auto journal = std::make_unique<persist::Journal>(dir, options);
+  if (!journal->empty()) {
+    throw std::logic_error("journal directory " + dir +
+                           " holds existing state — use recover()");
+  }
+  const bool fresh = participants_.empty() && !installed();
+  journal_ = std::move(journal);
+  wire_journal_hooks();
+  journal_->start_recording(/*genesis_if_new=*/fresh);
+  journal_recording_ = true;
+  // A non-fresh runtime has state no WAL record covers: anchor the journal
+  // with an immediate checkpoint so it is always recoverable.
+  if (!fresh) checkpoint();
+}
+
+std::uint64_t SdxRuntime::checkpoint() {
+  if (!journal_ || !journal_recording_) {
+    throw std::logic_error("attach_journal() before checkpoint()");
+  }
+  telemetry::Span span = telemetry_.tracer.span("checkpoint");
+  // Flush any pending batch first: a checkpoint must capture an
+  // externally-consistent state, not one with updates parked in a queue.
+  if (batching_) flush();
+  persist::CheckpointState st;
+  st.participants = participants_;
+  st.routes = server_.dump_routes();
+  st.vnh_pool = vnh_.pool();
+  st.vnh_allocated = vnh_.allocated();
+  st.next_cookie = next_cookie_;
+  st.installed = installed();
+  if (st.installed) {
+    st.compiled = engine_->current();
+    st.compiled.stats = CompileStats{};  // timings are not state
+    st.fingerprint = engine_->current().fingerprint();
+    st.fast_bindings.assign(fast_bindings_.begin(), fast_bindings_.end());
+    std::sort(st.fast_bindings.begin(), st.fast_bindings.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    st.remote_bindings.assign(remote_bindings_.begin(),
+                              remote_bindings_.end());
+    std::sort(st.remote_bindings.begin(), st.remote_bindings.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& r : fabric_.sdx_switch().table().rules()) {
+      if (r.cookie == kBaseCookie) continue;  // base classifier: recomputed
+      st.extra_rules.push_back(
+          {r.priority, r.cookie, policy::Rule{r.match, r.actions}});
+    }
+  }
+  return journal_->write_checkpoint(std::move(st));
+}
+
+void SdxRuntime::restore_checkpoint(const persist::CheckpointState& st,
+                                    RecoveryReport& report) {
+  // 1. Re-register participants in stored order: the deterministic counter
+  // scheme (ids, port ids, MACs, router IPs) regenerates identical state,
+  // which the equality check below verifies against the stored copy.
+  for (const auto& p : st.participants) {
+    if (p.is_remote()) {
+      add_remote_participant(p.name, p.asn);
+    } else {
+      add_participant(p.name, p.asn, p.ports.size());
+    }
+  }
+  // Policies in a second pass: a clause may reference any participant,
+  // including ones registered after its owner.
+  for (const auto& p : st.participants) {
+    if (!p.outbound.empty()) set_outbound(p.id, p.outbound);
+    if (!p.inbound.empty()) set_inbound(p.id, p.inbound);
+  }
+  if (participants_ != st.participants) {
+    throw std::runtime_error(
+        "checkpoint participants do not match regenerated state "
+        "(incompatible runtime version?)");
+  }
+  // 2. RIB restore: re-announce the full dump. Restoring state is not
+  // route-server work — keep it out of the announcement counters.
+  server_.set_telemetry(nullptr);
+  for (const auto& r : st.routes) server_.announce(r);
+  server_.set_telemetry(&telemetry_.metrics);
+  next_cookie_ = st.next_cookie;
+  vnh_ = VnhAllocator(st.vnh_pool);
+  if (!st.installed) {
+    vnh_.restore(st.vnh_allocated);
+    return;
+  }
+  // 3. Decide warm vs cold. The compiler holds references into the
+  // restored state, so the engine is built only now.
+  engine_ = std::make_unique<IncrementalEngine>(
+      SdxCompiler(participants_, port_map_, server_, options_));
+  engine_->set_telemetry(&telemetry_);
+  CompiledSdx compiled = st.compiled;
+  if (compiled.fingerprint() == st.fingerprint) {
+    // Warm restart: the decoded artifact is provably what a fresh compile
+    // would produce — adopt it without compiling and reuse every persisted
+    // VNH/VMAC binding, keeping border-router ARP caches valid.
+    report.warm = true;
+    vnh_.restore(st.vnh_allocated);
+    const CompiledSdx& adopted = engine_->adopt(std::move(compiled));
+    remote_bindings_.clear();
+    for (const auto& [id, b] : st.remote_bindings) remote_bindings_[id] = b;
+    auto& table = fabric_.sdx_switch().table();
+    table.clear();
+    table.install_classifier(adopted.fabric, kBasePriority, kBaseCookie);
+    for (const auto& extra : st.extra_rules) {
+      dp::FlowRule rule;
+      rule.priority = extra.priority;
+      rule.match = extra.rule.match;
+      rule.actions = extra.rule.actions;
+      rule.cookie = extra.cookie;
+      table.install(std::move(rule));
+    }
+    fast_bindings_.clear();
+    for (const auto& [prefix, b] : st.fast_bindings) {
+      fast_bindings_[prefix] = b;
+    }
+    bind_arp(adopted);
+    for (const auto& [prefix, b] : fast_bindings_) {
+      fabric_.arp().bind(b.vnh, b.vmac);
+    }
+    for (auto prefix : server_.all_prefixes()) readvertise(prefix);
+  } else {
+    // Fingerprint mismatch (different compile options, code drift, or a
+    // corrupted artifact that still decoded): fall back to a cold install.
+    install();
+  }
+}
+
+void SdxRuntime::replay_record(const persist::WalRecord& rec) {
+  switch (rec.type) {
+    case persist::WalRecordType::kAddParticipant:
+      add_participant(rec.name, rec.asn, rec.port_count);
+      break;
+    case persist::WalRecordType::kAddRemoteParticipant:
+      add_remote_participant(rec.name, rec.asn);
+      break;
+    case persist::WalRecordType::kSetOutbound:
+      set_outbound(rec.participant, rec.outbound);
+      break;
+    case persist::WalRecordType::kSetInbound:
+      set_inbound(rec.participant, rec.inbound);
+      break;
+    case persist::WalRecordType::kAnnounce:
+      announce(rec.participant, rec.prefix,
+               rec.has_path ? std::optional<net::AsPath>(rec.path)
+                            : std::nullopt,
+               rec.communities);
+      break;
+    case persist::WalRecordType::kWithdraw:
+      withdraw(rec.participant, rec.prefix);
+      break;
+    case persist::WalRecordType::kSessionDown:
+      session_down(rec.participant);
+      break;
+    case persist::WalRecordType::kInstall:
+      install();
+      break;
+  }
+}
+
+SdxRuntime::RecoveryReport SdxRuntime::recover(
+    const std::string& dir, persist::Journal::Options options) {
+  if (journal_) throw std::logic_error("journal already attached");
+  if (!participants_.empty() || installed()) {
+    throw std::logic_error("recover() requires a fresh runtime");
+  }
+  telemetry::Span span = telemetry_.tracer.span("recover");
+  const auto t0 = std::chrono::steady_clock::now();
+  auto journal = std::make_unique<persist::Journal>(dir, options);
+  if (!journal->checkpoint() && !journal->complete_history()) {
+    throw std::runtime_error("journal directory " + dir +
+                             " holds no checkpoint and no complete WAL "
+                             "history");
+  }
+  RecoveryReport report;
+  report.torn_bytes = journal->torn_bytes();
+  if (journal->checkpoint()) {
+    report.had_checkpoint = true;
+    report.checkpoint_lsn = journal->checkpoint()->lsn;
+    restore_checkpoint(*journal->checkpoint(), report);
+  }
+  // Replay the tail. Once the replayed timeline passes install(), updates
+  // run through the batched fast path — one coalesced pass instead of one
+  // restricted compilation per record.
+  bool batched = false;
+  for (const auto& rec : journal->tail()) {
+    if (!batched && installed()) {
+      enable_batching(BatchOptions{0, 0});
+      batched = true;
+    }
+    replay_record(rec);
+    ++report.replayed;
+  }
+  if (batched) disable_batching();
+  journal_ = std::move(journal);
+  wire_journal_hooks();
+  journal_->start_recording(/*genesis_if_new=*/false);
+  journal_recording_ = true;
+  report.seconds = seconds_since(t0);
+  auto& reg = telemetry_.metrics;
+  auto& warm = reg.counter("sdx_recovery_warm_total",
+                           "recoveries that warm-restarted (no recompile)");
+  auto& cold = reg.counter("sdx_recovery_cold_total",
+                           "recoveries that fell back to a full compile");
+  (report.warm ? warm : cold).inc();
+  reg.counter("sdx_recovery_replayed_records_total",
+              "WAL tail records re-applied during recovery")
+      .inc(report.replayed);
+  reg.histogram("sdx_recovery_seconds", "end-to-end recovery latency")
+      .observe(report.seconds);
+  return report;
 }
 
 dp::BorderRouter& SdxRuntime::router(ParticipantId id,

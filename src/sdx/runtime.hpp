@@ -32,6 +32,7 @@
 #include "bgp/rpki.hpp"
 #include "dataplane/fabric.hpp"
 #include "netbase/parallel.hpp"
+#include "persist/journal.hpp"
 #include "sdx/bgp_frontend.hpp"
 #include "sdx/compiler.hpp"
 #include "sdx/incremental.hpp"
@@ -228,6 +229,50 @@ class SdxRuntime {
   void set_update_log_capacity(std::size_t capacity);
   std::size_t update_log_capacity() const { return update_log_capacity_; }
 
+  // --- durability & crash recovery (persist/) -------------------------------
+
+  /// Attaches a journal at \p dir (created if missing): from here on every
+  /// externally-driven mutation — participant registration, policy changes,
+  /// announce/withdraw/session_down, install() — appends a WAL record, and
+  /// checkpoint() serializes full snapshots. Throws std::logic_error when a
+  /// journal is already attached, or when \p dir holds existing journal
+  /// state (use recover() for that). Attaching to a runtime that already
+  /// has state writes an initial checkpoint so the journal is complete.
+  void attach_journal(const std::string& dir,
+                      persist::Journal::Options options = {});
+
+  /// True while mutations are being recorded to an attached journal.
+  bool journaling() const { return journal_ != nullptr && journal_recording_; }
+  const persist::Journal* journal() const { return journal_.get(); }
+
+  /// Serializes the full runtime state (RIB, participants, policies,
+  /// VNH/VMAC allocator, installed tables + fingerprint, fast-path residue)
+  /// as an atomically-written checkpoint, rotating the WAL to a fresh
+  /// segment anchored at the checkpoint's LSN. A pending batch is flushed
+  /// first so the snapshot is externally consistent. Returns the checkpoint
+  /// LSN. Throws std::logic_error without an attached journal.
+  std::uint64_t checkpoint();
+
+  struct RecoveryReport {
+    bool warm = false;           ///< tables adopted without recompiling
+    bool had_checkpoint = false;
+    std::uint64_t checkpoint_lsn = 0;
+    std::size_t replayed = 0;    ///< WAL tail records re-applied
+    std::uint64_t torn_bytes = 0;///< bytes discarded by torn-tail detection
+    double seconds = 0;
+  };
+
+  /// Rebuilds this (fresh) runtime from the journal at \p dir: loads the
+  /// newest valid checkpoint, replays the WAL tail through the batched fast
+  /// path, and resumes recording. When the restored tables' fingerprint
+  /// matches the checkpointed one the restart is *warm*: the compiled state
+  /// is adopted without recompiling and every persisted VNH→VMAC binding is
+  /// reused, so border-router ARP caches stay valid. Throws
+  /// std::logic_error on a non-fresh runtime, std::runtime_error when the
+  /// directory holds neither a checkpoint nor a complete (genesis) WAL.
+  RecoveryReport recover(const std::string& dir,
+                         persist::Journal::Options options = {});
+
   // --- telemetry ------------------------------------------------------------
 
   /// The runtime's measurement plane. Every layer reports here: route
@@ -305,6 +350,14 @@ class SdxRuntime {
   void apply_recompile(RecompileJob job);
   void log_update(UpdateReport report);
   std::optional<VnhBinding> advertised_binding(Ipv4Prefix prefix) const;
+  /// Registers the journal's telemetry series on the runtime registry.
+  void wire_journal_hooks();
+  /// Re-applies a checkpoint into this (fresh) runtime; sets report.warm
+  /// when the fingerprint check allows adopting the persisted tables.
+  void restore_checkpoint(const persist::CheckpointState& st,
+                          RecoveryReport& report);
+  /// Re-applies one WAL record (recording suppressed by the caller).
+  void replay_record(const persist::WalRecord& rec);
 
   /// Declared first so every layer holding metric handles (route server,
   /// fabric hooks, cached counters below) is destroyed before it.
@@ -364,6 +417,12 @@ class SdxRuntime {
   std::uint64_t next_cookie_ = kBaseCookie + 1;
   net::PortId next_port_ = 1;
   std::uint32_t next_host_ = 1;
+
+  /// Durability (persist/): the attached journal, and whether mutations are
+  /// currently recorded (off during recovery replay and inside compound
+  /// operations whose effects a single record already covers).
+  std::unique_ptr<persist::Journal> journal_;
+  bool journal_recording_ = false;
 
   /// Declared last: destroyed first, joining any worker still compiling
   /// before the job buffers and telemetry above go away.

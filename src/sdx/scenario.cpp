@@ -36,6 +36,9 @@ namespace sdx::core {
 //   send <name> <field>=<v>... [from-port <idx>]
 //   expect drop | expect port <name> <idx> | expect dstip <addr>
 //   audit                        static rule-table audit
+//   save <dir>                   attach a journal at <dir> and checkpoint
+//   recover <dir>                rebuild a fresh runtime from a journal
+//   journal                      journal status (LSN, bytes, checkpoint)
 //   show stats|groups|log
 //   show rules [n]
 // Matchable/settable fields: srcip, dstip (addresses or prefixes),
@@ -528,6 +531,43 @@ std::string ScenarioInterpreter::Impl::handle(
       return os.str();
     }
     fail("unknown show target '" + t[1] + "'");
+  }
+
+  if (cmd == "save") {
+    if (t.size() != 2) fail("usage: save <dir>");
+    if (runtime.journaling()) {
+      if (runtime.journal()->directory() != t[1]) {
+        fail("journal already attached at " +
+             runtime.journal()->directory());
+      }
+    } else {
+      runtime.attach_journal(t[1]);
+    }
+    const std::uint64_t lsn = runtime.checkpoint();
+    return "checkpoint written at lsn " + std::to_string(lsn);
+  }
+
+  if (cmd == "recover") {
+    if (t.size() != 2) fail("usage: recover <dir>");
+    const auto report = runtime.recover(t[1]);
+    std::ostringstream os;
+    os << (report.warm ? "warm" : "cold") << " restart from " << t[1] << ":";
+    if (report.had_checkpoint) {
+      os << " checkpoint lsn " << report.checkpoint_lsn << ",";
+    }
+    os << " replayed " << report.replayed << " records in "
+       << report.seconds * 1e3 << " ms";
+    return os.str();
+  }
+
+  if (cmd == "journal") {
+    const persist::Journal* j = runtime.journal();
+    if (j == nullptr) return "journal: not attached";
+    std::ostringstream os;
+    os << "journal " << j->directory() << ": next lsn " << j->next_lsn()
+       << ", " << j->bytes_appended() << " bytes appended, last checkpoint"
+       << " lsn " << j->last_checkpoint_lsn();
+    return os.str();
   }
 
   fail("unknown command '" + cmd + "'");

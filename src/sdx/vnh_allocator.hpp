@@ -51,6 +51,17 @@ class VnhAllocator {
   /// pass re-derives a minimal set of bindings, §4.3.2).
   void reset() { next_ = 0; }
 
+  /// Restores the high-water mark from a checkpoint, so warm restart hands
+  /// out VNHs from where the crashed process left off (existing bindings —
+  /// and the border-router ARP caches built on them — stay valid). Throws
+  /// std::length_error when \p allocated exceeds the pool.
+  void restore(std::uint64_t allocated) {
+    if (allocated > pool_.size()) {
+      throw std::length_error("VNH watermark exceeds pool");
+    }
+    next_ = allocated;
+  }
+
   std::uint64_t allocated() const { return next_; }
   net::Ipv4Prefix pool() const { return pool_; }
 

@@ -286,6 +286,28 @@ TEST_F(AsyncUpdatesFixture, UpdateLogIsBoundedRing) {
   EXPECT_TRUE(rt.update_log().empty());
 }
 
+TEST_F(AsyncUpdatesFixture, ZeroCapacityLogNeverAdmitsAnEntry) {
+  // Regression: capacity 0 used to admit each report before the bound was
+  // enforced. The ring must never hold an entry — not transiently, not
+  // through the batched path — when logging is disabled.
+  rt.set_update_log_capacity(0);
+  const auto p1 = Ipv4Prefix::parse("100.1.0.0/16");
+  for (int i = 0; i < 3; ++i) {
+    rt.announce(c, p1, net::AsPath{65003, static_cast<net::Asn>(100 + i)});
+    EXPECT_TRUE(rt.update_log().empty());
+  }
+  rt.enable_batching({0, 0});
+  rt.announce(c, Ipv4Prefix::parse("100.2.0.0/16"), net::AsPath{65003});
+  EXPECT_EQ(rt.flush(), 1u);
+  EXPECT_TRUE(rt.update_log().empty());
+  rt.disable_batching();
+
+  // Re-enabling restores logging from the next update on.
+  rt.set_update_log_capacity(2);
+  rt.announce(c, p1, net::AsPath{65003});
+  EXPECT_EQ(rt.update_log().size(), 1u);
+}
+
 TEST_F(AsyncUpdatesFixture, RecompileClearsSupersededLogEntries) {
   rt.announce(c, Ipv4Prefix::parse("100.1.0.0/16"), net::AsPath{65003});
   ASSERT_FALSE(rt.update_log().empty());
