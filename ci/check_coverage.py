@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Per-file line-coverage gate.
+
+Usage:
+    check_coverage.py --gcovr SUMMARY.json  FILE:PCT [FILE:PCT...]
+    check_coverage.py --gcov-dir DIR        FILE:PCT [FILE:PCT...]
+
+Each positional argument is a repo-relative source path and its minimum
+line-coverage percentage, e.g. `src/bgp/wire.cpp:85`. The run fails when a
+tracked file falls below its threshold — or is missing from the coverage
+data entirely (a silently-untracked file must not read as covered).
+
+Two input formats:
+
+* --gcovr: the JSON summary gcovr writes with --json-summary (the CI
+  coverage job path);
+* --gcov-dir: a directory tree of `*.gcov.json.gz` files produced by
+  `gcov --json-format` (works with a bare gcc toolchain, no gcovr
+  needed); line hit counts are merged across translation units.
+
+Exit status: 0 pass, 1 fail, 2 usage error.
+"""
+
+import argparse
+import glob
+import gzip
+import json
+import os
+import sys
+
+
+def from_gcovr(path):
+    """{normalized filename -> (covered, total)} from a gcovr summary."""
+    with open(path, "r", encoding="utf-8") as fh:
+        summary = json.load(fh)
+    out = {}
+    for entry in summary.get("files", []):
+        covered = int(entry.get("line_covered", 0))
+        total = int(entry.get("line_total", 0))
+        out[os.path.normpath(entry["filename"])] = (covered, total)
+    return out
+
+
+def from_gcov_dir(root):
+    """Merges every *.gcov.json.gz under root: line -> max hit count."""
+    hits = {}  # filename -> {line -> count}
+    paths = glob.glob(os.path.join(root, "**", "*.gcov.json.gz"),
+                      recursive=True)
+    if not paths:
+        sys.exit(f"error: no *.gcov.json.gz files under {root}")
+    for path in paths:
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            try:
+                data = json.load(fh)
+            except json.JSONDecodeError:
+                continue  # empty placeholder files for headers
+        for entry in data.get("files", []):
+            lines = hits.setdefault(os.path.normpath(entry["file"]), {})
+            for line in entry.get("lines", []):
+                number = line["line_number"]
+                lines[number] = max(lines.get(number, 0), line["count"])
+    return {
+        name: (sum(1 for c in lines.values() if c > 0), len(lines))
+        for name, lines in hits.items()
+    }
+
+
+def lookup(coverage, wanted):
+    """Suffix-match a repo-relative path against the coverage keys."""
+    wanted = os.path.normpath(wanted)
+    matches = [k for k in coverage
+               if k == wanted or k.endswith(os.sep + wanted)]
+    if len(matches) > 1:
+        sys.exit(f"error: {wanted} is ambiguous in coverage data: {matches}")
+    return coverage[matches[0]] if matches else None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    group = ap.add_mutually_exclusive_group(required=True)
+    group.add_argument("--gcovr", help="gcovr --json-summary output")
+    group.add_argument("--gcov-dir", help="directory of *.gcov.json.gz files")
+    ap.add_argument("targets", nargs="+", metavar="FILE:PCT")
+    args = ap.parse_args()
+
+    coverage = (from_gcovr(args.gcovr) if args.gcovr
+                else from_gcov_dir(args.gcov_dir))
+
+    failures = []
+    for target in args.targets:
+        try:
+            path, threshold_text = target.rsplit(":", 1)
+            threshold = float(threshold_text)
+        except ValueError:
+            sys.exit(f"error: expected FILE:PCT, got {target!r}")
+        found = lookup(coverage, path)
+        if found is None:
+            failures.append(f"{path}: absent from coverage data")
+            continue
+        covered, total = found
+        pct = 100.0 * covered / total if total else 0.0
+        status = "ok" if pct >= threshold else "FAIL"
+        print(f"{path}: {pct:.1f}% line coverage "
+              f"({covered}/{total} lines, need {threshold:.0f}%) [{status}]")
+        if pct < threshold:
+            failures.append(
+                f"{path}: {pct:.1f}% < required {threshold:.0f}%")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("coverage gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

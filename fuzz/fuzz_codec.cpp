@@ -1,0 +1,12 @@
+/// libFuzzer entry for the persist state codec (src/persist/codec.cpp).
+/// The first input byte selects which of the twelve decoders runs; the
+/// remainder is the payload.
+
+#include <cstdint>
+
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return sdx::fuzz::run_codec(data, size);
+}

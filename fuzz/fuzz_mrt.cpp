@@ -1,0 +1,11 @@
+/// libFuzzer entry for the MRT reader (src/bgp/mrt.cpp): record framing,
+/// BGP4MP decapsulation, and stream truncation handling.
+
+#include <cstdint>
+
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return sdx::fuzz::run_mrt(data, size);
+}

@@ -1,0 +1,12 @@
+/// libFuzzer entry for the policy text parser (src/policy/parser.cpp):
+/// parse arbitrary text, and require every accepted policy to reach a
+/// parse/pretty-print fixpoint.
+
+#include <cstdint>
+
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return sdx::fuzz::run_policy(data, size);
+}

@@ -1,0 +1,13 @@
+/// libFuzzer entry for WAL torn-frame replay (src/persist/wal.cpp): the
+/// input is materialized as a segment file, read back with
+/// read_wal_segment, and then reopened for append — exercising header
+/// validation, CRC rejection, torn-tail accounting and truncation.
+
+#include <cstdint>
+
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return sdx::fuzz::run_wal(data, size);
+}

@@ -1,0 +1,35 @@
+/// libFuzzer entry for the BGP wire codec (src/bgp/wire.cpp). The custom
+/// mutator keeps a large fraction of mutants structurally well-formed:
+/// it either re-samples a valid message with field-level perturbations or
+/// applies the shared byte operators (bit flips, truncation, length-field
+/// corruption) to the current input.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "fuzz/harness.hpp"
+#include "fuzz/mutator.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return sdx::fuzz::run_wire(data, size);
+}
+
+extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data,
+                                               std::size_t size,
+                                               std::size_t max_size,
+                                               unsigned int seed) {
+  sdx::fuzz::ByteMutator mutator(seed);
+  sdx::fuzz::Bytes bytes;
+  if (mutator.rng().chance(0.4)) {
+    // Fresh field-mutated valid message: reaches past the framing checks.
+    bytes = sdx::fuzz::sample_wire_bytes(
+        mutator.rng(), static_cast<int>(mutator.rng().below(4)));
+  } else {
+    bytes.assign(data, data + size);
+    mutator.mutate(bytes, static_cast<int>(1 + mutator.rng().below(4)));
+  }
+  const std::size_t n = std::min(bytes.size(), max_size);
+  std::copy_n(bytes.begin(), n, data);
+  return n;
+}

@@ -1,0 +1,80 @@
+/// \file make_corpus.cpp
+/// Regenerates the checked-in seed corpora under fuzz/corpus/<target>/
+/// from the deterministic generators in src/fuzz/corpus.cpp:
+///
+///   fuzz_make_corpus <corpus-root> [target...]
+///
+/// Inputs are named seed-NNN.bin; stale seed-*.bin files for a regenerated
+/// target are removed first so the directory mirrors the generator output
+/// exactly. Regression inputs (fuzz/corpus/regressions/) are never touched.
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/harness.hpp"
+
+namespace {
+
+void clear_seeds(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.rfind("seed-", 0) == 0) {
+      ::unlink((dir + "/" + name).c_str());
+    }
+  }
+  ::closedir(d);
+}
+
+int write_target(const std::string& root, std::string_view target) {
+  const std::string dir = root + "/" + std::string(target);
+  ::mkdir(dir.c_str(), 0755);
+  clear_seeds(dir);
+  const auto seeds = sdx::fuzz::seed_corpus(target);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof name, "seed-%03zu.bin", i);
+    const std::string path = dir + "/" + name;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    if (!seeds[i].empty()) {
+      std::fwrite(seeds[i].data(), 1, seeds[i].size(), f);
+    }
+    std::fclose(f);
+  }
+  std::fprintf(stderr, "%s: %zu seeds\n", dir.c_str(), seeds.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root> [target...]\n", argv[0]);
+    return 2;
+  }
+  const std::string root = argv[1];
+  ::mkdir(root.c_str(), 0755);
+
+  std::vector<std::string> targets;
+  for (int i = 2; i < argc; ++i) targets.emplace_back(argv[i]);
+  if (targets.empty()) {
+    for (const auto& t : sdx::fuzz::fuzz_targets()) {
+      targets.emplace_back(t.name);
+    }
+  }
+  for (const auto& target : targets) {
+    if (write_target(root, target) != 0) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,184 @@
+/// \file standalone_main.cpp
+/// Corpus driver for toolchains without libFuzzer (gcc). Linked into each
+/// fuzz target instead of -fsanitize=fuzzer; speaks enough of the libFuzzer
+/// command line (-runs=, -max_total_time=, -seed=, -artifact_prefix=,
+/// positional corpus dirs/files) that the ctest smoke entries and the CI
+/// job run unchanged under either front end.
+///
+/// Loop: replay every corpus input once, then mutate corpus picks with the
+/// shared ByteMutator (and the target's LLVMFuzzerCustomMutator when the
+/// wrapper defines one) until the run or time budget is exhausted. The
+/// current input is persisted to <artifact_prefix>crash-<target> before
+/// each execution and removed on clean exit, so a crashing input survives
+/// the abort exactly like a libFuzzer artifact.
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fuzz/mutator.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data,
+                                               std::size_t size,
+                                               std::size_t max_size,
+                                               unsigned int seed)
+    __attribute__((weak));
+
+namespace {
+
+using sdx::fuzz::Bytes;
+
+constexpr std::size_t kMaxInput = 1 << 16;
+
+bool read_file(const std::string& path, Bytes& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out.clear();
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out.insert(out.end(), buf, buf + n);
+    if (out.size() > kMaxInput) break;
+  }
+  std::fclose(f);
+  out.resize(std::min(out.size(), kMaxInput));
+  return true;
+}
+
+void load_corpus_path(const std::string& path, std::vector<Bytes>& corpus) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    std::fprintf(stderr, "warning: cannot stat corpus path %s\n",
+                 path.c_str());
+    return;
+  }
+  if (S_ISDIR(st.st_mode)) {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return;
+    std::vector<std::string> names;
+    while (const dirent* entry = ::readdir(dir)) {
+      if (entry->d_name[0] == '.') continue;
+      names.emplace_back(entry->d_name);
+    }
+    ::closedir(dir);
+    // Deterministic replay order regardless of directory hash order.
+    std::sort(names.begin(), names.end());
+    for (const auto& name : names) {
+      load_corpus_path(path + "/" + name, corpus);
+    }
+    return;
+  }
+  Bytes bytes;
+  if (read_file(path, bytes)) corpus.push_back(std::move(bytes));
+}
+
+bool parse_flag(const char* arg, const char* name, long long& value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  value = std::atoll(arg + len);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long runs = -1;
+  long long max_total_time = 0;
+  long long seed = 1;
+  std::string artifact_prefix;
+  std::vector<std::string> corpus_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    long long value = 0;
+    if (parse_flag(arg, "-runs=", runs) ||
+        parse_flag(arg, "-max_total_time=", max_total_time) ||
+        parse_flag(arg, "-seed=", seed)) {
+      continue;
+    }
+    if (std::strncmp(arg, "-artifact_prefix=", 17) == 0) {
+      artifact_prefix = arg + 17;
+      continue;
+    }
+    if (arg[0] == '-') {
+      // Unknown libFuzzer flag: accepted and ignored so command lines stay
+      // portable between the two front ends.
+      (void)value;
+      continue;
+    }
+    corpus_paths.emplace_back(arg);
+  }
+
+  std::vector<Bytes> corpus;
+  for (const auto& path : corpus_paths) load_corpus_path(path, corpus);
+  std::fprintf(stderr, "standalone fuzz driver: %zu corpus inputs\n",
+               corpus.size());
+
+  const std::string artifact = artifact_prefix + "crash-standalone";
+  const auto persist = [&artifact](const Bytes& input) {
+    std::FILE* f = std::fopen(artifact.c_str(), "wb");
+    if (f == nullptr) return;
+    if (!input.empty()) std::fwrite(input.data(), 1, input.size(), f);
+    std::fclose(f);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto expired = [&] {
+    if (max_total_time <= 0) return false;
+    return std::chrono::steady_clock::now() - start >=
+           std::chrono::seconds(max_total_time);
+  };
+
+  long long executed = 0;
+  const auto run_one = [&](const Bytes& input) {
+    persist(input);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++executed;
+  };
+
+  // Pass 1: replay the corpus verbatim.
+  for (const auto& input : corpus) {
+    if ((runs >= 0 && executed >= runs) || expired()) break;
+    run_one(input);
+  }
+
+  // Pass 2: mutation loop over corpus picks.
+  sdx::fuzz::ByteMutator mutator(static_cast<std::uint64_t>(seed));
+  Bytes scratch;
+  while ((runs < 0 || executed < runs) && !expired()) {
+    if (runs < 0 && max_total_time <= 0) break;  // nothing bounds the loop
+    if (corpus.empty()) {
+      scratch = mutator.random_bytes(512);
+    } else {
+      scratch = corpus[mutator.rng().below(corpus.size())];
+    }
+    if (LLVMFuzzerCustomMutator != nullptr && mutator.rng().chance(0.5)) {
+      scratch.resize(std::max<std::size_t>(scratch.size(), 1));
+      const std::size_t cap = std::max<std::size_t>(scratch.size() * 2, 64);
+      scratch.resize(cap, 0);
+      const std::size_t n = LLVMFuzzerCustomMutator(
+          scratch.data(), std::min(scratch.size(), cap), cap,
+          static_cast<unsigned int>(mutator.rng()()));
+      scratch.resize(std::min(n, cap));
+    } else {
+      mutator.mutate(scratch, static_cast<int>(1 + mutator.rng().below(4)));
+    }
+    run_one(scratch);
+  }
+
+  std::fprintf(stderr, "standalone fuzz driver: %lld executions, clean\n",
+               executed);
+  ::unlink(artifact.c_str());
+  return 0;
+}

@@ -1,0 +1,266 @@
+#include "fuzz/harness.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "bgp/mrt.hpp"
+#include "bgp/wire.hpp"
+#include "fuzz/diff_oracle.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/codec.hpp"
+#include "persist/wal.hpp"
+#include "policy/parser.hpp"
+
+// A violated contract must crash the process so libFuzzer saves the input
+// as an artifact and the standalone driver exits non-zero. Not assert():
+// the check must fire in release builds too.
+#define SDX_FUZZ_REQUIRE(cond, what)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "fuzz invariant violated: %s (%s:%d)\n", what, \
+                   __FILE__, __LINE__);                                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+namespace sdx::fuzz {
+
+namespace {
+
+std::string_view as_view(const std::uint8_t* data, std::size_t size) {
+  return {reinterpret_cast<const char*>(data), size};
+}
+
+}  // namespace
+
+int run_wire(const std::uint8_t* data, std::size_t size) {
+  const auto result = bgp::decode({data, size});
+  if (!result.ok()) {
+    SDX_FUZZ_REQUIRE(!result.error.empty(),
+                     "rejected input must carry a diagnostic");
+    return 0;
+  }
+  SDX_FUZZ_REQUIRE(result.bytes_consumed <= size,
+                   "decoder consumed more bytes than supplied");
+  const auto bytes = bgp::encode(*result.message);
+  const auto again = bgp::decode(bytes);
+  SDX_FUZZ_REQUIRE(again.ok(), "re-encoded message must decode");
+  SDX_FUZZ_REQUIRE(*again.message == *result.message,
+                   "decode(encode(m)) must equal m");
+  return 0;
+}
+
+int run_mrt(const std::uint8_t* data, std::size_t size) {
+  std::stringstream ss{std::string(as_view(data, size))};
+  try {
+    while (auto record = bgp::read_record(ss)) {
+      // Any parsed record must survive a framing round trip.
+      std::stringstream out;
+      bgp::write_record(out, *record);
+      auto again = bgp::read_record(out);
+      SDX_FUZZ_REQUIRE(again.has_value(), "rewritten record must re-read");
+      SDX_FUZZ_REQUIRE(*again == *record, "MRT framing round trip");
+      try {
+        (void)bgp::decode_bgp4mp(*record);
+      } catch (const std::runtime_error&) {
+        // Clean rejection of a non-BGP4MP body.
+      }
+    }
+  } catch (const std::runtime_error&) {
+    // Truncated or oversized record: the documented rejection path.
+  }
+  return 0;
+}
+
+int run_codec(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  const std::uint8_t kind = data[0] % 12;
+  const std::string_view payload = as_view(data + 1, size - 1);
+
+  // Decode once; on success the value must reach an encode/decode fixpoint
+  // (encodings are canonical, so one round trip must stabilize).
+  try {
+    persist::Encoder e1;
+    persist::Decoder d(payload);
+    switch (kind) {
+      case 0: persist::put_as_path(e1, persist::get_as_path(d)); break;
+      case 1: persist::put_clause_match(e1, persist::get_clause_match(d)); break;
+      case 2:
+        persist::put_outbound_clause(e1, persist::get_outbound_clause(d));
+        break;
+      case 3:
+        persist::put_inbound_clause(e1, persist::get_inbound_clause(d));
+        break;
+      case 4: persist::put_participant(e1, persist::get_participant(d)); break;
+      case 5: persist::put_route(e1, persist::get_route(d)); break;
+      case 6: persist::put_flow_match(e1, persist::get_flow_match(d)); break;
+      case 7: persist::put_action_seq(e1, persist::get_action_seq(d)); break;
+      case 8: persist::put_rule(e1, persist::get_rule(d)); break;
+      case 9: persist::put_classifier(e1, persist::get_classifier(d)); break;
+      case 10: {
+        const auto rec = persist::decode_record(payload);
+        const auto bytes = persist::encode_record(rec);
+        const auto rec2 = persist::decode_record(bytes);
+        SDX_FUZZ_REQUIRE(persist::encode_record(rec2) == bytes,
+                         "WAL record encode/decode fixpoint");
+        return 0;
+      }
+      default: {
+        const auto st = persist::decode_checkpoint(payload);
+        const auto bytes = persist::encode_checkpoint(st);
+        const auto st2 = persist::decode_checkpoint(bytes);
+        SDX_FUZZ_REQUIRE(persist::encode_checkpoint(st2) == bytes,
+                         "checkpoint encode/decode fixpoint");
+        return 0;
+      }
+    }
+    const std::string once = e1.bytes();
+    persist::Decoder d2(once);
+    persist::Encoder e2;
+    switch (kind) {
+      case 0: persist::put_as_path(e2, persist::get_as_path(d2)); break;
+      case 1: persist::put_clause_match(e2, persist::get_clause_match(d2)); break;
+      case 2:
+        persist::put_outbound_clause(e2, persist::get_outbound_clause(d2));
+        break;
+      case 3:
+        persist::put_inbound_clause(e2, persist::get_inbound_clause(d2));
+        break;
+      case 4: persist::put_participant(e2, persist::get_participant(d2)); break;
+      case 5: persist::put_route(e2, persist::get_route(d2)); break;
+      case 6: persist::put_flow_match(e2, persist::get_flow_match(d2)); break;
+      case 7: persist::put_action_seq(e2, persist::get_action_seq(d2)); break;
+      case 8: persist::put_rule(e2, persist::get_rule(d2)); break;
+      default: persist::put_classifier(e2, persist::get_classifier(d2)); break;
+    }
+    SDX_FUZZ_REQUIRE(d2.done(), "canonical encoding fully re-decodes");
+    SDX_FUZZ_REQUIRE(e2.bytes() == once, "state codec encode/decode fixpoint");
+  } catch (const persist::CodecError&) {
+    // The documented rejection path for malformed payloads.
+  }
+  return 0;
+}
+
+namespace {
+
+/// One reusable scratch file per process for the WAL replay target:
+/// read_wal_segment and WalWriter operate on paths, so the fuzz input is
+/// materialized here each execution.
+class ScratchFile {
+ public:
+  ScratchFile()
+      : path_(std::string("/tmp/sdx_fuzz_wal_") + std::to_string(::getpid())) {}
+  ~ScratchFile() { ::unlink(path_.c_str()); }
+
+  const std::string& write(std::string_view bytes) {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    SDX_FUZZ_REQUIRE(f != nullptr, "scratch WAL file must open");
+    if (!bytes.empty()) {
+      SDX_FUZZ_REQUIRE(
+          std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size(),
+          "scratch WAL file must write");
+    }
+    std::fclose(f);
+    return path_;
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace
+
+int run_wal(const std::uint8_t* data, std::size_t size) {
+  static ScratchFile scratch;
+  const std::string& path = scratch.write(as_view(data, size));
+
+  const auto seg = persist::read_wal_segment(path);
+  if (!seg.header_valid) {
+    SDX_FUZZ_REQUIRE(seg.torn_bytes == size,
+                     "headerless file is all torn bytes");
+    SDX_FUZZ_REQUIRE(seg.payloads.empty(), "no payloads without a header");
+    return 0;
+  }
+  SDX_FUZZ_REQUIRE(seg.valid_bytes >= persist::kWalHeaderBytes,
+                   "valid bytes start past the header");
+  SDX_FUZZ_REQUIRE(seg.valid_bytes + seg.torn_bytes == size,
+                   "every byte is either valid or torn");
+  for (const auto& payload : seg.payloads) {
+    try {
+      const auto rec = persist::decode_record(payload);
+      (void)rec;
+    } catch (const persist::CodecError&) {
+      // CRC-valid but version-incompatible: documented rejection.
+    }
+  }
+
+  // Torn-tail cleanup + append must leave a clean segment with exactly one
+  // more record.
+  {
+    auto writer = persist::WalWriter::open_append(path, seg.valid_bytes);
+    persist::WalRecord rec;
+    rec.type = persist::WalRecordType::kWithdraw;
+    rec.participant = 1;
+    rec.prefix = net::Ipv4Prefix::parse("192.0.2.0/24");
+    writer.append(persist::encode_record(rec));
+  }
+  const auto after = persist::read_wal_segment(path);
+  SDX_FUZZ_REQUIRE(after.header_valid, "header survives reopen");
+  SDX_FUZZ_REQUIRE(after.torn_bytes == 0, "reopen truncates the torn tail");
+  SDX_FUZZ_REQUIRE(after.payloads.size() == seg.payloads.size() + 1,
+                   "append adds exactly one record");
+  return 0;
+}
+
+int run_policy(const std::uint8_t* data, std::size_t size) {
+  const std::string text(as_view(data, size));
+  std::string error;
+  const auto policy = policy::try_parse_policy(text, &error);
+  if (!policy.has_value()) {
+    SDX_FUZZ_REQUIRE(!error.empty(), "parse failure must carry a diagnostic");
+    return 0;
+  }
+  const std::string printed = policy->to_string();
+  std::string error2;
+  const auto reparsed = policy::try_parse_policy(printed, &error2);
+  SDX_FUZZ_REQUIRE(reparsed.has_value(),
+                   "pretty-printed policy must re-parse");
+  SDX_FUZZ_REQUIRE(reparsed->to_string() == printed,
+                   "parse/print must reach a fixpoint");
+  return 0;
+}
+
+int run_diff_oracle(const std::uint8_t* data, std::size_t size) {
+  const Trace trace = decode_trace({data, size});
+  static const DifferentialOracle oracle{OracleOptions{}};
+  const auto verdict = oracle.check(trace);
+  if (!verdict.ok) {
+    std::fprintf(stderr, "differential oracle [%s] failed on %s\n  %s\n",
+                 verdict.oracle.c_str(), trace.to_string().c_str(),
+                 verdict.detail.c_str());
+    std::abort();
+  }
+  return 0;
+}
+
+const std::vector<FuzzTarget>& fuzz_targets() {
+  static const std::vector<FuzzTarget> kTargets = {
+      {"wire", &run_wire},       {"mrt", &run_mrt},
+      {"codec", &run_codec},     {"wal", &run_wal},
+      {"policy", &run_policy},   {"diff_oracle", &run_diff_oracle},
+  };
+  return kTargets;
+}
+
+FuzzEntry find_fuzz_entry(std::string_view name) {
+  for (const auto& t : fuzz_targets()) {
+    if (t.name == name) return t.entry;
+  }
+  return nullptr;
+}
+
+}  // namespace sdx::fuzz

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file harness.hpp
+/// The fuzz-target bodies, one per attack surface, shared verbatim by three
+/// front ends: the libFuzzer wrappers under fuzz/ (clang,
+/// -fsanitize=fuzzer,address), the standalone corpus driver (any compiler),
+/// and the in-process GTest replay (tests/test_fuzz_harness.cpp). Each
+/// entry consumes one untrusted input and enforces the surface's
+/// robustness contract with SDX_FUZZ_REQUIRE — a violated invariant aborts
+/// the process, which every front end reports as a crash.
+///
+/// Contracts enforced:
+///   run_wire   — bgp::decode never crashes/over-reads; a decodable input
+///                re-encodes and re-decodes to the same message; a rejected
+///                input carries a diagnostic.
+///   run_mrt    — the MRT reader tolerates arbitrary streams; every parsed
+///                record survives a write_record/read_record round trip.
+///   run_codec  — every persist get_* decoder either throws CodecError or
+///                yields a value whose encoding is a decode/encode
+///                fixpoint (first input byte selects the decoder).
+///   run_wal    — torn-frame replay: read_wal_segment accounts for every
+///                byte (valid + torn == file size), each surviving payload
+///                decodes or throws CodecError, and a truncate-and-append
+///                reopen yields exactly one more record.
+///   run_policy — the policy text parser never crashes; a parse success
+///                pretty-prints to a fixpoint (parse ∘ print ∘ parse).
+///   run_diff_oracle — decodes the input as an update trace and replays it
+///                through the DifferentialOracle's three equivalences.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace sdx::fuzz {
+
+int run_wire(const std::uint8_t* data, std::size_t size);
+int run_mrt(const std::uint8_t* data, std::size_t size);
+int run_codec(const std::uint8_t* data, std::size_t size);
+int run_wal(const std::uint8_t* data, std::size_t size);
+int run_policy(const std::uint8_t* data, std::size_t size);
+int run_diff_oracle(const std::uint8_t* data, std::size_t size);
+
+using FuzzEntry = int (*)(const std::uint8_t*, std::size_t);
+
+struct FuzzTarget {
+  std::string_view name;
+  FuzzEntry entry;
+};
+
+/// Every registered target, in a fixed order (driver + test enumeration).
+const std::vector<FuzzTarget>& fuzz_targets();
+
+/// nullptr when \p name is unknown.
+FuzzEntry find_fuzz_entry(std::string_view name);
+
+}  // namespace sdx::fuzz

@@ -1,0 +1,264 @@
+#include "fuzz/mutator.hpp"
+
+#include <algorithm>
+
+namespace sdx::fuzz {
+
+Bytes ByteMutator::random_bytes(std::size_t max_len) {
+  Bytes out(rng_.below(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng_());
+  return out;
+}
+
+void ByteMutator::flip_bit(Bytes& b) {
+  if (b.empty()) return;
+  b[rng_.below(b.size())] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+}
+
+void ByteMutator::set_byte(Bytes& b) {
+  if (b.empty()) return;
+  b[rng_.below(b.size())] = static_cast<std::uint8_t>(rng_());
+}
+
+void ByteMutator::set_interesting(Bytes& b) {
+  if (b.empty()) return;
+  static constexpr std::uint8_t kValues[] = {0x00, 0x01, 0x7f, 0x80, 0xff};
+  b[rng_.below(b.size())] = kValues[rng_.below(std::size(kValues))];
+}
+
+void ByteMutator::truncate(Bytes& b) {
+  if (b.empty()) return;
+  b.resize(rng_.below(b.size()));
+}
+
+void ByteMutator::erase_chunk(Bytes& b) {
+  if (b.empty()) return;
+  const std::size_t at = rng_.below(b.size());
+  const std::size_t len = 1 + rng_.below(std::min<std::size_t>(8, b.size() - at));
+  b.erase(b.begin() + static_cast<std::ptrdiff_t>(at),
+          b.begin() + static_cast<std::ptrdiff_t>(at + len));
+}
+
+void ByteMutator::duplicate_chunk(Bytes& b) {
+  if (b.empty() || b.size() > 4096) return;
+  const std::size_t at = rng_.below(b.size());
+  const std::size_t len = 1 + rng_.below(std::min<std::size_t>(8, b.size() - at));
+  Bytes chunk(b.begin() + static_cast<std::ptrdiff_t>(at),
+              b.begin() + static_cast<std::ptrdiff_t>(at + len));
+  b.insert(b.begin() + static_cast<std::ptrdiff_t>(at), chunk.begin(),
+           chunk.end());
+}
+
+void ByteMutator::insert_random(Bytes& b) {
+  const std::size_t at = b.empty() ? 0 : rng_.below(b.size() + 1);
+  const std::size_t len = 1 + rng_.below(8);
+  Bytes chunk(len);
+  for (auto& c : chunk) c = static_cast<std::uint8_t>(rng_());
+  b.insert(b.begin() + static_cast<std::ptrdiff_t>(at), chunk.begin(),
+           chunk.end());
+}
+
+void ByteMutator::corrupt_u16be(Bytes& b) {
+  if (b.size() < 2) return;
+  const std::size_t at = rng_.below(b.size() - 1);
+  const std::uint16_t original =
+      static_cast<std::uint16_t>((b[at] << 8) | b[at + 1]);
+  std::uint16_t v = 0;
+  switch (rng_.below(6)) {
+    case 0: v = 0; break;
+    case 1: v = 1; break;
+    case 2: v = static_cast<std::uint16_t>(b.size()); break;
+    case 3: v = 0xffff; break;
+    case 4: v = static_cast<std::uint16_t>(original + 1); break;
+    default: v = static_cast<std::uint16_t>(original - 1); break;
+  }
+  b[at] = static_cast<std::uint8_t>(v >> 8);
+  b[at + 1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+void ByteMutator::corrupt_u32le(Bytes& b) {
+  if (b.size() < 4) return;
+  const std::size_t at = rng_.below(b.size() - 3);
+  std::uint32_t original = 0;
+  for (int i = 0; i < 4; ++i) original |= std::uint32_t{b[at + i]} << (8 * i);
+  std::uint32_t v = 0;
+  switch (rng_.below(6)) {
+    case 0: v = 0; break;
+    case 1: v = 1; break;
+    case 2: v = static_cast<std::uint32_t>(b.size()); break;
+    case 3: v = 0xffffffffu; break;
+    case 4: v = original + 1; break;
+    default: v = original - 1; break;
+  }
+  for (int i = 0; i < 4; ++i) {
+    b[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+void ByteMutator::mutate(Bytes& b, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    switch (rng_.below(9)) {
+      case 0: flip_bit(b); break;
+      case 1: set_byte(b); break;
+      case 2: set_interesting(b); break;
+      case 3: truncate(b); break;
+      case 4: erase_chunk(b); break;
+      case 5: duplicate_chunk(b); break;
+      case 6: insert_random(b); break;
+      case 7: corrupt_u16be(b); break;
+      default: corrupt_u32le(b); break;
+    }
+  }
+}
+
+namespace {
+
+net::Ipv4Prefix random_prefix(net::SplitMix64& rng) {
+  const int len = static_cast<int>(rng.range(8, 28));
+  const auto addr = net::Ipv4Address(static_cast<std::uint32_t>(rng()));
+  // Mask to the prefix length so the value is canonical.
+  const std::uint32_t mask =
+      len == 0 ? 0 : ~std::uint32_t{0} << (32 - len);
+  return net::Ipv4Prefix(net::Ipv4Address(addr.value() & mask), len);
+}
+
+net::AsPath random_path(net::SplitMix64& rng) {
+  std::vector<net::Asn> asns;
+  const std::size_t hops = 1 + rng.below(5);
+  for (std::size_t i = 0; i < hops; ++i) {
+    // Mix 16-bit and 4-octet ASNs so AS_TRANS handling is exercised.
+    asns.push_back(rng.chance(0.3)
+                       ? static_cast<net::Asn>(70000 + rng.below(100000))
+                       : static_cast<net::Asn>(1 + rng.below(65000)));
+  }
+  return net::AsPath(std::move(asns));
+}
+
+}  // namespace
+
+bgp::Message sample_wire_message(net::SplitMix64& rng) {
+  switch (rng.below(8)) {
+    case 0: {
+      bgp::OpenMessage open;
+      open.my_as = static_cast<net::Asn>(1 + rng.below(200000));
+      open.hold_time = static_cast<std::uint16_t>(rng.below(400));
+      open.bgp_id = net::Ipv4Address(static_cast<std::uint32_t>(rng()));
+      if (rng.chance(0.4)) {
+        open.opt_params.resize(rng.below(16));
+        for (auto& b : open.opt_params) b = static_cast<std::uint8_t>(rng());
+      }
+      return open;
+    }
+    case 1: {
+      bgp::NotificationMessage notif;
+      notif.code = static_cast<std::uint8_t>(rng.below(7));
+      notif.subcode = static_cast<std::uint8_t>(rng.below(12));
+      notif.data.resize(rng.below(12));
+      for (auto& b : notif.data) b = static_cast<std::uint8_t>(rng());
+      return notif;
+    }
+    case 2:
+      return bgp::KeepaliveMessage{};
+    default: {
+      bgp::UpdateMessage u;
+      const std::size_t withdrawn = rng.below(4);
+      for (std::size_t i = 0; i < withdrawn; ++i) {
+        u.withdrawn.push_back(random_prefix(rng));
+      }
+      const std::size_t nlri = rng.below(5);
+      if (nlri > 0 || rng.chance(0.5)) {
+        bgp::RouteAttributes attrs;
+        attrs.origin = static_cast<bgp::Origin>(rng.below(3));
+        attrs.as_path = random_path(rng);
+        attrs.next_hop = net::Ipv4Address(static_cast<std::uint32_t>(rng()));
+        if (rng.chance(0.5)) {
+          attrs.med = static_cast<std::uint32_t>(rng.below(1000));
+        }
+        if (rng.chance(0.5)) {
+          attrs.local_pref = static_cast<std::uint32_t>(rng.below(1000));
+        }
+        const std::size_t comms = rng.below(4);
+        for (std::size_t i = 0; i < comms; ++i) {
+          attrs.communities.push_back(
+              rng.chance(0.2)
+                  ? bgp::kNoExport
+                  : bgp::make_community(
+                        static_cast<std::uint16_t>(rng.below(65536)),
+                        static_cast<std::uint16_t>(rng.below(65536))));
+        }
+        u.attrs = attrs;
+      }
+      for (std::size_t i = 0; i < nlri; ++i) {
+        u.nlri.push_back(random_prefix(rng));
+      }
+      return u;
+    }
+  }
+}
+
+void mutate_wire_fields(bgp::Message& msg, net::SplitMix64& rng) {
+  if (auto* open = std::get_if<bgp::OpenMessage>(&msg)) {
+    switch (rng.below(4)) {
+      case 0: open->my_as = static_cast<net::Asn>(rng()); break;
+      case 1: open->hold_time = static_cast<std::uint16_t>(rng()); break;
+      case 2: open->version = static_cast<std::uint8_t>(rng.below(8)); break;
+      default:
+        open->opt_params.resize(rng.below(24));
+        for (auto& b : open->opt_params) b = static_cast<std::uint8_t>(rng());
+        break;
+    }
+    return;
+  }
+  if (auto* u = std::get_if<bgp::UpdateMessage>(&msg)) {
+    switch (rng.below(6)) {
+      case 0:
+        // NLRI is only valid alongside path attributes; on a pure
+        // withdrawal grow the withdrawn list instead.
+        if (u->attrs.has_value()) {
+          u->nlri.push_back(random_prefix(rng));
+        } else {
+          u->withdrawn.push_back(random_prefix(rng));
+        }
+        break;
+      case 1:
+        if (!u->nlri.empty()) u->nlri.pop_back();
+        break;
+      case 2:
+        u->withdrawn.push_back(random_prefix(rng));
+        break;
+      case 3:
+        if (u->attrs.has_value()) {
+          u->attrs->as_path = random_path(rng);
+        }
+        break;
+      case 4:
+        if (u->attrs.has_value()) {
+          u->attrs->communities.push_back(
+              static_cast<bgp::Community>(rng()));
+        }
+        break;
+      default:
+        if (u->attrs.has_value() && u->nlri.empty()) {
+          u->attrs.reset();  // pure withdrawal
+        } else if (u->attrs.has_value()) {
+          u->attrs->local_pref = static_cast<std::uint32_t>(rng());
+        }
+        break;
+    }
+    return;
+  }
+  if (auto* notif = std::get_if<bgp::NotificationMessage>(&msg)) {
+    notif->code = static_cast<std::uint8_t>(rng());
+    notif->subcode = static_cast<std::uint8_t>(rng());
+    return;
+  }
+  // Keepalive: nothing to mutate structurally.
+}
+
+Bytes sample_wire_bytes(net::SplitMix64& rng, int mutations) {
+  auto msg = sample_wire_message(rng);
+  for (int i = 0; i < mutations; ++i) mutate_wire_fields(msg, rng);
+  return bgp::encode(msg);
+}
+
+}  // namespace sdx::fuzz

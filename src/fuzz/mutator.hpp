@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file mutator.hpp
+/// The shared structured-mutation library behind every fuzzing front end:
+/// the GTest robustness suites (tests/test_wire_fuzz.cpp), the libFuzzer
+/// custom mutators (fuzz/), and the standalone corpus driver all draw
+/// their mutations from here, so a mutation strategy added once improves
+/// all three.
+///
+/// Two layers:
+///
+///   * ByteMutator — format-agnostic byte-level operators (bit flips,
+///     interesting-value overwrites, chunk erase/duplicate/insert,
+///     truncation, and targeted big-endian/little-endian length-field
+///     corruption). Deterministic given its SplitMix64 seed.
+///   * field-aligned BGP message mutation — sample_wire_message() draws a
+///     valid RFC 4271 message from a seeded distribution and
+///     mutate_wire_fields() perturbs *decoded* fields (ASNs, prefixes,
+///     communities, hold timers) before re-encoding, so mutants stay
+///     structurally well-formed and reach past the framing validators
+///     instead of dying on the marker check.
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/wire.hpp"
+#include "netbase/rng.hpp"
+
+namespace sdx::fuzz {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Format-agnostic byte mutations, deterministic per seed. Every operator
+/// accepts an empty buffer (no-op or insertion) so callers never need
+/// emptiness checks.
+class ByteMutator {
+ public:
+  explicit ByteMutator(std::uint64_t seed) : rng_(seed) {}
+
+  net::SplitMix64& rng() { return rng_; }
+
+  Bytes random_bytes(std::size_t max_len);
+
+  /// Flips one random bit.
+  void flip_bit(Bytes& b);
+  /// Overwrites one random byte with a random value.
+  void set_byte(Bytes& b);
+  /// Overwrites one random byte with a boundary value (0x00, 0x01, 0x7f,
+  /// 0x80, 0xff).
+  void set_interesting(Bytes& b);
+  /// Cuts the buffer at a random offset (models a torn write / short read).
+  void truncate(Bytes& b);
+  /// Removes a random chunk from the middle.
+  void erase_chunk(Bytes& b);
+  /// Duplicates a random chunk in place (field/TLV repetition).
+  void duplicate_chunk(Bytes& b);
+  /// Inserts a short run of random bytes.
+  void insert_random(Bytes& b);
+  /// Overwrites a 16-bit big-endian field at a random offset with a biased
+  /// length-like value (0, 1, the buffer size, 0xffff, or ±1 around the
+  /// original) — the BGP/MRT length-field corruption operator.
+  void corrupt_u16be(Bytes& b);
+  /// Little-endian 32-bit variant for the persist codec's length prefixes.
+  void corrupt_u32le(Bytes& b);
+
+  /// Applies \p rounds randomly-chosen operators from the set above.
+  void mutate(Bytes& b, int rounds = 1);
+
+ private:
+  net::SplitMix64 rng_;
+};
+
+/// Draws a valid BGP message (UPDATE-biased: that is where the parsing
+/// depth is) with randomized field contents.
+bgp::Message sample_wire_message(net::SplitMix64& rng);
+
+/// Structurally mutates a decoded message: perturbs ASNs/paths, prefix
+/// lists, communities, attribute presence, hold timers. The result still
+/// encodes cleanly; feeding encode(msg) back to the decoder probes the
+/// semantic validators rather than the framing ones.
+void mutate_wire_fields(bgp::Message& msg, net::SplitMix64& rng);
+
+/// encode(sample_wire_message) with \p mutations field mutations applied —
+/// the canonical "valid wire bytes" generator shared by corpus seeding and
+/// the custom mutators.
+Bytes sample_wire_bytes(net::SplitMix64& rng, int mutations = 0);
+
+}  // namespace sdx::fuzz

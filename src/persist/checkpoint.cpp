@@ -33,7 +33,7 @@ void put_defaults(Encoder& e, const core::DefaultVector& defaults) {
 }
 
 core::DefaultVector get_defaults(Decoder& d) {
-  const std::uint32_t n = d.u32();
+  const std::uint32_t n = d.count(1);
   core::DefaultVector defaults;
   defaults.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -84,16 +84,16 @@ void put_compiled(Encoder& e, const core::CompiledSdx& c) {
 core::CompiledSdx get_compiled(Decoder& d) {
   core::CompiledSdx c;
   c.fabric = get_classifier(d);
-  const std::uint32_t ngroups = d.u32();
+  const std::uint32_t ngroups = d.count();
   c.fecs.groups.reserve(ngroups);
   for (std::uint32_t i = 0; i < ngroups; ++i) {
     core::PrefixGroup g;
-    const std::uint32_t nprefixes = d.u32();
+    const std::uint32_t nprefixes = d.count(5);
     g.prefixes.reserve(nprefixes);
     for (std::uint32_t j = 0; j < nprefixes; ++j) {
       g.prefixes.push_back(d.prefix());
     }
-    const std::uint32_t nclauses = d.u32();
+    const std::uint32_t nclauses = d.count(4);
     g.clauses.reserve(nclauses);
     for (std::uint32_t j = 0; j < nclauses; ++j) g.clauses.push_back(d.u32());
     g.defaults = get_defaults(d);
@@ -103,18 +103,18 @@ core::CompiledSdx get_compiled(Decoder& d) {
   for (std::uint32_t i = 0; i < c.fecs.groups.size(); ++i) {
     for (auto p : c.fecs.groups[i].prefixes) c.fecs.group_of[p] = i;
   }
-  const std::uint32_t nbindings = d.u32();
+  const std::uint32_t nbindings = d.count();
   c.bindings.reserve(nbindings);
   for (std::uint32_t i = 0; i < nbindings; ++i) {
     c.bindings.push_back(get_binding(d));
   }
-  const std::uint32_t nreaches = d.u32();
+  const std::uint32_t nreaches = d.count();
   c.reaches.reserve(nreaches);
   for (std::uint32_t i = 0; i < nreaches; ++i) {
     core::ClauseReach r;
     r.owner = d.u32();
     r.clause_index = static_cast<std::size_t>(d.u64());
-    const std::uint32_t nprefixes = d.u32();
+    const std::uint32_t nprefixes = d.count(5);
     r.prefixes.reserve(nprefixes);
     for (std::uint32_t j = 0; j < nprefixes; ++j) {
       r.prefixes.push_back(d.prefix());
@@ -164,12 +164,12 @@ CheckpointState decode_checkpoint(std::string_view payload) {
   Decoder d(payload);
   CheckpointState st;
   st.lsn = d.u64();
-  const std::uint32_t nparticipants = d.u32();
+  const std::uint32_t nparticipants = d.count();
   st.participants.reserve(nparticipants);
   for (std::uint32_t i = 0; i < nparticipants; ++i) {
     st.participants.push_back(get_participant(d));
   }
-  const std::uint32_t nroutes = d.u32();
+  const std::uint32_t nroutes = d.count();
   st.routes.reserve(nroutes);
   for (std::uint32_t i = 0; i < nroutes; ++i) st.routes.push_back(get_route(d));
   st.vnh_pool = d.prefix();
@@ -179,19 +179,19 @@ CheckpointState decode_checkpoint(std::string_view payload) {
   if (st.installed) {
     st.compiled = get_compiled(d);
     st.fingerprint = d.str();
-    const std::uint32_t nfast = d.u32();
+    const std::uint32_t nfast = d.count();
     st.fast_bindings.reserve(nfast);
     for (std::uint32_t i = 0; i < nfast; ++i) {
       const auto prefix = d.prefix();
       st.fast_bindings.emplace_back(prefix, get_binding(d));
     }
-    const std::uint32_t nremote = d.u32();
+    const std::uint32_t nremote = d.count();
     st.remote_bindings.reserve(nremote);
     for (std::uint32_t i = 0; i < nremote; ++i) {
       const auto id = d.u32();
       st.remote_bindings.emplace_back(id, get_binding(d));
     }
-    const std::uint32_t nextra = d.u32();
+    const std::uint32_t nextra = d.count();
     st.extra_rules.reserve(nextra);
     for (std::uint32_t i = 0; i < nextra; ++i) {
       CheckpointState::ExtraRule extra;

@@ -26,7 +26,7 @@ void put_mods(Encoder& e,
 }
 
 std::vector<std::pair<net::Field, std::uint64_t>> get_mods(Decoder& d) {
-  const std::uint32_t n = d.u32();
+  const std::uint32_t n = d.count();
   std::vector<std::pair<net::Field, std::uint64_t>> mods;
   mods.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -66,7 +66,7 @@ void put_as_path(Encoder& e, const net::AsPath& path) {
 }
 
 net::AsPath get_as_path(Decoder& d) {
-  const std::uint32_t n = d.u32();
+  const std::uint32_t n = d.count(4);
   std::vector<net::Asn> asns;
   asns.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) asns.push_back(d.u32());
@@ -84,10 +84,10 @@ void put_clause_match(Encoder& e, const core::ClauseMatch& m) {
 core::ClauseMatch get_clause_match(Decoder& d) {
   core::ClauseMatch m;
   m.exact = get_mods(d);
-  const std::uint32_t nsrc = d.u32();
+  const std::uint32_t nsrc = d.count(5);
   m.src_prefixes.reserve(nsrc);
   for (std::uint32_t i = 0; i < nsrc; ++i) m.src_prefixes.push_back(d.prefix());
-  const std::uint32_t ndst = d.u32();
+  const std::uint32_t ndst = d.count(5);
   m.dst_prefixes.reserve(ndst);
   for (std::uint32_t i = 0; i < ndst; ++i) m.dst_prefixes.push_back(d.prefix());
   return m;
@@ -141,7 +141,7 @@ core::Participant get_participant(Decoder& d) {
   p.id = d.u32();
   p.name = d.str();
   p.asn = d.u32();
-  const std::uint32_t nports = d.u32();
+  const std::uint32_t nports = d.count();
   p.ports.reserve(nports);
   for (std::uint32_t i = 0; i < nports; ++i) {
     core::PhysicalPort port;
@@ -150,12 +150,12 @@ core::Participant get_participant(Decoder& d) {
     port.router_ip = d.ip();
     p.ports.push_back(port);
   }
-  const std::uint32_t nout = d.u32();
+  const std::uint32_t nout = d.count();
   p.outbound.reserve(nout);
   for (std::uint32_t i = 0; i < nout; ++i) {
     p.outbound.push_back(get_outbound_clause(d));
   }
-  const std::uint32_t nin = d.u32();
+  const std::uint32_t nin = d.count();
   p.inbound.reserve(nin);
   for (std::uint32_t i = 0; i < nin; ++i) {
     p.inbound.push_back(get_inbound_clause(d));
@@ -188,7 +188,7 @@ bgp::Route get_route(Decoder& d) {
   r.attrs.next_hop = d.ip();
   if (d.boolean()) r.attrs.med = d.u32();
   if (d.boolean()) r.attrs.local_pref = d.u32();
-  const std::uint32_t ncomm = d.u32();
+  const std::uint32_t ncomm = d.count(4);
   r.attrs.communities.reserve(ncomm);
   for (std::uint32_t i = 0; i < ncomm; ++i) {
     r.attrs.communities.push_back(d.u32());
@@ -234,7 +234,7 @@ void put_rule(Encoder& e, const policy::Rule& r) {
 policy::Rule get_rule(Decoder& d) {
   policy::Rule r;
   r.match = get_flow_match(d);
-  const std::uint32_t n = d.u32();
+  const std::uint32_t n = d.count();
   r.actions.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) r.actions.push_back(get_action_seq(d));
   return r;
@@ -246,7 +246,7 @@ void put_classifier(Encoder& e, const policy::Classifier& c) {
 }
 
 policy::Classifier get_classifier(Decoder& d) {
-  const std::uint32_t n = d.u32();
+  const std::uint32_t n = d.count();
   std::vector<policy::Rule> rules;
   rules.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) rules.push_back(get_rule(d));

@@ -110,6 +110,18 @@ class Decoder {
   }
   net::MacAddress mac() { return net::MacAddress(u64()); }
 
+  /// Reads a collection count and validates it against the bytes actually
+  /// left (\p min_element_bytes is a lower bound on one element's encoded
+  /// size) — a corrupted count must throw CodecError, not drive a
+  /// multi-gigabyte reserve() into std::bad_alloc.
+  std::uint32_t count(std::size_t min_element_bytes = 1) {
+    const std::uint32_t n = u32();
+    if (min_element_bytes > 0 && n > remaining() / min_element_bytes) {
+      throw CodecError("collection count exceeds payload size");
+    }
+    return n;
+  }
+
   bool done() const { return pos_ == data_.size(); }
   std::size_t remaining() const { return data_.size() - pos_; }
 

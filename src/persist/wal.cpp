@@ -123,7 +123,7 @@ WalRecord decode_record(std::string_view payload) {
       rec.asn = d.u32();
       break;
     case WalRecordType::kSetOutbound: {
-      const std::uint32_t n = d.u32();
+      const std::uint32_t n = d.count(4);
       rec.outbound.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) {
         rec.outbound.push_back(get_outbound_clause(d));
@@ -131,7 +131,7 @@ WalRecord decode_record(std::string_view payload) {
       break;
     }
     case WalRecordType::kSetInbound: {
-      const std::uint32_t n = d.u32();
+      const std::uint32_t n = d.count(5);
       rec.inbound.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) {
         rec.inbound.push_back(get_inbound_clause(d));
@@ -142,7 +142,7 @@ WalRecord decode_record(std::string_view payload) {
       rec.prefix = d.prefix();
       rec.has_path = d.boolean();
       if (rec.has_path) rec.path = get_as_path(d);
-      const std::uint32_t n = d.u32();
+      const std::uint32_t n = d.count(4);
       rec.communities.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) rec.communities.push_back(d.u32());
       break;

@@ -1,0 +1,133 @@
+/// In-process replay of the fuzz targets: every committed corpus input and
+/// a budget of freshly mutated variants run through the same entry points
+/// the libFuzzer/standalone binaries call, so the plain unit build (no
+/// clang, no -DSDX_FUZZ) still exercises each target's invariants on every
+/// CI run. An SDX_FUZZ_REQUIRE violation aborts, which GTest reports as a
+/// crashed test.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/diff_oracle.hpp"
+#include "fuzz/harness.hpp"
+#include "fuzz/mutator.hpp"
+
+namespace sdx::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+Bytes read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string s{std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>()};
+  return Bytes(s.begin(), s.end());
+}
+
+std::vector<Bytes> committed_corpus(std::string_view target) {
+  const fs::path dir =
+      fs::path(SDX_SOURCE_DIR) / "fuzz" / "corpus" / std::string(target);
+  std::vector<Bytes> out;
+  if (!fs::exists(dir)) return out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".bin") {
+      out.push_back(read_file(entry.path()));
+    }
+  }
+  return out;
+}
+
+TEST(FuzzHarness, RegistryCoversEveryTarget) {
+  const std::vector<std::string_view> expected = {
+      "wire", "mrt", "codec", "wal", "policy", "diff_oracle"};
+  ASSERT_EQ(fuzz_targets().size(), expected.size());
+  for (const auto name : expected) {
+    EXPECT_NE(find_fuzz_entry(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_fuzz_entry("nonsense"), nullptr);
+}
+
+TEST(FuzzHarness, SeedCorporaAreDeterministic) {
+  for (const auto& target : fuzz_targets()) {
+    EXPECT_EQ(seed_corpus(target.name), seed_corpus(target.name))
+        << target.name;
+  }
+  EXPECT_THROW(seed_corpus("nonsense"), std::invalid_argument);
+}
+
+TEST(FuzzHarness, CommittedCorporaMatchTheGenerator) {
+  // fuzz_make_corpus must have been re-run whenever the generators change,
+  // or the committed seeds silently rot.
+  for (const auto& target : fuzz_targets()) {
+    auto generated = seed_corpus(target.name);
+    auto committed = committed_corpus(target.name);
+    ASSERT_EQ(committed.size(), generated.size())
+        << target.name << ": rerun fuzz_make_corpus and commit the result";
+    std::sort(generated.begin(), generated.end());
+    std::sort(committed.begin(), committed.end());
+    EXPECT_EQ(committed, generated)
+        << target.name << ": rerun fuzz_make_corpus and commit the result";
+  }
+}
+
+/// Replays each target's committed corpus plus mutated variants through
+/// its entry. Mutation budgets are per-target: the diff_oracle entry
+/// stands up several runtimes per input, so it gets a smaller batch.
+class FuzzHarnessReplay
+    : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(FuzzHarnessReplay, CorpusAndMutantsRunClean) {
+  const auto name = GetParam();
+  const auto entry = find_fuzz_entry(name);
+  ASSERT_NE(entry, nullptr);
+
+  auto corpus = seed_corpus(name);
+  for (const auto& extra : committed_corpus(name)) corpus.push_back(extra);
+  ASSERT_FALSE(corpus.empty());
+
+  for (const auto& input : corpus) {
+    EXPECT_EQ(entry(input.data(), input.size()), 0);
+  }
+
+  const int mutants = name == "diff_oracle" ? 5 : 200;
+  ByteMutator mutator(0x5d2c0ffee
+                      + static_cast<std::uint64_t>(name.size()));
+  for (int i = 0; i < mutants; ++i) {
+    Bytes bytes = corpus[mutator.rng().below(corpus.size())];
+    mutator.mutate(bytes, static_cast<int>(1 + mutator.rng().below(4)));
+    EXPECT_EQ(entry(bytes.data(), bytes.size()), 0);
+  }
+
+  // Degenerate inputs every entry must tolerate.
+  EXPECT_EQ(entry(nullptr, 0), 0);
+  const Bytes one{0xff};
+  EXPECT_EQ(entry(one.data(), one.size()), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, FuzzHarnessReplay,
+                         ::testing::Values("wire", "mrt", "codec", "wal",
+                                           "policy", "diff_oracle"));
+
+TEST(FuzzHarness, TraceCodecIsTotalAndRoundTrips) {
+  ByteMutator mutator(77);
+  for (int i = 0; i < 500; ++i) {
+    const Bytes bytes = mutator.random_bytes(96);
+    const Trace t = decode_trace(bytes);
+    EXPECT_GE(t.participants, 2);
+    EXPECT_LE(t.participants, 5);
+    EXPECT_GE(t.prefixes, 2);
+    EXPECT_LE(t.prefixes, 16);
+    EXPECT_LE(t.ops.size(), kMaxTraceOps);
+    // encode ∘ decode is the identity on the decoded form.
+    EXPECT_EQ(decode_trace(encode_trace(t)), t);
+  }
+}
+
+}  // namespace
+}  // namespace sdx::fuzz
