@@ -311,6 +311,35 @@ OracleVerdict DifferentialOracle::check(const Trace& trace) const {
     }
   }
 
+  // (d) partitioned per-participant compilation ≡ pairwise cross product,
+  // probe-for-probe. (Fingerprints legitimately differ — the partitioned
+  // artifact carries per-partition sections — so the comparison is purely
+  // behavioural.)
+  if (options_.check_partitioned) {
+    SdxRuntime pairwise;
+    build_base(pairwise, trace);
+    for (const auto& op : trace.ops) apply_op(pairwise, trace, op);
+    pairwise.background_recompile();
+
+    SdxRuntime parted(bgp::DecisionConfig{},
+                      core::CompileOptions{.partitioned = true});
+    build_base(parted, trace);
+    for (const auto& op : trace.ops) apply_op(parted, trace, op);
+    if (options_.fault == Fault::kPerturbPartitionedCompile) {
+      // Withdraw prefix 0 from everyone on the partitioned side only: its
+      // forwarding entry disappears, so the probes must diverge.
+      for (std::uint8_t p = 0; p < trace.participants; ++p) {
+        parted.withdraw(static_cast<bgp::ParticipantId>(p + 1), prefix_of(0));
+      }
+    }
+    parted.background_recompile();
+
+    auto verdict = diff_signatures(probe_signature(pairwise, trace),
+                                   probe_signature(parted, trace),
+                                   "partitioned", "pairwise vs partitioned");
+    if (!verdict.ok) return verdict;
+  }
+
   // (c) checkpoint + WAL-tail recovery ≡ the never-crashed runtime.
   if (options_.check_recovery) {
     ScratchDir scratch(options_.scratch_dir);

@@ -16,7 +16,11 @@
 ///   (c) durability  — journaling the trace, crashing, and recovering
 ///                     (checkpoint + WAL tail replay) must reproduce the
 ///                     never-crashed runtime, probe-for-probe and
-///                     fingerprint-for-fingerprint.
+///                     fingerprint-for-fingerprint;
+///   (d) partitioning — compiling the final state through the partitioned
+///                     per-participant pipeline (attribute-encoded VMACs,
+///                     masked stage-1 rules) must forward packets exactly
+///                     like the pairwise cross-product pipeline.
 ///
 /// A failing trace is shrunk by a delta-debugging minimizer and written as
 /// a ready-to-commit regression input under fuzz/corpus/regressions/, so a
@@ -73,6 +77,7 @@ struct OracleOptions {
   bool check_fast_path = true;
   bool check_threads = true;
   bool check_recovery = true;
+  bool check_partitioned = true;
 
   /// Planted divergences for the oracle's own tests.
   enum class Fault : std::uint8_t {
@@ -86,6 +91,9 @@ struct OracleOptions {
     /// The threads=N side compiles one extra announcement — models a
     /// nondeterministic parallel pipeline.
     kPerturbThreadedCompile,
+    /// The partitioned side loses prefix 0 before compiling — models a
+    /// partition pipeline that forwards differently from the pairwise one.
+    kPerturbPartitionedCompile,
   };
   Fault fault = Fault::kNone;
 
@@ -95,7 +103,7 @@ struct OracleOptions {
 
 struct OracleVerdict {
   bool ok = true;
-  std::string oracle;  ///< "fast-path" | "threads" | "recovery"
+  std::string oracle;  ///< "fast-path" | "threads" | "recovery" | "partitioned"
   std::string detail;  ///< first observed divergence, human-readable
 };
 

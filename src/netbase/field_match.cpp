@@ -14,8 +14,15 @@ std::string FieldMatch::to_string(Field f) const {
     os << Ipv4Prefix(Ipv4Address(static_cast<std::uint32_t>(value_)), len);
   } else if (f == Field::kSrcMac || f == Field::kDstMac) {
     os << MacAddress(value_);
+    if (!is_exact()) {
+      // Masked (attribute-bit) MAC constraint: the mask is part of the
+      // rule's identity, so it must be part of the printed form — the
+      // compiled-artifact fingerprint is built from these strings.
+      os << "/" << MacAddress(mask_);
+    }
   } else {
     os << value_;
+    if (!is_exact()) os << "&0x" << std::hex << mask_ << std::dec;
   }
   return os.str();
 }

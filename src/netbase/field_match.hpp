@@ -5,9 +5,11 @@
 /// conjunction over all header fields (FlowMatch).
 ///
 /// These are the "match part" of OpenFlow-style rules. IP fields support
-/// CIDR-prefix constraints; every other field is wildcard-or-exact. The
-/// algebra (intersection, subsumption) is what classifier composition in
-/// sdx::policy is built on.
+/// CIDR-prefix constraints, MAC fields additionally support arbitrary
+/// value/mask (ternary) constraints for attribute-encoded VMAC tags, and
+/// every other field is wildcard-or-exact. The algebra (intersection,
+/// subsumption) is exact for arbitrary masks and is what classifier
+/// composition in sdx::policy is built on.
 
 #include <array>
 #include <cstdint>
@@ -38,6 +40,14 @@ class FieldMatch {
     return FieldMatch(p.network().value(), p.mask());
   }
 
+  /// Arbitrary value/mask (ternary) constraint — matches v iff
+  /// (v & mask) == (value & mask). The attribute-encoded VMAC rules match
+  /// dst-MAC bit fields this way; the FieldMatch algebra below is exact for
+  /// any mask, not just prefix-shaped ones.
+  static constexpr FieldMatch masked(std::uint64_t value, std::uint64_t mask) {
+    return FieldMatch(value, mask);
+  }
+
   static constexpr FieldMatch wildcard() { return FieldMatch(); }
 
   constexpr bool is_wildcard() const { return mask_ == 0; }
@@ -56,9 +66,10 @@ class FieldMatch {
   }
 
   /// Set intersection; std::nullopt when the constraints are contradictory.
+  /// Exact for arbitrary masks: an intersection exists iff the values agree
+  /// on the common mask bits, and is then the union of the constraints
+  /// (mask = m1|m2, value = v1|v2 — each value is zero outside its mask).
   constexpr std::optional<FieldMatch> intersect(FieldMatch other) const {
-    // Masks here are "prefix-like" (downward-closed sets of high bits) for IP
-    // fields and 0/~0 otherwise, so one mask always contains the other.
     const std::uint64_t common = mask_ & other.mask_;
     if ((value_ & common) != (other.value_ & common)) return std::nullopt;
     FieldMatch out;
@@ -115,6 +126,10 @@ class FlowMatch {
   }
   FlowMatch& with_prefix(Field f, Ipv4Prefix p) {
     set(f, FieldMatch::prefix(p));
+    return *this;
+  }
+  FlowMatch& with_masked(Field f, std::uint64_t value, std::uint64_t mask) {
+    set(f, FieldMatch::masked(value, mask));
     return *this;
   }
 

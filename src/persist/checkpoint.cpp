@@ -17,7 +17,11 @@ namespace sdx::persist {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'D', 'X', 'C', 'K', 'P', 'T', '1'};
-constexpr std::uint32_t kVersion = 1;
+// v2: VMAC layout + partitioned compilation artifacts. A v1 checkpoint no
+// longer loads (try_load_checkpoint rejects the version), which is the
+// intended behaviour: recovery falls back to WAL replay + cold install
+// rather than adopting tables whose VMAC encoding predates the layout.
+constexpr std::uint32_t kVersion = 2;
 constexpr std::size_t kFileHeaderBytes = 8 + 4 + 4 + 8;
 
 [[noreturn]] void throw_errno(const std::string& what) {
@@ -58,34 +62,40 @@ core::VnhBinding get_binding(Decoder& d) {
   return b;
 }
 
-void put_compiled(Encoder& e, const core::CompiledSdx& c) {
-  put_classifier(e, c.fabric);
-  e.u32(static_cast<std::uint32_t>(c.fecs.groups.size()));
-  for (const auto& g : c.fecs.groups) {
+void put_layout(Encoder& e, const core::VmacLayout& layout) {
+  e.u8(layout.group_bits);
+  e.u8(layout.nexthop_bits);
+  e.u8(layout.attr_bits);
+}
+
+core::VmacLayout get_layout(Decoder& d) {
+  core::VmacLayout layout;
+  layout.group_bits = d.u8();
+  layout.nexthop_bits = d.u8();
+  layout.attr_bits = d.u8();
+  try {
+    layout.validate();
+  } catch (const std::invalid_argument&) {
+    throw CodecError("invalid VMAC layout in checkpoint");
+  }
+  return layout;
+}
+
+void put_fec(Encoder& e, const core::FecResult& fecs) {
+  e.u32(static_cast<std::uint32_t>(fecs.groups.size()));
+  for (const auto& g : fecs.groups) {
     e.u32(static_cast<std::uint32_t>(g.prefixes.size()));
     for (auto p : g.prefixes) e.prefix(p);
     e.u32(static_cast<std::uint32_t>(g.clauses.size()));
     for (std::uint32_t id : g.clauses) e.u32(id);
     put_defaults(e, g.defaults);
   }
-  e.u32(static_cast<std::uint32_t>(c.bindings.size()));
-  for (const auto& b : c.bindings) put_binding(e, b);
-  e.u32(static_cast<std::uint32_t>(c.reaches.size()));
-  for (const auto& r : c.reaches) {
-    e.u32(r.owner);
-    e.u64(r.clause_index);
-    e.u32(static_cast<std::uint32_t>(r.prefixes.size()));
-    for (auto p : r.prefixes) e.prefix(p);
-  }
-  // stats deliberately not serialized: timings are not state, and zeroed
-  // stats keep the encoding canonical across captures of the same artifact.
 }
 
-core::CompiledSdx get_compiled(Decoder& d) {
-  core::CompiledSdx c;
-  c.fabric = get_classifier(d);
+core::FecResult get_fec(Decoder& d) {
+  core::FecResult fecs;
   const std::uint32_t ngroups = d.count();
-  c.fecs.groups.reserve(ngroups);
+  fecs.groups.reserve(ngroups);
   for (std::uint32_t i = 0; i < ngroups; ++i) {
     core::PrefixGroup g;
     const std::uint32_t nprefixes = d.count(5);
@@ -97,19 +107,29 @@ core::CompiledSdx get_compiled(Decoder& d) {
     g.clauses.reserve(nclauses);
     for (std::uint32_t j = 0; j < nclauses; ++j) g.clauses.push_back(d.u32());
     g.defaults = get_defaults(d);
-    c.fecs.groups.push_back(std::move(g));
+    fecs.groups.push_back(std::move(g));
   }
   // group_of is an index over groups — rebuild rather than store.
-  for (std::uint32_t i = 0; i < c.fecs.groups.size(); ++i) {
-    for (auto p : c.fecs.groups[i].prefixes) c.fecs.group_of[p] = i;
+  for (std::uint32_t i = 0; i < fecs.groups.size(); ++i) {
+    for (auto p : fecs.groups[i].prefixes) fecs.group_of[p] = i;
   }
-  const std::uint32_t nbindings = d.count();
-  c.bindings.reserve(nbindings);
-  for (std::uint32_t i = 0; i < nbindings; ++i) {
-    c.bindings.push_back(get_binding(d));
+  return fecs;
+}
+
+void put_reaches(Encoder& e, const std::vector<core::ClauseReach>& reaches) {
+  e.u32(static_cast<std::uint32_t>(reaches.size()));
+  for (const auto& r : reaches) {
+    e.u32(r.owner);
+    e.u64(r.clause_index);
+    e.u32(static_cast<std::uint32_t>(r.prefixes.size()));
+    for (auto p : r.prefixes) e.prefix(p);
   }
+}
+
+std::vector<core::ClauseReach> get_reaches(Decoder& d) {
+  std::vector<core::ClauseReach> reaches;
   const std::uint32_t nreaches = d.count();
-  c.reaches.reserve(nreaches);
+  reaches.reserve(nreaches);
   for (std::uint32_t i = 0; i < nreaches; ++i) {
     core::ClauseReach r;
     r.owner = d.u32();
@@ -119,7 +139,67 @@ core::CompiledSdx get_compiled(Decoder& d) {
     for (std::uint32_t j = 0; j < nprefixes; ++j) {
       r.prefixes.push_back(d.prefix());
     }
-    c.reaches.push_back(std::move(r));
+    reaches.push_back(std::move(r));
+  }
+  return reaches;
+}
+
+void put_compiled(Encoder& e, const core::CompiledSdx& c) {
+  put_layout(e, c.layout);
+  e.boolean(c.partitioned);
+  // Partitioned mode: the fabric is derived (partition concat + shared
+  // band) — encode an empty classifier in its slot and rebuild on decode.
+  put_classifier(e, c.partitioned ? policy::Classifier{} : c.fabric);
+  put_fec(e, c.fecs);
+  e.u32(static_cast<std::uint32_t>(c.bindings.size()));
+  for (const auto& b : c.bindings) put_binding(e, b);
+  put_reaches(e, c.reaches);
+  if (c.partitioned) {
+    put_classifier(e, c.shared_rules);
+    e.u32(static_cast<std::uint32_t>(c.partitions.size()));
+    for (const auto& part : c.partitions) {
+      e.u32(part.owner);
+      put_fec(e, part.fecs);
+      e.u32(static_cast<std::uint32_t>(part.bindings.size()));
+      for (const auto& b : part.bindings) put_binding(e, b);
+      put_reaches(e, part.reaches);
+      put_classifier(e, part.rules);
+    }
+  }
+  // stats deliberately not serialized: timings are not state, and zeroed
+  // stats keep the encoding canonical across captures of the same artifact.
+}
+
+core::CompiledSdx get_compiled(Decoder& d) {
+  core::CompiledSdx c;
+  c.layout = get_layout(d);
+  c.partitioned = d.boolean();
+  c.fabric = get_classifier(d);
+  c.fecs = get_fec(d);
+  const std::uint32_t nbindings = d.count();
+  c.bindings.reserve(nbindings);
+  for (std::uint32_t i = 0; i < nbindings; ++i) {
+    c.bindings.push_back(get_binding(d));
+  }
+  c.reaches = get_reaches(d);
+  if (c.partitioned) {
+    c.shared_rules = get_classifier(d);
+    const std::uint32_t nparts = d.count();
+    c.partitions.reserve(nparts);
+    for (std::uint32_t i = 0; i < nparts; ++i) {
+      core::CompiledPartition part;
+      part.owner = d.u32();
+      part.fecs = get_fec(d);
+      const std::uint32_t npb = d.count();
+      part.bindings.reserve(npb);
+      for (std::uint32_t j = 0; j < npb; ++j) {
+        part.bindings.push_back(get_binding(d));
+      }
+      part.reaches = get_reaches(d);
+      part.rules = get_classifier(d);
+      c.partitions.push_back(std::move(part));
+    }
+    c.rebuild_fabric();
   }
   return c;
 }

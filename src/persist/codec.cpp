@@ -38,24 +38,18 @@ std::vector<std::pair<net::Field, std::uint64_t>> get_mods(Decoder& d) {
 }
 
 /// Rebuilds a FieldMatch from its (value, mask) pair through the public
-/// factories (the value+mask constructor is private — deliberately, since
-/// arbitrary masks are meaningless). Every mask the compiler can produce
-/// is wildcard, exact or a 32-bit CIDR mask; anything else is corruption.
+/// factories. Wildcard, exact and CIDR masks cover the pairwise compiler's
+/// output; the partitioned compiler additionally emits arbitrary ternary
+/// dst-MAC constraints (attribute-encoded VMAC bit fields), rebuilt via
+/// FieldMatch::masked. Value bits outside the mask are corruption — the
+/// factories never produce them.
 net::FieldMatch field_match_from(std::uint64_t value, std::uint64_t mask) {
-  if (mask == 0) {
-    if (value != 0) throw CodecError("wildcard field match with value bits");
-    return net::FieldMatch::wildcard();
+  if ((value & ~mask) != 0) {
+    throw CodecError("field-match value has bits outside its mask");
   }
+  if (mask == 0) return net::FieldMatch::wildcard();
   if (mask == ~std::uint64_t{0}) return net::FieldMatch::exact(value);
-  if (mask >> 32 != 0 || value >> 32 != 0) {
-    throw CodecError("non-CIDR field-match mask");
-  }
-  const int length = std::popcount(mask);
-  if (mask != net::netmask(length)) {
-    throw CodecError("non-contiguous field-match mask");
-  }
-  return net::FieldMatch::prefix(net::Ipv4Prefix(
-      net::Ipv4Address(static_cast<std::uint32_t>(value)), length));
+  return net::FieldMatch::masked(value, mask);
 }
 
 }  // namespace

@@ -99,7 +99,68 @@ std::string CompiledSdx::fingerprint() const {
     out += std::to_string(r.prefixes.size());
     out += '\n';
   }
+  out += "--layout--\n";
+  out += layout.descriptor();
+  out += partitioned ? " partitioned\n" : " pairwise\n";
+  if (partitioned) {
+    // Per-partition structure. The fabric section above already covers every
+    // rule's contents and order; this pins the partition boundaries, each
+    // partition's bindings/groups/reaches and the shared band size.
+    for (const auto& part : partitions) {
+      out += "--partition ";
+      out += std::to_string(part.owner);
+      out += " rules=";
+      out += std::to_string(part.rules.size());
+      out += "--\n";
+      for (const auto& b : part.bindings) {
+        out += b.vnh.to_string();
+        out += '/';
+        out += b.vmac.to_string();
+        out += '\n';
+      }
+      for (const auto& g : part.fecs.groups) {
+        for (auto p : g.prefixes) {
+          out += p.to_string();
+          out += ' ';
+        }
+        out += '|';
+        for (auto c : g.clauses) {
+          out += std::to_string(c);
+          out += ' ';
+        }
+        out += '|';
+        for (const auto& d : g.defaults) {
+          out += d ? std::to_string(*d) : "-";
+          out += ' ';
+        }
+        out += '\n';
+      }
+      for (const auto& r : part.reaches) {
+        out += std::to_string(r.clause_index);
+        out += '=';
+        out += std::to_string(r.prefixes.size());
+        out += '\n';
+      }
+    }
+    out += "--shared ";
+    out += std::to_string(shared_rules.size());
+    out += "--\n";
+  }
   return out;
+}
+
+void CompiledSdx::rebuild_fabric() {
+  std::size_t total = shared_rules.size();
+  for (const auto& part : partitions) total += part.rules.size();
+  std::vector<policy::Rule> all;
+  all.reserve(total);
+  for (const auto& part : partitions) {
+    all.insert(all.end(), part.rules.rules().begin(),
+               part.rules.rules().end());
+  }
+  all.insert(all.end(), shared_rules.rules().begin(),
+             shared_rules.rules().end());
+  fabric = policy::Classifier(std::move(all));
 }
 
 SdxCompiler::SdxCompiler(const std::vector<Participant>& participants,
@@ -288,6 +349,37 @@ void SdxCompiler::synthesize_group_defaults(const DefaultVector& defaults,
       Rule{fm, {ActionSeq::set(Field::kPort, ports_.vport(majority))}});
 }
 
+void SdxCompiler::synthesize_remote_rewrites(std::vector<Rule>& out) const {
+  for (const auto& p : participants_) {
+    if (!p.is_remote()) continue;
+    for (const auto& c : p.inbound) {
+      // Resolve the post-rewrite egress by the remote participant's own
+      // BGP view of the rewritten destination.
+      std::optional<net::Ipv4Address> new_dst;
+      for (const auto& [f, v] : c.rewrites) {
+        if (f == Field::kDstIp) {
+          new_dst = net::Ipv4Address(static_cast<std::uint32_t>(v));
+        }
+      }
+      if (!new_dst) continue;
+      auto route = server_.best_route_lpm(p.id, *new_dst);
+      if (!route) continue;
+      const auto target_slot = slot_of_.find(route->learned_from);
+      if (target_slot == slot_of_.end() ||
+          participants_[target_slot->second].is_remote()) {
+        continue;
+      }
+      ActionSeq act;
+      for (const auto& [f, v] : c.rewrites) act.then_set(f, v);
+      act.then_set(Field::kPort, ports_.vport(route->learned_from));
+      for (auto& fm : clause_matches(c.match, FlowMatch::any(),
+                                     /*keep_dst_prefixes=*/true)) {
+        out.push_back(Rule{fm, {act}});
+      }
+    }
+  }
+}
+
 Classifier SdxCompiler::compose(std::vector<Rule> stage1,
                                 CompileStats& stats,
                                 net::ThreadPool& pool) const {
@@ -373,12 +465,21 @@ Classifier SdxCompiler::compose(std::vector<Rule> stage1,
 }
 
 CompiledSdx SdxCompiler::compile(VnhAllocator& vnh) const {
+  if (options_.partitioned) {
+    if (!options_.vmac_grouping) {
+      throw std::invalid_argument(
+          "partitioned compilation requires vmac_grouping: attribute bits "
+          "are carried in the group VMAC tag");
+    }
+    return compile_partitioned(vnh);
+  }
   telemetry::SpanTracer* tracer =
       telemetry_ != nullptr ? &telemetry_->tracer : nullptr;
   telemetry::Span compile_span(tracer, "compile");
   const auto t_start = std::chrono::steady_clock::now();
   net::ThreadPool pool(options_.threads);
   CompiledSdx result;
+  result.layout = vnh.layout();
   CompileStats& stats = result.stats;
   stats.participants = participants_.size();
   stats.prefixes_total = server_.prefix_count();
@@ -496,34 +597,7 @@ CompiledSdx SdxCompiler::compile(VnhAllocator& vnh) const {
 
   // Remote-participant rewrite clauses (wide-area load balancing): matched
   // on destination address directly, ahead of default forwarding.
-  for (const auto& p : participants_) {
-    if (!p.is_remote()) continue;
-    for (const auto& c : p.inbound) {
-      // Resolve the post-rewrite egress by the remote participant's own
-      // BGP view of the rewritten destination.
-      std::optional<net::Ipv4Address> new_dst;
-      for (const auto& [f, v] : c.rewrites) {
-        if (f == Field::kDstIp) {
-          new_dst = net::Ipv4Address(static_cast<std::uint32_t>(v));
-        }
-      }
-      if (!new_dst) continue;
-      auto route = server_.best_route_lpm(p.id, *new_dst);
-      if (!route) continue;
-      const auto target_slot = slot_of_.find(route->learned_from);
-      if (target_slot == slot_of_.end() ||
-          participants_[target_slot->second].is_remote()) {
-        continue;
-      }
-      ActionSeq act;
-      for (const auto& [f, v] : c.rewrites) act.then_set(f, v);
-      act.then_set(Field::kPort, ports_.vport(route->learned_from));
-      for (auto& fm : clause_matches(c.match, FlowMatch::any(),
-                                     /*keep_dst_prefixes=*/true)) {
-        stage1.push_back(Rule{fm, {act}});
-      }
-    }
-  }
+  synthesize_remote_rewrites(stage1);
 
   // Per-group default forwarding (VMAC mode only; without grouping the
   // route server leaves next-hops untouched and MAC learning suffices).
@@ -561,6 +635,346 @@ CompiledSdx SdxCompiler::compile(VnhAllocator& vnh) const {
   compile_span.finish();
   if (telemetry_ != nullptr) {
     record_compile_metrics(telemetry_->metrics, stats);
+  }
+  return result;
+}
+
+namespace {
+
+/// One wall-time observation per physical partition. The observation count
+/// is deterministic (one per participant per compile) even though the
+/// timings themselves vary run to run, so counter-series byte-stability is
+/// unaffected.
+void record_partition_metrics(telemetry::MetricRegistry& reg,
+                              const std::vector<Participant>& participants,
+                              const CompiledSdx& result) {
+  for (std::size_t slot = 0; slot < result.partitions.size(); ++slot) {
+    if (participants[slot].is_remote()) continue;
+    reg.histogram("sdx_partition_compile_seconds",
+                  "per-partition compile wall time (seconds)", {},
+                  {{"participant", participants[slot].name}})
+        .observe(result.partitions[slot].seconds);
+  }
+}
+
+}  // namespace
+
+FecResult SdxCompiler::partition_fecs(
+    const std::vector<ClauseReach>& reaches,
+    const std::unordered_map<Ipv4Prefix, ParticipantId>& own_best) const {
+  // Length-1 default vector: the tag only ever steers the owner's own
+  // traffic (per-receiver advertisement), so only the owner's best route
+  // can split groups — two prefixes with equal clause membership but
+  // different owner defaults must not share a next-hop field.
+  return compute_fecs(
+      reaches,
+      [&own_best](Ipv4Prefix prefix) {
+        DefaultVector d(1);
+        if (auto it = own_best.find(prefix); it != own_best.end()) {
+          d[0] = it->second;
+        }
+        return d;
+      },
+      /*pool=*/nullptr);
+}
+
+void SdxCompiler::bind_partition(CompiledPartition& part,
+                                 VnhAllocator& vnh) const {
+  const VmacLayout& layout = vnh.layout();
+  part.bindings.reserve(part.fecs.groups.size());
+  for (const auto& g : part.fecs.groups) {
+    std::uint64_t attrs = 0;
+    for (auto cid : g.clauses) {
+      // Clauses beyond the attribute budget fall back to exact-VMAC rules
+      // in partition_stage1 — their membership is not encoded in the tag.
+      if (cid < layout.attr_bits) attrs |= 1ull << cid;
+    }
+    std::uint64_t nexthop_plus1 = 0;
+    if (!g.defaults.empty() && g.defaults[0]) {
+      const auto slot = slot_of_.find(*g.defaults[0]);
+      if (slot != slot_of_.end() &&
+          !participants_[slot->second].is_remote()) {
+        nexthop_plus1 = slot->second + 1;
+      }
+    }
+    part.bindings.push_back(vnh.allocate_attributed(nexthop_plus1, attrs));
+  }
+}
+
+std::vector<Rule> SdxCompiler::partition_stage1(
+    const Participant& owner, const CompiledPartition& part,
+    const VmacLayout& layout) const {
+  std::vector<Rule> out;
+  // Local clause index → groups carrying it (and hence: is it used at all).
+  std::vector<std::vector<std::uint32_t>> clause_groups(
+      owner.outbound.size());
+  for (std::uint32_t g = 0; g < part.fecs.groups.size(); ++g) {
+    for (auto cid : part.fecs.groups[g].clauses) {
+      clause_groups[cid].push_back(g);
+    }
+  }
+  for (std::size_t ci = 0; ci < owner.outbound.size(); ++ci) {
+    if (clause_groups[ci].empty()) continue;  // clause reaches nothing
+    const OutboundClause& c = owner.outbound[ci];
+    const ActionSeq act = ActionSeq::set(Field::kPort, ports_.vport(c.to));
+    for (net::PortId port : owner.port_ids()) {
+      if (ci < layout.attr_bits) {
+        // One masked rule per (clause, inport): matches every group tag of
+        // this partition carrying the clause's attribute bit — the
+        // group-count factor of the pairwise cross product disappears.
+        FlowMatch base = FlowMatch::on(Field::kPort, port);
+        base.set(Field::kDstMac,
+                 layout.attr_bit_match(static_cast<unsigned>(ci)));
+        for (auto& fm :
+             clause_matches(c.match, base, /*keep_dst_prefixes=*/false)) {
+          out.push_back(Rule{fm, {act}});
+        }
+      } else {
+        // Attribute-bitmap overflow tail: exact-VMAC per group, exactly as
+        // the pairwise pipeline would emit.
+        for (auto g : clause_groups[ci]) {
+          FlowMatch base = FlowMatch::on(Field::kPort, port);
+          base.with(Field::kDstMac, part.bindings[g].vmac.bits());
+          for (auto& fm :
+               clause_matches(c.match, base, /*keep_dst_prefixes=*/false)) {
+            out.push_back(Rule{fm, {act}});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Rule> SdxCompiler::shared_stage1(const VmacLayout& layout) const {
+  std::vector<Rule> out;
+  synthesize_remote_rewrites(out);
+  // One masked default rule per physical receiver: forwards every tag whose
+  // next-hop field names that receiver's slot, for any sender and group —
+  // the per-(group, sender) default rules of the pairwise pipeline collapse
+  // into |participants| rules total. Tags with next-hop field 0 (owner's
+  // best route absent or remote) match nothing here and fall through to the
+  // catch-all drop.
+  for (std::size_t slot = 0; slot < participants_.size(); ++slot) {
+    const Participant& p = participants_[slot];
+    if (p.is_remote()) continue;
+    FlowMatch fm;
+    fm.set(Field::kDstMac, layout.nexthop_match(slot + 1));
+    out.push_back(
+        Rule{fm, {ActionSeq::set(Field::kPort, ports_.vport(p.id))}});
+  }
+  // MAC-learning rules and the catch-all drop, as pairwise.
+  for (const auto& p : participants_) {
+    for (const auto& port : p.ports) {
+      FlowMatch fm = FlowMatch::on(Field::kDstMac, port.router_mac.bits());
+      out.push_back(
+          Rule{fm, {ActionSeq::set(Field::kPort, ports_.vport(p.id))}});
+    }
+  }
+  out.push_back(Rule{FlowMatch::any(), {}});
+  return out;
+}
+
+std::vector<Rule> SdxCompiler::compose_serial(
+    std::vector<Rule> stage1,
+    const std::vector<std::unique_ptr<Classifier>>& stage2_by_slot,
+    std::size_t& compositions) const {
+  std::vector<Rule> out;
+  out.reserve(stage1.size());
+  for (Rule& r : stage1) {
+    if (r.drops()) {
+      out.push_back(std::move(r));
+      continue;
+    }
+    const ActionSeq& act = r.actions.front();
+    const auto port_written = act.written(Field::kPort);
+    if (!port_written ||
+        !PortMap::is_virtual(static_cast<net::PortId>(*port_written))) {
+      out.push_back(std::move(r));
+      continue;
+    }
+    const ParticipantId target =
+        ports_.vport_owner(static_cast<net::PortId>(*port_written));
+    const Classifier* stage2 = stage2_by_slot[slot_of_.at(target)].get();
+    compositions += stage2->size();
+    auto run = policy::pull_back(r.match, act, *stage2);
+    out.insert(out.end(), std::make_move_iterator(run.begin()),
+               std::make_move_iterator(run.end()));
+  }
+  return out;
+}
+
+CompiledSdx SdxCompiler::compile_partitioned(VnhAllocator& vnh) const {
+  telemetry::SpanTracer* tracer =
+      telemetry_ != nullptr ? &telemetry_->tracer : nullptr;
+  telemetry::Span compile_span(tracer, "compile");
+  const auto t_start = std::chrono::steady_clock::now();
+  net::ThreadPool pool(options_.threads);
+  CompiledSdx result;
+  result.partitioned = true;
+  result.layout = vnh.layout();
+  CompileStats& stats = result.stats;
+  stats.participants = participants_.size();
+  stats.prefixes_total = server_.prefix_count();
+  stats.threads_used = pool.size();
+  if (participants_.size() > result.layout.nexthop_capacity()) {
+    throw std::length_error(
+        "partitioned compile: " + std::to_string(participants_.size()) +
+        " participant slots do not fit the VMAC next-hop field (" +
+        result.layout.descriptor() + ")");
+  }
+
+  // 0. Per-participant best-route snapshot (same as the pairwise pipeline).
+  auto t0 = std::chrono::steady_clock::now();
+  telemetry::Span stage_span(tracer, "snapshot");
+  BestRouteSnapshot snapshot(participants_.size());
+  pool.parallel_for(
+      participants_.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          snapshot[i] = server_.best_nexthops(participants_[i].id);
+        }
+      });
+  stats.snapshot_seconds = seconds_since(t0);
+  stage_span.finish();
+
+  // 1. Clause reach sets: one global parallel pass, then distributed to
+  // partitions. The list is slot-major, so each partition receives its
+  // owner's clauses in clause order with clause_index already local. The
+  // global reaches/fecs/bindings of the result stay empty — a partitioned
+  // artifact has no sender-independent binding map.
+  t0 = std::chrono::steady_clock::now();
+  stage_span = telemetry::Span(tracer, "reach");
+  result.partitions.resize(participants_.size());
+  struct ClauseRef {
+    const Participant* owner;
+    std::size_t slot;
+    std::size_t index;
+  };
+  std::vector<ClauseRef> clause_list;
+  for (std::size_t slot = 0; slot < participants_.size(); ++slot) {
+    const Participant& p = participants_[slot];
+    result.partitions[slot].owner = p.id;
+    if (p.is_remote()) continue;  // no ingress ports: nothing to compile
+    for (std::size_t ci = 0; ci < p.outbound.size(); ++ci) {
+      clause_list.push_back(ClauseRef{&p, slot, ci});
+    }
+  }
+  std::vector<ClauseReach> reaches(clause_list.size());
+  pool.parallel_for(
+      clause_list.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& [owner, slot, ci] = clause_list[i];
+          ClauseReach cr;
+          cr.owner = owner->id;
+          cr.clause_index = ci;
+          cr.prefixes = clause_reach(*owner, owner->outbound[ci]);
+          reaches[i] = std::move(cr);
+        }
+      });
+  for (std::size_t i = 0; i < clause_list.size(); ++i) {
+    result.partitions[clause_list[i].slot].reaches.push_back(
+        std::move(reaches[i]));
+  }
+  stats.clause_count = clause_list.size();
+  stats.reach_seconds = seconds_since(t0);
+  stage_span.finish();
+
+  // 2+3. Per-partition FECs (parallel — partitions are independent), then
+  // one serial binding sweep in slot order: group ids and VNHs come from a
+  // single counter, so the assignment is identical at any thread count.
+  t0 = std::chrono::steady_clock::now();
+  stage_span = telemetry::Span(tracer, "fec_vnh");
+  vnh.reset();
+  pool.parallel_for(
+      participants_.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t slot = begin; slot < end; ++slot) {
+          CompiledPartition& part = result.partitions[slot];
+          if (part.reaches.empty()) continue;
+          const auto p0 = std::chrono::steady_clock::now();
+          part.fecs = partition_fecs(part.reaches, snapshot[slot]);
+          part.seconds += seconds_since(p0);
+        }
+      });
+  std::unordered_set<Ipv4Prefix> grouped;
+  for (auto& part : result.partitions) {
+    bind_partition(part, vnh);
+    stats.prefix_groups += part.fecs.groups.size();
+    for (const auto& kv : part.fecs.group_of) grouped.insert(kv.first);
+  }
+  stats.prefixes_grouped = grouped.size();
+  stats.vnh_seconds = seconds_since(t0);
+  stage_span.finish();
+
+  // 4. Stage-1 synthesis: per partition in parallel, plus the shared band.
+  t0 = std::chrono::steady_clock::now();
+  stage_span = telemetry::Span(tracer, "synth");
+  std::vector<std::vector<Rule>> stage1_by_slot(participants_.size());
+  pool.parallel_for(
+      participants_.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t slot = begin; slot < end; ++slot) {
+          CompiledPartition& part = result.partitions[slot];
+          if (part.fecs.groups.empty()) continue;
+          const auto p0 = std::chrono::steady_clock::now();
+          stage1_by_slot[slot] =
+              partition_stage1(participants_[slot], part, result.layout);
+          part.stage1_rules = stage1_by_slot[slot].size();
+          part.seconds += seconds_since(p0);
+        }
+      });
+  std::vector<Rule> shared = shared_stage1(result.layout);
+  for (const auto& s : stage1_by_slot) stats.stage1_rules += s.size();
+  stats.stage1_rules += shared.size();
+  stats.synth_seconds = seconds_since(t0);
+  stage_span.finish();
+
+  // 5+6. Composition: stage-2 classifiers built once up front (parallel,
+  // read-only afterward), each partition and the shared band composed
+  // through them. Partition compositions run concurrently; each partition's
+  // rule order is internally serial, and the fabric concatenation is fixed
+  // by slot order — byte-identical at any width.
+  t0 = std::chrono::steady_clock::now();
+  stage_span = telemetry::Span(tracer, "compose");
+  std::vector<std::unique_ptr<Classifier>> stage2_by_slot(
+      participants_.size());
+  pool.parallel_for(
+      participants_.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (participants_[i].is_remote()) continue;
+          stage2_by_slot[i] =
+              std::make_unique<Classifier>(stage2_for(participants_[i]));
+        }
+      });
+  pool.parallel_for(
+      participants_.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t slot = begin; slot < end; ++slot) {
+          CompiledPartition& part = result.partitions[slot];
+          if (stage1_by_slot[slot].empty()) continue;
+          const auto p0 = std::chrono::steady_clock::now();
+          part.rules = Classifier(compose_serial(
+              std::move(stage1_by_slot[slot]), stage2_by_slot,
+              part.pair_compositions));
+          part.rules.optimize(false);
+          part.seconds += seconds_since(p0);
+        }
+      });
+  std::size_t shared_compositions = 0;
+  result.shared_rules = Classifier(
+      compose_serial(std::move(shared), stage2_by_slot, shared_compositions));
+  result.shared_rules.optimize(false);
+  for (const auto& part : result.partitions) {
+    stats.pair_compositions += part.pair_compositions;
+  }
+  stats.pair_compositions += shared_compositions;
+  stats.compose_seconds = seconds_since(t0);
+  stage_span.finish();
+
+  result.rebuild_fabric();
+  stats.final_rules = result.fabric.size();
+  stats.total_seconds = seconds_since(t_start);
+  compile_span.finish();
+  if (telemetry_ != nullptr) {
+    record_compile_metrics(telemetry_->metrics, stats);
+    record_partition_metrics(telemetry_->metrics, participants_, result);
   }
   return result;
 }

@@ -28,7 +28,9 @@
 /// ablation benchmark can price them individually.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -60,8 +62,21 @@ struct CompileOptions {
   /// §4.3.1 memoize per-participant stage-2 classifiers. Off → rebuild the
   /// stage-2 classifier for every composed rule.
   bool memoize_stage2 = true;
-  /// Run full (quadratic) shadow elimination on the final classifier.
+  /// Run full (quadratic) shadow elimination on the final classifier
+  /// (pairwise pipeline only; the partitioned pipeline keeps its band
+  /// structure intact).
   bool full_optimize = false;
+  /// iSDX-style partitioned compilation: each participant's outbound
+  /// policies compile into an independent partition whose stage-1 rules
+  /// match attribute bits of the VMAC under a mask, replacing the pairwise
+  /// sender×receiver cross product. Requires vmac_grouping. A policy change
+  /// then recompiles one partition, not the world (see
+  /// IncrementalEngine::recompile_partition).
+  bool partitioned = false;
+  /// The VMAC bit layout used by partitioned compilation (and validated by
+  /// every allocator). Fingerprinted and persisted: changing it forces a
+  /// cold install on warm restart.
+  VmacLayout vmac_layout{};
   /// Execution width of the parallel pipeline stages (clause reach,
   /// best-route snapshot, FEC sharding, targeted composition): 0 = one
   /// thread per hardware thread, 1 = fully serial. The compiled output is
@@ -89,6 +104,22 @@ struct CompileStats {
   double total_seconds = 0;
 };
 
+/// One participant's independently compiled slice of the fabric
+/// (partitioned mode): its own FECs over its own reach sets, its
+/// attribute-encoded bindings, and the composed rules of its outbound
+/// clauses. Replacing a partition never touches any other partition or the
+/// shared band.
+struct CompiledPartition {
+  ParticipantId owner = 0;
+  FecResult fecs;                     ///< groups over the owner's clauses
+  std::vector<VnhBinding> bindings;   ///< parallel to fecs.groups
+  std::vector<ClauseReach> reaches;   ///< owner's clauses, local indices
+  policy::Classifier rules;           ///< composed outbound rules
+  std::size_t stage1_rules = 0;       ///< pre-composition rule count
+  std::size_t pair_compositions = 0;  ///< composition work for this slice
+  double seconds = 0;                 ///< wall time across pipeline stages
+};
+
 /// The advertisement plan entry for one grouped prefix: what next-hop the
 /// route server should announce (the VNH), and the ARP binding behind it.
 struct CompiledSdx {
@@ -98,19 +129,49 @@ struct CompiledSdx {
   std::vector<ClauseReach> reaches;      ///< global clause table
   CompileStats stats;
 
+  VmacLayout layout;       ///< the VMAC layout the artifact was built under
+  bool partitioned = false;
+  /// Slot-indexed (parallel to the participant vector; remote slots stay
+  /// empty). Empty unless partitioned. `fabric` is the concatenation of the
+  /// partitions in slot order followed by `shared_rules` — partitions are
+  /// the canonical form, `fabric` is derived (rebuild_fabric()).
+  std::vector<CompiledPartition> partitions;
+  /// The partition-independent band: remote rewrites, per-receiver masked
+  /// default rules, MAC learning, catch-all drop.
+  policy::Classifier shared_rules;
+
   /// The VNH to advertise for \p prefix, or std::nullopt when the prefix
-  /// keeps its original next hop (not touched by any policy).
+  /// keeps its original next hop (not touched by any policy). Pairwise
+  /// mode only — a partitioned artifact has no global binding map (the tag
+  /// is sender-specific); use partition_binding_for.
   std::optional<VnhBinding> binding_for(Ipv4Prefix prefix) const {
     auto it = fecs.group_of.find(prefix);
     if (it == fecs.group_of.end()) return std::nullopt;
     return bindings[it->second];
   }
 
+  /// The VNH to advertise *to the participant in \p sender_slot* for
+  /// \p prefix: the binding of that sender's own partition group, carrying
+  /// the sender's clause bitmap and default next-hop in the tag.
+  std::optional<VnhBinding> partition_binding_for(std::size_t sender_slot,
+                                                  Ipv4Prefix prefix) const {
+    if (!partitioned || sender_slot >= partitions.size()) return std::nullopt;
+    const auto& part = partitions[sender_slot];
+    auto it = part.fecs.group_of.find(prefix);
+    if (it == part.fecs.group_of.end()) return std::nullopt;
+    return part.bindings[it->second];
+  }
+
+  /// Re-derives `fabric` from the partitions + shared band (partitioned
+  /// mode). Called after a single partition is swapped in place.
+  void rebuild_fabric();
+
   /// Deterministic digest of the compiled artifact: fabric rules (contents
-  /// and order), VNH/VMAC bindings, FEC groups and clause reach sets —
-  /// everything except timings/stats. Two compilations are byte-identical
-  /// iff their fingerprints compare equal; the async-vs-sync and
-  /// threads-1-vs-N golden tests pivot on this.
+  /// and order), VNH/VMAC bindings, FEC groups and clause reach sets, the
+  /// VMAC layout and per-partition structure — everything except
+  /// timings/stats. Two compilations are byte-identical iff their
+  /// fingerprints compare equal; the async-vs-sync and threads-1-vs-N
+  /// golden tests pivot on this.
   std::string fingerprint() const;
 };
 
@@ -193,6 +254,49 @@ class SdxCompiler {
   policy::Classifier compose(std::vector<policy::Rule> stage1,
                              CompileStats& stats,
                              net::ThreadPool& pool) const;
+
+  // -- partitioned pipeline --------------------------------------------
+
+  /// The partitioned counterpart of compile(): same five stages, but FEC,
+  /// synthesis and composition run per partition.
+  CompiledSdx compile_partitioned(VnhAllocator& vnh) const;
+
+  /// Per-partition FECs: Minimum Disjoint Subsets over the owner's reach
+  /// sets with a length-1 default vector — the owner's own best route —
+  /// since the tag only ever steers the owner's traffic.
+  FecResult partition_fecs(
+      const std::vector<ClauseReach>& reaches,
+      const std::unordered_map<Ipv4Prefix, ParticipantId>& own_best) const;
+
+  /// Allocates one attribute-encoded binding per group of \p part: the
+  /// clause-membership bitmap in the attribute field, the owner's default
+  /// next-hop slot+1 in the next-hop field. Sequential — callers iterate
+  /// partitions in slot order so VNH assignment is deterministic at any
+  /// thread count.
+  void bind_partition(CompiledPartition& part, VnhAllocator& vnh) const;
+
+  /// Stage-1 rules of one partition: one masked rule per (clause, inport)
+  /// for clauses that fit the attribute bitmap, exact-VMAC per-group rules
+  /// for the overflow tail.
+  std::vector<policy::Rule> partition_stage1(const Participant& owner,
+                                             const CompiledPartition& part,
+                                             const VmacLayout& layout) const;
+
+  /// The partition-independent band: remote rewrites, one masked default
+  /// rule per physical receiver (next-hop field), MAC learning, catch-all
+  /// drop.
+  std::vector<policy::Rule> shared_stage1(const VmacLayout& layout) const;
+
+  /// Appends the remote-participant VMAC→router-MAC rewrite rules.
+  void synthesize_remote_rewrites(std::vector<policy::Rule>& out) const;
+
+  /// Serial targeted composition through prebuilt per-slot stage-2
+  /// classifiers (nullptr for remote slots). Used by the per-partition
+  /// compose loop and by IncrementalEngine::recompile_partition.
+  std::vector<policy::Rule> compose_serial(
+      std::vector<policy::Rule> stage1,
+      const std::vector<std::unique_ptr<policy::Classifier>>& stage2_by_slot,
+      std::size_t& compositions) const;
 
   const std::vector<Participant>& participants_;
   const PortMap& ports_;

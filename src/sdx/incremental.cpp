@@ -151,6 +151,83 @@ IncrementalEngine::FastPathResult IncrementalEngine::fast_update(
   return result;
 }
 
+IncrementalEngine::PartitionUpdate IncrementalEngine::recompile_partition(
+    ParticipantId owner, VnhAllocator& vnh) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!current_ || !current_->partitioned) {
+    throw std::logic_error(
+        "recompile_partition requires a partitioned compiled state");
+  }
+  const std::size_t slot = compiler_.slot_of_.at(owner);
+  const Participant& p = compiler_.participants()[slot];
+
+  CompiledPartition part;
+  part.owner = owner;
+  for (std::size_t ci = 0; ci < p.outbound.size(); ++ci) {
+    ClauseReach cr;
+    cr.owner = owner;
+    cr.clause_index = ci;
+    cr.prefixes = compiler_.clause_reach(p, p.outbound[ci]);
+    part.reaches.push_back(std::move(cr));
+  }
+  const auto own_best = compiler_.server_.best_nexthops(owner);
+  part.fecs = compiler_.partition_fecs(part.reaches, own_best);
+  // Fresh bindings continue from the allocator's watermark — the replaced
+  // partition's VNHs leak until the next full recompile resets the counter,
+  // exactly like fast-path bindings (§4.3.2 applied to policy changes).
+  compiler_.bind_partition(part, vnh);
+  auto stage1 = compiler_.partition_stage1(p, part, current_->layout);
+  part.stage1_rules = stage1.size();
+
+  // Targeted composition through the engine's stage-2 memo.
+  std::vector<Rule> composed;
+  composed.reserve(stage1.size());
+  for (auto& r : stage1) {
+    const ActionSeq& act = r.actions.front();
+    const auto port_written = act.written(Field::kPort);
+    if (!port_written ||
+        !PortMap::is_virtual(static_cast<net::PortId>(*port_written))) {
+      composed.push_back(std::move(r));
+      continue;
+    }
+    const ParticipantId target = compiler_.ports_.vport_owner(
+        static_cast<net::PortId>(*port_written));
+    const Classifier& stage2 = stage2_cached(target);
+    part.pair_compositions += stage2.size();
+    auto run = policy::pull_back(r.match, act, stage2);
+    composed.insert(composed.end(), std::make_move_iterator(run.begin()),
+                    std::make_move_iterator(run.end()));
+  }
+  part.rules = Classifier(std::move(composed));
+  part.rules.optimize(false);
+
+  PartitionUpdate update;
+  update.slot = slot;
+  std::unordered_set<Ipv4Prefix> affected;
+  for (const auto& kv : current_->partitions[slot].fecs.group_of) {
+    affected.insert(kv.first);
+  }
+  for (const auto& kv : part.fecs.group_of) affected.insert(kv.first);
+  update.affected.assign(affected.begin(), affected.end());
+  std::sort(update.affected.begin(), update.affected.end(),
+            [](Ipv4Prefix a, Ipv4Prefix b) {
+              if (a.network().value() != b.network().value()) {
+                return a.network().value() < b.network().value();
+              }
+              return a.length() < b.length();
+            });
+  update.rules = part.rules.size();
+  update.compositions = part.pair_compositions;
+  update.bindings = part.bindings;
+  part.seconds = seconds_since(t0);
+  update.seconds = part.seconds;
+
+  current_->partitions[slot] = std::move(part);
+  current_->rebuild_fabric();
+  current_->stats.final_rules = current_->fabric.size();
+  return update;
+}
+
 IncrementalEngine::BatchResult IncrementalEngine::fast_update_batch(
     const std::vector<Ipv4Prefix>& prefixes, VnhAllocator& vnh) {
   const auto t0 = std::chrono::steady_clock::now();

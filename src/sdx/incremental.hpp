@@ -98,6 +98,29 @@ class IncrementalEngine {
   BatchResult fast_update_batch(const std::vector<Ipv4Prefix>& prefixes,
                                 VnhAllocator& vnh);
 
+  /// Result of a single-partition recompilation: the replaced slot, the
+  /// fresh attribute-encoded bindings to ARP-bind, and the prefixes whose
+  /// advertisement (to this partition's owner) must be refreshed — the
+  /// union of the old and new partition coverage.
+  struct PartitionUpdate {
+    std::size_t slot = 0;
+    std::size_t rules = 0;         ///< new partition classifier size
+    std::size_t compositions = 0;  ///< stage-1 × stage-2 rule visits
+    double seconds = 0;
+    std::vector<VnhBinding> bindings;
+    std::vector<Ipv4Prefix> affected;  ///< sorted (deterministic order)
+  };
+
+  /// Recompiles exactly one participant's partition (partitioned mode only;
+  /// throws std::logic_error otherwise): reach → partition FEC → fresh
+  /// bindings (continuing the allocator watermark, like fast-path bindings
+  /// — the next full recompile reclaims the leaked ids) → synthesis →
+  /// targeted composition through the stage-2 memo. Swaps the partition
+  /// into the current state and re-derives the fabric; every other
+  /// partition and the shared band are untouched — the ≥10× work saving of
+  /// a single-participant policy change.
+  PartitionUpdate recompile_partition(ParticipantId owner, VnhAllocator& vnh);
+
   const SdxCompiler& compiler() const { return compiler_; }
 
  private:

@@ -32,7 +32,9 @@ class FlagOverride {
 }  // namespace
 
 SdxRuntime::SdxRuntime(bgp::DecisionConfig decision, CompileOptions options)
-    : server_(decision), options_(options) {
+    : server_(decision),
+      options_(options),
+      vnh_(net::Ipv4Prefix::parse("172.16.0.0/12"), options.vmac_layout) {
   auto& reg = telemetry_.metrics;
   server_.set_telemetry(&reg);
   fabric_.arp().set_counters(
@@ -75,6 +77,9 @@ SdxRuntime::SdxRuntime(bgp::DecisionConfig decision, CompileOptions options)
                                  "bytes moved by wire distribution");
   frontend_drops_ = &reg.counter("sdx_frontend_session_drops_total",
                                  "wire sessions lost to hold-timer expiry");
+  partitions_recompiled_ = &reg.counter(
+      "sdx_partitions_recompiled_total",
+      "participant partitions recompiled in place by policy changes");
 }
 
 ParticipantId SdxRuntime::add_participant(const std::string& name,
@@ -186,6 +191,13 @@ void SdxRuntime::set_outbound(ParticipantId id,
     rec.outbound = participant(id).outbound;
     journal_->append(rec);
   }
+  // Partitioned mode: an outbound change dirties exactly one partition —
+  // recompile and swap it in place instead of waiting for the next full
+  // rebuild. (Pairwise mode keeps the historical contract: changes land on
+  // the next install()/recompile.)
+  if (installed() && options_.partitioned) {
+    recompile_participant_partition(id);
+  }
 }
 
 void SdxRuntime::set_inbound(ParticipantId id,
@@ -199,6 +211,14 @@ void SdxRuntime::set_inbound(ParticipantId id,
     rec.participant = id;
     rec.inbound = participant(id).inbound;
     journal_->append(rec);
+  }
+  // An inbound change rewrites this participant's stage-2 classifier, which
+  // is composed into every partition whose clauses target it — not a
+  // single-partition change, so rebuild everything. The WAL record above
+  // covers the derived effects on replay.
+  if (installed() && options_.partitioned) {
+    FlagOverride suppress(journal_recording_, false);
+    background_recompile();
   }
 }
 
@@ -325,9 +345,7 @@ const CompiledSdx& SdxRuntime::deploy() {
     if (p.is_remote()) remote_bindings_[p.id] = vnh_.allocate();
   }
 
-  auto& table = fabric_.sdx_switch().table();
-  table.clear();
-  table.install_classifier(compiled.fabric, kBasePriority, kBaseCookie);
+  install_base_tables(compiled);
   fast_bindings_.clear();
   bind_arp(compiled);
   // The rebuild covers every update absorbed so far: pending batches, raced
@@ -385,6 +403,9 @@ bool SdxRuntime::start_background_recompile() {
   job->ports = port_map_;
   job->server = server_.snapshot();
   job->policy_epoch = policy_epoch_;
+  // The worker's allocator must share the live pool and VMAC layout, or an
+  // async compile would silently encode under the default layout.
+  job->vnh = VnhAllocator(vnh_.pool(), vnh_.layout());
   raced_order_.clear();
   raced_set_.clear();
   // The worker sees only the job's own snapshots (and the thread-safe
@@ -446,9 +467,7 @@ void SdxRuntime::apply_recompile(RecompileJob job) {
   for (const auto& p : participants_) {
     if (p.is_remote()) remote_bindings_[p.id] = vnh_.allocate();
   }
-  auto& table = fabric_.sdx_switch().table();
-  table.clear();
-  table.install_classifier(compiled.fabric, kBasePriority, kBaseCookie);
+  install_base_tables(compiled);
   fast_bindings_.clear();
   bind_arp(compiled);
   update_log_.clear();
@@ -475,9 +494,62 @@ void SdxRuntime::set_compile_threads(unsigned threads) {
   if (engine_) engine_->set_threads(threads);
 }
 
+void SdxRuntime::install_base_tables(const CompiledSdx& compiled) {
+  auto& table = fabric_.sdx_switch().table();
+  table.clear();
+  partition_bases_.clear();
+  if (!compiled.partitioned) {
+    table.install_classifier(compiled.fabric, kBasePriority, kBaseCookie);
+    return;
+  }
+  // Shared band at the bottom, partition bands stacked above it in slot
+  // order, each under its own cookie so a single-partition recompile can
+  // swap one band in place. Relative order among partition bands is
+  // irrelevant: they match disjoint ingress ports.
+  table.install_classifier(compiled.shared_rules, kBasePriority, kBaseCookie);
+  std::uint32_t base =
+      kBasePriority + static_cast<std::uint32_t>(compiled.shared_rules.size());
+  partition_bases_.reserve(compiled.partitions.size());
+  for (std::size_t slot = 0; slot < compiled.partitions.size(); ++slot) {
+    const auto& part = compiled.partitions[slot];
+    partition_bases_.push_back(base);
+    if (part.rules.size() > 0) {
+      table.install_classifier(part.rules, base, partition_cookie(slot));
+    }
+    base += static_cast<std::uint32_t>(part.rules.size());
+  }
+}
+
+void SdxRuntime::recompile_participant_partition(ParticipantId id) {
+  telemetry::Span span = telemetry_.tracer.span("partition_recompile");
+  auto update = engine_->recompile_partition(id, vnh_);
+  partitions_recompiled_->inc();
+  telemetry_.metrics
+      .histogram("sdx_partition_compile_seconds",
+                 "per-partition compile wall time (seconds)", {},
+                 {{"participant", participant(id).name}})
+      .observe(update.seconds);
+  auto& table = fabric_.sdx_switch().table();
+  table.remove_by_cookie(partition_cookie(update.slot));
+  const auto& part = engine_->current().partitions[update.slot];
+  if (part.rules.size() > 0) {
+    table.install_classifier(part.rules, partition_bases_.at(update.slot),
+                             partition_cookie(update.slot));
+  }
+  for (const auto& b : update.bindings) {
+    fabric_.arp().bind(b.vnh, b.vmac);
+  }
+  for (auto prefix : update.affected) readvertise(prefix);
+}
+
 void SdxRuntime::bind_arp(const CompiledSdx& compiled) {
   for (const auto& b : compiled.bindings) {
     fabric_.arp().bind(b.vnh, b.vmac);
+  }
+  for (const auto& part : compiled.partitions) {
+    for (const auto& b : part.bindings) {
+      fabric_.arp().bind(b.vnh, b.vmac);
+    }
   }
   for (const auto& [id, b] : remote_bindings_) {
     fabric_.arp().bind(b.vnh, b.vmac);
@@ -591,9 +663,21 @@ std::string SdxRuntime::dump_trace() const {
 }
 
 void SdxRuntime::readvertise(Ipv4Prefix prefix) {
-  const auto binding = advertised_binding(prefix);
-  for (const auto& p : participants_) {
+  const auto global = advertised_binding(prefix);
+  const bool partitioned = installed() && compiled().partitioned;
+  for (std::size_t slot = 0; slot < participants_.size(); ++slot) {
+    const auto& p = participants_[slot];
     if (p.is_remote()) continue;
+    // Per-receiver next hop: the fast-path (or pairwise group) binding is
+    // receiver-independent; a partitioned artifact advertises each receiver
+    // the binding of *its own* partition group — the tag encodes the
+    // receiver's clause bitmap and default next hop, so it must never reach
+    // another router. Prefixes outside the receiver's partition keep their
+    // real (or remote-participant) next hop and ride MAC learning.
+    auto binding = global;
+    if (!binding && partitioned) {
+      binding = compiled().partition_binding_for(slot, prefix);
+    }
     bgp::UpdateMessage msg;
     auto best = server_.best_route(p.id, prefix);
     if (!best) {
@@ -747,7 +831,12 @@ std::uint64_t SdxRuntime::checkpoint() {
     std::sort(st.remote_bindings.begin(), st.remote_bindings.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     for (const auto& r : fabric_.sdx_switch().table().rules()) {
-      if (r.cookie == kBaseCookie) continue;  // base classifier: recomputed
+      // Base and partition bands are reconstructed from the compiled
+      // artifact on restore — capturing them here would double-install.
+      // Only fast-path residue rides along as raw rules.
+      if (r.cookie == kBaseCookie || r.cookie >= kPartitionCookieBase) {
+        continue;
+      }
       st.extra_rules.push_back(
           {r.priority, r.cookie, policy::Rule{r.match, r.actions}});
     }
@@ -784,7 +873,7 @@ void SdxRuntime::restore_checkpoint(const persist::CheckpointState& st,
   for (const auto& r : st.routes) server_.announce(r);
   server_.set_telemetry(&telemetry_.metrics);
   next_cookie_ = st.next_cookie;
-  vnh_ = VnhAllocator(st.vnh_pool);
+  vnh_ = VnhAllocator(st.vnh_pool, options_.vmac_layout);
   if (!st.installed) {
     vnh_.restore(st.vnh_allocated);
     return;
@@ -795,7 +884,15 @@ void SdxRuntime::restore_checkpoint(const persist::CheckpointState& st,
       SdxCompiler(participants_, port_map_, server_, options_));
   engine_->set_telemetry(&telemetry_);
   CompiledSdx compiled = st.compiled;
-  if (compiled.fingerprint() == st.fingerprint) {
+  // Warm restart requires (a) the artifact to be provably intact
+  // (fingerprint match — the fingerprint embeds the VMAC layout it was
+  // compiled under) and (b) the artifact to match *this* runtime's
+  // configured layout and mode: a persisted artifact is self-consistent
+  // under its own layout, so a configuration change would otherwise adopt
+  // tables encoded with stale bit positions.
+  if (compiled.fingerprint() == st.fingerprint &&
+      compiled.layout == options_.vmac_layout &&
+      compiled.partitioned == options_.partitioned) {
     // Warm restart: the decoded artifact is provably what a fresh compile
     // would produce — adopt it without compiling and reuse every persisted
     // VNH/VMAC binding, keeping border-router ARP caches valid.
@@ -804,9 +901,8 @@ void SdxRuntime::restore_checkpoint(const persist::CheckpointState& st,
     const CompiledSdx& adopted = engine_->adopt(std::move(compiled));
     remote_bindings_.clear();
     for (const auto& [id, b] : st.remote_bindings) remote_bindings_[id] = b;
+    install_base_tables(adopted);
     auto& table = fabric_.sdx_switch().table();
-    table.clear();
-    table.install_classifier(adopted.fabric, kBasePriority, kBaseCookie);
     for (const auto& extra : st.extra_rules) {
       dp::FlowRule rule;
       rule.priority = extra.priority;

@@ -319,6 +319,14 @@ class SdxRuntime {
   static constexpr std::uint32_t kBasePriority = 1000;
   static constexpr std::uint32_t kFastPriority = 1u << 24;
   static constexpr std::uint64_t kBaseCookie = 1;
+  /// Partitioned mode: partition slot s installs under cookie
+  /// kPartitionCookieBase + s, so one partition's band can be removed and
+  /// replaced in place. Far above the fast-path cookie counter's reach, so
+  /// the two spaces can never collide.
+  static constexpr std::uint64_t kPartitionCookieBase = 1ull << 32;
+  static constexpr std::uint64_t partition_cookie(std::size_t slot) {
+    return kPartitionCookieBase + slot;
+  }
 
   /// One asynchronous recompilation: self-contained snapshots of the
   /// compiler inputs (so the worker never touches live runtime state), the
@@ -336,6 +344,15 @@ class SdxRuntime {
   };
 
   const CompiledSdx& deploy();
+  /// Clears the flow table and installs the compiled base state: the whole
+  /// fabric under kBaseCookie (pairwise), or the shared band plus one
+  /// priority band per partition under per-slot cookies (partitioned),
+  /// recording each partition's priority base for later in-place swaps.
+  void install_base_tables(const CompiledSdx& compiled);
+  /// Partitioned mode, outbound policy change after install(): recompile
+  /// only \p id's partition, swap its flow-table band under its cookie,
+  /// ARP-bind the fresh bindings and re-advertise the affected prefixes.
+  void recompile_participant_partition(ParticipantId id);
   void readvertise(Ipv4Prefix prefix);
   void bind_arp(const CompiledSdx& compiled);
   /// Post-install update routing: raced-delta tracking, then either the
@@ -377,6 +394,7 @@ class SdxRuntime {
   telemetry::Counter* frontend_updates_ = nullptr;
   telemetry::Counter* frontend_bytes_ = nullptr;
   telemetry::Counter* frontend_drops_ = nullptr;
+  telemetry::Counter* partitions_recompiled_ = nullptr;
 
   bgp::RouteServer server_;
   CompileOptions options_;
@@ -413,6 +431,12 @@ class SdxRuntime {
   std::vector<Ipv4Prefix> raced_order_;
   std::unordered_set<Ipv4Prefix> raced_set_;
   std::unique_ptr<RecompileJob> job_;
+
+  /// Partitioned mode: priority base of each partition's band in the flow
+  /// table, fixed at base-table installation. A partition that grows past
+  /// its original band overlaps the next band's priorities — harmless,
+  /// since partitions match disjoint ingress ports.
+  std::vector<std::uint32_t> partition_bases_;
 
   std::uint64_t next_cookie_ = kBaseCookie + 1;
   net::PortId next_port_ = 1;

@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file vmac_layout.hpp
+/// The attribute-encoded VMAC bit layout (iSDX, Gupta et al. NSDI'16).
+///
+/// A VMAC is a 48-bit locally-administered MAC. The top octet is fixed at
+/// 0x02 (locally administered, unicast) so tags can never collide with the
+/// routers' universally-administered 00:16:3e MACs; the remaining 40 bits
+/// are split into three configurable fields:
+///
+///   47      40 39              ...               0
+///   +--------+----------+-------------+-----------+
+///   |  0x02  | attr     | nexthop     | group id  |
+///   +--------+----------+-------------+-----------+
+///              attr_bits  nexthop_bits  group_bits
+///
+///   group id  — the allocation counter (pairwise mode: the whole tag;
+///               partitioned mode: a globally unique group ordinal).
+///   nexthop   — the sender's default next-hop participant *slot + 1*
+///               (0 = no default); one masked rule per receiver replaces
+///               one exact rule per (group, receiver).
+///   attr      — the sender's clause-membership bitmap: bit j is set iff
+///               the sender's j-th outbound clause reaches the group, so
+///               one masked rule per clause replaces one exact rule per
+///               (clause, group).
+///
+/// Every masked helper below includes the full top octet in its mask:
+/// without that guard a rule matching a single attribute bit would also
+/// spuriously match untagged router MACs (00:16:3e:… has bits set in the
+/// attribute positions).
+///
+/// The layout is part of the compiled artifact's fingerprint and of the
+/// checkpoint encoding: changing any width changes every fingerprint, so a
+/// warm restart across a layout change automatically falls back to a cold
+/// install.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "netbase/field_match.hpp"
+#include "netbase/mac.hpp"
+
+namespace sdx::core {
+
+struct VmacLayout {
+  /// Widths sum to at most 40 (the bits under the fixed top octet). The
+  /// defaults keep the legacy encoding intact: with zero attributes,
+  /// encode(gid, 0, 0) == 0x02:00:… | gid, bit for bit.
+  std::uint8_t group_bits = 20;
+  std::uint8_t nexthop_bits = 12;
+  std::uint8_t attr_bits = 8;
+
+  static constexpr unsigned kUsableBits = 40;
+  static constexpr std::uint64_t kTopOctetMask = 0xFFull << kUsableBits;
+  static constexpr std::uint64_t kTopOctetValue = 0x02ull << kUsableBits;
+
+  friend bool operator==(const VmacLayout&, const VmacLayout&) = default;
+
+  /// Throws std::invalid_argument when the widths don't fit the 40 usable
+  /// bits or a field is degenerate.
+  void validate() const {
+    const unsigned total = static_cast<unsigned>(group_bits) + nexthop_bits +
+                           static_cast<unsigned>(attr_bits);
+    if (group_bits == 0) {
+      throw std::invalid_argument("VMAC layout: group_bits must be >= 1");
+    }
+    if (total > kUsableBits) {
+      throw std::invalid_argument(
+          "VMAC layout: " + std::to_string(total) +
+          " bits requested but only 40 fit under the 0x02 octet (" +
+          descriptor() + ")");
+    }
+  }
+
+  std::uint64_t group_capacity() const { return 1ull << group_bits; }
+  std::uint64_t group_mask() const { return group_capacity() - 1; }
+  /// Highest representable slot+1 value (0 is reserved for "no default").
+  std::uint64_t nexthop_capacity() const {
+    return (1ull << nexthop_bits) - 1;
+  }
+  unsigned nexthop_shift() const { return group_bits; }
+  unsigned attr_shift() const {
+    return static_cast<unsigned>(group_bits) + nexthop_bits;
+  }
+
+  net::MacAddress encode(std::uint64_t group, std::uint64_t nexthop_plus1,
+                         std::uint64_t attrs) const {
+    return net::MacAddress(kTopOctetValue | (attrs << attr_shift()) |
+                           (nexthop_plus1 << nexthop_shift()) |
+                           (group & group_mask()));
+  }
+
+  std::uint64_t group_of(net::MacAddress vmac) const {
+    return vmac.bits() & group_mask();
+  }
+  std::uint64_t nexthop_of(net::MacAddress vmac) const {
+    return (vmac.bits() >> nexthop_shift()) &
+           ((1ull << nexthop_bits) - 1);
+  }
+  std::uint64_t attrs_of(net::MacAddress vmac) const {
+    return (vmac.bits() >> attr_shift()) &
+           (attr_bits >= 64 ? ~0ull : (1ull << attr_bits) - 1);
+  }
+
+  /// Masked dst-MAC constraint on the next-hop field (plus the top-octet
+  /// guard): matches every tag whose default next-hop slot+1 equals
+  /// \p nexthop_plus1, regardless of group id or attribute bits.
+  net::FieldMatch nexthop_match(std::uint64_t nexthop_plus1) const {
+    const std::uint64_t field_mask = ((1ull << nexthop_bits) - 1)
+                                     << nexthop_shift();
+    return net::FieldMatch::masked(
+        kTopOctetValue | (nexthop_plus1 << nexthop_shift()),
+        kTopOctetMask | field_mask);
+  }
+
+  /// Masked dst-MAC constraint on one attribute bit (plus the top-octet
+  /// guard): matches every tag carrying clause bit \p bit.
+  net::FieldMatch attr_bit_match(unsigned bit) const {
+    const std::uint64_t b = 1ull << (attr_shift() + bit);
+    return net::FieldMatch::masked(kTopOctetValue | b, kTopOctetMask | b);
+  }
+
+  /// Canonical one-line description — folded into CompiledSdx::fingerprint()
+  /// and persisted with checkpoints, so artifacts compiled under different
+  /// layouts can never compare equal.
+  std::string descriptor() const {
+    return "vmac-layout/v1 group=" + std::to_string(group_bits) +
+           " nexthop=" + std::to_string(nexthop_bits) +
+           " attr=" + std::to_string(attr_bits);
+  }
+};
+
+}  // namespace sdx::core

@@ -9,13 +9,20 @@
 /// with the VMAC — turning 500k prefix matches into one 48-bit tag match.
 ///
 /// VNHs are drawn from a dedicated pool (default 172.16.0.0/12, never
-/// announced); VMACs carry the locally-administered bit.
+/// announced). VMACs follow the allocator's VmacLayout (vmac_layout.hpp):
+/// the allocation counter fills the group-id field, and the partitioned
+/// compiler adds default-next-hop and clause-membership attribute bits via
+/// allocate_attributed(). allocate() validates the counter against the
+/// layout's group-bit budget — spilling into the attribute fields would
+/// silently corrupt every masked rule built on them.
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 
 #include "netbase/ip.hpp"
 #include "netbase/mac.hpp"
+#include "sdx/vmac_layout.hpp"
 
 namespace sdx::core {
 
@@ -29,20 +36,54 @@ struct VnhBinding {
 class VnhAllocator {
  public:
   explicit VnhAllocator(
-      net::Ipv4Prefix pool = net::Ipv4Prefix::parse("172.16.0.0/12"))
-      : pool_(pool) {}
+      net::Ipv4Prefix pool = net::Ipv4Prefix::parse("172.16.0.0/12"),
+      VmacLayout layout = {})
+      : pool_(pool), layout_(layout) {
+    layout_.validate();
+  }
 
-  /// Allocates the next (VNH, VMAC) pair. Throws std::length_error when the
-  /// pool is exhausted.
-  VnhBinding allocate() {
+  /// Allocates the next (VNH, VMAC) pair with zero attribute bits — the
+  /// pairwise encoding, unchanged from before the layout existed. Throws
+  /// std::length_error when the pool or the layout's group-id field is
+  /// exhausted.
+  VnhBinding allocate() { return allocate_attributed(0, 0); }
+
+  /// Allocates the next (VNH, VMAC) pair carrying the given default
+  /// next-hop slot+1 and clause-membership bitmap in the attribute fields
+  /// (partitioned compilation). Throws std::length_error on pool/group
+  /// exhaustion and std::invalid_argument when an attribute overflows its
+  /// field.
+  VnhBinding allocate_attributed(std::uint64_t nexthop_plus1,
+                                 std::uint64_t attrs) {
     if (next_ >= pool_.size()) {
       throw std::length_error("VNH pool exhausted");
+    }
+    if (next_ >= layout_.group_capacity()) {
+      // Without this check the counter would spill into the next-hop and
+      // attribute bit positions and the masked rules matching them would
+      // silently misclassify the overflowing groups.
+      throw std::length_error(
+          "VMAC group-id field exhausted: allocation #" +
+          std::to_string(next_) + " does not fit " +
+          std::to_string(layout_.group_bits) + " group bits (" +
+          layout_.descriptor() + ")");
+    }
+    if (nexthop_plus1 > layout_.nexthop_capacity()) {
+      throw std::invalid_argument(
+          "VMAC next-hop slot " + std::to_string(nexthop_plus1) +
+          " exceeds " + std::to_string(layout_.nexthop_bits) +
+          " next-hop bits (" + layout_.descriptor() + ")");
+    }
+    if (layout_.attr_bits < 64 && (attrs >> layout_.attr_bits) != 0) {
+      throw std::invalid_argument(
+          "VMAC attribute bitmap overflows " +
+          std::to_string(layout_.attr_bits) + " attribute bits (" +
+          layout_.descriptor() + ")");
     }
     VnhBinding b;
     b.vnh = net::Ipv4Address(pool_.network().value() +
                              static_cast<std::uint32_t>(next_));
-    // 0x02 prefix: locally administered, unicast.
-    b.vmac = net::MacAddress(0x02'00'00'00'00'00ull | next_);
+    b.vmac = layout_.encode(next_, nexthop_plus1, attrs);
     ++next_;
     return b;
   }
@@ -54,19 +95,27 @@ class VnhAllocator {
   /// Restores the high-water mark from a checkpoint, so warm restart hands
   /// out VNHs from where the crashed process left off (existing bindings —
   /// and the border-router ARP caches built on them — stay valid). Throws
-  /// std::length_error when \p allocated exceeds the pool.
+  /// std::length_error when \p allocated exceeds the pool or the layout's
+  /// group budget.
   void restore(std::uint64_t allocated) {
     if (allocated > pool_.size()) {
       throw std::length_error("VNH watermark exceeds pool");
+    }
+    if (allocated > layout_.group_capacity()) {
+      throw std::length_error(
+          "VNH watermark exceeds the VMAC group-id budget (" +
+          layout_.descriptor() + ")");
     }
     next_ = allocated;
   }
 
   std::uint64_t allocated() const { return next_; }
   net::Ipv4Prefix pool() const { return pool_; }
+  const VmacLayout& layout() const { return layout_; }
 
  private:
   net::Ipv4Prefix pool_;
+  VmacLayout layout_;
   std::uint64_t next_ = 0;
 };
 

@@ -2,8 +2,8 @@
 /// divergence in one side of each equivalence and the oracle must (a)
 /// detect it, (b) blame the right oracle, and (c) shrink the failing trace
 /// to at most three ops with the delta-debugging minimizer. Clean traces —
-/// including every committed regression input — must pass all three
-/// equivalences.
+/// including every committed regression input — must pass all four
+/// equivalences (fast path, threads, recovery, partitioned).
 
 #include <gtest/gtest.h>
 
@@ -116,6 +116,26 @@ TEST(DiffOracle, DetectsNondeterministicParallelCompile) {
   const auto minimized = oracle.minimize(small_trace());
   EXPECT_LE(minimized.ops.size(), 3u);
   EXPECT_FALSE(oracle.check(minimized).ok);
+}
+
+TEST(DiffOracle, DetectsPartitionedCompileDivergence) {
+  OracleOptions options;
+  options.fault = OracleOptions::Fault::kPerturbPartitionedCompile;
+  DifferentialOracle oracle(options);
+
+  // Zero ops suffice: the planted withdrawal of prefix 0 on the partitioned
+  // side diverges on the base exchange alone.
+  Trace t;
+  t.participants = 3;
+  t.prefixes = 4;
+  const auto verdict = oracle.check(t);
+  ASSERT_FALSE(verdict.ok) << "planted partition divergence went undetected";
+  EXPECT_EQ(verdict.oracle, "partitioned");
+  EXPECT_FALSE(verdict.detail.empty());
+
+  const auto minimized = oracle.minimize(t);
+  EXPECT_TRUE(minimized.ops.empty())
+      << "a zero-op failure must minimize to zero ops";
 }
 
 TEST(DiffOracle, MinimizeReturnsPassingTraceUnchanged) {

@@ -177,11 +177,27 @@ TEST(Codec, TruncatedPayloadThrows) {
   }
 }
 
-TEST(Codec, NonContiguousMaskThrows) {
+TEST(Codec, NonContiguousMaskRoundTrips) {
+  // Arbitrary ternary masks are first-class since the partitioned
+  // pipeline installs attribute-bit dst-MAC rules: a mask with a hole
+  // decodes to the equivalent masked FieldMatch.
   Encoder e;
-  // One field: value 0, mask with a hole (not wildcard/exact/CIDR).
   for (std::size_t i = 0; i < net::kAllFields.size(); ++i) {
-    e.u64(0);
+    e.u64(i == 0 ? 0x20200030ull : 0);
+    e.u64(i == 0 ? 0xF0F0F0F0ull : 0);
+  }
+  Decoder d(e.bytes());
+  const net::FlowMatch back = get_flow_match(d);
+  EXPECT_EQ(back.field(net::kAllFields[0]),
+            net::FieldMatch::masked(0x20200030ull, 0xF0F0F0F0ull));
+}
+
+TEST(Codec, ValueOutsideMaskThrows) {
+  // Bits set in the value but absent from the mask can never match —
+  // the constructors mask them away, so on the wire they are corruption.
+  Encoder e;
+  for (std::size_t i = 0; i < net::kAllFields.size(); ++i) {
+    e.u64(i == 0 ? 0x0F000000ull : 0);
     e.u64(i == 0 ? 0xF0F0F0F0ull : 0);
   }
   Decoder d(e.bytes());

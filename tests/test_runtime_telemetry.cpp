@@ -163,6 +163,72 @@ TEST(RuntimeTelemetry, CounterSeriesByteStableAcrossThreadCounts) {
   EXPECT_EQ(serial, parallel);
 }
 
+TEST(RuntimeTelemetry, PartitionedCompileSurfacesPerParticipantSeries) {
+  CompileOptions opt;
+  opt.partitioned = true;
+  SdxRuntime rt({}, opt);
+  drive(rt);
+  const std::string dump = rt.dump_metrics();
+
+  // One full compile priced every physical partition once, labelled by
+  // participant.
+  for (const char* name : {"A", "B", "C"}) {
+    EXPECT_NE(
+        dump.find("sdx_partition_compile_seconds_count{participant=\"" +
+                  std::string(name) + "\"} 1"),
+        std::string::npos)
+        << name << "\n"
+        << dump;
+  }
+  // No policy changed after install, so nothing recompiled in place.
+  EXPECT_NE(dump.find("sdx_partitions_recompiled_total 0"), std::string::npos);
+
+  // One outbound change → exactly one partition recompiled: the counter
+  // ticks once and only the dirty participant's histogram gains a sample.
+  rt.set_outbound(1, {OutboundClause{ClauseMatch{}.dst_port(8080), 2}});
+  const std::string after = rt.dump_metrics();
+  EXPECT_NE(after.find("sdx_partitions_recompiled_total 1"),
+            std::string::npos);
+  EXPECT_NE(
+      after.find("sdx_partition_compile_seconds_count{participant=\"A\"} 2"),
+      std::string::npos)
+      << after;
+  for (const char* name : {"B", "C"}) {
+    EXPECT_NE(
+        after.find("sdx_partition_compile_seconds_count{participant=\"" +
+                   std::string(name) + "\"} 1"),
+        std::string::npos)
+        << name;
+  }
+  // The recompile ran under its own span, not the full pipeline's.
+  const auto records = rt.telemetry().tracer.records();
+  EXPECT_EQ(std::count_if(records.begin(), records.end(),
+                          [](const SpanTracer::Record& r) {
+                            return r.name == "partition_recompile";
+                          }),
+            1);
+  EXPECT_EQ(std::count_if(records.begin(), records.end(),
+                          [](const SpanTracer::Record& r) {
+                            return r.name == "compile";
+                          }),
+            1);
+}
+
+TEST(RuntimeTelemetry, PartitionedCounterSeriesByteStableAcrossThreadCounts) {
+  auto run = [](unsigned threads) {
+    CompileOptions opt;
+    opt.partitioned = true;
+    opt.threads = threads;
+    SdxRuntime rt({}, opt);
+    drive(rt);
+    return rt.dump_metrics();
+  };
+  const auto serial = counter_lines(run(1));
+  const auto parallel = counter_lines(run(8));
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
 TEST(RuntimeTelemetry, AdvanceClockSurfacesSessionDrops) {
   SdxRuntime rt;
   rt.use_wire_distribution();
