@@ -1,0 +1,12 @@
+/// libFuzzer entry for the ingest wire framer (src/ingest/framer.cpp):
+/// torn TCP reads through the ring buffer must yield byte-identical
+/// frames to a whole-buffer scan.
+
+#include <cstdint>
+
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return sdx::fuzz::run_framer(data, size);
+}

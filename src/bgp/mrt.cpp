@@ -100,32 +100,62 @@ void write_record(std::ostream& os, const MrtRecord& record) {
            static_cast<std::streamsize>(record.body.size()));
 }
 
-std::optional<MrtRecord> read_record(std::istream& is) {
+std::string_view to_string(MrtReadStatus status) {
+  switch (status) {
+    case MrtReadStatus::kOk: return "ok";
+    case MrtReadStatus::kEof: return "eof";
+    case MrtReadStatus::kTruncated: return "truncated";
+    case MrtReadStatus::kOversized: return "oversized";
+    case MrtReadStatus::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+MrtReadStatus read_record(std::istream& is, MrtRecord& out,
+                          std::string* error) {
+  const auto fail = [&](MrtReadStatus status, std::string what) {
+    if (error != nullptr) *error = std::move(what);
+    return status;
+  };
   std::uint8_t header[12];
   is.read(reinterpret_cast<char*>(header), sizeof(header));
-  if (is.gcount() == 0 && is.eof()) return std::nullopt;
+  if (is.gcount() == 0 && is.eof()) return MrtReadStatus::kEof;
   if (is.gcount() != sizeof(header)) {
-    throw std::runtime_error("MRT: truncated record header");
+    return fail(MrtReadStatus::kTruncated,
+                "MRT: truncated record header (" +
+                    std::to_string(is.gcount()) + " of 12 bytes)");
   }
-  MrtRecord record;
-  record.timestamp = (std::uint32_t{header[0]} << 24) |
-                     (std::uint32_t{header[1]} << 16) |
-                     (std::uint32_t{header[2]} << 8) | header[3];
-  record.type = static_cast<std::uint16_t>((header[4] << 8) | header[5]);
-  record.subtype = static_cast<std::uint16_t>((header[6] << 8) | header[7]);
+  out.timestamp = (std::uint32_t{header[0]} << 24) |
+                  (std::uint32_t{header[1]} << 16) |
+                  (std::uint32_t{header[2]} << 8) | header[3];
+  out.type = static_cast<std::uint16_t>((header[4] << 8) | header[5]);
+  out.subtype = static_cast<std::uint16_t>((header[6] << 8) | header[7]);
   const std::uint32_t length = (std::uint32_t{header[8]} << 24) |
                                (std::uint32_t{header[9]} << 16) |
                                (std::uint32_t{header[10]} << 8) | header[11];
   if (length > kMaxRecordBody) {
-    throw std::runtime_error("MRT: oversized record (" +
-                             std::to_string(length) + " bytes)");
+    return fail(MrtReadStatus::kOversized,
+                "MRT: oversized record (" + std::to_string(length) +
+                    " bytes)");
   }
-  record.body.resize(length);
-  is.read(reinterpret_cast<char*>(record.body.data()), length);
+  out.body.resize(length);
+  is.read(reinterpret_cast<char*>(out.body.data()), length);
   if (is.gcount() != static_cast<std::streamsize>(length)) {
-    throw std::runtime_error("MRT: truncated record body");
+    return fail(MrtReadStatus::kTruncated,
+                "MRT: truncated record body (" + std::to_string(is.gcount()) +
+                    " of " + std::to_string(length) + " bytes)");
   }
-  return record;
+  return MrtReadStatus::kOk;
+}
+
+std::optional<MrtRecord> read_record(std::istream& is) {
+  MrtRecord record;
+  std::string error;
+  switch (read_record(is, record, &error)) {
+    case MrtReadStatus::kOk: return record;
+    case MrtReadStatus::kEof: return std::nullopt;
+    default: throw std::runtime_error(error);
+  }
 }
 
 MrtRecord encode_bgp4mp(std::uint32_t timestamp, const Bgp4mpMessage& msg) {
@@ -227,15 +257,39 @@ std::size_t write_rib_dump(std::ostream& os, const RouteServer& server,
   return records;
 }
 
-RibDump read_rib_dump(std::istream& is) {
-  RibDump dump;
-  auto first = read_record(is);
-  if (!first || first->type != kMrtTypeTableDumpV2 ||
-      first->subtype != kMrtSubtypePeerIndexTable) {
-    throw std::runtime_error("MRT: expected PEER_INDEX_TABLE first");
+RibDumpResult read_rib_dump_stream(
+    std::istream& is,
+    const std::function<void(const RouteServer::Peer&)>& on_peer,
+    const std::function<void(Route)>& on_route) {
+  RibDumpResult result;
+  const auto corrupt = [&](std::string what) {
+    result.tail = MrtReadStatus::kCorrupt;
+    result.error = std::move(what);
+    return result;
+  };
+
+  MrtRecord record;
+  std::string error;
+  auto status = read_record(is, record, &error);
+  if (status != MrtReadStatus::kOk) {
+    // An empty stream is not a RIB dump; truncated framing keeps its
+    // own status so callers can tell a torn tail from garbage.
+    if (status == MrtReadStatus::kEof) {
+      return corrupt("MRT: expected PEER_INDEX_TABLE first");
+    }
+    result.tail = status;
+    result.error = std::move(error);
+    return result;
   }
-  {
-    BodyReader r(first->body);
+  if (record.type != kMrtTypeTableDumpV2 ||
+      record.subtype != kMrtSubtypePeerIndexTable) {
+    return corrupt("MRT: expected PEER_INDEX_TABLE first");
+  }
+  ++result.records;
+
+  std::vector<RouteServer::Peer> peers;
+  try {
+    BodyReader r(record.body);
     r.u32();  // collector id
     const std::uint16_t name_len = r.u16();
     r.bytes(name_len);
@@ -243,45 +297,72 @@ RibDump read_rib_dump(std::istream& is) {
     for (std::uint16_t i = 0; i < n_peers; ++i) {
       const std::uint8_t peer_type = r.u8();
       if (peer_type != 0x02) {
-        throw std::runtime_error("MRT: unsupported peer entry type");
+        return corrupt("MRT: unsupported peer entry type");
       }
       RouteServer::Peer peer;
       peer.router_id = Ipv4Address(r.u32());
       r.u32();  // peer address
       peer.asn = r.u32();
       peer.id = static_cast<ParticipantId>(i + 1);
-      dump.peers.push_back(peer);
+      peers.push_back(peer);
     }
+  } catch (const std::exception& e) {
+    return corrupt(e.what());
+  }
+  if (on_peer) {
+    for (const auto& peer : peers) on_peer(peer);
   }
 
-  while (auto record = read_record(is)) {
-    if (record->type != kMrtTypeTableDumpV2 ||
-        record->subtype != kMrtSubtypeRibIpv4Unicast) {
-      throw std::runtime_error("MRT: unexpected record in RIB dump");
+  for (;;) {
+    status = read_record(is, record, &error);
+    if (status == MrtReadStatus::kEof) break;
+    if (status != MrtReadStatus::kOk) {
+      result.tail = status;
+      result.error = std::move(error);
+      return result;
     }
-    BodyReader r(record->body);
-    r.u32();  // sequence
-    const Ipv4Prefix prefix = r.prefix();
-    const std::uint16_t n_entries = r.u16();
-    for (std::uint16_t e = 0; e < n_entries; ++e) {
-      const std::uint16_t idx = r.u16();
-      if (idx >= dump.peers.size()) {
-        throw std::runtime_error("MRT: RIB entry references unknown peer");
+    if (record.type != kMrtTypeTableDumpV2 ||
+        record.subtype != kMrtSubtypeRibIpv4Unicast) {
+      return corrupt("MRT: unexpected record in RIB dump");
+    }
+    ++result.records;
+    try {
+      BodyReader r(record.body);
+      r.u32();  // sequence
+      const Ipv4Prefix prefix = r.prefix();
+      const std::uint16_t n_entries = r.u16();
+      for (std::uint16_t e = 0; e < n_entries; ++e) {
+        const std::uint16_t idx = r.u16();
+        if (idx >= peers.size()) {
+          return corrupt("MRT: RIB entry references unknown peer");
+        }
+        r.u32();  // originated time
+        const std::uint16_t attr_len = r.u16();
+        auto attr_bytes = r.bytes(attr_len);
+        Route route;
+        route.prefix = prefix;
+        std::string attr_error;
+        if (!decode_path_attributes(attr_bytes, route.attrs, attr_error)) {
+          return corrupt("MRT: RIB entry attributes: " + attr_error);
+        }
+        route.learned_from = peers[idx].id;
+        route.peer_router_id = peers[idx].router_id;
+        ++result.routes;
+        if (on_route) on_route(std::move(route));
       }
-      r.u32();  // originated time
-      const std::uint16_t attr_len = r.u16();
-      auto attr_bytes = r.bytes(attr_len);
-      Route route;
-      route.prefix = prefix;
-      std::string error;
-      if (!decode_path_attributes(attr_bytes, route.attrs, error)) {
-        throw std::runtime_error("MRT: RIB entry attributes: " + error);
-      }
-      route.learned_from = dump.peers[idx].id;
-      route.peer_router_id = dump.peers[idx].router_id;
-      dump.routes.push_back(std::move(route));
+    } catch (const std::exception& e) {
+      return corrupt(e.what());
     }
   }
+  return result;
+}
+
+RibDump read_rib_dump(std::istream& is) {
+  RibDump dump;
+  auto result = read_rib_dump_stream(
+      is, [&](const RouteServer::Peer& p) { dump.peers.push_back(p); },
+      [&](Route route) { dump.routes.push_back(std::move(route)); });
+  if (!result.ok()) throw std::runtime_error(result.error);
   return dump;
 }
 

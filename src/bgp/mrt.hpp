@@ -14,9 +14,11 @@
 /// streamed to disk at Table-1 scale without buffering.
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bgp/route_server.hpp"
@@ -44,8 +46,27 @@ struct MrtRecord {
 /// Writes one record (header + body).
 void write_record(std::ostream& os, const MrtRecord& record);
 
-/// Reads the next record; std::nullopt at clean EOF. Throws
-/// std::runtime_error on a truncated or oversized record.
+/// How an attempt to read the next MRT record ended. Distinguishes a
+/// clean end of stream (EOF exactly on a record boundary) from a trailing
+/// record that was cut short or is structurally implausible.
+enum class MrtReadStatus {
+  kOk,         ///< \p out holds the next record
+  kEof,        ///< clean EOF — the stream ended on a record boundary
+  kTruncated,  ///< EOF mid-header or mid-body (torn trailing record)
+  kOversized,  ///< header announces a body larger than the sanity cap
+  kCorrupt,    ///< record framing fine, contents malformed (dump readers)
+};
+
+std::string_view to_string(MrtReadStatus status);
+
+/// Reads the next record into \p out without throwing. Returns kOk/kEof/
+/// kTruncated/kOversized; on a non-kOk status \p out is unspecified and
+/// \p error (when non-null) receives a description for the failure cases.
+MrtReadStatus read_record(std::istream& is, MrtRecord& out,
+                          std::string* error = nullptr);
+
+/// Legacy flavor: std::nullopt at clean EOF. Throws std::runtime_error on
+/// a truncated or oversized record.
 std::optional<MrtRecord> read_record(std::istream& is);
 
 /// A BGP4MP_MESSAGE_AS4 payload: one BGP message on a session.
@@ -84,5 +105,28 @@ struct RibDump {
 /// come first, as written by write_rib_dump). Throws std::runtime_error on
 /// malformed input.
 RibDump read_rib_dump(std::istream& is);
+
+/// Outcome of a streaming RIB-dump read.
+struct RibDumpResult {
+  std::size_t records = 0;  ///< MRT records consumed (incl. the peer index)
+  std::size_t routes = 0;   ///< routes delivered to the callback
+  /// kEof: the dump ended cleanly on a record boundary. kTruncated /
+  /// kOversized: torn or implausible trailing record. kCorrupt: framing
+  /// fine but the contents were malformed.
+  MrtReadStatus tail = MrtReadStatus::kEof;
+  std::string error;  ///< description when tail != kEof
+
+  bool ok() const { return tail == MrtReadStatus::kEof; }
+};
+
+/// Streaming flavor of read_rib_dump: invokes \p on_peer once per
+/// PEER_INDEX_TABLE entry, then \p on_route once per decoded route, in
+/// record order, without materializing the snapshot. Never throws —
+/// failures are reported through the returned RibDumpResult (processing
+/// stops at the first bad record; everything delivered before it stands).
+/// Either callback may be empty.
+RibDumpResult read_rib_dump_stream(
+    std::istream& is, const std::function<void(const RouteServer::Peer&)>& on_peer,
+    const std::function<void(Route)>& on_route);
 
 }  // namespace sdx::bgp

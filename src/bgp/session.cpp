@@ -101,6 +101,17 @@ std::optional<Session::Event> Session::handle(Message msg) {
   return std::nullopt;
 }
 
+std::optional<Session::Event> Session::process(Message msg) {
+  if (state_ == State::kClosed) return std::nullopt;
+  return handle(std::move(msg));
+}
+
+std::optional<Session::Event> Session::abort_session(std::uint8_t code,
+                                                     std::uint8_t subcode) {
+  if (state_ == State::kClosed) return std::nullopt;
+  return close_with_notification(code, subcode);
+}
+
 std::vector<Session::Event> Session::receive(
     std::span<const std::uint8_t> bytes) {
   std::vector<Event> events;

@@ -62,6 +62,16 @@ class Session {
   /// session (one kClosed event).
   std::vector<Event> receive(std::span<const std::uint8_t> bytes);
 
+  /// Feeds one already-framed, decoded message — the entry point for the
+  /// ingest reactor's zero-copy framing, where buffering and decode happen
+  /// outside the session. Equivalent to receive() on the encoded bytes.
+  std::optional<Event> process(Message msg);
+
+  /// Closes the session with a NOTIFICATION toward the peer — for errors
+  /// detected by an external framing/decode layer. Returns the kClosed
+  /// event. No-op (nullopt) when already closed.
+  std::optional<Event> abort_session(std::uint8_t code, std::uint8_t subcode);
+
   /// Queues an UPDATE. Throws std::logic_error unless Established.
   void send_update(const UpdateMessage& update);
 

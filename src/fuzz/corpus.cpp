@@ -96,6 +96,40 @@ std::vector<Bytes> mrt_seeds(std::uint64_t seed) {
   return out;
 }
 
+std::vector<Bytes> framer_seeds(std::uint64_t seed) {
+  // run_framer layout: [8-byte chunk-size RNG seed][BGP byte stream].
+  const auto with_seed_prefix = [](std::uint64_t rng_seed, Bytes stream) {
+    Bytes out;
+    out.reserve(8 + stream.size());
+    for (int i = 7; i >= 0; --i) {
+      out.push_back(static_cast<std::uint8_t>(rng_seed >> (8 * i)));
+    }
+    out.insert(out.end(), stream.begin(), stream.end());
+    return out;
+  };
+  std::vector<Bytes> out;
+  const auto events = trace_events(seed, 10);
+  // Multi-message streams — the torn-read sweep's realistic region.
+  Bytes all;
+  std::uint64_t rng_seed = seed * 97 + 13;
+  for (const auto& ev : events) {
+    const auto frame = bgp::encode(update_for(ev));
+    all.insert(all.end(), frame.begin(), frame.end());
+    out.push_back(with_seed_prefix(rng_seed++, frame));
+  }
+  out.push_back(with_seed_prefix(rng_seed++, all));
+  // A stream ending in a torn frame (clean prefix + half a header).
+  Bytes torn = all;
+  torn.resize(all.size() / 2);
+  out.push_back(with_seed_prefix(rng_seed++, std::move(torn)));
+  // A framing error: length field below the RFC 4271 minimum.
+  Bytes bad(19, 0xff);
+  bad[16] = 0;
+  bad[17] = 7;
+  out.push_back(with_seed_prefix(rng_seed++, std::move(bad)));
+  return out;
+}
+
 std::vector<Bytes> codec_seeds(std::uint64_t seed) {
   (void)seed;
   std::vector<Bytes> out;
@@ -308,6 +342,7 @@ std::vector<Bytes> seed_corpus(std::string_view target, std::uint64_t seed) {
   if (target == "wal") return wal_seeds(seed);
   if (target == "policy") return policy_seeds(seed);
   if (target == "diff_oracle") return diff_oracle_seeds(seed);
+  if (target == "framer") return framer_seeds(seed);
   throw std::invalid_argument("unknown fuzz target: " + std::string(target));
 }
 

@@ -10,6 +10,7 @@
 #include "bgp/mrt.hpp"
 #include "bgp/wire.hpp"
 #include "fuzz/diff_oracle.hpp"
+#include "ingest/framer.hpp"
 #include "persist/checkpoint.hpp"
 #include "persist/codec.hpp"
 #include "persist/wal.hpp"
@@ -247,11 +248,99 @@ int run_diff_oracle(const std::uint8_t* data, std::size_t size) {
   return 0;
 }
 
+int run_framer(const std::uint8_t* data, std::size_t size) {
+  // Layout: [8-byte chunk-size RNG seed][BGP byte stream].
+  if (size < 8) return 0;
+  std::uint64_t rng = 0;
+  for (int i = 0; i < 8; ++i) rng = (rng << 8) | data[i];
+  if (rng == 0) rng = 1;
+  const std::uint8_t* stream = data + 8;
+  const std::size_t stream_size = size - 8;
+
+  // Reference: one whole-buffer scan with the same framing rules the
+  // incremental framer implements (length at [16,17], bounds [19,4096]).
+  std::vector<std::pair<std::size_t, std::size_t>> ref_frames;
+  bool ref_error = false;
+  {
+    std::size_t off = 0;
+    while (stream_size - off >= ingest::kBgpHeaderSize - 1) {
+      const std::size_t len =
+          (std::size_t{stream[off + ingest::kBgpLengthOffset]} << 8) |
+          stream[off + ingest::kBgpLengthOffset + 1];
+      if (len < ingest::kBgpHeaderSize || len > ingest::kBgpMaxMessageSize) {
+        ref_error = true;
+        break;
+      }
+      if (stream_size - off < len) break;  // torn trailing frame
+      ref_frames.emplace_back(off, len);
+      off += len;
+    }
+  }
+
+  // Incremental: feed the stream through a RingBuffer in RNG-sized
+  // partial reads (1..64 bytes, also bounded by the contiguous write
+  // span), collecting every frame the framer yields.
+  ingest::RingBuffer ring(2 * ingest::kBgpMaxMessageSize);
+  ingest::WireFramer framer(ring);
+  std::vector<std::vector<std::uint8_t>> got_frames;
+  bool got_error = false;
+  std::size_t fed = 0;
+  std::span<const std::uint8_t> frame;
+  std::string error;
+  while (!got_error) {
+    for (;;) {
+      const auto status = framer.next(frame, error);
+      if (status == ingest::WireFramer::Status::kNeedMore) break;
+      if (status == ingest::WireFramer::Status::kError) {
+        SDX_FUZZ_REQUIRE(!error.empty(),
+                         "framing error must carry a diagnostic");
+        got_error = true;
+        break;
+      }
+      got_frames.emplace_back(frame.begin(), frame.end());
+    }
+    if (got_error || fed >= stream_size) break;
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    const std::size_t want = 1 + static_cast<std::size_t>(rng % 64);
+    auto span = ring.write_span();
+    SDX_FUZZ_REQUIRE(!span.empty(),
+                     "ring must never fill while frames are consumed");
+    const std::size_t n =
+        std::min({want, span.size(), stream_size - fed});
+    for (std::size_t i = 0; i < n; ++i) span[i] = stream[fed + i];
+    ring.commit(n);
+    fed += n;
+  }
+
+  // The incremental path must agree with the reference byte for byte.
+  SDX_FUZZ_REQUIRE(got_error == ref_error,
+                   "incremental and whole-buffer scans must agree on error");
+  SDX_FUZZ_REQUIRE(got_frames.size() == ref_frames.size(),
+                   "incremental and whole-buffer scans must agree on count");
+  for (std::size_t i = 0; i < got_frames.size(); ++i) {
+    const auto [off, len] = ref_frames[i];
+    SDX_FUZZ_REQUIRE(got_frames[i].size() == len,
+                     "frame length mismatch vs whole-buffer scan");
+    bool equal = true;
+    for (std::size_t b = 0; b < len; ++b) {
+      if (got_frames[i][b] != stream[off + b]) {
+        equal = false;
+        break;
+      }
+    }
+    SDX_FUZZ_REQUIRE(equal, "frame bytes mismatch vs whole-buffer scan");
+  }
+  return 0;
+}
+
 const std::vector<FuzzTarget>& fuzz_targets() {
   static const std::vector<FuzzTarget> kTargets = {
       {"wire", &run_wire},       {"mrt", &run_mrt},
       {"codec", &run_codec},     {"wal", &run_wal},
       {"policy", &run_policy},   {"diff_oracle", &run_diff_oracle},
+      {"framer", &run_framer},
   };
   return kTargets;
 }

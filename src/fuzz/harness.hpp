@@ -26,6 +26,11 @@
 ///                pretty-prints to a fixpoint (parse ∘ print ∘ parse).
 ///   run_diff_oracle — decodes the input as an update trace and replays it
 ///                through the DifferentialOracle's three equivalences.
+///   run_framer — torn-TCP-read framing: the input's first 8 bytes seed a
+///                chunk-size RNG, the rest is a byte stream fed to the
+///                ingest WireFramer in random partial reads through a
+///                RingBuffer; the frames and terminal status must be
+///                byte-identical to a whole-buffer reference scan.
 
 #include <cstddef>
 #include <cstdint>
@@ -40,6 +45,7 @@ int run_codec(const std::uint8_t* data, std::size_t size);
 int run_wal(const std::uint8_t* data, std::size_t size);
 int run_policy(const std::uint8_t* data, std::size_t size);
 int run_diff_oracle(const std::uint8_t* data, std::size_t size);
+int run_framer(const std::uint8_t* data, std::size_t size);
 
 using FuzzEntry = int (*)(const std::uint8_t*, std::size_t);
 

@@ -1,0 +1,46 @@
+#include "ingest/framer.hpp"
+
+namespace sdx::ingest {
+
+WireFramer::Status WireFramer::next(std::span<const std::uint8_t>& frame,
+                                    std::string& error) {
+  // Consume the frame handed out by the previous call — its span is dead
+  // from here on.
+  if (pending_consume_ != 0) {
+    ring_.consume(pending_consume_);
+    pending_consume_ = 0;
+  }
+
+  if (frame_len_ == 0) {
+    // The length field sits at bytes 16–17; cache it as soon as it is
+    // visible so later partial reads never re-scan the header.
+    if (ring_.size() < kBgpLengthOffset + 2) return Status::kNeedMore;
+    const std::size_t len =
+        (static_cast<std::size_t>(ring_.at(kBgpLengthOffset)) << 8) |
+        ring_.at(kBgpLengthOffset + 1);
+    if (len < kBgpHeaderSize || len > kBgpMaxMessageSize) {
+      error = "bad message length " + std::to_string(len);
+      return Status::kError;
+    }
+    frame_len_ = len;
+  }
+
+  if (ring_.size() < frame_len_) return Status::kNeedMore;
+
+  const auto contiguous = ring_.read_span();
+  if (contiguous.size() >= frame_len_) {
+    frame = contiguous.first(frame_len_);
+  } else {
+    // The frame straddles the physical wrap point: assemble it once.
+    scratch_.resize(frame_len_);
+    ring_.copy_out(0, scratch_);
+    frame = scratch_;
+    ++wrap_copies_;
+  }
+  pending_consume_ = frame_len_;
+  frame_len_ = 0;
+  ++frames_;
+  return Status::kFrame;
+}
+
+}  // namespace sdx::ingest

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file framer.hpp
+/// Incremental BGP-4 frame extraction over a connection's RingBuffer.
+///
+/// The framer is the state that makes partial TCP reads cheap: once the
+/// first 18 bytes of a frame are visible it caches the wire length and
+/// never re-scans the header on later reads — each poll either completes
+/// the cached frame or waits for more bytes. A completed frame is handed
+/// out as a span into the ring (zero-copy) unless it straddles the ring's
+/// physical wrap point, in which case it is assembled once into a scratch
+/// buffer owned by the framer.
+///
+/// Validation here is the minimum needed for framing (length within RFC
+/// 4271 bounds); full marker/body validation stays in bgp::decode, so the
+/// framer and the whole-buffer parser reject exactly the same streams —
+/// a property the framing fuzz target (src/fuzz harness, "framer")
+/// enforces against torn reads.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ingest/ring_buffer.hpp"
+
+namespace sdx::ingest {
+
+/// RFC 4271 framing bounds (mirrors src/bgp/wire.cpp).
+inline constexpr std::size_t kBgpHeaderSize = 19;
+inline constexpr std::size_t kBgpMaxMessageSize = 4096;
+/// Offset of the 2-byte length field in the common header.
+inline constexpr std::size_t kBgpLengthOffset = 16;
+
+class WireFramer {
+ public:
+  enum class Status : std::uint8_t {
+    kNeedMore,  ///< no complete frame buffered yet
+    kFrame,     ///< \p frame holds one complete message
+    kError,     ///< unrecoverable framing error (bad length)
+  };
+
+  explicit WireFramer(RingBuffer& ring) : ring_(ring) {}
+
+  /// Extracts the next complete frame. The returned span stays valid until
+  /// the next call to next() (which consumes the previous frame from the
+  /// ring). After kError the stream is unframeable and the connection must
+  /// be torn down; \p error carries the diagnostic.
+  Status next(std::span<const std::uint8_t>& frame, std::string& error);
+
+  /// Wire length of the frame currently being accumulated (0 = header not
+  /// yet complete).
+  std::size_t pending_frame_length() const { return frame_len_; }
+
+  /// Frames yielded so far, and how many of them straddled the ring wrap
+  /// (the only copies the framer ever makes).
+  std::uint64_t frames() const { return frames_; }
+  std::uint64_t wrap_copies() const { return wrap_copies_; }
+
+ private:
+  RingBuffer& ring_;
+  std::size_t frame_len_ = 0;       ///< cached once 18 bytes are visible
+  std::size_t pending_consume_ = 0; ///< bytes of the last yielded frame
+  std::vector<std::uint8_t> scratch_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t wrap_copies_ = 0;
+};
+
+}  // namespace sdx::ingest

@@ -1,0 +1,362 @@
+#include "ingest/listener.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <system_error>
+#include <vector>
+
+#include "bgp/wire.hpp"
+
+namespace sdx::ingest {
+
+namespace {
+
+// RFC 4271 notification codes used by the framing/accept layer.
+constexpr std::uint8_t kErrMessageHeader = 1;
+constexpr std::uint8_t kErrUpdate = 3;
+constexpr std::uint8_t kErrCease = 6;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+BgpListener::BgpListener(Reactor& reactor, SpillQueue& queue, Options options,
+                         PeerResolver resolver)
+    : reactor_(reactor),
+      queue_(queue),
+      options_(options),
+      resolver_(std::move(resolver)) {
+  if (options_.ring_capacity < 2 * kBgpMaxMessageSize) {
+    options_.ring_capacity = 2 * kBgpMaxMessageSize;
+  }
+}
+
+BgpListener::~BgpListener() { close_all(); }
+
+std::uint16_t BgpListener::listen(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::system_error(err, std::generic_category(), "bind");
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::system_error(err, std::generic_category(), "listen");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+  reactor_.add(listen_fd_, EPOLLIN, [this](std::uint32_t) { on_accept(); });
+  if (options_.hold_time > 0) {
+    tick_timer_ = reactor_.add_timer(options_.tick_seconds,
+                                     [this] { tick(); });
+  }
+  return port_;
+}
+
+void BgpListener::close_all() {
+  if (tick_timer_ != 0) {
+    reactor_.cancel_timer(tick_timer_);
+    tick_timer_ = 0;
+  }
+  if (listen_fd_ >= 0) {
+    reactor_.remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& [fd, c] : connections_) {
+    reactor_.remove(fd);
+    ::close(fd);
+    if (c->counted) sessions_.fetch_sub(1);
+  }
+  connections_.clear();
+}
+
+void BgpListener::on_accept() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      return;  // transient accept failure; the listener stays up
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_unique<Connection>(
+        fd, options_.ring_capacity,
+        bgp::Session::Config{options_.server_asn, options_.server_id,
+                             options_.hold_time});
+    conn->session.start();
+    accepted_.fetch_add(1);
+    auto& ref = *conn;
+    connections_.emplace(fd, std::move(conn));
+    reactor_.add(fd, EPOLLIN,
+                 [this, fd](std::uint32_t events) { on_event(fd, events); });
+    flush_output(ref);
+  }
+}
+
+void BgpListener::on_event(int fd, std::uint32_t events) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& c = *it->second;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_connection(fd);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    flush_output(c);
+    if (connections_.find(fd) == connections_.end()) return;
+  }
+  if (events & EPOLLIN) on_readable(c);
+}
+
+void BgpListener::on_readable(Connection& c) {
+  const int fd = c.fd;
+  for (;;) {
+    auto span = c.ring.write_span();
+    if (span.empty()) {
+      // Ring full of unprocessed frames (only possible under shed).
+      break;
+    }
+    const ssize_t n = ::recv(fd, span.data(), span.size(), 0);
+    if (n > 0) {
+      c.ring.commit(static_cast<std::size_t>(n));
+      bytes_.fetch_add(static_cast<std::uint64_t>(n));
+      process_frames(c);
+      if (connections_.find(fd) == connections_.end()) return;  // died
+      if (c.shed) {
+        update_interest(c);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      close_connection(fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(fd);
+    return;
+  }
+}
+
+void BgpListener::process_frames(Connection& c) {
+  const int fd = c.fd;
+  while (!c.shed && !c.closing) {
+    // A previously refused update must land before any newer frame.
+    if (c.stalled) {
+      if (queue_.try_push(c.stalled->participant, *c.stalled)) {
+        c.stalled.reset();
+      } else {
+        c.shed = true;
+        break;
+      }
+    }
+    std::span<const std::uint8_t> frame;
+    std::string error;
+    const auto status = c.framer.next(frame, error);
+    if (status == WireFramer::Status::kNeedMore) break;
+    if (status == WireFramer::Status::kError) {
+      c.session.abort_session(kErrMessageHeader, /*bad length*/ 2);
+      c.closing = true;
+      break;
+    }
+    frames_.fetch_add(1);
+    auto result = bgp::decode(frame);
+    if (!result.ok()) {
+      const std::uint8_t code =
+          result.error.find("attribute") != std::string::npos ||
+                  result.error.find("NLRI") != std::string::npos
+              ? kErrUpdate
+              : kErrMessageHeader;
+      c.session.abort_session(code, 0);
+      c.closing = true;
+      break;
+    }
+    if (auto ev = c.session.process(std::move(*result.message))) {
+      if (!handle_event(c, std::move(*ev))) {
+        if (connections_.find(fd) == connections_.end()) return;
+        break;
+      }
+    }
+  }
+  // Pump any queued replies (keepalives, notifications).
+  flush_output(c);
+}
+
+bool BgpListener::handle_event(Connection& c, bgp::Session::Event ev) {
+  using Kind = bgp::Session::Event::Kind;
+  switch (ev.kind) {
+    case Kind::kEstablished: {
+      const auto& open = c.session.peer_open();
+      std::optional<core::ParticipantId> pid;
+      if (open && resolver_) pid = resolver_(*open);
+      if (!pid) {
+        open_rejected_.fetch_add(1);
+        c.session.abort_session(kErrCease, 0);
+        c.closing = true;
+        return false;
+      }
+      c.participant = pid;
+      c.counted = true;
+      sessions_.fetch_add(1);
+      if (!seen_.insert(*pid).second) reconnects_.fetch_add(1);
+      return true;
+    }
+    case Kind::kUpdate: {
+      if (!c.participant) return true;  // pre-resolve updates impossible
+      updates_.fetch_add(1);
+      IngestedUpdate u;
+      u.participant = *c.participant;
+      u.update = std::move(ev.update);
+      u.enqueued = std::chrono::steady_clock::now();
+      if (!queue_.try_push(u.participant, u)) {
+        // Queue full: stash the refused update and shed read interest
+        // until the drain frees space (resume_peer).
+        c.stalled = std::move(u);
+        c.shed = true;
+      }
+      return true;
+    }
+    case Kind::kNotificationReceived:
+      // Peer closed the session; nothing of ours is owed to the wire.
+      close_connection(c.fd);
+      return false;
+    case Kind::kClosed:
+      // The FSM queued a NOTIFICATION — flush it before tearing down.
+      c.closing = true;
+      return false;
+  }
+  return true;
+}
+
+void BgpListener::flush_output(Connection& c) {
+  const int fd = c.fd;
+  auto fresh = c.session.take_output();
+  if (!fresh.empty()) {
+    c.out.insert(c.out.end(), fresh.begin(), fresh.end());
+  }
+  while (c.out_off < c.out.size()) {
+    const ssize_t n = ::send(fd, c.out.data() + c.out_off,
+                             c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close_connection(fd);
+    return;
+  }
+  if (c.out_off >= c.out.size()) {
+    c.out.clear();
+    c.out_off = 0;
+    if (c.closing) {
+      close_connection(fd);
+      return;
+    }
+  }
+  update_interest(c);
+}
+
+void BgpListener::update_interest(Connection& c) {
+  std::uint32_t events = 0;
+  if (!c.shed && !c.closing) events |= EPOLLIN;
+  const bool want_write = c.out_off < c.out.size();
+  if (want_write) events |= EPOLLOUT;
+  reactor_.modify(c.fd, events);
+  c.want_write = want_write;
+}
+
+void BgpListener::close_connection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& c = *it->second;
+  wrap_copies_.fetch_add(c.framer.wrap_copies());
+  if (c.counted) sessions_.fetch_sub(1);
+  closed_.fetch_add(1);
+  reactor_.remove(fd);
+  ::close(fd);
+  connections_.erase(it);
+}
+
+void BgpListener::resume_peer(core::ParticipantId peer) {
+  // process_frames/update_interest can close connections (erasing map
+  // entries), so snapshot the candidate fds before touching any of them.
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (auto& [fd, conn] : connections_) {
+    if (conn->shed && conn->participant == peer) fds.push_back(fd);
+  }
+  for (int fd : fds) {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;
+    Connection& c = *it->second;
+    c.shed = false;
+    process_frames(c);
+    if (connections_.find(fd) == connections_.end()) continue;
+    if (!c.shed) update_interest(c);
+  }
+}
+
+void BgpListener::tick() {
+  // flush_output can close connections; iterate over a snapshot of fds.
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (int fd : fds) {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;
+    Connection& c = *it->second;
+    auto events = c.session.advance_clock(options_.tick_seconds);
+    bool dead = false;
+    for (auto& ev : events) {
+      if (ev.kind == bgp::Session::Event::Kind::kClosed) {
+        hold_expirations_.fetch_add(1);
+        dead = true;
+      }
+    }
+    // Even a dying session flushes first: the hold-timer NOTIFICATION is
+    // queued in its out buffer and should reach the peer.
+    flush_output(c);
+    if (dead && connections_.find(fd) != connections_.end()) {
+      close_connection(fd);
+    }
+  }
+  if (tick_timer_ != 0) {
+    tick_timer_ = reactor_.add_timer(options_.tick_seconds,
+                                     [this] { tick(); });
+  }
+}
+
+}  // namespace sdx::ingest

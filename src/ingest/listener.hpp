@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file listener.hpp
+/// The passive side of the ingest subsystem: a loopback/LAN TCP listener
+/// that terminates many concurrent eBGP sessions on the reactor.
+///
+/// Per accepted connection: a non-blocking socket, a RingBuffer the
+/// kernel's bytes land in directly, a WireFramer that yields complete
+/// frames without copying (see framer.hpp) and a bgp::Session FSM fed
+/// through its process() entry point. Decoded UPDATEs from Established
+/// sessions are tagged with the participant resolved from the peer's OPEN
+/// and pushed into the SpillQueue.
+///
+/// Backpressure: when the queue refuses a push, the connection stashes
+/// the refused update, drops EPOLLIN interest (the kernel socket buffer
+/// fills, TCP pushes back on the sender) and waits for resume_peer() —
+/// posted to the reactor by the pipeline once the drain frees space.
+/// Nothing is dropped at this layer, ever.
+///
+/// All methods except the stats accessors run on the reactor thread (or
+/// before it starts); stats are atomics, readable from anywhere.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bgp/session.hpp"
+#include "ingest/framer.hpp"
+#include "ingest/reactor.hpp"
+#include "ingest/ring_buffer.hpp"
+#include "ingest/spill_queue.hpp"
+#include "netbase/ip.hpp"
+
+namespace sdx::ingest {
+
+class BgpListener {
+ public:
+  struct Options {
+    net::Asn server_asn = 64999;
+    net::Ipv4Address server_id = net::Ipv4Address::parse("192.0.2.254");
+    /// Session hold time (seconds); 0 disables keepalive/hold ticking —
+    /// the deterministic choice for benches.
+    std::uint16_t hold_time = 90;
+    /// Per-connection receive ring; must hold one max frame (4 KiB).
+    std::size_t ring_capacity = 1 << 16;
+    /// Granularity of the session-clock tick timer (hold_time > 0 only).
+    double tick_seconds = 1.0;
+  };
+
+  /// Maps a peer's OPEN to the participant it speaks for; nullopt rejects
+  /// the session (Cease NOTIFICATION).
+  using PeerResolver =
+      std::function<std::optional<core::ParticipantId>(const bgp::OpenMessage&)>;
+
+  BgpListener(Reactor& reactor, SpillQueue& queue, Options options,
+              PeerResolver resolver);
+  ~BgpListener();
+
+  BgpListener(const BgpListener&) = delete;
+  BgpListener& operator=(const BgpListener&) = delete;
+
+  /// Binds 127.0.0.1:\p port (0 = ephemeral) and registers the accept
+  /// handler. Returns the bound port. Call before the reactor runs.
+  std::uint16_t listen(std::uint16_t port = 0);
+  std::uint16_t port() const { return port_; }
+
+  /// Tears down the listening socket and every connection.
+  void close_all();
+
+  /// Re-evaluates backpressure for \p peer's connections: pushes the
+  /// stashed update, resumes framing and re-arms EPOLLIN when the queue
+  /// accepts again. Reactor thread only (the pipeline posts it).
+  void resume_peer(core::ParticipantId peer);
+
+  // --- stats (atomics; safe from any thread) -------------------------------
+
+  std::size_t sessions() const { return sessions_.load(); }
+  std::uint64_t accepted() const { return accepted_.load(); }
+  std::uint64_t bytes_received() const { return bytes_.load(); }
+  std::uint64_t updates_received() const { return updates_.load(); }
+  /// Established sessions for a participant already seen before — the
+  /// server-visible face of peer auto-reconnect.
+  std::uint64_t reconnects() const { return reconnects_.load(); }
+  std::uint64_t open_rejected() const { return open_rejected_.load(); }
+  std::uint64_t sessions_closed() const { return closed_.load(); }
+  std::uint64_t hold_expirations() const { return hold_expirations_.load(); }
+  /// Aggregate framer stats (live + closed connections).
+  std::uint64_t frames() const { return frames_.load(); }
+  std::uint64_t wrap_copies() const { return wrap_copies_.load(); }
+
+ private:
+  struct Connection {
+    explicit Connection(int fd_in, std::size_t ring_capacity,
+                        bgp::Session::Config config)
+        : fd(fd_in), ring(ring_capacity), framer(ring), session(config) {}
+
+    int fd;
+    RingBuffer ring;
+    WireFramer framer;
+    bgp::Session session;
+    std::optional<core::ParticipantId> participant;
+    std::vector<std::uint8_t> out;  ///< bytes queued toward the peer
+    std::size_t out_off = 0;
+    bool want_write = false;
+    bool shed = false;        ///< EPOLLIN dropped, queue full
+    bool closing = false;     ///< close once `out` flushes
+    bool counted = false;     ///< contributes to sessions_
+    std::optional<IngestedUpdate> stalled;  ///< update the queue refused
+  };
+
+  void on_accept();
+  void on_event(int fd, std::uint32_t events);
+  void on_readable(Connection& c);
+  void process_frames(Connection& c);
+  /// Handles one session event; returns false when the connection died.
+  bool handle_event(Connection& c, bgp::Session::Event ev);
+  void flush_output(Connection& c);
+  void update_interest(Connection& c);
+  void close_connection(int fd);
+  void tick();
+
+  Reactor& reactor_;
+  SpillQueue& queue_;
+  Options options_;
+  PeerResolver resolver_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t tick_timer_ = 0;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  std::unordered_set<core::ParticipantId> seen_;
+
+  std::atomic<std::size_t> sessions_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> updates_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> open_rejected_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> hold_expirations_{0};
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> wrap_copies_{0};
+};
+
+}  // namespace sdx::ingest

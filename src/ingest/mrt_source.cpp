@@ -1,0 +1,133 @@
+#include "ingest/mrt_source.hpp"
+
+#include <chrono>
+#include <istream>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+
+namespace sdx::ingest {
+
+namespace {
+
+/// Recorded pacing: sleep out the gap between consecutive record
+/// timestamps, scaled. Bounded per step so a trace with a bogus jump
+/// (clock reset at the collector) cannot stall the replay for hours.
+void pace(std::uint32_t prev_ts, std::uint32_t ts, double time_scale) {
+  if (ts <= prev_ts) return;
+  const double gap = static_cast<double>(ts - prev_ts) /
+                     (time_scale > 0 ? time_scale : 1.0);
+  constexpr double kMaxStepSeconds = 10.0;
+  const double bounded = gap < kMaxStepSeconds ? gap : kMaxStepSeconds;
+  std::this_thread::sleep_for(std::chrono::duration<double>(bounded));
+}
+
+}  // namespace
+
+MrtReplaySource::Result MrtReplaySource::replay_trace(
+    std::istream& is, SpillQueue& queue,
+    const std::function<bool()>& give_up) {
+  Result result;
+  bgp::MrtRecord record;
+  std::string error;
+  std::optional<std::uint32_t> prev_ts;
+  for (;;) {
+    if (give_up && give_up()) {
+      result.gave_up = true;
+      return result;
+    }
+    const auto status = bgp::read_record(is, record, &error);
+    if (status == bgp::MrtReadStatus::kEof) return result;
+    if (status != bgp::MrtReadStatus::kOk) {
+      result.tail = status;
+      result.error = std::move(error);
+      return result;
+    }
+    ++result.records;
+    if (record.type != bgp::kMrtTypeBgp4mp ||
+        record.subtype != bgp::kMrtSubtypeBgp4mpMessageAs4) {
+      ++result.skipped;
+      continue;
+    }
+    bgp::Bgp4mpMessage msg;
+    try {
+      msg = bgp::decode_bgp4mp(record);
+    } catch (const std::exception& e) {
+      result.tail = bgp::MrtReadStatus::kCorrupt;
+      result.error = e.what();
+      return result;
+    }
+    auto* update = std::get_if<bgp::UpdateMessage>(&msg.message);
+    if (update == nullptr) {
+      ++result.skipped;  // session chatter (OPEN/KEEPALIVE/NOTIFICATION)
+      continue;
+    }
+    const auto participant = mapper_ ? mapper_(msg.peer_as, msg.peer_ip)
+                                     : std::nullopt;
+    if (!participant) {
+      ++result.skipped;
+      continue;
+    }
+    if (options_.pacing == Pacing::kRecorded) {
+      if (prev_ts) pace(*prev_ts, record.timestamp, options_.time_scale);
+      prev_ts = record.timestamp;
+    }
+    IngestedUpdate u;
+    u.participant = *participant;
+    u.update = std::move(*update);
+    u.enqueued = std::chrono::steady_clock::now();
+    if (!queue.push_blocking(*participant, std::move(u), give_up)) {
+      result.gave_up = true;
+      return result;
+    }
+    ++result.updates;
+  }
+}
+
+MrtReplaySource::Result MrtReplaySource::replay_rib(
+    std::istream& is, SpillQueue& queue,
+    const std::function<bool()>& give_up) {
+  Result result;
+  // Dump peer id -> participant, resolved once from the peer index.
+  std::unordered_map<core::ParticipantId, core::ParticipantId> mapped;
+  bool stop = false;
+  auto rib = bgp::read_rib_dump_stream(
+      is,
+      [&](const bgp::RouteServer::Peer& peer) {
+        const auto participant =
+            mapper_ ? mapper_(peer.asn, peer.router_id) : std::nullopt;
+        if (participant) mapped.emplace(peer.id, *participant);
+      },
+      [&](bgp::Route route) {
+        if (stop) return;
+        if (give_up && give_up()) {
+          stop = true;
+          result.gave_up = true;
+          return;
+        }
+        auto it = mapped.find(route.learned_from);
+        if (it == mapped.end()) {
+          ++result.skipped;
+          return;
+        }
+        IngestedUpdate u;
+        u.participant = it->second;
+        u.update.attrs = std::move(route.attrs);
+        u.update.nlri.push_back(route.prefix);
+        u.enqueued = std::chrono::steady_clock::now();
+        if (!queue.push_blocking(it->second, std::move(u), give_up)) {
+          stop = true;
+          result.gave_up = true;
+          return;
+        }
+        ++result.updates;
+      });
+  result.records = rib.records;
+  if (!rib.ok()) {
+    result.tail = rib.tail;
+    result.error = std::move(rib.error);
+  }
+  return result;
+}
+
+}  // namespace sdx::ingest

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file mrt_source.hpp
+/// MRT replay as a first-class ingest source: streams a BGP4MP update
+/// trace or a TABLE_DUMP_V2 RIB snapshot (RFC 6396, the format RIPE RIS
+/// publishes) straight into the SpillQueue the TCP listener feeds — one
+/// backpressure point for both live sessions and trace replay.
+///
+/// Replay never drops: it pushes with push_blocking(), so when the
+/// control thread falls behind the replay thread simply waits on the
+/// drain (the file is its own retransmit buffer). Pacing is either
+/// line-rate (as fast as the queue accepts) or recorded (sleep out the
+/// inter-record timestamp gaps, optionally scaled).
+///
+/// Uses the streaming readers (read_record status API,
+/// read_rib_dump_stream), so arbitrarily large dumps replay in constant
+/// memory and a torn trailing record is reported, not thrown.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "bgp/mrt.hpp"
+#include "ingest/spill_queue.hpp"
+
+namespace sdx::ingest {
+
+class MrtReplaySource {
+ public:
+  enum class Pacing {
+    kLineRate,  ///< push as fast as the queue accepts (throughput mode)
+    kRecorded,  ///< reproduce the trace's inter-record gaps
+  };
+
+  struct Options {
+    Pacing pacing = Pacing::kLineRate;
+    /// Recorded pacing speed-up: 2.0 replays a 60 s trace in 30 s.
+    double time_scale = 1.0;
+  };
+
+  /// Maps a trace peer (AS + address as recorded by the collector) to the
+  /// participant whose updates it carries; nullopt skips the record.
+  using PeerMapper = std::function<std::optional<core::ParticipantId>(
+      net::Asn peer_as, net::Ipv4Address peer_ip)>;
+
+  struct Result {
+    std::uint64_t records = 0;  ///< MRT records consumed
+    std::uint64_t updates = 0;  ///< UPDATEs pushed into the queue
+    /// Records carrying no UPDATE for the fast path: non-BGP4MP types,
+    /// OPEN/KEEPALIVE/NOTIFICATION wrappers, unmapped peers.
+    std::uint64_t skipped = 0;
+    /// How the stream ended: kEof is a clean record boundary; kTruncated /
+    /// kOversized / kCorrupt describe the trailing record.
+    bgp::MrtReadStatus tail = bgp::MrtReadStatus::kEof;
+    std::string error;  ///< description when tail != kEof
+    bool gave_up = false;  ///< the give_up predicate stopped the replay
+
+    bool ok() const { return tail == bgp::MrtReadStatus::kEof && !gave_up; }
+  };
+
+  MrtReplaySource(Options options, PeerMapper mapper)
+      : options_(options), mapper_(std::move(mapper)) {}
+
+  /// Replays a BGP4MP update trace into \p queue. Honors pacing; blocks on
+  /// backpressure. \p give_up (checked while waiting and between records)
+  /// aborts the replay early.
+  Result replay_trace(std::istream& is, SpillQueue& queue,
+                      const std::function<bool()>& give_up = {});
+
+  /// Replays a TABLE_DUMP_V2 RIB snapshot as one announcement per route
+  /// (the bootstrap flavor: load a RIB, then stream a trace on top).
+  /// Peers are mapped through the same PeerMapper using the dump's peer
+  /// index. Always line-rate — a snapshot has one timestamp.
+  Result replay_rib(std::istream& is, SpillQueue& queue,
+                    const std::function<bool()>& give_up = {});
+
+ private:
+  Options options_;
+  PeerMapper mapper_;
+};
+
+}  // namespace sdx::ingest

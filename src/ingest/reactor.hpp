@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file reactor.hpp
+/// The epoll event loop the ingest subsystem runs on: fd readiness
+/// dispatch, monotonic-deadline timers (reconnect backoff, keepalive
+/// ticks) and a cross-thread post queue backed by an eventfd wakeup.
+///
+/// Threading contract: add()/modify()/remove()/add_timer() and the
+/// callbacks they install all run on the thread driving run()/run_once()
+/// (the "reactor thread"). Other threads interact only through post(),
+/// stop() and wakeup(), which are safe from anywhere — this is how the
+/// control thread re-arms read interest after draining the spill queue
+/// without racing the socket handlers.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace sdx::ingest {
+
+class Reactor {
+ public:
+  /// Receives the ready epoll event mask (EPOLLIN | EPOLLOUT | ...).
+  using FdHandler = std::function<void(std::uint32_t events)>;
+
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Registers \p fd for \p events. The fd should be non-blocking; the
+  /// handler may add/modify/remove fds (including its own) freely.
+  void add(int fd, std::uint32_t events, FdHandler handler);
+  void modify(int fd, std::uint32_t events);
+  void remove(int fd);
+  std::size_t fd_count() const;
+
+  /// One-shot deadline timer; returns an id usable with cancel_timer().
+  std::uint64_t add_timer(double delay_seconds, std::function<void()> fn);
+  void cancel_timer(std::uint64_t id);
+
+  /// Runs one poll iteration: waits up to \p timeout_ms (-1 = until the
+  /// next timer or wakeup), dispatches ready fds, fires due timers and
+  /// posted tasks. Returns the number of fd events dispatched.
+  int run_once(int timeout_ms = -1);
+
+  /// Loops run_once() until stop().
+  void run();
+
+  /// Thread-safe: makes run() return after the current iteration.
+  void stop();
+  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+
+  /// Clears a previous stop() so run() can be entered again. Call before
+  /// relaunching the reactor thread (asio-style restart), never while
+  /// run() is still in flight.
+  void restart();
+
+  /// Thread-safe: enqueues \p fn for execution on the reactor thread and
+  /// wakes the poll.
+  void post(std::function<void()> fn);
+
+  /// Thread-safe: interrupts a blocking run_once().
+  void wakeup();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Timer {
+    std::uint64_t id = 0;
+    Clock::time_point deadline;
+    std::function<void()> fn;
+  };
+
+  int next_timeout_ms(int requested) const;
+  void drain_wakeup();
+  void fire_due_timers();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+
+  /// Handlers live behind shared_ptr so a handler that removes itself (or
+  /// another fd) mid-dispatch cannot free the closure it is running in.
+  mutable std::mutex mu_;
+  std::unordered_map<int, std::shared_ptr<FdHandler>> handlers_;
+  std::vector<Timer> timers_;  ///< unsorted; scanned (small populations)
+  std::uint64_t next_timer_id_ = 1;
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace sdx::ingest

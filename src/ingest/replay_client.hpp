@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file replay_client.hpp
+/// The active side of an ingest session: a blocking loopback dialer that
+/// speaks real RFC 4271 BGP toward the listener — OPEN handshake through
+/// a bgp::Session FSM, then UPDATE frames over TCP. This is what a
+/// participant's border router looks like to the ingest subsystem; tests
+/// and benches run many of them against one reactor.
+///
+/// Resilience: when the transport dies (listener restart, hold-timer
+/// expiry, RST mid-stream) the client redials with capped exponential
+/// backoff and replays the in-flight UPDATE, counting each re-established
+/// session in reconnects(). Intentionally blocking and simple — the
+/// event-driven machinery lives on the server side.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgp/session.hpp"
+
+namespace sdx::ingest {
+
+class BgpReplayClient {
+ public:
+  struct Options {
+    net::Asn asn = 64512;
+    net::Ipv4Address router_id;
+    /// 0 (default) disables keepalive/hold ticking — deterministic byte
+    /// streams for benches.
+    std::uint16_t hold_time = 0;
+    /// Reconnect backoff: first wait, doubling to the cap.
+    double initial_backoff_seconds = 0.02;
+    double max_backoff_seconds = 1.0;
+    /// Dial attempts per connect()/reconnect before giving up.
+    int max_attempts = 10;
+  };
+
+  explicit BgpReplayClient(Options options) : options_(options) {}
+  ~BgpReplayClient() { close(); }
+
+  BgpReplayClient(const BgpReplayClient&) = delete;
+  BgpReplayClient& operator=(const BgpReplayClient&) = delete;
+
+  /// Dials 127.0.0.1:\p port and completes the OPEN handshake. Throws
+  /// std::runtime_error when every attempt fails.
+  void connect(std::uint16_t port);
+
+  /// Sends one UPDATE, transparently reconnecting (and re-sending) when
+  /// the transport has died. Throws std::runtime_error once reconnecting
+  /// is exhausted.
+  void send_update(const bgp::UpdateMessage& update);
+
+  /// Drains any bytes the peer sent (keepalives, notifications) without
+  /// blocking, feeding them through the FSM. Returns false when the peer
+  /// closed the session.
+  bool poll_input();
+
+  void close();
+
+  bool established() const;
+  std::uint64_t updates_sent() const { return updates_sent_; }
+  /// Sessions re-established after a transport loss.
+  std::uint64_t reconnects() const { return reconnects_; }
+
+ private:
+  bool dial_once();
+  /// Dial + handshake with backoff; returns false when exhausted.
+  bool establish(bool counts_as_reconnect);
+  bool send_all(const std::vector<std::uint8_t>& bytes);
+
+  Options options_;
+  std::uint16_t port_ = 0;
+  int fd_ = -1;
+  /// Rebuilt per transport connection (BGP sessions do not survive TCP).
+  std::optional<bgp::Session> session_;
+  std::uint64_t updates_sent_ = 0;
+  std::uint64_t reconnects_ = 0;
+  bool ever_connected_ = false;
+};
+
+}  // namespace sdx::ingest

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file ring_buffer.hpp
+/// A fixed-capacity byte ring for per-connection receive buffering on the
+/// ingest path. The contract that makes the framer zero-copy:
+///
+///   * write_span() exposes the contiguous free region at the write head,
+///     so recv(2) deposits bytes straight into the ring (no staging
+///     buffer) and commit() publishes them;
+///   * read_span() exposes the contiguous readable region at the read
+///     head, so a frame that does not straddle the wrap point is parsed
+///     in place — the framer copies only wrap-straddling frames.
+///
+/// Single-threaded by design: each connection's ring is touched only from
+/// the reactor thread that owns the connection.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace sdx::ingest {
+
+class RingBuffer {
+ public:
+  /// \p capacity is rounded up to a power of two (masking beats modulo on
+  /// the per-byte accessors). Must be at least as large as the largest
+  /// frame the framer may yield.
+  explicit RingBuffer(std::size_t capacity) {
+    std::size_t cap = 16;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const { return tail_ - head_; }
+  std::size_t free() const { return capacity() - size(); }
+  bool empty() const { return head_ == tail_; }
+
+  /// The contiguous free region at the write head (possibly shorter than
+  /// free() when the head is near the physical end of the buffer). Write
+  /// into it, then commit() the bytes actually written.
+  std::span<std::uint8_t> write_span() {
+    const std::size_t off = tail_ & mask_;
+    const std::size_t contiguous = capacity() - off;
+    return {buf_.data() + off, std::min(contiguous, free())};
+  }
+
+  void commit(std::size_t n) {
+    if (n > free()) throw std::logic_error("RingBuffer: commit past free");
+    tail_ += n;
+  }
+
+  /// The contiguous readable region at the read head.
+  std::span<const std::uint8_t> read_span() const {
+    const std::size_t off = head_ & mask_;
+    const std::size_t contiguous = capacity() - off;
+    return {buf_.data() + off, std::min(contiguous, size())};
+  }
+
+  /// The \p i-th readable byte (0 = oldest).
+  std::uint8_t at(std::size_t i) const { return buf_[(head_ + i) & mask_]; }
+
+  /// Copies readable bytes [offset, offset + out.size()) into \p out —
+  /// the wrap-straddling-frame path.
+  void copy_out(std::size_t offset, std::span<std::uint8_t> out) const {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = at(offset + i);
+  }
+
+  void consume(std::size_t n) {
+    if (n > size()) throw std::logic_error("RingBuffer: consume past size");
+    head_ += n;
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t mask_ = 0;
+  /// Monotonic positions; physical index = position & mask_.
+  std::size_t head_ = 0;  ///< read position
+  std::size_t tail_ = 0;  ///< write position
+};
+
+}  // namespace sdx::ingest

@@ -1,0 +1,151 @@
+#include "ingest/spill_queue.hpp"
+
+#include <algorithm>
+
+namespace sdx::ingest {
+
+SpillQueue::SpillQueue(Options options) : options_(options) {}
+
+bool SpillQueue::has_space_locked(const Peer& peer) const {
+  return total_ < options_.capacity && peer.q.size() < options_.per_peer_quota;
+}
+
+bool SpillQueue::try_push(core::ParticipantId peer, IngestedUpdate& update) {
+  std::lock_guard lock(mu_);
+  auto& p = peers_[peer];
+  if (!has_space_locked(p)) {
+    p.blocked = true;
+    ++sheds_;
+    return false;
+  }
+  if (p.q.empty()) active_.push_back(peer);
+  p.q.push_back(std::move(update));
+  ++total_;
+  ++pushed_;
+  return true;
+}
+
+bool SpillQueue::push_blocking(core::ParticipantId peer,
+                               IngestedUpdate update,
+                               const std::function<bool()>& give_up) {
+  std::unique_lock lock(mu_);
+  auto& p = peers_[peer];
+  while (!has_space_locked(p)) {
+    if (give_up && give_up()) return false;
+    space_cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+  if (p.q.empty()) active_.push_back(peer);
+  p.q.push_back(std::move(update));
+  ++total_;
+  ++pushed_;
+  return true;
+}
+
+std::size_t SpillQueue::drain(std::size_t max,
+                              std::vector<IngestedUpdate>& out) {
+  std::vector<core::ParticipantId> resumable;
+  std::size_t moved = 0;
+  {
+    std::lock_guard lock(mu_);
+    // Deficit round robin over the active rotation: every backlogged peer
+    // earns drr_quantum credits per round, unspent credits carry only
+    // while the peer still has backlog (classic DRR).
+    while (moved < max && !active_.empty()) {
+      std::vector<core::ParticipantId> next_round;
+      next_round.reserve(active_.size());
+      for (std::size_t i = 0; i < active_.size() && moved < max; ++i) {
+        const auto id = active_[i];
+        auto& p = peers_[id];
+        p.deficit += options_.drr_quantum;
+        while (p.deficit > 0 && !p.q.empty() && moved < max) {
+          out.push_back(std::move(p.q.front()));
+          p.q.pop_front();
+          --p.deficit;
+          --total_;
+          ++moved;
+        }
+        if (p.q.empty()) {
+          p.deficit = 0;
+        } else {
+          next_round.push_back(id);
+        }
+        if (p.blocked && p.q.size() <= options_.per_peer_quota / 2 &&
+            total_ <= options_.capacity / 2) {
+          p.blocked = false;
+          resumable.push_back(id);
+        }
+      }
+      // Peers left un-visited this round (max reached) keep their place at
+      // the front of the next rotation.
+      if (moved >= max) {
+        std::vector<core::ParticipantId> rest;
+        for (auto id : active_) {
+          if (!peers_[id].q.empty() &&
+              std::find(next_round.begin(), next_round.end(), id) ==
+                  next_round.end()) {
+            rest.push_back(id);
+          }
+        }
+        next_round.insert(next_round.end(), rest.begin(), rest.end());
+        active_ = std::move(next_round);
+        break;
+      }
+      active_ = std::move(next_round);
+    }
+    drained_ += moved;
+    // A global-bound shed may have blocked peers that never re-entered the
+    // loop above (empty backlog): resume them too once space exists.
+    if (total_ <= options_.capacity / 2) {
+      for (auto& [id, p] : peers_) {
+        if (p.blocked && p.q.size() <= options_.per_peer_quota / 2) {
+          p.blocked = false;
+          resumable.push_back(id);
+        }
+      }
+    }
+  }
+  if (moved > 0) space_cv_.notify_all();
+  if (space_cb_) {
+    for (auto id : resumable) space_cb_(id);
+  }
+  return moved;
+}
+
+void SpillQueue::set_space_callback(
+    std::function<void(core::ParticipantId)> cb) {
+  space_cb_ = std::move(cb);
+}
+
+std::size_t SpillQueue::depth() const {
+  std::lock_guard lock(mu_);
+  return total_;
+}
+
+std::size_t SpillQueue::peer_depth(core::ParticipantId peer) const {
+  std::lock_guard lock(mu_);
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.q.size();
+}
+
+bool SpillQueue::blocked(core::ParticipantId peer) const {
+  std::lock_guard lock(mu_);
+  auto it = peers_.find(peer);
+  return it != peers_.end() && it->second.blocked;
+}
+
+std::uint64_t SpillQueue::pushed() const {
+  std::lock_guard lock(mu_);
+  return pushed_;
+}
+
+std::uint64_t SpillQueue::drained() const {
+  std::lock_guard lock(mu_);
+  return drained_;
+}
+
+std::uint64_t SpillQueue::shed_events() const {
+  std::lock_guard lock(mu_);
+  return sheds_;
+}
+
+}  // namespace sdx::ingest

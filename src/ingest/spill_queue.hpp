@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file spill_queue.hpp
+/// The bounded spill queue between the ingest reactor and the control
+/// thread's batched fast path — the backpressure point of the subsystem.
+///
+///   * Producers (socket handlers, the MRT replay source) push decoded
+///     UPDATEs tagged with their peer. try_push() refuses when the global
+///     bound or the peer's quota is hit; socket producers react by
+///     shedding read interest (TCP backpressure reaches the sender),
+///     push_blocking() producers wait on the drain condition. Nothing is
+///     ever dropped — drops_ exists so tests and CI can assert it stays 0.
+///
+///   * The consumer drains with deficit round robin across peers: each
+///     round gives every backlogged peer `drr_quantum` credits (plus its
+///     carried deficit), so one noisy peer with a deep backlog cannot
+///     starve quiet peers out of the batch — their updates ride the next
+///     flush regardless of the noisy peer's depth.
+///
+/// Thread-safe (one mutex + condition variable); designed for one
+/// producer thread (the reactor) plus blocking replay producers, and one
+/// consumer (the control thread).
+
+#include <condition_variable>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/wire.hpp"
+#include "sdx/participant.hpp"
+
+namespace sdx::ingest {
+
+/// One decoded UPDATE on its way from a session into the fast path.
+struct IngestedUpdate {
+  core::ParticipantId participant = 0;
+  bgp::UpdateMessage update;
+  /// Enqueue instant — the start of the ingest→install latency measure.
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+class SpillQueue {
+ public:
+  struct Options {
+    std::size_t capacity = 65536;        ///< global bound (entries)
+    std::size_t per_peer_quota = 16384;  ///< max entries one peer may hold
+    std::size_t drr_quantum = 64;        ///< drain credits per peer, per round
+  };
+
+  SpillQueue() : SpillQueue(Options{}) {}
+  explicit SpillQueue(Options options);
+
+  /// Producer. Moves \p update in and returns true, or returns false —
+  /// leaving \p update untouched — when the global bound or the peer quota
+  /// is exhausted; the peer is marked blocked and will be reported through
+  /// the space callback once drained below the half-full watermark.
+  bool try_push(core::ParticipantId peer, IngestedUpdate& update);
+
+  /// Producer, blocking flavor (MRT replay): waits for space instead of
+  /// failing. Returns false only when \p give_up (checked on every wait
+  /// wakeup) says to stop.
+  bool push_blocking(core::ParticipantId peer, IngestedUpdate update,
+                     const std::function<bool()>& give_up = {});
+
+  /// Consumer: moves up to \p max entries into \p out using deficit round
+  /// robin across backlogged peers. Fires the space callback (outside the
+  /// lock) for every blocked peer that dropped below its watermark.
+  std::size_t drain(std::size_t max, std::vector<IngestedUpdate>& out);
+
+  /// Invoked from drain() — outside the lock — with each peer whose
+  /// producers may resume after backpressure. The pipeline posts a
+  /// read-interest re-arm to the reactor here.
+  void set_space_callback(std::function<void(core::ParticipantId)> cb);
+
+  std::size_t depth() const;
+  std::size_t peer_depth(core::ParticipantId peer) const;
+  bool blocked(core::ParticipantId peer) const;
+
+  std::uint64_t pushed() const;
+  std::uint64_t drained() const;
+  /// try_push refusals (read-interest sheds), and entries actually lost
+  /// (always 0 — the queue never drops; asserted by tests and CI).
+  std::uint64_t shed_events() const;
+  std::uint64_t drops() const { return 0; }
+
+ private:
+  struct Peer {
+    std::deque<IngestedUpdate> q;
+    std::size_t deficit = 0;
+    bool blocked = false;
+  };
+
+  bool has_space_locked(const Peer& peer) const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable space_cv_;
+  std::unordered_map<core::ParticipantId, Peer> peers_;
+  /// Round-robin order over peers with backlog; rotated by drain().
+  std::vector<core::ParticipantId> active_;
+  std::size_t total_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t drained_ = 0;
+  std::uint64_t sheds_ = 0;
+  std::function<void(core::ParticipantId)> space_cb_;
+};
+
+}  // namespace sdx::ingest

@@ -1,5 +1,6 @@
 #include "sdx/bgp_frontend.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace sdx::core {
@@ -84,6 +85,11 @@ std::size_t BgpFrontend::distribute_all(const bgp::UpdateMessage& update) {
   return moved;
 }
 
+void BgpFrontend::enable_auto_reconnect(ReconnectPolicy policy) {
+  auto_reconnect_ = true;
+  policy_ = policy;
+}
+
 std::vector<ParticipantId> BgpFrontend::advance_clock(double seconds) {
   std::vector<ParticipantId> dropped;
   for (auto& [id, link] : links_) {
@@ -94,8 +100,39 @@ std::vector<ParticipantId> BgpFrontend::advance_clock(double seconds) {
   }
   // A dead FSM pair can't carry further updates: tear the links down so
   // established() reflects reality and the drop can't be re-reported.
-  for (auto id : dropped) links_.erase(id);
+  for (auto id : dropped) {
+    auto it = links_.find(id);
+    if (auto_reconnect_ && it != links_.end() &&
+        it->second.router != nullptr) {
+      pending_[id] = PendingReconnect{it->second.router,
+                                      policy_.initial_backoff_seconds,
+                                      policy_.initial_backoff_seconds};
+    }
+    links_.erase(id);
+  }
   drops_ += dropped.size();
+
+  // Redial sessions whose backoff has elapsed; failures re-arm with the
+  // doubled (capped) backoff.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    it->second.wait -= seconds;
+    if (it->second.wait > 0) {
+      ++it;
+      continue;
+    }
+    const auto id = it->first;
+    auto* router = it->second.router;
+    try {
+      connect(id, *router);
+      ++reconnects_;
+      it = pending_.erase(it);
+    } catch (const std::exception&) {
+      it->second.backoff =
+          std::min(it->second.backoff * 2, policy_.max_backoff_seconds);
+      it->second.wait = it->second.backoff;
+      ++it;
+    }
+  }
   return dropped;
 }
 

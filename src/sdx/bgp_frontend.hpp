@@ -45,8 +45,28 @@ class BgpFrontend {
   /// Advances both sides' hold/keepalive clocks and pumps any keepalives.
   /// Returns the participants whose sessions dropped. A dropped session's
   /// link is torn down (established() turns false; the runtime falls back
-  /// to in-process delivery) — reconnect with connect() to bring it back.
+  /// to in-process delivery) — reconnect with connect() to bring it back,
+  /// or enable_auto_reconnect() to have the frontend redial on its own.
   std::vector<ParticipantId> advance_clock(double seconds);
+
+  /// Capped exponential backoff for automatic redial of dropped sessions.
+  struct ReconnectPolicy {
+    double initial_backoff_seconds = 1.0;
+    double max_backoff_seconds = 64.0;
+  };
+
+  /// From now on a session dropped by advance_clock() is redialed
+  /// automatically: the first attempt after initial_backoff_seconds of
+  /// clock time, doubling up to the cap while attempts keep failing.
+  /// Successful redials are counted in reconnects().
+  void enable_auto_reconnect(ReconnectPolicy policy);
+  void enable_auto_reconnect() { enable_auto_reconnect(ReconnectPolicy{}); }
+  bool auto_reconnect() const { return auto_reconnect_; }
+
+  /// Sessions automatically re-established after a drop.
+  std::uint64_t reconnects() const { return reconnects_; }
+  /// Participants currently waiting out a reconnect backoff.
+  std::size_t pending_reconnects() const { return pending_.size(); }
 
   std::uint64_t updates_distributed() const { return updates_; }
   /// Wire bytes moved by distribute()/distribute_all() — UPDATE frames
@@ -71,9 +91,20 @@ class BgpFrontend {
   /// the router. Returns total bytes moved.
   std::size_t pump(Link& link);
 
+  /// One dropped session waiting out its backoff.
+  struct PendingReconnect {
+    dp::BorderRouter* router = nullptr;
+    double wait = 0;     ///< clock time until the next attempt
+    double backoff = 0;  ///< the wait armed after another failure
+  };
+
   net::Asn server_asn_;
   net::Ipv4Address server_id_;
   std::unordered_map<ParticipantId, Link> links_;
+  bool auto_reconnect_ = false;
+  ReconnectPolicy policy_;
+  std::unordered_map<ParticipantId, PendingReconnect> pending_;
+  std::uint64_t reconnects_ = 0;
   std::uint64_t updates_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t drops_ = 0;

@@ -77,6 +77,9 @@ SdxRuntime::SdxRuntime(bgp::DecisionConfig decision, CompileOptions options)
                                  "bytes moved by wire distribution");
   frontend_drops_ = &reg.counter("sdx_frontend_session_drops_total",
                                  "wire sessions lost to hold-timer expiry");
+  ingest_reconnects_ = &reg.counter(
+      "sdx_ingest_reconnects_total",
+      "BGP sessions automatically re-established");
   partitions_recompiled_ = &reg.counter(
       "sdx_partitions_recompiled_total",
       "participant partitions recompiled in place by policy changes");
@@ -590,11 +593,25 @@ void SdxRuntime::use_wire_distribution() {
   }
 }
 
+void SdxRuntime::enable_frontend_auto_reconnect(
+    BgpFrontend::ReconnectPolicy policy) {
+  if (!frontend_) {
+    throw std::logic_error(
+        "enable_frontend_auto_reconnect requires use_wire_distribution()");
+  }
+  frontend_->enable_auto_reconnect(policy);
+}
+
 std::vector<ParticipantId> SdxRuntime::advance_clock(double seconds) {
   std::vector<ParticipantId> dropped;
   if (frontend_) {
     dropped = frontend_->advance_clock(seconds);
     frontend_drops_->inc(dropped.size());
+    const auto reconnects = frontend_->reconnects();
+    if (reconnects > synced_frontend_reconnects_) {
+      ingest_reconnects_->inc(reconnects - synced_frontend_reconnects_);
+      synced_frontend_reconnects_ = reconnects;
+    }
     // A lost session is a participant departure (see session_down): withdraw
     // its routes and drop its policies rather than advertising stale state.
     for (auto id : dropped) session_down(id);

@@ -106,6 +106,16 @@ class SdxRuntime {
   bool wire_distribution() const { return frontend_ != nullptr; }
   const BgpFrontend* frontend() const { return frontend_.get(); }
 
+  /// Opt-in resilience for wire distribution: a session dropped by
+  /// advance_clock() redials automatically with capped exponential
+  /// backoff (the participant still goes through session_down() at drop
+  /// time — reconnect restores the transport, and readvertisements reach
+  /// the router again once it re-announces). Each successful redial is
+  /// counted in `sdx_ingest_reconnects_total`. Throws std::logic_error
+  /// without wire distribution.
+  void enable_frontend_auto_reconnect(
+      BgpFrontend::ReconnectPolicy policy = {});
+
   /// Advances the wire sessions' hold/keepalive clocks (no-op without wire
   /// distribution) and ages any pending update batch (see BatchOptions::
   /// max_delay_seconds). A session that drops is surfaced, not swallowed:
@@ -394,6 +404,7 @@ class SdxRuntime {
   telemetry::Counter* frontend_updates_ = nullptr;
   telemetry::Counter* frontend_bytes_ = nullptr;
   telemetry::Counter* frontend_drops_ = nullptr;
+  telemetry::Counter* ingest_reconnects_ = nullptr;
   telemetry::Counter* partitions_recompiled_ = nullptr;
 
   bgp::RouteServer server_;
@@ -410,6 +421,8 @@ class SdxRuntime {
   std::unordered_map<ParticipantId, std::vector<std::size_t>> router_index_;
   std::unique_ptr<IncrementalEngine> engine_;
   std::unique_ptr<BgpFrontend> frontend_;
+  /// Last frontend reconnect count synced into the ingest counter.
+  std::uint64_t synced_frontend_reconnects_ = 0;
   std::deque<UpdateReport> update_log_;
   std::size_t update_log_capacity_ = 4096;
   /// Fast-path bindings installed since the last full compile.

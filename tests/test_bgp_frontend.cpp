@@ -115,6 +115,94 @@ TEST(BgpFrontendTest, HoldTimerExpiryDropsAndTearsDownSessions) {
   EXPECT_TRUE(frontend.established(1));
 }
 
+TEST(BgpFrontendTest, AutoReconnectRedialsDroppedSessions) {
+  BgpFrontend frontend;
+  frontend.enable_auto_reconnect();
+  EXPECT_TRUE(frontend.auto_reconnect());
+  dp::BorderRouter router(65001, 1, net::MacAddress(0x11),
+                          Ipv4Address::parse("10.0.0.1"));
+  frontend.connect(1, router);
+
+  // A jump far past the hold time drops the session; the backoff (1 s
+  // default) has also long elapsed within the same jump, so the redial
+  // happens in the same clock advance.
+  const auto dropped = frontend.advance_clock(1000.0);
+  EXPECT_EQ(dropped, (std::vector<ParticipantId>{1}));
+  EXPECT_EQ(frontend.session_drops(), 1u);
+  EXPECT_TRUE(frontend.established(1));
+  EXPECT_EQ(frontend.reconnects(), 1u);
+  EXPECT_EQ(frontend.pending_reconnects(), 0u);
+
+  // The re-established transport carries updates again.
+  bgp::UpdateMessage u;
+  bgp::RouteAttributes attrs;
+  attrs.as_path = net::AsPath{64999, 65002};
+  attrs.next_hop = Ipv4Address::parse("172.16.0.1");
+  u.attrs = attrs;
+  u.nlri = {Ipv4Prefix::parse("100.1.0.0/16")};
+  frontend.distribute(1, u);
+  EXPECT_EQ(router.rib().size(), 1u);
+}
+
+TEST(BgpFrontendTest, AutoReconnectWaitsOutTheConfiguredBackoff) {
+  BgpFrontend frontend;
+  BgpFrontend::ReconnectPolicy policy;
+  policy.initial_backoff_seconds = 200.0;
+  frontend.enable_auto_reconnect(policy);
+  dp::BorderRouter router(65001, 1, net::MacAddress(0x11),
+                          Ipv4Address::parse("10.0.0.1"));
+  frontend.connect(1, router);
+
+  // Drop just past the 90 s hold time: 200 s of backoff minus the 91 s
+  // already elapsed leaves the redial pending.
+  ASSERT_EQ(frontend.advance_clock(91.0).size(), 1u);
+  EXPECT_FALSE(frontend.established(1));
+  EXPECT_EQ(frontend.pending_reconnects(), 1u);
+  EXPECT_EQ(frontend.reconnects(), 0u);
+
+  frontend.advance_clock(50.0);  // 141 s elapsed: still waiting
+  EXPECT_FALSE(frontend.established(1));
+  EXPECT_EQ(frontend.pending_reconnects(), 1u);
+
+  frontend.advance_clock(60.0);  // 201 s: backoff elapsed, redial fires
+  EXPECT_TRUE(frontend.established(1));
+  EXPECT_EQ(frontend.reconnects(), 1u);
+  EXPECT_EQ(frontend.pending_reconnects(), 0u);
+  // A healthy reconnected session keeps ticking without re-dropping.
+  EXPECT_TRUE(frontend.advance_clock(10.0).empty());
+}
+
+TEST(BgpFrontendTest, RuntimeAutoReconnectRestoresWireTransport) {
+  SdxRuntime rt;
+  rt.use_wire_distribution();
+  auto a = rt.add_participant("A", 65001);
+  rt.enable_frontend_auto_reconnect();
+  rt.announce(a, Ipv4Prefix::parse("100.1.0.0/16"), net::AsPath{65001});
+  rt.install();
+
+  // The drop still runs session_down (routes withdrawn, surfaced to the
+  // caller), but the transport comes back on its own.
+  const auto dropped = rt.advance_clock(1000.0);
+  EXPECT_EQ(dropped, (std::vector<ParticipantId>{a}));
+  ASSERT_NE(rt.frontend(), nullptr);
+  EXPECT_TRUE(rt.frontend()->established(a));
+  EXPECT_EQ(rt.frontend()->reconnects(), 1u);
+
+  // The redial is visible in the shared ingest telemetry series.
+  const auto metrics = rt.dump_metrics();
+  EXPECT_NE(metrics.find("sdx_ingest_reconnects_total 1"),
+            std::string::npos);
+
+  // Re-announcing over the restored transport reaches the router again.
+  rt.announce(a, Ipv4Prefix::parse("100.1.0.0/16"), net::AsPath{65001});
+  EXPECT_TRUE(rt.frontend()->established(a));
+}
+
+TEST(BgpFrontendTest, RuntimeAutoReconnectRequiresWireDistribution) {
+  SdxRuntime rt;
+  EXPECT_THROW(rt.enable_frontend_auto_reconnect(), std::logic_error);
+}
+
 TEST(BgpFrontendTest, WireDistributionMatchesDirectPath) {
   // Build the same exchange twice: once distributing FIBs through the
   // runtime's direct path, once re-playing the runtime's advertisements

@@ -45,7 +45,7 @@ std::vector<Bytes> committed_corpus(std::string_view target) {
 
 TEST(FuzzHarness, RegistryCoversEveryTarget) {
   const std::vector<std::string_view> expected = {
-      "wire", "mrt", "codec", "wal", "policy", "diff_oracle"};
+      "wire", "mrt", "codec", "wal", "policy", "diff_oracle", "framer"};
   ASSERT_EQ(fuzz_targets().size(), expected.size());
   for (const auto name : expected) {
     EXPECT_NE(find_fuzz_entry(name), nullptr) << name;
@@ -112,7 +112,8 @@ TEST_P(FuzzHarnessReplay, CorpusAndMutantsRunClean) {
 
 INSTANTIATE_TEST_SUITE_P(Targets, FuzzHarnessReplay,
                          ::testing::Values("wire", "mrt", "codec", "wal",
-                                           "policy", "diff_oracle"));
+                                           "policy", "diff_oracle",
+                                           "framer"));
 
 TEST(FuzzHarness, TraceCodecIsTotalAndRoundTrips) {
   ByteMutator mutator(77);

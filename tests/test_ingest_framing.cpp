@@ -1,0 +1,268 @@
+/// \file test_ingest_framing.cpp
+/// Satellite coverage for the ingest subsystem's zero-copy framing: the
+/// RingBuffer contract, and the WireFramer held byte-identical to a
+/// whole-buffer parse under every way a TCP stream can tear — every
+/// 2-chunk split of a multi-message stream, all-1-byte feeds, and a
+/// deliberately small ring that forces frames to straddle the wrap point.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "bgp/wire.hpp"
+#include "ingest/framer.hpp"
+#include "ingest/ring_buffer.hpp"
+
+namespace sdx::ingest {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// --- RingBuffer units -------------------------------------------------------
+
+TEST(RingBuffer, RoundsCapacityToPowerOfTwo) {
+  EXPECT_EQ(RingBuffer(100).capacity(), 128u);
+  EXPECT_EQ(RingBuffer(128).capacity(), 128u);
+  EXPECT_EQ(RingBuffer(1).capacity(), 16u);
+}
+
+TEST(RingBuffer, WriteReadConsumeAcrossWrap) {
+  RingBuffer ring(16);
+  // Fill, consume a prefix, refill past the physical end.
+  auto w = ring.write_span();
+  ASSERT_EQ(w.size(), 16u);
+  std::iota(w.begin(), w.end(), std::uint8_t{0});
+  ring.commit(16);
+  EXPECT_EQ(ring.free(), 0u);
+  EXPECT_TRUE(ring.write_span().empty());
+
+  ring.consume(10);
+  EXPECT_EQ(ring.size(), 6u);
+  // The free region is contiguous only up to the physical end.
+  w = ring.write_span();
+  ASSERT_EQ(w.size(), 10u);
+  for (std::size_t i = 0; i < 4; ++i) w[i] = static_cast<std::uint8_t>(16 + i);
+  ring.commit(4);
+
+  // Readable region is the tail of the original write, contiguous.
+  auto r = ring.read_span();
+  ASSERT_EQ(r.size(), 6u);
+  EXPECT_EQ(r[0], 10);
+  // at() and copy_out() see across the wrap.
+  EXPECT_EQ(ring.at(6), 16);
+  Bytes out(10);
+  ring.copy_out(0, out);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[i], static_cast<std::uint8_t>(10 + i));
+  }
+}
+
+TEST(RingBuffer, CommitAndConsumeBoundsAreEnforced) {
+  RingBuffer ring(16);
+  EXPECT_THROW(ring.commit(17), std::logic_error);
+  EXPECT_THROW(ring.consume(1), std::logic_error);
+}
+
+// --- Framer vs whole-buffer parse -------------------------------------------
+
+bgp::UpdateMessage update_no(unsigned i) {
+  bgp::UpdateMessage u;
+  bgp::RouteAttributes attrs;
+  attrs.as_path = net::AsPath{65001, 100 + i};
+  attrs.next_hop = net::Ipv4Address::parse("10.0.0.1");
+  attrs.communities = {bgp::make_community(65001, i)};
+  u.attrs = attrs;
+  u.nlri = {net::Ipv4Prefix(net::Ipv4Address::parse("10.1.0.0"), 24 - (i % 4))};
+  return u;
+}
+
+/// A multi-message stream: OPEN, KEEPALIVE, then a few UPDATEs.
+Bytes sample_stream(std::size_t updates) {
+  Bytes stream;
+  const auto append = [&](const bgp::Message& m) {
+    const auto b = bgp::encode(m);
+    stream.insert(stream.end(), b.begin(), b.end());
+  };
+  bgp::OpenMessage open;
+  open.my_as = 65001;
+  open.bgp_id = net::Ipv4Address::parse("10.0.0.1");
+  append(open);
+  append(bgp::KeepaliveMessage{});
+  for (std::size_t i = 0; i < updates; ++i) append(update_no(i));
+  return stream;
+}
+
+/// Reference: parse the whole stream in one pass with bgp::decode.
+std::vector<bgp::Message> parse_whole(const Bytes& stream) {
+  std::vector<bgp::Message> out;
+  std::size_t off = 0;
+  while (stream.size() - off >= kBgpHeaderSize) {
+    const auto r = bgp::decode(
+        std::span(stream).subspan(off));
+    if (!r.ok()) break;
+    out.push_back(*r.message);
+    off += r.bytes_consumed;
+  }
+  return out;
+}
+
+/// Feeds \p stream into a framer in the given chunk sizes; returns the
+/// decoded messages plus whether a framing error fired.
+struct FeedResult {
+  std::vector<bgp::Message> messages;
+  bool error = false;
+  std::uint64_t wrap_copies = 0;
+};
+
+FeedResult feed_chunked(const Bytes& stream,
+                        const std::vector<std::size_t>& chunks,
+                        std::size_t ring_capacity = 1 << 14) {
+  RingBuffer ring(ring_capacity);
+  WireFramer framer(ring);
+  FeedResult result;
+  std::span<const std::uint8_t> frame;
+  std::string error;
+  std::size_t off = 0;
+  auto drain = [&] {
+    for (;;) {
+      const auto status = framer.next(frame, error);
+      if (status == WireFramer::Status::kNeedMore) return true;
+      if (status == WireFramer::Status::kError) {
+        result.error = true;
+        return false;
+      }
+      auto decoded = bgp::decode(frame);
+      EXPECT_TRUE(decoded.ok()) << decoded.error;
+      if (decoded.ok()) result.messages.push_back(*decoded.message);
+    }
+  };
+  for (std::size_t chunk : chunks) {
+    std::size_t left = std::min(chunk, stream.size() - off);
+    while (left > 0) {
+      auto w = ring.write_span();
+      if (w.empty()) {
+        ADD_FAILURE() << "ring filled";
+        result.error = true;
+        return result;
+      }
+      const std::size_t n = std::min(left, w.size());
+      for (std::size_t i = 0; i < n; ++i) w[i] = stream[off + i];
+      ring.commit(n);
+      off += n;
+      left -= n;
+      if (!drain()) {
+        result.wrap_copies = framer.wrap_copies();
+        return result;
+      }
+    }
+    if (off >= stream.size()) break;
+  }
+  drain();
+  result.wrap_copies = framer.wrap_copies();
+  return result;
+}
+
+void expect_equal(const std::vector<bgp::Message>& got,
+                  const std::vector<bgp::Message>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], want[i]);
+}
+
+TEST(WireFramer, EverySplitOfAMultiMessageStream) {
+  const auto stream = sample_stream(4);
+  const auto want = parse_whole(stream);
+  ASSERT_EQ(want.size(), 6u);
+  // Split the stream at every boundary into two chunks.
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    auto result = feed_chunked(stream, {cut, stream.size() - cut});
+    EXPECT_FALSE(result.error) << "cut=" << cut;
+    expect_equal(result.messages, want);
+  }
+}
+
+TEST(WireFramer, OneByteReadsDecodeIdentically) {
+  const auto stream = sample_stream(3);
+  const auto want = parse_whole(stream);
+  const std::vector<std::size_t> ones(stream.size(), 1);
+  auto result = feed_chunked(stream, ones);
+  EXPECT_FALSE(result.error);
+  expect_equal(result.messages, want);
+}
+
+TEST(WireFramer, FramesStraddlingTheWrapAreCopiedOnce) {
+  // A ring barely larger than one frame forces wrap-straddling frames as
+  // the read head cycles; the framer must still yield identical bytes.
+  const auto stream = sample_stream(32);
+  ASSERT_GT(stream.size(), 1024u);
+  const auto want = parse_whole(stream);
+  const std::vector<std::size_t> chunks(stream.size() / 7 + 1, 7);
+  auto result = feed_chunked(stream, chunks, /*ring_capacity=*/256);
+  EXPECT_FALSE(result.error);
+  expect_equal(result.messages, want);
+  EXPECT_GT(result.wrap_copies, 0u) << "expected at least one wrap copy";
+}
+
+TEST(WireFramer, ZeroCopyWhenFramesFitContiguously) {
+  // A large ring fed whole frames never wraps mid-frame: no copies.
+  const auto stream = sample_stream(4);
+  auto result = feed_chunked(stream, {stream.size()}, /*ring_capacity=*/1 << 16);
+  EXPECT_FALSE(result.error);
+  EXPECT_EQ(result.wrap_copies, 0u);
+}
+
+TEST(WireFramer, LengthBelowMinimumIsAnError) {
+  Bytes bad(kBgpHeaderSize, 0xff);
+  bad[kBgpLengthOffset] = 0;
+  bad[kBgpLengthOffset + 1] = 7;  // < 19
+  auto result = feed_chunked(bad, {bad.size()});
+  EXPECT_TRUE(result.error);
+  EXPECT_TRUE(result.messages.empty());
+}
+
+TEST(WireFramer, LengthAboveMaximumIsAnError) {
+  Bytes bad(kBgpHeaderSize, 0xff);
+  bad[kBgpLengthOffset] = 0x20;  // 8192 > 4096
+  bad[kBgpLengthOffset + 1] = 0;
+  auto result = feed_chunked(bad, {bad.size()});
+  EXPECT_TRUE(result.error);
+}
+
+TEST(WireFramer, ErrorSurfacesEvenWhenLengthArrivesByteByByte) {
+  Bytes bad(kBgpHeaderSize, 0xff);
+  bad[kBgpLengthOffset] = 0;
+  bad[kBgpLengthOffset + 1] = 7;
+  const std::vector<std::size_t> ones(bad.size(), 1);
+  auto result = feed_chunked(bad, ones);
+  EXPECT_TRUE(result.error);
+}
+
+TEST(WireFramer, TornTrailingFrameStaysPending) {
+  auto stream = sample_stream(2);
+  const auto want = parse_whole(stream);
+  // Chop the last frame in half: everything before it must still decode.
+  const auto keep = stream.size() - 10;
+  Bytes torn(stream.begin(), stream.begin() + static_cast<long>(keep));
+  auto result = feed_chunked(torn, {torn.size()});
+  EXPECT_FALSE(result.error);
+  ASSERT_EQ(result.messages.size(), want.size() - 1);
+}
+
+TEST(WireFramer, PendingFrameLengthIsCachedOncePrefixVisible) {
+  const auto stream = sample_stream(1);
+  RingBuffer ring(1 << 12);
+  WireFramer framer(ring);
+  std::span<const std::uint8_t> frame;
+  std::string error;
+  // Feed exactly the 18 bytes needed to see the length field.
+  auto w = ring.write_span();
+  for (std::size_t i = 0; i < kBgpLengthOffset + 2; ++i) w[i] = stream[i];
+  ring.commit(kBgpLengthOffset + 2);
+  EXPECT_EQ(framer.next(frame, error), WireFramer::Status::kNeedMore);
+  const std::size_t want_len = (std::size_t{stream[kBgpLengthOffset]} << 8) |
+                               stream[kBgpLengthOffset + 1];
+  EXPECT_EQ(framer.pending_frame_length(), want_len);
+}
+
+}  // namespace
+}  // namespace sdx::ingest

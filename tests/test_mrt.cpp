@@ -178,6 +178,135 @@ TEST(MrtRibDumpTest, RouteServerSnapshotRoundTrips) {
   }
 }
 
+TEST(MrtStatusTest, CleanEofVsTruncationAreDistinguished) {
+  MrtRecord record;
+  record.type = kMrtTypeBgp4mp;
+  record.subtype = kMrtSubtypeBgp4mpMessageAs4;
+  record.body = {1, 2, 3, 4, 5};
+  std::stringstream ss;
+  write_record(ss, record);
+
+  MrtRecord out;
+  std::string error;
+  EXPECT_EQ(read_record(ss, out, &error), MrtReadStatus::kOk);
+  EXPECT_EQ(out, record);
+  EXPECT_EQ(read_record(ss, out, &error), MrtReadStatus::kEof);
+
+  // The same stream with its tail chopped is kTruncated, not kEof.
+  std::stringstream full;
+  write_record(full, record);
+  std::string data = full.str();
+  data.resize(data.size() - 2);
+  std::stringstream torn(data);
+  EXPECT_EQ(read_record(torn, out, &error), MrtReadStatus::kTruncated);
+  EXPECT_FALSE(error.empty());
+
+  // Torn inside the 12-byte header is truncation too.
+  std::stringstream header_torn(data.substr(0, 5));
+  EXPECT_EQ(read_record(header_torn, out, &error), MrtReadStatus::kTruncated);
+}
+
+TEST(MrtStatusTest, OversizedBodyIsItsOwnStatus) {
+  std::stringstream ss;
+  const std::uint8_t header[12] = {0,    0,    0,    0,    0,    16,
+                                   0,    4,    0xFF, 0xFF, 0xFF, 0xFF};
+  ss.write(reinterpret_cast<const char*>(header), sizeof(header));
+  MrtRecord out;
+  std::string error;
+  EXPECT_EQ(read_record(ss, out, &error), MrtReadStatus::kOversized);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(MrtStatusTest, StatusNamesAreStable) {
+  EXPECT_EQ(to_string(MrtReadStatus::kOk), "ok");
+  EXPECT_EQ(to_string(MrtReadStatus::kEof), "eof");
+  EXPECT_EQ(to_string(MrtReadStatus::kTruncated), "truncated");
+  EXPECT_EQ(to_string(MrtReadStatus::kOversized), "oversized");
+  EXPECT_EQ(to_string(MrtReadStatus::kCorrupt), "corrupt");
+}
+
+TEST(MrtStreamingRibTest, StreamingReaderMatchesMaterializingReader) {
+  RouteServer server;
+  server.add_peer({1, 65001, Ipv4Address::parse("10.0.0.1")});
+  server.add_peer({2, 65002, Ipv4Address::parse("10.0.0.2")});
+  for (int i = 0; i < 10; ++i) {
+    Route r;
+    r.prefix = Ipv4Prefix(Ipv4Address(0x64000000u + (i << 16)), 16);
+    r.attrs.as_path = net::AsPath{static_cast<Asn>(65001 + (i % 2)),
+                                  static_cast<Asn>(100 + i)};
+    r.attrs.next_hop = Ipv4Address::parse(i % 2 ? "10.0.0.2" : "10.0.0.1");
+    r.learned_from = 1 + (i % 2);
+    r.peer_router_id = r.attrs.next_hop;
+    server.announce(r);
+  }
+  std::stringstream ss;
+  write_rib_dump(ss, server, 1388534400);
+  const std::string data = ss.str();
+
+  std::stringstream for_materializing(data);
+  const auto dump = read_rib_dump(for_materializing);
+
+  std::stringstream for_streaming(data);
+  std::vector<RouteServer::Peer> peers;
+  std::vector<Route> routes;
+  const auto result = read_rib_dump_stream(
+      for_streaming, [&](const RouteServer::Peer& p) { peers.push_back(p); },
+      [&](Route r) { routes.push_back(std::move(r)); });
+
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.routes, routes.size());
+  ASSERT_EQ(peers.size(), dump.peers.size());
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    EXPECT_EQ(peers[i].id, dump.peers[i].id);
+    EXPECT_EQ(peers[i].asn, dump.peers[i].asn);
+    EXPECT_EQ(peers[i].router_id, dump.peers[i].router_id);
+  }
+  ASSERT_EQ(routes.size(), dump.routes.size());
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    EXPECT_EQ(routes[i], dump.routes[i]);
+  }
+}
+
+TEST(MrtStreamingRibTest, TornTailReportsTruncatedAfterDelivering) {
+  RouteServer server;
+  server.add_peer({1, 65001, Ipv4Address::parse("10.0.0.1")});
+  for (int i = 0; i < 4; ++i) {
+    Route r;
+    r.prefix = Ipv4Prefix(Ipv4Address(0x64000000u + (i << 16)), 16);
+    r.attrs.as_path = net::AsPath{65001};
+    r.attrs.next_hop = Ipv4Address::parse("10.0.0.1");
+    r.learned_from = 1;
+    r.peer_router_id = r.attrs.next_hop;
+    server.announce(r);
+  }
+  std::stringstream ss;
+  write_rib_dump(ss, server);
+  std::string data = ss.str();
+  data.resize(data.size() - 5);  // tear the last RIB record
+
+  std::stringstream torn(data);
+  std::vector<Route> routes;
+  const auto result = read_rib_dump_stream(
+      torn, {}, [&](Route r) { routes.push_back(std::move(r)); });
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.tail, MrtReadStatus::kTruncated);
+  EXPECT_FALSE(result.error.empty());
+  // Everything before the tear was delivered.
+  EXPECT_EQ(routes.size(), 3u);
+  EXPECT_EQ(result.routes, 3u);
+}
+
+TEST(MrtStreamingRibTest, MissingIndexTableIsCorruptNotThrown) {
+  MrtRecord rib;
+  rib.type = kMrtTypeTableDumpV2;
+  rib.subtype = kMrtSubtypeRibIpv4Unicast;
+  std::stringstream ss;
+  write_record(ss, rib);
+  const auto result = read_rib_dump_stream(ss, {}, {});
+  EXPECT_EQ(result.tail, MrtReadStatus::kCorrupt);
+  EXPECT_FALSE(result.error.empty());
+}
+
 TEST(MrtRibDumpTest, RejectsMissingIndexTable) {
   MrtRecord rib;
   rib.type = kMrtTypeTableDumpV2;
