@@ -92,9 +92,20 @@ void BM_PullBack(benchmark::State& state) {
 }
 BENCHMARK(BM_PullBack);
 
-void BM_FlowTableLookup(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  dp::FlowTable table;
+/// The iSDX default geometry, as the runtime would wire it.
+dp::VmacLaneSpec vmac_spec() {
+  dp::VmacLaneSpec s;
+  s.enabled = true;
+  s.top_value = 0x02ull << 40;
+  s.top_mask = 0xFFull << 40;
+  s.group_bits = 20;
+  s.nexthop_bits = 12;
+  s.attr_bits = 8;
+  return s;
+}
+
+/// n FIB-style /24 dst-IP prefix rules (all land in one tuple).
+void fill_prefix_rules(dp::FlowTable& table, std::size_t n) {
   auto prefixes = prefix_list(n);
   for (std::size_t i = 0; i < n; ++i) {
     dp::FlowRule r;
@@ -103,17 +114,101 @@ void BM_FlowTableLookup(benchmark::State& state) {
     r.actions = {policy::ActionSeq::set(net::Field::kPort, 2)};
     table.install(std::move(r));
   }
+}
+
+/// n compiled-stage-1-shaped VMAC rules: mostly exact per-group defaults,
+/// plus masked attribute-bit clause rules — the population the exact-match
+/// fast lane is built for.
+void fill_vmac_rules(dp::FlowTable& table, std::size_t n) {
+  const auto spec = vmac_spec();
+  for (std::size_t i = 0; i < n; ++i) {
+    dp::FlowRule r;
+    r.priority = static_cast<std::uint32_t>(1000 + (n - i));
+    if (i % 8 == 7) {  // one masked clause rule per 8 group defaults
+      const std::uint64_t bit = 1ull << (spec.attr_shift() + i % 8);
+      r.match.set(net::Field::kDstMac,
+                  net::FieldMatch::masked(spec.top_value | bit,
+                                          spec.top_mask | bit));
+    } else {
+      r.match = net::FlowMatch::on(net::Field::kDstMac,
+                                   spec.top_value | (i & 0xFFFFF));
+    }
+    r.actions = {policy::ActionSeq::set(net::Field::kPort, 2)};
+    table.install(std::move(r));
+  }
+}
+
+void lookup_loop(benchmark::State& state, dp::FlowTable& table,
+                 dp::FlowTable::LookupMode mode,
+                 const net::PacketHeader& packet) {
+  table.set_lookup_mode(mode);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(packet));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+/// Linear vs classified over the same tables: the crossover (and the ≥10×
+/// gap at 4096 VMAC-tagged rules) shows up in one table with Complexity().
+void BM_FlowTableLookup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dp::FlowTable table;
+  fill_prefix_rules(table, n);
   net::SplitMix64 rng(5);
   auto packet = net::PacketBuilder()
                     .dst_ip(net::Ipv4Address(
                         0x0A000000u + (static_cast<std::uint32_t>(
                                            rng.below(n)) << 8)))
                     .build();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(table.lookup(packet));
-  }
+  lookup_loop(state, table, dp::FlowTable::LookupMode::kLinear, packet);
 }
-BENCHMARK(BM_FlowTableLookup)->Range(64, 4096);
+BENCHMARK(BM_FlowTableLookup)->Range(64, 4096)->Complexity();
+
+void BM_FlowTableLookupClassified(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dp::FlowTable table;
+  fill_prefix_rules(table, n);
+  net::SplitMix64 rng(5);
+  auto packet = net::PacketBuilder()
+                    .dst_ip(net::Ipv4Address(
+                        0x0A000000u + (static_cast<std::uint32_t>(
+                                           rng.below(n)) << 8)))
+                    .build();
+  lookup_loop(state, table, dp::FlowTable::LookupMode::kClassified, packet);
+}
+BENCHMARK(BM_FlowTableLookupClassified)->Range(64, 4096)->Complexity();
+
+void BM_FlowTableLookupVmacLinear(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dp::FlowTable table;
+  table.set_vmac_lanes(vmac_spec());
+  fill_vmac_rules(table, n);
+  net::SplitMix64 rng(5);
+  std::uint64_t group = rng.below(n);
+  if (group % 8 == 7) --group;  // land on an installed per-group default
+  auto packet =
+      net::PacketBuilder()
+          .dst_mac(net::MacAddress(vmac_spec().top_value | group))
+          .build();
+  lookup_loop(state, table, dp::FlowTable::LookupMode::kLinear, packet);
+}
+BENCHMARK(BM_FlowTableLookupVmacLinear)->Range(64, 4096)->Complexity();
+
+void BM_FlowTableLookupVmacClassified(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dp::FlowTable table;
+  table.set_vmac_lanes(vmac_spec());
+  fill_vmac_rules(table, n);
+  net::SplitMix64 rng(5);
+  std::uint64_t group = rng.below(n);
+  if (group % 8 == 7) --group;  // land on an installed per-group default
+  auto packet =
+      net::PacketBuilder()
+          .dst_mac(net::MacAddress(vmac_spec().top_value | group))
+          .build();
+  lookup_loop(state, table, dp::FlowTable::LookupMode::kClassified, packet);
+}
+BENCHMARK(BM_FlowTableLookupVmacClassified)->Range(64, 4096)->Complexity();
 
 }  // namespace
 

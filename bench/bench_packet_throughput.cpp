@@ -1,0 +1,265 @@
+/// Packet-throughput benchmark for the data-plane classification pipeline:
+/// millions of lookups per second (Mpps) over rule-count × traffic-mix
+/// sweeps, classified vs the linear reference scan over identical tables.
+///
+/// The installed population mirrors what the compiler actually emits
+/// (see ARCHITECTURE.md "Data-plane classification"): exact per-group VMAC
+/// defaults, masked attribute-bit clause rules with a dst-port leg, and
+/// /24 dst-IP prefix rules. Traffic mixes steer packets at each lane:
+///
+///   vmac   — VMAC-tagged packets hitting the exact-match fast lane;
+///   clause — tagged packets with the policy attribute bit set and
+///            dst_port 80, hitting the attribute-bit lane;
+///   prefix — untagged packets hitting the prefix tuple (trie-pruned);
+///   miss   — untagged packets matching nothing (full pruning path);
+///   mixed  — the four above round-robin.
+///
+/// Modes: `classified` and `linear` time single-threaded lookup(); `mt`
+/// runs the classified table through process() from N concurrent threads —
+/// the thread-safe counter path (Σ matched+missed and Σ per-rule
+/// packet_count must equal the offered load; the bench asserts it).
+///
+/// Lookup counts are FIXED per phase (not timed loops), so the counter
+/// series in the metrics snapshot are byte-stable run to run and the CI
+/// bench-regression job gates them with --require-equal-counters. Timing
+/// (mpps, ns_per_lookup) is reported in the CSV only.
+///
+/// CSV: mix,rules,mode,threads,lookups,matched,seconds,mpps,ns_per_lookup
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dataplane/flow_table.hpp"
+#include "netbase/rng.hpp"
+#include "policy/compile.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace {
+
+using namespace sdx;
+
+/// The iSDX default VMAC geometry, as the runtime wires it.
+dp::VmacLaneSpec vmac_spec() {
+  dp::VmacLaneSpec s;
+  s.enabled = true;
+  s.top_value = 0x02ull << 40;
+  s.top_mask = 0xFFull << 40;
+  s.group_bits = 20;
+  s.nexthop_bits = 12;
+  s.attr_bits = 8;
+  return s;
+}
+
+/// Compiled-table-shaped population: per 8 rules, five exact per-group
+/// VMAC defaults, one masked attribute-bit clause rule (with a dst-port
+/// leg, higher priority — outbound policy beats the default), and two /24
+/// dst-IP prefix rules. No catch-all, so the miss mix truly misses.
+void fill_rules(dp::FlowTable& table, std::size_t n) {
+  const auto spec = vmac_spec();
+  for (std::size_t i = 0; i < n; ++i) {
+    dp::FlowRule r;
+    if (i % 8 == 5) {
+      const std::uint64_t bit =
+          1ull << (spec.attr_shift() + (i / 8) % spec.attr_bits);
+      r.priority = static_cast<std::uint32_t>(2000 + (n - i));
+      r.match.set(net::Field::kDstMac,
+                  net::FieldMatch::masked(spec.top_value | bit,
+                                          spec.top_mask | bit));
+      r.match.set(net::Field::kDstPort, net::FieldMatch::exact(80));
+    } else if (i % 4 == 3) {
+      r.priority = static_cast<std::uint32_t>(500 + (n - i));
+      r.match = net::FlowMatch::on_prefix(
+          net::Field::kDstIp,
+          net::Ipv4Prefix(
+              net::Ipv4Address(0x0A000000u |
+                               (static_cast<std::uint32_t>(i) << 8)),
+              24));
+    } else {
+      r.priority = static_cast<std::uint32_t>(1000 + (n - i));
+      r.match = net::FlowMatch::on(net::Field::kDstMac,
+                                   spec.top_value | (i & 0xFFFFF));
+    }
+    r.actions = {policy::ActionSeq::set(net::Field::kPort, 2)};
+    table.install(std::move(r));
+  }
+}
+
+/// 256 packets per mix, drawn over the installed rule indices with a
+/// fixed seed — the same packet stream every run.
+std::vector<net::PacketHeader> make_packets(const std::string& mix,
+                                            std::size_t n) {
+  const auto spec = vmac_spec();
+  net::SplitMix64 rng(0x5D2Full ^ n);
+  std::vector<net::PacketHeader> out;
+  out.reserve(256);
+  for (std::size_t k = 0; k < 256; ++k) {
+    static const char* kRoundRobin[4] = {"vmac", "clause", "prefix", "miss"};
+    const std::string kind = mix == "mixed" ? kRoundRobin[k % 4] : mix;
+    if (kind == "vmac") {
+      std::uint64_t i = rng.below(n);
+      while (i % 8 == 5 || i % 4 == 3) i = (i + 1) % n;  // land on a default
+      out.push_back(net::PacketBuilder()
+                        .dst_mac(net::MacAddress(spec.top_value | (i & 0xFFFFF)))
+                        .build());
+    } else if (kind == "clause") {
+      const std::uint64_t i = 5 + 8 * rng.below(n / 8);
+      const std::uint64_t bit =
+          1ull << (spec.attr_shift() + (i / 8) % spec.attr_bits);
+      out.push_back(net::PacketBuilder()
+                        .dst_mac(net::MacAddress(spec.top_value | bit |
+                                                 rng.below(1u << 10)))
+                        .dst_port(80)
+                        .build());
+    } else if (kind == "prefix") {
+      const std::uint64_t i = 3 + 4 * rng.below(n / 4);
+      out.push_back(
+          net::PacketBuilder()
+              .dst_ip(net::Ipv4Address(
+                  0x0A000000u | (static_cast<std::uint32_t>(i) << 8) |
+                  static_cast<std::uint32_t>(rng.below(256))))
+              .build());
+    } else {  // miss: untagged MAC, dst IP outside every installed /24
+      out.push_back(net::PacketBuilder()
+                        .dst_mac(net::MacAddress(0x00163Eull << 24 | k))
+                        .dst_ip(net::Ipv4Address(0xC0A80000u |
+                                                 static_cast<std::uint32_t>(k)))
+                        .build());
+    }
+  }
+  return out;
+}
+
+struct PhaseResult {
+  std::size_t lookups = 0;
+  std::uint64_t matched = 0;
+  double seconds = 0.0;
+};
+
+/// Single-threaded lookup() loop, fixed iteration count.
+PhaseResult run_lookup(const dp::FlowTable& table,
+                       const std::vector<net::PacketHeader>& pkts,
+                       std::size_t lookups) {
+  PhaseResult res;
+  res.lookups = lookups;
+  bench::Stopwatch sw;
+  for (std::size_t i = 0; i < lookups; ++i) {
+    res.matched += table.lookup(pkts[i & 255]) != nullptr;
+  }
+  res.seconds = sw.seconds();
+  return res;
+}
+
+/// N threads hammering process() — the atomic-counter path. The offered
+/// load is fixed in total (per_thread * threads), so the counter series
+/// stay byte-stable at a pinned thread count.
+PhaseResult run_process_mt(const dp::FlowTable& table,
+                           const std::vector<net::PacketHeader>& pkts,
+                           std::size_t lookups, unsigned threads) {
+  PhaseResult res;
+  const std::size_t per_thread = lookups / threads;
+  res.lookups = per_thread * threads;
+  const auto matched0 = table.total_matched();
+  const auto missed0 = table.total_missed();
+  std::atomic<std::size_t> sink{0};  // keeps process() output observable
+  bench::Stopwatch sw;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::size_t local = 0;
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        local += table.process(pkts[(t * per_thread + i) & 255]).size();
+      }
+      sink.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& w : workers) w.join();
+  res.seconds = sw.seconds();
+  res.matched = table.total_matched() - matched0;
+  const auto missed = table.total_missed() - missed0;
+  if (res.matched + missed != res.lookups) {
+    std::fprintf(stderr,
+                 "counter mismatch: matched %llu + missed %llu != %zu\n",
+                 static_cast<unsigned long long>(res.matched),
+                 static_cast<unsigned long long>(missed), res.lookups);
+    std::exit(1);
+  }
+  return res;
+}
+
+void print_row(const std::string& mix, std::size_t rules,
+               const std::string& mode, unsigned threads,
+               const PhaseResult& r) {
+  const double mpps =
+      r.seconds > 0 ? static_cast<double>(r.lookups) / r.seconds / 1e6 : 0.0;
+  const double ns =
+      r.lookups > 0 ? r.seconds * 1e9 / static_cast<double>(r.lookups) : 0.0;
+  std::printf("%s,%zu,%s,%u,%zu,%llu,%.4f,%.2f,%.1f\n", mix.c_str(), rules,
+              mode.c_str(), threads, r.lookups,
+              static_cast<unsigned long long>(r.matched), r.seconds, mpps, ns);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = bench::smoke();
+  const unsigned threads =
+      bench::bench_threads() ? bench::bench_threads() : 4;
+
+  const std::vector<std::size_t> rule_counts =
+      smoke ? std::vector<std::size_t>{256}
+            : std::vector<std::size_t>{256, 1024, 4096};
+  const std::size_t classified_lookups = smoke ? 40000 : 4000000;
+  const std::size_t linear_lookups = smoke ? 8000 : 100000;
+  const std::size_t mt_lookups = smoke ? 40000 : 2000000;
+  const std::vector<std::string> mixes = {"vmac", "clause", "prefix", "miss",
+                                          "mixed"};
+
+  telemetry::MetricRegistry metrics;
+
+  std::printf(
+      "# packet throughput — classification pipeline vs linear reference\n");
+  std::printf("mix,rules,mode,threads,lookups,matched,seconds,mpps,ns_per_lookup\n");
+
+  for (const std::size_t n : rule_counts) {
+    dp::FlowTable table;
+    table.set_vmac_lanes(vmac_spec());
+    fill_rules(table, n);
+    metrics
+        .counter("sdx_packet_bench_rules_total",
+                 "flow rules installed across bench tables")
+        .inc(table.size());
+
+    for (const auto& mix : mixes) {
+      const auto pkts = make_packets(mix, n);
+      const auto record = [&](const char* mode, unsigned width,
+                              const PhaseResult& r) {
+        print_row(mix, n, mode, width, r);
+        telemetry::Labels labels = {{"mix", mix}, {"mode", mode}};
+        metrics
+            .counter("sdx_packet_bench_lookups_total",
+                     "lookups performed per mix and mode", labels)
+            .inc(r.lookups);
+        metrics
+            .counter("sdx_packet_bench_matched_total",
+                     "lookups that matched a rule per mix and mode", labels)
+            .inc(r.matched);
+      };
+
+      table.set_lookup_mode(dp::FlowTable::LookupMode::kClassified);
+      record("classified", 1, run_lookup(table, pkts, classified_lookups));
+      record("mt", threads, run_process_mt(table, pkts, mt_lookups, threads));
+      table.set_lookup_mode(dp::FlowTable::LookupMode::kLinear);
+      record("linear", 1, run_lookup(table, pkts, linear_lookups));
+      table.set_lookup_mode(dp::FlowTable::LookupMode::kClassified);
+    }
+  }
+
+  bench::emit_metrics_snapshot(metrics);
+  return 0;
+}

@@ -17,20 +17,26 @@ std::string FlowRule::to_string() const {
       os << "[" << actions[i].to_string() << "]";
     }
   }
-  os << " (cookie=" << cookie << ", n=" << packet_count << ")";
+  os << " (cookie=" << cookie << ", n=" << packet_count.value() << ")";
   return os.str();
 }
 
 void FlowTable::install(FlowRule rule) {
   const std::uint64_t seq = next_sequence_++;
-  // Insertion point: after every rule with priority >= rule.priority that
-  // was installed earlier (stable within equal priority).
-  auto pos = std::upper_bound(
-      rules_.begin(), rules_.end(), rule.priority,
-      [](std::uint32_t p, const FlowRule& r) { return p > r.priority; });
-  const auto idx = static_cast<std::size_t>(pos - rules_.begin());
-  rules_.insert(pos, std::move(rule));
-  sequence_.insert(sequence_.begin() + static_cast<std::ptrdiff_t>(idx), seq);
+  std::size_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+    slots_[idx].rule = std::move(rule);
+    slots_[idx].seq = seq;
+    slots_[idx].alive = true;
+  } else {
+    idx = slots_.size();
+    slots_.push_back(Slot{std::move(rule), seq, true});
+  }
+  cookie_index_[slots_[idx].rule.cookie].push_back(idx);
+  classifier_.insert(&slots_[idx].rule, seq);
+  ++alive_;
 }
 
 void FlowTable::install_classifier(const Classifier& c,
@@ -48,48 +54,106 @@ void FlowTable::install_classifier(const Classifier& c,
 }
 
 std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {
+  auto it = cookie_index_.find(cookie);
+  if (it == cookie_index_.end()) return 0;
   std::size_t removed = 0;
-  for (std::size_t i = rules_.size(); i-- > 0;) {
-    if (rules_[i].cookie == cookie) {
-      rules_.erase(rules_.begin() + static_cast<std::ptrdiff_t>(i));
-      sequence_.erase(sequence_.begin() + static_cast<std::ptrdiff_t>(i));
-      ++removed;
-    }
+  for (const std::size_t idx : it->second) {
+    Slot& s = slots_[idx];
+    // A recycled slot may linger in an old cookie's index; the alive +
+    // cookie check filters those out.
+    if (!s.alive || s.rule.cookie != cookie) continue;
+    classifier_.erase(&s.rule);
+    s.alive = false;
+    free_.push_back(idx);
+    ++removed;
+    --alive_;
   }
+  cookie_index_.erase(it);
   return removed;
 }
 
 void FlowTable::clear() {
-  rules_.clear();
-  sequence_.clear();
+  slots_.clear();
+  free_.clear();
+  cookie_index_.clear();
+  alive_ = 0;
+  classifier_.clear();
 }
 
 const FlowRule* FlowTable::lookup(const PacketHeader& h) const {
-  for (const auto& r : rules_) {
-    if (r.match.matches(h)) return &r;
+  if (mode_ == LookupMode::kLinear) return lookup_linear(h);
+  return classifier_.lookup(h);
+}
+
+const FlowRule* FlowTable::lookup_linear(const PacketHeader& h) const {
+  // Reference scan: best = highest priority, ties to lowest sequence.
+  // Equivalent to first-match over the old (priority desc, seq asc)
+  // sorted vector, without maintaining one.
+  const Slot* best = nullptr;
+  for (const Slot& s : slots_) {
+    if (!s.alive || !s.rule.match.matches(h)) continue;
+    if (best == nullptr || s.rule.priority > best->rule.priority ||
+        (s.rule.priority == best->rule.priority && s.seq < best->seq)) {
+      best = &s;
+    }
   }
-  return nullptr;
+  return best != nullptr ? &best->rule : nullptr;
 }
 
 std::vector<PacketHeader> FlowTable::process(const PacketHeader& h) const {
   const FlowRule* r = lookup(h);
   if (r == nullptr) {
-    ++missed_;
+    missed_.fetch_add(1, std::memory_order_relaxed);
     if (miss_counter_ != nullptr) miss_counter_->inc();
     return {};
   }
-  ++matched_;
+  matched_.fetch_add(1, std::memory_order_relaxed);
   if (match_counter_ != nullptr) match_counter_->inc();
-  ++r->packet_count;
+  r->packet_count.inc();
   std::vector<PacketHeader> out;
   out.reserve(r->actions.size());
   for (const auto& a : r->actions) out.push_back(a.apply(h));
   return out;
 }
 
+std::vector<const FlowRule*> FlowTable::rules() const {
+  struct Ref {
+    const FlowRule* rule;
+    std::uint64_t seq;
+  };
+  std::vector<Ref> refs;
+  refs.reserve(alive_);
+  for (const Slot& s : slots_) {
+    if (s.alive) refs.push_back({&s.rule, s.seq});
+  }
+  std::sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    return a.rule->priority > b.rule->priority ||
+           (a.rule->priority == b.rule->priority && a.seq < b.seq);
+  });
+  std::vector<const FlowRule*> out;
+  out.reserve(refs.size());
+  for (const Ref& r : refs) out.push_back(r.rule);
+  return out;
+}
+
+std::optional<std::size_t> FlowTable::index_of(const FlowRule* rule) const {
+  const auto ordered = rules();
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    if (ordered[i] == rule) return i;
+  }
+  return std::nullopt;
+}
+
+void FlowTable::set_vmac_lanes(const VmacLaneSpec& spec) {
+  classifier_.reset(spec);
+  for (const Slot& s : slots_) {
+    if (s.alive) classifier_.insert(&s.rule, s.seq);
+  }
+}
+
 std::string FlowTable::to_string() const {
   std::ostringstream os;
-  for (const auto& r : rules_) os << r.to_string() << "\n";
+  for (const FlowRule* r : rules()) os << r->to_string() << "\n";
   return os.str();
 }
 

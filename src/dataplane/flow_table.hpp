@@ -4,15 +4,33 @@
 /// An OpenFlow-style single-table flow table: prioritized ternary rules
 /// with rewrite/output actions and per-rule counters. This is the install
 /// target of the SDX compiler (the paper deploys on Open vSwitch; rule
-/// counts, not throughput, are what the evaluation measures, so a faithful
-/// match/action simulator is the right substrate).
+/// counts, not throughput, are what the evaluation measures — but the
+/// ROADMAP's live-traffic scenarios need real per-packet performance, so
+/// lookups run through a classification pipeline, see
+/// packet_classifier.hpp).
+///
+/// Storage is arena-style: rules live in stable deque slots that are
+/// tombstoned on removal and recycled on install, so install_classifier /
+/// remove_by_cookie never reshuffle a giant sorted vector and rule
+/// pointers stay valid across unrelated mutations.
+///
+/// Concurrency: lookup() and process() in the default kClassified mode are
+/// read-only on the table structure and use relaxed atomics for all
+/// counters — any number of threads may classify packets concurrently, as
+/// long as no install/remove/clear runs at the same time (single-writer,
+/// externally synchronized, exactly like a hardware table update). The
+/// kLinear reference mode shares the same contract.
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "dataplane/packet_classifier.hpp"
 #include "netbase/field_match.hpp"
 #include "netbase/packet.hpp"
 #include "policy/classifier.hpp"
@@ -26,6 +44,26 @@ using net::PortId;
 using policy::ActionSeq;
 using policy::Classifier;
 
+/// A monotonically increasing counter mutable from const lookup paths.
+/// Relaxed ordering is sufficient: each increment is independent and reads
+/// only need eventual totals (same contract as telemetry counters). Copying
+/// snapshots the value, which keeps FlowRule copyable.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter& o) : v_(o.value()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) {
+    v_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  void inc() const { v_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  operator std::uint64_t() const { return value(); }
+
+ private:
+  mutable std::atomic<std::uint64_t> v_{0};
+};
+
 /// One installed flow rule. Higher priority wins; ties break on insertion
 /// order (earlier first), matching the deterministic order of a compiled
 /// classifier.
@@ -34,7 +72,7 @@ struct FlowRule {
   FlowMatch match;
   std::vector<ActionSeq> actions;  ///< empty = drop
   std::uint64_t cookie = 0;        ///< rule group tag, for bulk removal
-  mutable std::uint64_t packet_count = 0;
+  RelaxedCounter packet_count;
 
   bool drops() const { return actions.empty(); }
   std::string to_string() const;
@@ -42,6 +80,11 @@ struct FlowRule {
 
 class FlowTable {
  public:
+  /// Lookup strategy. kClassified (default) runs the lane/tuple pipeline;
+  /// kLinear is the O(n) reference scan kept for differential testing and
+  /// as the baseline in benches. Both produce the identical rule.
+  enum class LookupMode { kClassified, kLinear };
+
   /// Installs one rule.
   void install(FlowRule rule);
 
@@ -63,11 +106,38 @@ class FlowTable {
   /// its counter. No match or a drop rule yields an empty set.
   std::vector<PacketHeader> process(const PacketHeader& h) const;
 
-  std::size_t size() const { return rules_.size(); }
-  const std::vector<FlowRule>& rules() const { return rules_; }
+  std::size_t size() const { return alive_; }
 
-  std::uint64_t total_matched() const { return matched_; }
-  std::uint64_t total_missed() const { return missed_; }
+  /// Live rules in match order (priority desc, insertion asc). Built per
+  /// call; the pointers stay valid until the rules are removed or the
+  /// table cleared.
+  std::vector<const FlowRule*> rules() const;
+
+  /// Position of \p rule in the rules() match order; nullopt when the
+  /// pointer is not a live rule of this table.
+  std::optional<std::size_t> index_of(const FlowRule* rule) const;
+
+  LookupMode lookup_mode() const { return mode_; }
+  void set_lookup_mode(LookupMode m) { mode_ = m; }
+
+  /// Adopts the control plane's VMAC bit layout: masked dst-MAC rules that
+  /// match the layout's shapes are re-indexed into exact-match lanes. All
+  /// live rules are re-indexed; semantics never change, only probe cost.
+  void set_vmac_lanes(const VmacLaneSpec& spec);
+
+  const PacketClassifier& classifier() const { return classifier_; }
+
+  /// Test seam for the differential oracle's fault self-check: wipes the
+  /// classifier index without touching rule storage, so classified lookups
+  /// visibly diverge from the linear reference.
+  void corrupt_classifier_for_test() { classifier_.clear(); }
+
+  std::uint64_t total_matched() const {
+    return matched_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_missed() const {
+    return missed_.load(std::memory_order_relaxed);
+  }
 
   /// Mirrors match/miss accounting into registry counters (either may be
   /// nullptr to detach). The counters must outlive the table's use.
@@ -79,12 +149,27 @@ class FlowTable {
   std::string to_string() const;
 
  private:
-  // Kept sorted by (priority desc, sequence asc).
-  std::vector<FlowRule> rules_;
-  std::vector<std::uint64_t> sequence_;
+  struct Slot {
+    FlowRule rule;
+    std::uint64_t seq = 0;
+    bool alive = false;
+  };
+
+  const FlowRule* lookup_linear(const PacketHeader& h) const;
+
+  // Deque keeps slot addresses stable across growth; tombstoned slots are
+  // recycled through free_ so long-lived tables don't leak arena space.
+  std::deque<Slot> slots_;
+  std::vector<std::size_t> free_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> cookie_index_;
+  std::size_t alive_ = 0;
   std::uint64_t next_sequence_ = 0;
-  mutable std::uint64_t matched_ = 0;
-  mutable std::uint64_t missed_ = 0;
+
+  PacketClassifier classifier_;
+  LookupMode mode_ = LookupMode::kClassified;
+
+  mutable std::atomic<std::uint64_t> matched_{0};
+  mutable std::atomic<std::uint64_t> missed_{0};
   telemetry::Counter* match_counter_ = nullptr;
   telemetry::Counter* miss_counter_ = nullptr;
 };

@@ -1,0 +1,339 @@
+#include "dataplane/packet_classifier.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "dataplane/flow_table.hpp"
+
+namespace sdx::dp {
+
+namespace {
+
+using net::Field;
+using net::kAllFields;
+using net::kFieldCount;
+
+/// Cross-lane rule order: priority desc, then insertion sequence asc —
+/// identical to the linear reference scan's first-match order.
+bool better(const PacketClassifier::Entry& a,
+            const PacketClassifier::Entry& b) {
+  return a.priority > b.priority ||
+         (a.priority == b.priority && a.seq < b.seq);
+}
+
+std::uint64_t mix(std::uint64_t k, std::uint64_t v) {
+  return (k ^ v) * 0x100000001b3ull;
+}
+
+}  // namespace
+
+std::size_t PacketClassifier::MaskSigHash::operator()(
+    const MaskSig& s) const noexcept {
+  std::uint64_t k = 0xcbf29ce484222325ull;
+  for (std::uint64_t m : s) k = mix(k, m);
+  return static_cast<std::size_t>(k);
+}
+
+namespace {
+
+/// Hash of a packet's field values under a tuple's masks. A rule in the
+/// tuple hashes its (already-masked) match values the same way, so a
+/// matching packet always lands in the rule's bucket.
+std::uint64_t packet_key(const PacketClassifier::MaskSig& masks,
+                         const net::PacketHeader& h) {
+  std::uint64_t k = 0xcbf29ce484222325ull;
+  for (int i = 0; i < kFieldCount; ++i) {
+    k = mix(k, h.get(kAllFields[static_cast<std::size_t>(i)]) &
+                   masks[static_cast<std::size_t>(i)]);
+  }
+  return k;
+}
+
+std::uint64_t rule_key(const net::FlowMatch& m) {
+  std::uint64_t k = 0xcbf29ce484222325ull;
+  for (auto f : kAllFields) k = mix(k, m.field(f).value());
+  return k;
+}
+
+void bucket_insert(std::vector<PacketClassifier::Entry>& b,
+                   const PacketClassifier::Entry& e) {
+  b.insert(std::upper_bound(b.begin(), b.end(), e, better), e);
+}
+
+bool bucket_erase(std::vector<PacketClassifier::Entry>& b,
+                  const FlowRule* rule) {
+  auto it = std::find_if(b.begin(), b.end(),
+                         [rule](const auto& e) { return e.rule == rule; });
+  if (it == b.end()) return false;
+  b.erase(it);
+  return true;
+}
+
+}  // namespace
+
+void PacketClassifier::reset(const VmacLaneSpec& spec) {
+  spec_ = spec;
+  clear();
+}
+
+void PacketClassifier::clear() {
+  exact_mac_.clear();
+  nexthop_lane_.clear();
+  attr_lanes_.assign(spec_.enabled ? spec_.attr_bits : 0, {});
+  tuples_.clear();
+  tuple_index_.clear();
+  tuple_order_.clear();
+  dst_trie_.clear();
+  src_trie_.clear();
+  exact_rules_ = nexthop_rules_ = attr_rules_ = tuple_rules_ = 0;
+}
+
+PacketClassifier::ShapeInfo PacketClassifier::classify(
+    const FlowRule& rule) const {
+  const net::FlowMatch& m = rule.match;
+  for (auto f : kAllFields) {
+    if (f != Field::kDstMac && !m.field(f).is_wildcard()) {
+      return {Shape::kTuple, 0, 0};
+    }
+  }
+  const net::FieldMatch& dm = m.field(Field::kDstMac);
+  if (dm.is_wildcard()) return {Shape::kTuple, 0, 0};
+  if (dm.is_exact()) return {Shape::kExactMac, dm.value(), 0};
+  // Masked dst-MAC-only rule: decode against the active layout. Both lane
+  // shapes require the full top-octet guard and the layout's fixed value —
+  // anything else (including guard-less masks) falls to tuple search.
+  if (spec_.enabled && (dm.mask() & spec_.top_mask) == spec_.top_mask &&
+      (dm.value() & spec_.top_mask) == spec_.top_value) {
+    const std::uint64_t extra = dm.mask() & ~spec_.top_mask;
+    if (spec_.nexthop_bits > 0 && extra == spec_.nexthop_field_mask()) {
+      const std::uint64_t nh = (dm.value() >> spec_.nexthop_shift()) &
+                               ((1ull << spec_.nexthop_bits) - 1);
+      return {Shape::kNexthopLane, nh, 0};
+    }
+    if (std::has_single_bit(extra) && (dm.value() & extra) != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(extra));
+      if (bit >= spec_.attr_shift() &&
+          bit < spec_.attr_shift() + spec_.attr_bits) {
+        return {Shape::kAttrLane, 0, bit - spec_.attr_shift()};
+      }
+    }
+  }
+  return {Shape::kTuple, 0, 0};
+}
+
+void PacketClassifier::insert(const FlowRule* rule, std::uint64_t seq) {
+  const Entry e{rule, seq, rule->priority};
+  const ShapeInfo s = classify(*rule);
+  switch (s.shape) {
+    case Shape::kExactMac:
+      bucket_insert(exact_mac_[s.key], e);
+      ++exact_rules_;
+      break;
+    case Shape::kNexthopLane:
+      bucket_insert(nexthop_lane_[s.key], e);
+      ++nexthop_rules_;
+      break;
+    case Shape::kAttrLane:
+      bucket_insert(attr_lanes_[s.attr_bit], e);
+      ++attr_rules_;
+      break;
+    case Shape::kTuple:
+      insert_tuple(e);
+      break;
+  }
+}
+
+void PacketClassifier::erase(const FlowRule* rule) {
+  const ShapeInfo s = classify(*rule);
+  switch (s.shape) {
+    case Shape::kExactMac:
+      if (auto it = exact_mac_.find(s.key); it != exact_mac_.end()) {
+        if (bucket_erase(it->second, rule)) --exact_rules_;
+        if (it->second.empty()) exact_mac_.erase(it);
+      }
+      break;
+    case Shape::kNexthopLane:
+      if (auto it = nexthop_lane_.find(s.key); it != nexthop_lane_.end()) {
+        if (bucket_erase(it->second, rule)) --nexthop_rules_;
+        if (it->second.empty()) nexthop_lane_.erase(it);
+      }
+      break;
+    case Shape::kAttrLane:
+      if (bucket_erase(attr_lanes_[s.attr_bit], rule)) --attr_rules_;
+      break;
+    case Shape::kTuple:
+      erase_tuple(rule);
+      break;
+  }
+}
+
+void PacketClassifier::insert_tuple(const Entry& e) {
+  MaskSig sig;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(kFieldCount); ++i) {
+    sig[i] = e.rule->match.field(kAllFields[i]).mask();
+  }
+  auto [it, fresh] = tuple_index_.try_emplace(sig, tuples_.size());
+  const std::size_t ti = it->second;
+  if (fresh) {
+    Tuple t;
+    t.masks = sig;
+    t.dst_cidr_len =
+        e.rule->match.field(Field::kDstIp).cidr_prefix_length().value_or(-1);
+    t.src_cidr_len =
+        e.rule->match.field(Field::kSrcIp).cidr_prefix_length().value_or(-1);
+    tuples_.push_back(std::move(t));
+  }
+  Tuple& t = tuples_[ti];
+  bucket_insert(t.buckets[rule_key(e.rule->match)], e);
+  ++t.size;
+  ++tuple_rules_;
+  if (t.size == 1 || e.priority > t.max_priority) t.max_priority = e.priority;
+  if (ti < 64) {
+    const std::uint64_t bit = 1ull << ti;
+    if (t.dst_cidr_len > 0) {
+      const net::Ipv4Prefix p(
+          net::Ipv4Address(static_cast<std::uint32_t>(
+              e.rule->match.field(Field::kDstIp).value())),
+          t.dst_cidr_len);
+      if (auto* v = dst_trie_.find(p)) *v |= bit;
+      else dst_trie_.insert(p, bit);
+    }
+    if (t.src_cidr_len > 0) {
+      const net::Ipv4Prefix p(
+          net::Ipv4Address(static_cast<std::uint32_t>(
+              e.rule->match.field(Field::kSrcIp).value())),
+          t.src_cidr_len);
+      if (auto* v = src_trie_.find(p)) *v |= bit;
+      else src_trie_.insert(p, bit);
+    }
+  }
+  rebuild_tuple_order();
+}
+
+void PacketClassifier::erase_tuple(const FlowRule* rule) {
+  MaskSig sig;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(kFieldCount); ++i) {
+    sig[i] = rule->match.field(kAllFields[i]).mask();
+  }
+  auto ti_it = tuple_index_.find(sig);
+  if (ti_it == tuple_index_.end()) return;
+  Tuple& t = tuples_[ti_it->second];
+  auto bit = t.buckets.find(rule_key(rule->match));
+  if (bit == t.buckets.end()) return;
+  if (!bucket_erase(bit->second, rule)) return;
+  if (bit->second.empty()) t.buckets.erase(bit);
+  --t.size;
+  --tuple_rules_;
+  if (t.size == 0) {
+    t.max_priority = 0;
+  } else if (rule->priority == t.max_priority) {
+    std::uint32_t mx = 0;
+    for (const auto& [k, b] : t.buckets) {
+      if (!b.empty()) mx = std::max(mx, b.front().priority);
+    }
+    t.max_priority = mx;
+  }
+  // Precheck trie bits are left stale on purpose: a stale bit only admits
+  // an extra (failed) hash probe; it can never produce a wrong match.
+  rebuild_tuple_order();
+}
+
+void PacketClassifier::rebuild_tuple_order() {
+  tuple_order_.clear();
+  for (std::size_t i = 0; i < tuples_.size(); ++i) {
+    if (tuples_[i].size > 0) tuple_order_.push_back(i);
+  }
+  std::sort(tuple_order_.begin(), tuple_order_.end(),
+            [this](std::size_t a, std::size_t b) {
+              return tuples_[a].max_priority > tuples_[b].max_priority;
+            });
+}
+
+const FlowRule* PacketClassifier::lookup(const net::PacketHeader& h) const {
+  const Entry* best = nullptr;
+  const std::uint64_t mac = h.get(Field::kDstMac);
+
+  // Lane 1: exact dst-MAC. Every entry in the bucket has the identical
+  // match (dst-MAC only, same value), so the head is the bucket's winner.
+  if (auto it = exact_mac_.find(mac);
+      it != exact_mac_.end() && !it->second.empty()) {
+    best = &it->second.front();
+  }
+
+  // Lane 2: VMAC field lanes, probed only for layout-tagged packets.
+  if (spec_.enabled && (mac & spec_.top_mask) == spec_.top_value) {
+    if (spec_.nexthop_bits > 0 && !nexthop_lane_.empty()) {
+      const std::uint64_t nh = (mac >> spec_.nexthop_shift()) &
+                               ((1ull << spec_.nexthop_bits) - 1);
+      if (auto it = nexthop_lane_.find(nh);
+          it != nexthop_lane_.end() && !it->second.empty()) {
+        const Entry& e = it->second.front();
+        if (best == nullptr || better(e, *best)) best = &e;
+      }
+    }
+    if (!attr_lanes_.empty()) {
+      std::uint64_t attrs =
+          (mac >> spec_.attr_shift()) &
+          (spec_.attr_bits >= 64 ? ~0ull : (1ull << spec_.attr_bits) - 1);
+      while (attrs != 0) {
+        const unsigned j = static_cast<unsigned>(std::countr_zero(attrs));
+        attrs &= attrs - 1;
+        const Bucket& b = attr_lanes_[j];
+        if (!b.empty() && (best == nullptr || better(b.front(), *best))) {
+          best = &b.front();
+        }
+      }
+    }
+  }
+
+  // Lane 3: tuple-space search, highest-max-priority tuple first; stop as
+  // soon as no remaining tuple can beat the current winner (strict >, so
+  // priority ties still get probed and sequence decides).
+  std::uint64_t dst_viable = 0, src_viable = 0;
+  bool dst_done = false, src_done = false;
+  for (const std::size_t ti : tuple_order_) {
+    const Tuple& t = tuples_[ti];
+    if (best != nullptr && best->priority > t.max_priority) break;
+    if (ti < 64) {
+      const std::uint64_t bit = 1ull << ti;
+      if (t.dst_cidr_len > 0) {
+        if (!dst_done) {
+          dst_trie_.for_each_covering(
+              h.dst_ip(), [&](std::uint64_t bm) { dst_viable |= bm; });
+          dst_done = true;
+        }
+        if ((dst_viable & bit) == 0) continue;
+      }
+      if (t.src_cidr_len > 0) {
+        if (!src_done) {
+          src_trie_.for_each_covering(
+              h.src_ip(), [&](std::uint64_t bm) { src_viable |= bm; });
+          src_done = true;
+        }
+        if ((src_viable & bit) == 0) continue;
+      }
+    }
+    auto it = t.buckets.find(packet_key(t.masks, h));
+    if (it == t.buckets.end()) continue;
+    for (const Entry& e : it->second) {
+      if (best != nullptr && !better(e, *best)) break;  // rest are worse
+      if (e.rule->match.matches(h)) {
+        best = &e;
+        break;
+      }
+    }
+  }
+  return best != nullptr ? best->rule : nullptr;
+}
+
+PacketClassifier::Stats PacketClassifier::stats() const {
+  Stats s;
+  s.exact_mac_rules = exact_rules_;
+  s.nexthop_lane_rules = nexthop_rules_;
+  s.attr_lane_rules = attr_rules_;
+  s.tuple_rules = tuple_rules_;
+  for (const auto& t : tuples_) s.tuples += t.size > 0 ? 1 : 0;
+  return s;
+}
+
+}  // namespace sdx::dp

@@ -340,6 +340,31 @@ OracleVerdict DifferentialOracle::check(const Trace& trace) const {
     if (!verdict.ok) return verdict;
   }
 
+  // (e) classified lookup ≡ linear reference scan, over the identical
+  // installed table. Partitioned mode exercises every lane: masked VMAC
+  // rules (next-hop field + attribute bits), exact VMACs, and the port /
+  // clause / catch-all tuples.
+  if (options_.check_classifier) {
+    SdxRuntime rt(bgp::DecisionConfig{},
+                  core::CompileOptions{.partitioned = true});
+    build_base(rt, trace);
+    for (const auto& op : trace.ops) apply_op(rt, trace, op);
+    rt.background_recompile();
+
+    auto& table = rt.fabric().sdx_switch().table();
+    if (options_.fault == Fault::kDesyncClassifiedLookup) {
+      table.corrupt_classifier_for_test();
+    }
+    table.set_lookup_mode(dp::FlowTable::LookupMode::kClassified);
+    auto classified = probe_signature(rt, trace);
+    table.set_lookup_mode(dp::FlowTable::LookupMode::kLinear);
+    auto linear = probe_signature(rt, trace);
+    table.set_lookup_mode(dp::FlowTable::LookupMode::kClassified);
+    auto verdict = diff_signatures(linear, classified, "classifier",
+                                   "linear vs classified");
+    if (!verdict.ok) return verdict;
+  }
+
   // (c) checkpoint + WAL-tail recovery ≡ the never-crashed runtime.
   if (options_.check_recovery) {
     ScratchDir scratch(options_.scratch_dir);

@@ -20,7 +20,11 @@
 ///   (d) partitioning — compiling the final state through the partitioned
 ///                     per-participant pipeline (attribute-encoded VMACs,
 ///                     masked stage-1 rules) must forward packets exactly
-///                     like the pairwise cross-product pipeline.
+///                     like the pairwise cross-product pipeline;
+///   (e) classification — probing the installed flow table through the
+///                     lane/tuple classification pipeline must return the
+///                     same deliveries as the linear reference scan over
+///                     the identical table.
 ///
 /// A failing trace is shrunk by a delta-debugging minimizer and written as
 /// a ready-to-commit regression input under fuzz/corpus/regressions/, so a
@@ -78,6 +82,7 @@ struct OracleOptions {
   bool check_threads = true;
   bool check_recovery = true;
   bool check_partitioned = true;
+  bool check_classifier = true;
 
   /// Planted divergences for the oracle's own tests.
   enum class Fault : std::uint8_t {
@@ -94,6 +99,10 @@ struct OracleOptions {
     /// The partitioned side loses prefix 0 before compiling — models a
     /// partition pipeline that forwards differently from the pairwise one.
     kPerturbPartitionedCompile,
+    /// The classified lookup structure is wiped after install while rule
+    /// storage stays intact — models a classifier index that desynced from
+    /// the table it is supposed to mirror.
+    kDesyncClassifiedLookup,
   };
   Fault fault = Fault::kNone;
 
@@ -103,7 +112,8 @@ struct OracleOptions {
 
 struct OracleVerdict {
   bool ok = true;
-  std::string oracle;  ///< "fast-path" | "threads" | "recovery" | "partitioned"
+  std::string oracle;  ///< "fast-path" | "threads" | "recovery" |
+                       ///< "partitioned" | "classifier"
   std::string detail;  ///< first observed divergence, human-readable
 };
 

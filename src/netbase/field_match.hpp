@@ -12,6 +12,7 @@
 /// composition in sdx::policy is built on.
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -57,6 +58,18 @@ class FieldMatch {
 
   constexpr bool matches(std::uint64_t v) const {
     return (v & mask_) == value_;
+  }
+
+  /// When the mask is CIDR-shaped over an IPv4 field (a contiguous run of
+  /// high bits within the low 32), returns the prefix length in [0, 32];
+  /// std::nullopt for every other mask shape. Wildcard → 0. The packet
+  /// classifier uses this to index CIDR tuples into a prefix-trie precheck.
+  constexpr std::optional<int> cidr_prefix_length() const {
+    if (mask_ == 0) return 0;
+    if ((mask_ >> 32) != 0) return std::nullopt;
+    const auto inv = static_cast<std::uint32_t>(~mask_);
+    if ((inv & (inv + 1)) != 0) return std::nullopt;  // low bits not solid
+    return std::popcount(static_cast<std::uint32_t>(mask_));
   }
 
   /// True when every value matching \p other also matches *this.

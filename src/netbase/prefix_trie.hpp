@@ -83,6 +83,26 @@ class PrefixTrie {
     visit(0, 0u, 0, fn);
   }
 
+  /// Visits the value of every stored prefix that covers \p addr, shortest
+  /// prefix first — one root-to-leaf walk, no allocation. This is the
+  /// data-plane tuple precheck: the packet classifier ORs per-prefix tuple
+  /// bitmaps along the path to decide which CIDR tuples can possibly hold a
+  /// matching rule before probing any of them.
+  template <typename Fn>
+  void for_each_covering(Ipv4Address addr, Fn&& fn) const {
+    std::size_t node = 0;
+    std::uint32_t bits = addr.value();
+    for (int depth = 0;; ++depth) {
+      const Node& n = nodes_[node];
+      if (n.value.has_value()) fn(*n.value);
+      if (depth == 32) break;
+      const int bit = (bits >> 31) & 1;
+      bits <<= 1;
+      if (n.child[bit] == kNone) break;
+      node = n.child[bit];
+    }
+  }
+
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 

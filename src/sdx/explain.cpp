@@ -91,8 +91,8 @@ Explanation explain(const SdxRuntime& runtime, ParticipantId sender,
     if (rule != nullptr) out.rule_text = rule->to_string();
     return out;
   }
-  const auto& rules = runtime.fabric().sdx_switch().table().rules();
-  out.rule_index = static_cast<std::size_t>(rule - rules.data());
+  out.rule_index =
+      runtime.fabric().sdx_switch().table().index_of(rule).value_or(0);
   out.rule_text = rule->to_string();
 
   // 3. Best-effort attribution of the rule's origin.

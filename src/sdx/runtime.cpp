@@ -45,6 +45,9 @@ SdxRuntime::SdxRuntime(bgp::DecisionConfig decision, CompileOptions options)
                    "packets matched by a flow rule"),
       &reg.counter("sdx_flow_table_missed_total",
                    "packets matching no flow rule"));
+  // Teach the data-plane classifier this deployment's VMAC bit geometry so
+  // masked stage-1 rules index into exact-match lanes instead of tuples.
+  fabric_.sdx_switch().table().set_vmac_lanes(options_.vmac_layout.lane_spec());
   fast_updates_ = &reg.counter("sdx_fast_path_updates_total",
                                "BGP updates run through the 4.3.2 fast path");
   fast_rules_ = &reg.counter(
@@ -847,15 +850,15 @@ std::uint64_t SdxRuntime::checkpoint() {
                               remote_bindings_.end());
     std::sort(st.remote_bindings.begin(), st.remote_bindings.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (const auto& r : fabric_.sdx_switch().table().rules()) {
+    for (const dp::FlowRule* r : fabric_.sdx_switch().table().rules()) {
       // Base and partition bands are reconstructed from the compiled
       // artifact on restore — capturing them here would double-install.
       // Only fast-path residue rides along as raw rules.
-      if (r.cookie == kBaseCookie || r.cookie >= kPartitionCookieBase) {
+      if (r->cookie == kBaseCookie || r->cookie >= kPartitionCookieBase) {
         continue;
       }
       st.extra_rules.push_back(
-          {r.priority, r.cookie, policy::Rule{r.match, r.actions}});
+          {r->priority, r->cookie, policy::Rule{r->match, r->actions}});
     }
   }
   return journal_->write_checkpoint(std::move(st));

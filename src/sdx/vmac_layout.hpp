@@ -38,6 +38,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "dataplane/packet_classifier.hpp"
 #include "netbase/field_match.hpp"
 #include "netbase/mac.hpp"
 
@@ -119,6 +120,20 @@ struct VmacLayout {
   net::FieldMatch attr_bit_match(unsigned bit) const {
     const std::uint64_t b = 1ull << (attr_shift() + bit);
     return net::FieldMatch::masked(kTopOctetValue | b, kTopOctetMask | b);
+  }
+
+  /// The data-plane view of this layout: hands the flow table's classifier
+  /// enough of the bit geometry to decode masked VMAC rules into exact-match
+  /// lanes, without the data plane depending on sdx::core.
+  dp::VmacLaneSpec lane_spec() const {
+    dp::VmacLaneSpec s;
+    s.enabled = true;
+    s.top_value = kTopOctetValue;
+    s.top_mask = kTopOctetMask;
+    s.group_bits = group_bits;
+    s.nexthop_bits = nexthop_bits;
+    s.attr_bits = attr_bits;
+    return s;
   }
 
   /// Canonical one-line description — folded into CompiledSdx::fingerprint()

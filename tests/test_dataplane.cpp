@@ -28,8 +28,24 @@ FlowRule rule(std::uint32_t priority, FlowMatch match, net::PortId out,
   return r;
 }
 
-TEST(FlowTableTest, HigherPriorityWins) {
+/// The whole FlowTable contract is exercised under both lookup strategies:
+/// the classified pipeline (default) and the linear reference scan.
+class FlowTableTest : public ::testing::TestWithParam<FlowTable::LookupMode> {
+ protected:
+  void SetUp() override { t.set_lookup_mode(GetParam()); }
   FlowTable t;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, FlowTableTest,
+    ::testing::Values(FlowTable::LookupMode::kClassified,
+                      FlowTable::LookupMode::kLinear),
+    [](const auto& info) {
+      return info.param == FlowTable::LookupMode::kClassified ? "classified"
+                                                              : "linear";
+    });
+
+TEST_P(FlowTableTest, HigherPriorityWins) {
   t.install(rule(10, FlowMatch::on(Field::kDstPort, 80), 1));
   t.install(rule(20, FlowMatch::on(Field::kDstPort, 80), 2));
   auto out = t.process(PacketBuilder().dst_port(80).build());
@@ -37,8 +53,7 @@ TEST(FlowTableTest, HigherPriorityWins) {
   EXPECT_EQ(out[0].port(), 2u);
 }
 
-TEST(FlowTableTest, InsertionOrderBreaksPriorityTies) {
-  FlowTable t;
+TEST_P(FlowTableTest, InsertionOrderBreaksPriorityTies) {
   t.install(rule(10, FlowMatch::on(Field::kDstPort, 80), 1));
   t.install(rule(10, FlowMatch::any(), 2));
   auto out = t.process(PacketBuilder().dst_port(80).build());
@@ -46,8 +61,7 @@ TEST(FlowTableTest, InsertionOrderBreaksPriorityTies) {
   EXPECT_EQ(out[0].port(), 1u);  // earlier install wins the tie
 }
 
-TEST(FlowTableTest, MissAndDropAccounting) {
-  FlowTable t;
+TEST_P(FlowTableTest, MissAndDropAccounting) {
   FlowRule drop_rule;
   drop_rule.priority = 5;
   drop_rule.match = FlowMatch::on(Field::kDstPort, 22);
@@ -57,26 +71,24 @@ TEST(FlowTableTest, MissAndDropAccounting) {
   EXPECT_TRUE(t.process(PacketBuilder().dst_port(80).build()).empty());
   EXPECT_EQ(t.total_matched(), 1u);
   EXPECT_EQ(t.total_missed(), 1u);
-  EXPECT_EQ(t.rules()[0].packet_count, 1u);
+  EXPECT_EQ(t.rules()[0]->packet_count, 1u);
 }
 
-TEST(FlowTableTest, CookieRemoval) {
-  FlowTable t;
+TEST_P(FlowTableTest, CookieRemoval) {
   t.install(rule(1, FlowMatch::any(), 1, /*cookie=*/7));
   t.install(rule(2, FlowMatch::any(), 2, /*cookie=*/8));
   t.install(rule(3, FlowMatch::any(), 3, /*cookie=*/7));
   EXPECT_EQ(t.remove_by_cookie(7), 2u);
   EXPECT_EQ(t.size(), 1u);
-  EXPECT_EQ(t.rules()[0].cookie, 8u);
+  EXPECT_EQ(t.rules()[0]->cookie, 8u);
   EXPECT_EQ(t.remove_by_cookie(7), 0u);
 }
 
-TEST(FlowTableTest, InstallClassifierPreservesOrder) {
+TEST_P(FlowTableTest, InstallClassifierPreservesOrder) {
   // Classifier order (index 0 = highest) must survive the priority mapping.
   policy::Policy p = (policy::match(Field::kDstPort, 80) >> policy::fwd(1)) +
                      (policy::match(Field::kSrcPort, 9) >> policy::fwd(2));
   auto c = policy::compile(p);
-  FlowTable t;
   t.install_classifier(c, 1000, 1);
   ASSERT_EQ(t.size(), c.size());
   for (int i = 0; i < 50; ++i) {
@@ -90,13 +102,28 @@ TEST(FlowTableTest, InstallClassifierPreservesOrder) {
   }
 }
 
-TEST(FlowTableTest, FastBandOverridesBaseBand) {
-  FlowTable t;
+TEST_P(FlowTableTest, FastBandOverridesBaseBand) {
   t.install(rule(1000, FlowMatch::on(Field::kDstPort, 80), 1, 1));
   t.install(rule(1u << 24, FlowMatch::on(Field::kDstPort, 80), 9, 2));
   EXPECT_EQ(t.process(PacketBuilder().dst_port(80).build())[0].port(), 9u);
   t.remove_by_cookie(2);
   EXPECT_EQ(t.process(PacketBuilder().dst_port(80).build())[0].port(), 1u);
+}
+
+TEST_P(FlowTableTest, RulesViewIsMatchOrderedAndIndexable) {
+  t.install(rule(10, FlowMatch::on(Field::kDstPort, 80), 1));
+  t.install(rule(30, FlowMatch::on(Field::kDstPort, 81), 2));
+  t.install(rule(20, FlowMatch::on(Field::kDstPort, 82), 3));
+  const auto view = t.rules();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0]->priority, 30u);
+  EXPECT_EQ(view[1]->priority, 20u);
+  EXPECT_EQ(view[2]->priority, 10u);
+  const FlowRule* hit = t.lookup(PacketBuilder().dst_port(82).build());
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(t.index_of(hit), std::optional<std::size_t>(1));
+  FlowRule foreign;
+  EXPECT_EQ(t.index_of(&foreign), std::nullopt);
 }
 
 TEST(SwitchTest, CountsPerPortAndDropsHairpin) {

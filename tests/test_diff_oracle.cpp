@@ -138,6 +138,26 @@ TEST(DiffOracle, DetectsPartitionedCompileDivergence) {
       << "a zero-op failure must minimize to zero ops";
 }
 
+TEST(DiffOracle, DetectsDesyncedClassifierIndex) {
+  OracleOptions options;
+  options.fault = OracleOptions::Fault::kDesyncClassifiedLookup;
+  DifferentialOracle oracle(options);
+
+  // Zero ops suffice: wiping the classifier index makes every classified
+  // probe miss while the linear reference still matches the base rules.
+  Trace t;
+  t.participants = 3;
+  t.prefixes = 4;
+  const auto verdict = oracle.check(t);
+  ASSERT_FALSE(verdict.ok) << "planted classifier desync went undetected";
+  EXPECT_EQ(verdict.oracle, "classifier");
+  EXPECT_FALSE(verdict.detail.empty());
+
+  const auto minimized = oracle.minimize(t);
+  EXPECT_TRUE(minimized.ops.empty())
+      << "a zero-op failure must minimize to zero ops";
+}
+
 TEST(DiffOracle, MinimizeReturnsPassingTraceUnchanged) {
   DifferentialOracle oracle;
   const auto t = small_trace();

@@ -187,6 +187,49 @@ TEST(PrefixTrie, ForEachVisitsAllInOrder) {
                                             "192.168.0.0/16"}));
 }
 
+TEST(PrefixTrie, ForEachCoveringVisitsEveryCoveringPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::parse("0.0.0.0/0"), 1);
+  trie.insert(Ipv4Prefix::parse("10.0.0.0/8"), 2);
+  trie.insert(Ipv4Prefix::parse("10.20.0.0/16"), 4);
+  trie.insert(Ipv4Prefix::parse("10.20.30.0/24"), 8);
+  trie.insert(Ipv4Prefix::parse("192.168.0.0/16"), 16);
+
+  int acc = 0;
+  trie.for_each_covering(Ipv4Address::parse("10.20.30.40"),
+                         [&](int v) { acc |= v; });
+  EXPECT_EQ(acc, 1 | 2 | 4 | 8);  // everything on the path, nothing else
+
+  acc = 0;
+  trie.for_each_covering(Ipv4Address::parse("10.99.0.1"),
+                         [&](int v) { acc |= v; });
+  EXPECT_EQ(acc, 1 | 2);
+
+  acc = 0;
+  trie.for_each_covering(Ipv4Address::parse("172.16.0.1"),
+                         [&](int v) { acc |= v; });
+  EXPECT_EQ(acc, 1);
+}
+
+TEST(FieldMatch, CidrPrefixLengthRecognizesOnlyCidrMasks) {
+  EXPECT_EQ(FieldMatch::wildcard().cidr_prefix_length(), 0);
+  EXPECT_EQ(FieldMatch::prefix(Ipv4Prefix::parse("10.0.0.0/8"))
+                .cidr_prefix_length(),
+            8);
+  EXPECT_EQ(FieldMatch::prefix(Ipv4Prefix::parse("10.1.2.3/32"))
+                .cidr_prefix_length(),
+            32);
+  // A full 64-bit exact mask is not an IPv4 CIDR shape.
+  EXPECT_EQ(FieldMatch::exact(80).cidr_prefix_length(), std::nullopt);
+  // Non-contiguous and non-high-aligned masks are rejected.
+  EXPECT_EQ(FieldMatch::masked(0, 0x00FF0000).cidr_prefix_length(),
+            std::nullopt);
+  EXPECT_EQ(FieldMatch::masked(0, 0xF0F00000).cidr_prefix_length(),
+            std::nullopt);
+  // The all-ones 32-bit mask is /32.
+  EXPECT_EQ(FieldMatch::masked(1, 0xFFFFFFFFull).cidr_prefix_length(), 32);
+}
+
 TEST(PrefixTrie, RandomizedLpmAgainstLinearScan) {
   SplitMix64 rng(42);
   PrefixTrie<int> trie;
