@@ -1,9 +1,11 @@
 /// libFuzzer entry for the differential oracle: the input decodes (totally)
-/// into an update trace that is replayed through the fast-path, parallel
-/// compile, and crash-recovery equivalences. The custom mutator works on
-/// the decoded trace — resizing the exchange, adding/removing/perturbing
-/// ops — so every mutant is a semantically meaningful trace rather than a
-/// reframed byte string.
+/// into an update trace — announces, withdrawals, session drops, and
+/// cross-participant steering — that is replayed through the oracle's
+/// standing equivalences (fast path, parallel compile, crash recovery,
+/// partitioning, classification, and safety verification). The custom
+/// mutator works on the decoded trace — resizing the exchange,
+/// adding/removing/perturbing ops — so every mutant is a semantically
+/// meaningful trace rather than a reframed byte string.
 
 #include <algorithm>
 #include <cstdint>
@@ -34,7 +36,7 @@ extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data,
       break;
     case 1: {  // append an op
       TraceOp op;
-      op.kind = static_cast<TraceOp::Kind>(rng.below(3));
+      op.kind = static_cast<TraceOp::Kind>(rng.below(4));
       op.participant = static_cast<std::uint8_t>(rng());
       op.prefix = static_cast<std::uint8_t>(rng());
       op.variant = static_cast<std::uint8_t>(rng());
@@ -53,7 +55,7 @@ extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data,
       if (!t.ops.empty()) {
         TraceOp& op = t.ops[rng.below(t.ops.size())];
         switch (rng.below(4)) {
-          case 0: op.kind = static_cast<TraceOp::Kind>(rng.below(3)); break;
+          case 0: op.kind = static_cast<TraceOp::Kind>(rng.below(4)); break;
           case 1: op.participant = static_cast<std::uint8_t>(rng()); break;
           case 2: op.prefix = static_cast<std::uint8_t>(rng()); break;
           default: op.variant = static_cast<std::uint8_t>(rng()); break;

@@ -12,6 +12,7 @@
 #include "persist/checkpoint.hpp"
 #include "persist/crc32c.hpp"
 #include "sdx/runtime.hpp"
+#include "verify/safety.hpp"
 
 namespace fs = std::filesystem;
 
@@ -89,6 +90,26 @@ void apply_op(SdxRuntime& rt, const Trace& t, const TraceOp& op) {
     case TraceOp::Kind::kSessionDown:
       rt.session_down(p);
       break;
+    case TraceOp::Kind::kSteer: {
+      // Cross-participant steering churn: p appends a clause sending DNS
+      // traffic for prefix j toward a trace-chosen participant (never
+      // itself). Port 53 keeps the clause visible to the probe signature
+      // without being shadowed by the base ring's 80/443 clauses; whether
+      // it actually deploys is the compiler's BGP filter's call.
+      auto target =
+          static_cast<bgp::ParticipantId>(1 + op.variant % t.participants);
+      if (target == p) {
+        target = static_cast<bgp::ParticipantId>(target % t.participants + 1);
+      }
+      auto clauses = rt.participant(p).outbound;
+      clauses.push_back(core::OutboundClause{
+          core::ClauseMatch{}.dst(prefix_of(j)).dst_port(53), target});
+      rt.set_outbound(p, std::move(clauses));
+      // Policy edits have no fast path; recompile so every oracle side sees
+      // the same deployed state regardless of its update mode.
+      if (rt.installed()) rt.background_recompile();
+      break;
+    }
   }
 }
 
@@ -187,6 +208,28 @@ std::size_t last_announce_index(const Trace& t) {
   return t.ops.size();  // none
 }
 
+/// Plants the kPlantVerifierLoop divergence: the first two participants
+/// transit-announce a fresh prefix and steer its DNS traffic at each other,
+/// then the prefix is withdrawn straight from the route server — bypassing
+/// the runtime's update hooks, so the deployed steering rules and router
+/// FIB entries go stale and port-53 traffic for the prefix ping-pongs.
+void plant_verifier_loop(SdxRuntime& rt) {
+  const auto q = net::Ipv4Prefix::parse("198.51.100.0/24");
+  rt.announce(1, q, net::AsPath{asn_of(1), static_cast<net::Asn>(990)});
+  rt.announce(2, q, net::AsPath{asn_of(2), static_cast<net::Asn>(991)});
+  auto c1 = rt.participant(1).outbound;
+  c1.push_back(
+      core::OutboundClause{core::ClauseMatch{}.dst(q).dst_port(53), 2});
+  rt.set_outbound(1, std::move(c1));
+  auto c2 = rt.participant(2).outbound;
+  c2.push_back(
+      core::OutboundClause{core::ClauseMatch{}.dst(q).dst_port(53), 1});
+  rt.set_outbound(2, std::move(c2));
+  rt.background_recompile();
+  rt.route_server().withdraw(1, q);
+  rt.route_server().withdraw(2, q);
+}
+
 }  // namespace
 
 std::string Trace::to_string() const {
@@ -205,6 +248,11 @@ std::string Trace::to_string() const {
       case TraceOp::Kind::kSessionDown:
         os << " D(p" << 1 + op.participant % participants << ")";
         break;
+      case TraceOp::Kind::kSteer:
+        os << " S(p" << 1 + op.participant % participants << ",x"
+           << op.prefix % prefixes << "->p" << 1 + op.variant % participants
+           << ")";
+        break;
     }
   }
   if (ops.empty()) os << " (no ops)";
@@ -219,7 +267,8 @@ Trace decode_trace(std::span<const std::uint8_t> bytes) {
        i += 4) {
     TraceOp op;
     const std::uint8_t k = bytes[i] % 8;
-    op.kind = k < 5 ? TraceOp::Kind::kAnnounce
+    op.kind = k < 4   ? TraceOp::Kind::kAnnounce
+              : k < 5 ? TraceOp::Kind::kSteer
               : k < 7 ? TraceOp::Kind::kWithdraw
                       : TraceOp::Kind::kSessionDown;
     op.participant = bytes[i + 1];
@@ -238,6 +287,7 @@ std::vector<std::uint8_t> encode_trace(const Trace& trace) {
   for (const auto& op : trace.ops) {
     switch (op.kind) {
       case TraceOp::Kind::kAnnounce: out.push_back(0); break;
+      case TraceOp::Kind::kSteer: out.push_back(4); break;
       case TraceOp::Kind::kWithdraw: out.push_back(5); break;
       case TraceOp::Kind::kSessionDown: out.push_back(7); break;
     }
@@ -389,6 +439,46 @@ OracleVerdict DifferentialOracle::check(const Trace& trace) const {
     if (live.compiled().fingerprint() != recovered.compiled().fingerprint()) {
       return {false, "recovery",
               "canonicalized fingerprints differ after recovery"};
+    }
+  }
+
+  // (f) safety: the deployed final state verifies clean, and any
+  // counterexample the checker emits must reproduce when replayed through
+  // the data plane. The planted fault desynchronizes RIB and deployment
+  // behind the runtime's back, which must surface as a loop violation.
+  if (options_.check_verifier) {
+    SdxRuntime rt;
+    build_base(rt, trace);
+    rt.enable_verification();  // exercises the incremental stage per op
+    for (const auto& op : trace.ops) apply_op(rt, trace, op);
+    rt.background_recompile();
+    if (options_.fault == Fault::kPlantVerifierLoop) {
+      plant_verifier_loop(rt);
+    }
+    const auto report = rt.verify_now();
+    const auto view = rt.deployment_view();
+    for (const auto& v : report.violations) {
+      if (!v.counterexample) continue;
+      if (!verify::replay(view, *v.counterexample).reproduces(v.kind)) {
+        return {false, "verify",
+                "counterexample does not reproduce under replay: " + v.what};
+      }
+    }
+    if (options_.fault == Fault::kPlantVerifierLoop) {
+      // Like every planted fault, detection means check() fails: the fault
+      // creates a genuinely unsafe deployment, so a passing check here
+      // would mean the safety detector is broken.
+      const bool saw_loop = std::any_of(
+          report.violations.begin(), report.violations.end(),
+          [](const verify::SafetyViolation& v) {
+            return v.kind == verify::ViolationKind::kLoop && v.counterexample;
+          });
+      if (saw_loop) {
+        return {false, "verify",
+                "planted forwarding loop detected: " + report.to_string()};
+      }
+    } else if (!report.ok()) {
+      return {false, "verify", "unsafe deployment: " + report.to_string()};
     }
   }
 

@@ -25,6 +25,11 @@
 ///                     lane/tuple classification pipeline must return the
 ///                     same deliveries as the linear reference scan over
 ///                     the identical table.
+///   (f) safety      — the deployed final state must verify clean under
+///                     the symbolic safety checker (no forwarding loop,
+///                     isolation breach, or blackhole), and every
+///                     counterexample the checker does emit must reproduce
+///                     when its packet is replayed through the data plane.
 ///
 /// A failing trace is shrunk by a delta-debugging minimizer and written as
 /// a ready-to-commit regression input under fuzz/corpus/regressions/, so a
@@ -49,6 +54,10 @@ struct TraceOp {
     kAnnounce = 0,
     kWithdraw = 1,
     kSessionDown = 2,
+    /// Append an outbound clause at `participant` steering DNS traffic for
+    /// `prefix` toward the participant named by `variant` (cross-participant
+    /// policy churn; the compiler's BGP filter decides whether it deploys).
+    kSteer = 3,
   };
   Kind kind = Kind::kAnnounce;
   std::uint8_t participant = 0;  ///< clamped modulo participant count
@@ -83,6 +92,7 @@ struct OracleOptions {
   bool check_recovery = true;
   bool check_partitioned = true;
   bool check_classifier = true;
+  bool check_verifier = true;
 
   /// Planted divergences for the oracle's own tests.
   enum class Fault : std::uint8_t {
@@ -103,6 +113,11 @@ struct OracleOptions {
     /// storage stays intact — models a classifier index that desynced from
     /// the table it is supposed to mirror.
     kDesyncClassifiedLookup,
+    /// A two-participant forwarding loop is planted behind the runtime's
+    /// back (mutual steering whose prefix is withdrawn straight from the
+    /// route server, leaving stale router FIBs) — the safety verifier must
+    /// report a loop whose counterexample packet reproduces under replay.
+    kPlantVerifierLoop,
   };
   Fault fault = Fault::kNone;
 
@@ -113,7 +128,7 @@ struct OracleOptions {
 struct OracleVerdict {
   bool ok = true;
   std::string oracle;  ///< "fast-path" | "threads" | "recovery" |
-                       ///< "partitioned" | "classifier"
+                       ///< "partitioned" | "classifier" | "verify"
   std::string detail;  ///< first observed divergence, human-readable
 };
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 #include <stdexcept>
 #include <utility>
+
+#include "sdx/verifier.hpp"
 
 namespace sdx::core {
 
@@ -12,6 +15,21 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Converts the local-rule auditor's findings into the safety subsystem's
+/// report format (satellite of the verify/ subsystem: one entry point, one
+/// report holding both graph counterexamples and per-rule violations).
+std::vector<verify::SafetyViolation> fold_audit(const AuditReport& report) {
+  std::vector<verify::SafetyViolation> out;
+  out.reserve(report.violations.size());
+  for (const auto& v : report.violations) {
+    verify::SafetyViolation sv;
+    sv.kind = verify::ViolationKind::kLocalRule;
+    sv.what = "rule " + std::to_string(v.rule_index) + ": " + v.what;
+    out.push_back(std::move(sv));
+  }
+  return out;
 }
 
 /// Scoped flag override; restores the previous value on any exit path.
@@ -367,6 +385,7 @@ const CompiledSdx& SdxRuntime::deploy() {
   update_log_.clear();
   for (auto prefix : server_.all_prefixes()) readvertise(prefix);
   for (auto prefix : pending) readvertise(prefix);
+  run_safety_stage(nullptr);
   return compiled;
 }
 
@@ -493,6 +512,9 @@ void SdxRuntime::apply_recompile(RecompileJob job) {
   for (auto prefix : pending) readvertise(prefix);
   install_batch(raced);
   swap_seconds_->observe(seconds_since(t0));
+  // Full re-verification after the swap (the raced-delta batch above already
+  // re-checked its own prefixes incrementally; the new base needs the rest).
+  run_safety_stage(nullptr);
 }
 
 void SdxRuntime::set_compile_threads(unsigned threads) {
@@ -546,6 +568,7 @@ void SdxRuntime::recompile_participant_partition(ParticipantId id) {
     fabric_.arp().bind(b.vnh, b.vmac);
   }
   for (auto prefix : update.affected) readvertise(prefix);
+  run_safety_stage(&update.affected);
 }
 
 void SdxRuntime::bind_arp(const CompiledSdx& compiled) {
@@ -762,6 +785,8 @@ void SdxRuntime::handle_post_install_update(Ipv4Prefix prefix) {
   }
   readvertise(prefix);
   log_update(UpdateReport{prefix, result.additional_rules, result.seconds});
+  const std::vector<Ipv4Prefix> dirty{prefix};
+  run_safety_stage(&dirty);
 }
 
 void SdxRuntime::install_batch(const std::vector<Ipv4Prefix>& prefixes) {
@@ -790,6 +815,7 @@ void SdxRuntime::install_batch(const std::vector<Ipv4Prefix>& prefixes) {
     log_update(
         UpdateReport{item.prefix, item.additional_rules, amortized});
   }
+  run_safety_stage(&prefixes);
 }
 
 void SdxRuntime::wire_journal_hooks() {
@@ -1004,15 +1030,29 @@ SdxRuntime::RecoveryReport SdxRuntime::recover(
   // run through the batched fast path — one coalesced pass instead of one
   // restricted compilation per record.
   bool batched = false;
+  bool policy_replayed = false;
   for (const auto& rec : journal->tail()) {
     if (!batched && installed()) {
       enable_batching(BatchOptions{0, 0});
       batched = true;
     }
+    if (installed() &&
+        (rec.type == persist::WalRecordType::kSetOutbound ||
+         rec.type == persist::WalRecordType::kSetInbound)) {
+      policy_replayed = true;
+    }
     replay_record(rec);
     ++report.replayed;
   }
   if (batched) disable_batching();
+  // Pairwise mode defers a post-install policy change to the next recompile,
+  // and the recompile the live runtime eventually ran is not a WAL record —
+  // replay would otherwise resurrect the stale tables. One coalesced rebuild
+  // restores the never-crashed state. (Partitioned mode recompiled the
+  // affected partitions inline during replay, so nothing is stale.)
+  if (policy_replayed && installed() && !options_.partitioned) {
+    background_recompile();
+  }
   journal_ = std::move(journal);
   wire_journal_hooks();
   journal_->start_recording(/*genesis_if_new=*/false);
@@ -1041,6 +1081,137 @@ std::vector<dp::Fabric::Delivery> SdxRuntime::send(ParticipantId from,
                                                    net::PacketHeader payload,
                                                    std::size_t port_index) {
   return fabric_.send(router(from, port_index), std::move(payload));
+}
+
+verify::DeploymentView SdxRuntime::deployment_view() const {
+  if (!installed()) {
+    throw std::logic_error("install() before deployment_view()");
+  }
+  verify::DeploymentView view;
+  view.participants = &participants_;
+  view.server = &server_;
+  const SdxRuntime* self = this;
+  view.process = [self](const net::PacketHeader& h) {
+    return self->fabric_.sdx_switch().table().process(h);
+  };
+  view.forward = [self](ParticipantId sender, net::PacketHeader payload)
+      -> std::optional<net::PacketHeader> {
+    const Participant& p = self->participant(sender);
+    if (p.is_remote()) return std::nullopt;
+    const dp::BorderRouter* router =
+        self->fabric_.router_at(p.primary_port().id);
+    if (router == nullptr) return std::nullopt;
+    return router->forward(std::move(payload), self->fabric_.arp());
+  };
+  view.owner_of = [self](net::PortId port) -> std::optional<ParticipantId> {
+    if (PortMap::is_virtual(port)) return std::nullopt;
+    try {
+      return self->port_map_.phys_owner(port);
+    } catch (const std::out_of_range&) {
+      return std::nullopt;
+    }
+  };
+  view.router_mac_at =
+      [self](net::PortId port) -> std::optional<net::MacAddress> {
+    const dp::BorderRouter* router = self->fabric_.router_at(port);
+    if (router == nullptr) return std::nullopt;
+    return router->mac();
+  };
+  view.known_prefixes = [self]() {
+    // The union of the route server's RIB and every border-router FIB:
+    // a prefix withdrawn behind the server's back is exactly the stale
+    // state the checker exists to catch, and it only survives in FIBs.
+    std::set<Ipv4Prefix> known;
+    for (auto prefix : self->server_.all_prefixes()) known.insert(prefix);
+    for (const auto& router : self->routers_) {
+      router.rib().for_each(
+          [&known](const bgp::Route& route) { known.insert(route.prefix); });
+    }
+    return std::vector<Ipv4Prefix>(known.begin(), known.end());
+  };
+  return view;
+}
+
+void SdxRuntime::enable_verification(verify::SafetyChecker::Options options) {
+  checker_ = std::make_unique<verify::SafetyChecker>(options);
+  if (verify_seconds_ == nullptr) {
+    auto& reg = telemetry_.metrics;
+    verify_full_runs_ =
+        &reg.counter("sdx_verify_runs_total", "safety verification passes",
+                     {{"mode", "full"}});
+    verify_incremental_runs_ =
+        &reg.counter("sdx_verify_runs_total", "safety verification passes",
+                     {{"mode", "incremental"}});
+    verify_seconds_ = &reg.histogram(
+        "sdx_verify_seconds", "safety verification wall time (seconds)");
+    verify_classes_ = &reg.counter("sdx_verify_classes_total",
+                                   "packet equivalence classes walked");
+    verify_edges_ = &reg.counter("sdx_verify_edges_total",
+                                 "forwarding-graph edges traversed");
+    // Pre-register every kind so the exposition is shape-stable whether or
+    // not a kind ever fires (the bench baselines gate on counter equality).
+    for (auto kind :
+         {verify::ViolationKind::kLoop, verify::ViolationKind::kIsolation,
+          verify::ViolationKind::kBlackhole,
+          verify::ViolationKind::kLocalRule}) {
+      verify_violations_[static_cast<std::size_t>(kind)] = &reg.counter(
+          "sdx_verify_violations_total", "safety violations detected",
+          {{"kind", std::string(verify::kind_name(kind))}});
+    }
+  }
+  if (installed()) run_safety_stage(nullptr);
+}
+
+void SdxRuntime::disable_verification() { checker_.reset(); }
+
+verify::SafetyReport SdxRuntime::verify_now() const {
+  if (!installed()) {
+    throw std::logic_error("install() before verify_now()");
+  }
+  verify::SafetyChecker checker;
+  // The static audit compares the compiled artifact against the current
+  // RIB, so it is only meaningful while the artifact IS the deployment.
+  // Outstanding fast-path bindings mean newer rules shadow stale artifact
+  // rules; auditing the artifact then reports phantom export mismatches
+  // the live table cannot exhibit. The walk below always checks the live
+  // table, so safety coverage is unaffected — only the rule-level audit
+  // waits for the next full recompile.
+  if (fast_bindings_.empty()) {
+    const AuditReport local =
+        audit(compiled(), participants_, port_map_, server_);
+    checker.set_local_findings(fold_audit(local), local.rules_checked);
+  }
+  return checker.full(deployment_view());
+}
+
+void SdxRuntime::run_safety_stage(const std::vector<Ipv4Prefix>* dirty) {
+  if (!checker_ || !installed()) return;
+  telemetry::Span span = telemetry_.tracer.span("safety_verify");
+  const auto view = deployment_view();
+  if (dirty == nullptr) {
+    // Full runs normally start right after a deploy/swap, when
+    // fast_bindings_ is empty and the artifact matches the deployment.
+    // enable_verification() can trigger one mid-fast-path, though — skip
+    // the artifact audit then (see verify_now for the staleness rationale).
+    if (fast_bindings_.empty()) {
+      const AuditReport local =
+          audit(compiled(), participants_, port_map_, server_);
+      checker_->set_local_findings(fold_audit(local), local.rules_checked);
+    } else {
+      checker_->set_local_findings({}, 0);
+    }
+    last_safety_report_ = checker_->full(view);
+    verify_full_runs_->inc();
+  } else {
+    last_safety_report_ = checker_->incremental(view, *dirty);
+    verify_incremental_runs_->inc();
+  }
+  verify_seconds_->observe(last_safety_report_.seconds);
+  verify_classes_->inc(last_safety_report_.classes_checked);
+  verify_edges_->inc(last_safety_report_.edges_walked);
+  for (const auto& v : last_safety_report_.violations) {
+    verify_violations_[static_cast<std::size_t>(v.kind)]->inc();
+  }
 }
 
 }  // namespace sdx::core

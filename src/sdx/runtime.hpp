@@ -19,6 +19,7 @@
 ///      against a versioned snapshot and swaps the result in atomically.
 ///   5. send() pushes packets through the emulated data plane end to end.
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -38,6 +39,7 @@
 #include "sdx/incremental.hpp"
 #include "sdx/participant.hpp"
 #include "telemetry/telemetry.hpp"
+#include "verify/safety.hpp"
 
 namespace sdx::core {
 
@@ -325,6 +327,38 @@ class SdxRuntime {
                                          net::PacketHeader payload,
                                          std::size_t port_index = 0);
 
+  // --- policy safety verification (verify/) ---------------------------------
+
+  /// The safety checker's window onto this runtime's live deployment:
+  /// compiled flow table, border routers, ARP and route server behind pure
+  /// closures (see verify::DeploymentView). The view borrows the runtime —
+  /// it must not outlive it. Throws std::logic_error before install().
+  verify::DeploymentView deployment_view() const;
+
+  /// Turns on the safety stage: a full check after every deploy (install,
+  /// synchronous or asynchronous recompile) and an incremental re-check of
+  /// only the dirty prefixes after inline fast-path updates, batched
+  /// flushes and partition recompiles. Results land in
+  /// last_safety_report() and telemetry (`sdx_verify_seconds`,
+  /// `sdx_verify_violations_total{kind=...}`, ...). Runs immediately when
+  /// already installed.
+  void enable_verification(verify::SafetyChecker::Options options = {});
+  void disable_verification();
+  bool verification_enabled() const { return checker_ != nullptr; }
+
+  /// One-shot full safety check — the single entry point returning both
+  /// graph-level counterexamples and the local-rule audit
+  /// (core::audit, folded in as kLocalRule violations). Independent of
+  /// enable_verification(): no checker state or telemetry is touched.
+  /// Throws std::logic_error before install().
+  verify::SafetyReport verify_now() const;
+
+  /// The report produced by the most recent safety stage (default-empty
+  /// before the first; meaningful only with verification enabled).
+  const verify::SafetyReport& last_safety_report() const {
+    return last_safety_report_;
+  }
+
  private:
   static constexpr std::uint32_t kBasePriority = 1000;
   static constexpr std::uint32_t kFastPriority = 1u << 24;
@@ -378,6 +412,10 @@ class SdxRuntime {
   void log_update(UpdateReport report);
   std::optional<VnhBinding> advertised_binding(Ipv4Prefix prefix) const;
   /// Registers the journal's telemetry series on the runtime registry.
+  /// Runs the enabled safety stage: full when \p dirty is null, else an
+  /// incremental re-check of exactly those prefixes. No-op unless
+  /// verification is enabled and the runtime is installed.
+  void run_safety_stage(const std::vector<Ipv4Prefix>* dirty);
   void wire_journal_hooks();
   /// Re-applies a checkpoint into this (fresh) runtime; sets report.warm
   /// when the fingerprint check allows adopting the persisted tables.
@@ -406,6 +444,13 @@ class SdxRuntime {
   telemetry::Counter* frontend_drops_ = nullptr;
   telemetry::Counter* ingest_reconnects_ = nullptr;
   telemetry::Counter* partitions_recompiled_ = nullptr;
+  telemetry::Counter* verify_full_runs_ = nullptr;
+  telemetry::Counter* verify_incremental_runs_ = nullptr;
+  telemetry::Histogram* verify_seconds_ = nullptr;
+  telemetry::Counter* verify_classes_ = nullptr;
+  telemetry::Counter* verify_edges_ = nullptr;
+  /// Violation counters indexed by verify::ViolationKind.
+  std::array<telemetry::Counter*, 4> verify_violations_{};
 
   bgp::RouteServer server_;
   CompileOptions options_;
@@ -450,6 +495,10 @@ class SdxRuntime {
   /// its original band overlaps the next band's priorities — harmless,
   /// since partitions match disjoint ingress ports.
   std::vector<std::uint32_t> partition_bases_;
+
+  /// Safety verification stage (verify/): present iff enabled.
+  std::unique_ptr<verify::SafetyChecker> checker_;
+  verify::SafetyReport last_safety_report_;
 
   std::uint64_t next_cookie_ = kBaseCookie + 1;
   net::PortId next_port_ = 1;

@@ -36,6 +36,9 @@ namespace sdx::core {
 //   send <name> <field>=<v>... [from-port <idx>]
 //   expect drop | expect port <name> <idx> | expect dstip <addr>
 //   audit                        static rule-table audit
+//   verify                       full safety check (loops, isolation,
+//                                blackholes + local audit); prints the
+//                                counterexample packet trace on failure
 //   save <dir>                   attach a journal at <dir> and checkpoint
 //   recover <dir>                rebuild a fresh runtime from a journal
 //   journal                      journal status (LSN, bytes, checkpoint)
@@ -483,6 +486,17 @@ std::string ScenarioInterpreter::Impl::handle(
     if (!report.ok()) fail(report.to_string());
     return "audit clean (" + std::to_string(report.rules_checked) +
            " rules)";
+  }
+
+  if (cmd == "verify") {
+    if (!runtime.installed()) fail("verify before install");
+    auto report = runtime.verify_now();
+    if (!report.ok()) fail(report.to_string());
+    std::ostringstream os;
+    os << "verify clean (" << report.classes_checked << " classes, "
+       << report.prefixes_checked << " prefixes, " << report.edges_walked
+       << " edges, " << report.local_rules_checked << " rules)";
+    return os.str();
   }
 
   if (cmd == "show") {

@@ -1,0 +1,437 @@
+#include "verify/safety.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <unordered_set>
+
+namespace sdx::verify {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// A header variant: the non-IP exact matches (proto/ports) of a deployed
+/// clause plus its first source prefix. Together with a destination prefix
+/// it names one packet equivalence class — headers inside a class traverse
+/// identical rule sequences, so one representative proves the class.
+struct Variant {
+  std::vector<std::pair<net::Field, std::uint64_t>> exact;
+  std::optional<Ipv4Prefix> src;
+
+  friend bool operator==(const Variant&, const Variant&) = default;
+};
+
+bool variant_less(const Variant& a, const Variant& b) {
+  if (a.exact != b.exact) return a.exact < b.exact;
+  if (a.src.has_value() != b.src.has_value()) return b.src.has_value();
+  if (a.src && b.src && *a.src != *b.src) return *a.src < *b.src;
+  return false;
+}
+
+/// Only transport-level fields survive into a variant: L2 fields and the
+/// IP addresses are owned by the framing step (router LPM/ARP) and the
+/// class's own prefixes.
+void append_variant_fields(const core::ClauseMatch& match,
+                           std::vector<Variant>& out) {
+  Variant v;
+  for (const auto& [field, value] : match.exact) {
+    if (field == net::Field::kIpProto || field == net::Field::kSrcPort ||
+        field == net::Field::kDstPort) {
+      v.exact.emplace_back(field, value);
+    }
+  }
+  std::sort(v.exact.begin(), v.exact.end());
+  if (!match.src_prefixes.empty()) v.src = match.src_prefixes.front();
+  out.push_back(std::move(v));
+}
+
+std::vector<Variant> build_variants(
+    const std::vector<core::Participant>& participants,
+    std::size_t max_variants) {
+  std::vector<Variant> out;
+  out.push_back(Variant{});  // the default (unpolicied) class
+  for (const auto& p : participants) {
+    for (const auto& clause : p.outbound) {
+      append_variant_fields(clause.match, out);
+    }
+    for (const auto& clause : p.inbound) {
+      append_variant_fields(clause.match, out);
+    }
+  }
+  std::sort(out.begin(), out.end(), variant_less);
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (out.size() > max_variants) out.resize(max_variants);
+  return out;
+}
+
+net::Ipv4Address representative(Ipv4Prefix prefix) {
+  // network|1 avoids the network address itself on wide blocks.
+  const std::uint32_t host = prefix.length() < 32 ? 1u : 0u;
+  return net::Ipv4Address(prefix.network().value() | host);
+}
+
+PacketHeader make_payload(Ipv4Prefix prefix, const Variant& v) {
+  PacketHeader h;
+  h.set_dst_ip(representative(prefix));
+  h.set_src_ip(v.src ? representative(*v.src)
+                     : net::Ipv4Address::parse("192.0.2.1"));
+  h.set(net::Field::kEthType, net::kEthTypeIpv4);
+  for (const auto& [field, value] : v.exact) h.set(field, value);
+  return h;
+}
+
+std::string name_of(const DeploymentView& view, ParticipantId id) {
+  if (view.participants != nullptr) {
+    for (const auto& p : *view.participants) {
+      if (p.id == id) return p.name;
+    }
+  }
+  return "P" + std::to_string(id);
+}
+
+bool is_remote(const DeploymentView& view, ParticipantId id) {
+  if (view.participants == nullptr) return false;
+  for (const auto& p : *view.participants) {
+    if (p.id == id) return p.is_remote();
+  }
+  return false;
+}
+
+bool advertises(const bgp::RouteServer& server, ParticipantId id,
+                Ipv4Prefix prefix) {
+  const auto* routes = server.candidates(prefix);
+  if (routes == nullptr) return false;
+  for (const auto& r : *routes) {
+    if (r.learned_from == id) return true;
+  }
+  return false;
+}
+
+/// True when every current advertiser of \p prefix is a remote participant:
+/// traffic toward it leaves the model (or is intentionally dropped until an
+/// inbound rewrite redirects it), so a dropped frame is not a blackhole.
+bool only_remote_advertisers(const DeploymentView& view, Ipv4Prefix prefix) {
+  const auto* routes = view.server->candidates(prefix);
+  if (routes == nullptr || routes->empty()) return false;
+  for (const auto& r : *routes) {
+    if (!is_remote(view, r.learned_from)) return false;
+  }
+  return true;
+}
+
+std::string hops_string(const DeploymentView& view,
+                        const std::vector<ParticipantId>& hops) {
+  std::string out;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += name_of(view, hops[i]);
+  }
+  return out;
+}
+
+struct WalkContext {
+  const DeploymentView& view;
+  const std::vector<Ipv4Prefix>& known;  ///< sorted, for rewrite re-anchoring
+  std::size_t max_hops;
+};
+
+std::optional<Ipv4Prefix> containing_prefix(
+    const std::vector<Ipv4Prefix>& known, net::Ipv4Address addr) {
+  std::optional<Ipv4Prefix> best;
+  for (auto p : known) {
+    if (p.contains(addr) && (!best || p.length() > best->length())) best = p;
+  }
+  return best;
+}
+
+std::vector<ParticipantId> extend(std::vector<ParticipantId> hops,
+                                  ParticipantId next) {
+  hops.push_back(next);
+  return hops;
+}
+
+/// The shared forwarding-graph walk: one (sender, class) node through the
+/// deployed tables until delivery, loop, or blackhole. `first_frame` must
+/// already be framed (it IS the counterexample packet); every violation
+/// found along the walk is appended to `out`.
+void walk_from(const WalkContext& ctx, ParticipantId sender,
+               Ipv4Prefix prefix, const std::string& desc,
+               const PacketHeader& first_frame,
+               std::vector<SafetyViolation>& out, std::size_t& edges) {
+  const DeploymentView& view = ctx.view;
+  std::vector<ParticipantId> path{sender};
+  ParticipantId current = sender;
+  PacketHeader frame = first_frame;
+  Ipv4Prefix dst_prefix = prefix;
+
+  auto witness = [&](std::vector<ParticipantId> hops) {
+    Counterexample cx;
+    cx.packet = first_frame;
+    cx.ingress_port = first_frame.port();
+    cx.sender = sender;
+    cx.prefix = prefix;
+    cx.hops = std::move(hops);
+    return cx;
+  };
+
+  for (;;) {
+    if (path.size() > ctx.max_hops) {
+      out.push_back({ViolationKind::kLoop,
+                     desc + ": hop budget (" + std::to_string(ctx.max_hops) +
+                         ") exhausted without reaching an egress (" +
+                         hops_string(view, path) + ")",
+                     witness(path)});
+      return;
+    }
+    auto copies = view.process(frame);
+    ++edges;
+    // The switch never hairpins a frame back out its ingress port.
+    std::erase_if(copies, [&](const PacketHeader& c) {
+      return c.port() == frame.port();
+    });
+    if (copies.empty()) {
+      if (!only_remote_advertisers(view, dst_prefix)) {
+        out.push_back({ViolationKind::kBlackhole,
+                       desc + ": the fabric dropped the class at " +
+                           name_of(view, current) + " (no egress copy)",
+                       witness(path)});
+      }
+      return;
+    }
+    // Unicast continuation: the walk follows the first viable copy; every
+    // other copy still gets its per-hop checks.
+    std::optional<std::pair<ParticipantId, PacketHeader>> next;
+    Ipv4Prefix next_prefix = dst_prefix;
+    for (const auto& copy : copies) {
+      const PortId out_port = copy.port();
+      const auto owner = view.owner_of(out_port);
+      if (!owner) {
+        out.push_back({ViolationKind::kBlackhole,
+                       desc + ": frame egresses at unclaimed port " +
+                           std::to_string(out_port) + " from " +
+                           name_of(view, current),
+                       witness(path)});
+        continue;
+      }
+      const ParticipantId x = *owner;
+      const auto mac = view.router_mac_at(out_port);
+      if (!mac || (copy.dst_mac() != *mac &&
+                   copy.dst_mac() != MacAddress::broadcast())) {
+        out.push_back({ViolationKind::kBlackhole,
+                       desc + ": " + name_of(view, x) +
+                           "'s router drops the frame at port " +
+                           std::to_string(out_port) + " (dst MAC " +
+                           copy.dst_mac().to_string() + " is not its own)",
+                       witness(extend(path, x))});
+        continue;
+      }
+      // An inbound rewrite may have moved the destination to a different
+      // prefix; re-anchor the class before the BGP-relation checks.
+      Ipv4Prefix pfx = dst_prefix;
+      if (!pfx.contains(copy.dst_ip())) {
+        if (auto re = containing_prefix(ctx.known, copy.dst_ip())) pfx = *re;
+      }
+      if (!view.server->exports_to(x, current, pfx)) {
+        out.push_back(
+            {ViolationKind::kIsolation,
+             desc + ": " + name_of(view, x) + " attracts traffic for " +
+                 pfx.to_string() + " from " + name_of(view, current) +
+                 " without exporting the prefix to it",
+             witness(extend(path, x))});
+        // Keep walking: the stale state behind an isolation breach often
+        // hides a loop or blackhole one hop further.
+      }
+      if (std::find(path.begin(), path.end(), x) != path.end()) {
+        out.push_back({ViolationKind::kLoop,
+                       desc + ": forwarding loop " +
+                           hops_string(view, extend(path, x)),
+                       witness(extend(path, x))});
+        continue;  // never walk deeper along a cycle
+      }
+      if (advertises(*view.server, x, pfx)) {
+        // Physical egress: x advertised the prefix, so its router forwards
+        // the traffic upstream. The class is delivered.
+        continue;
+      }
+      // x attracts the class without advertising it — model its re-entry
+      // through its own FIB (LPM → next hop → ARP).
+      auto onward = view.forward(x, copy);
+      if (!onward) {
+        if (!only_remote_advertisers(view, pfx)) {
+          out.push_back({ViolationKind::kBlackhole,
+                         desc + ": " + name_of(view, x) +
+                             " attracts traffic for " + pfx.to_string() +
+                             " but its border router has no onward route "
+                             "(next hop withdrawn)",
+                         witness(extend(path, x))});
+        }
+        continue;
+      }
+      if (!next) {
+        next = {x, *onward};
+        next_prefix = pfx;
+      }
+    }
+    if (!next) return;
+    current = next->first;
+    frame = next->second;
+    dst_prefix = next_prefix;
+    path.push_back(current);
+  }
+}
+
+std::vector<Ipv4Prefix> sorted_known(const DeploymentView& view) {
+  auto known = view.known_prefixes();
+  std::sort(known.begin(), known.end());
+  known.erase(std::unique(known.begin(), known.end()), known.end());
+  return known;
+}
+
+}  // namespace
+
+std::string_view kind_name(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kLoop: return "loop";
+    case ViolationKind::kIsolation: return "isolation";
+    case ViolationKind::kBlackhole: return "blackhole";
+    case ViolationKind::kLocalRule: return "local_rule";
+  }
+  return "unknown";
+}
+
+std::string Counterexample::to_string() const {
+  std::ostringstream os;
+  os << "packet " << packet.to_string() << " ingress port " << ingress_port
+     << " (sender " << sender << ", dst " << prefix.to_string() << "), hops";
+  for (auto h : hops) os << " " << h;
+  return os.str();
+}
+
+std::size_t SafetyReport::count(ViolationKind k) const {
+  std::size_t n = 0;
+  for (const auto& v : violations) {
+    if (v.kind == k) ++n;
+  }
+  return n;
+}
+
+std::string SafetyReport::to_string() const {
+  std::ostringstream os;
+  os << "safety report (" << (incremental ? "incremental" : "full") << "): "
+     << violations.size() << " violation(s), " << classes_checked
+     << " classes, " << edges_walked << " edges, " << prefixes_checked
+     << " prefixes, " << variants << " variants, " << local_rules_checked
+     << " rules audited\n";
+  for (const auto& v : violations) {
+    os << "  [" << kind_name(v.kind) << "] " << v.what << "\n";
+    if (v.counterexample) {
+      os << "    counterexample: " << v.counterexample->to_string() << "\n";
+    }
+  }
+  return os.str();
+}
+
+SafetyChecker::PrefixFinding SafetyChecker::check_prefix(
+    const DeploymentView& view, Ipv4Prefix prefix) {
+  PrefixFinding f;
+  const auto variants = build_variants(*view.participants,
+                                       options_.max_variants);
+  for (const auto& p : *view.participants) {
+    if (p.is_remote()) continue;
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+      PacketHeader payload = make_payload(prefix, variants[vi]);
+      auto framed = view.forward(p.id, payload);
+      if (!framed) continue;  // the router holds no route: no traffic
+      ++f.classes;
+      const std::string desc = "class dst=" + prefix.to_string() +
+                               " variant#" + std::to_string(vi) + " from " +
+                               p.name;
+      WalkContext ctx{view, known_, options_.max_hops};
+      walk_from(ctx, p.id, prefix, desc, *framed, f.violations, f.edges);
+    }
+  }
+  return f;
+}
+
+SafetyReport SafetyChecker::full(const DeploymentView& view) {
+  const auto t0 = std::chrono::steady_clock::now();
+  known_ = sorted_known(view);
+  cache_.clear();
+  for (auto prefix : known_) {
+    cache_.emplace(prefix, check_prefix(view, prefix));
+  }
+  variants_seen_ =
+      build_variants(*view.participants, options_.max_variants).size();
+  return assemble(false, seconds_since(t0));
+}
+
+SafetyReport SafetyChecker::incremental(const DeploymentView& view,
+                                        const std::vector<Ipv4Prefix>& dirty) {
+  const auto t0 = std::chrono::steady_clock::now();
+  known_ = sorted_known(view);
+  const std::unordered_set<Ipv4Prefix> known_set(known_.begin(), known_.end());
+  std::unordered_set<Ipv4Prefix> seen;
+  for (auto prefix : dirty) {
+    if (!seen.insert(prefix).second) continue;
+    if (known_set.contains(prefix)) {
+      cache_[prefix] = check_prefix(view, prefix);
+    } else {
+      cache_.erase(prefix);  // the prefix left the deployment entirely
+    }
+  }
+  variants_seen_ =
+      build_variants(*view.participants, options_.max_variants).size();
+  return assemble(true, seconds_since(t0));
+}
+
+void SafetyChecker::set_local_findings(std::vector<SafetyViolation> findings,
+                                       std::size_t rules_checked) {
+  local_ = std::move(findings);
+  local_rules_checked_ = rules_checked;
+}
+
+SafetyReport SafetyChecker::assemble(bool incremental, double seconds) const {
+  SafetyReport report;
+  report.incremental = incremental;
+  report.seconds = seconds;
+  report.variants = variants_seen_;
+  report.local_rules_checked = local_rules_checked_;
+  report.violations = local_;
+  std::vector<Ipv4Prefix> order;
+  order.reserve(cache_.size());
+  for (const auto& [prefix, finding] : cache_) order.push_back(prefix);
+  std::sort(order.begin(), order.end());
+  for (auto prefix : order) {
+    const auto& finding = cache_.at(prefix);
+    report.classes_checked += finding.classes;
+    report.edges_walked += finding.edges;
+    report.violations.insert(report.violations.end(),
+                             finding.violations.begin(),
+                             finding.violations.end());
+  }
+  report.prefixes_checked = cache_.size();
+  return report;
+}
+
+ReplayResult replay(const DeploymentView& view, const Counterexample& cx,
+                    std::size_t max_hops) {
+  std::vector<SafetyViolation> violations;
+  std::size_t edges = 0;
+  const auto known = sorted_known(view);
+  WalkContext ctx{view, known, max_hops};
+  walk_from(ctx, cx.sender, cx.prefix, "replay", cx.packet, violations, edges);
+  ReplayResult result;
+  result.hops = edges;
+  for (const auto& v : violations) {
+    result.kinds.push_back(v.kind);
+    if (!result.detail.empty()) result.detail += "; ";
+    result.detail += v.what;
+  }
+  return result;
+}
+
+}  // namespace sdx::verify

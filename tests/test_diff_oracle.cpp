@@ -2,8 +2,9 @@
 /// divergence in one side of each equivalence and the oracle must (a)
 /// detect it, (b) blame the right oracle, and (c) shrink the failing trace
 /// to at most three ops with the delta-debugging minimizer. Clean traces —
-/// including every committed regression input — must pass all four
-/// equivalences (fast path, threads, recovery, partitioned).
+/// including every committed regression input — must pass every
+/// equivalence (fast path, threads, recovery, partitioned, classifier,
+/// safety verification).
 
 #include <gtest/gtest.h>
 
@@ -151,6 +152,62 @@ TEST(DiffOracle, DetectsDesyncedClassifierIndex) {
   const auto verdict = oracle.check(t);
   ASSERT_FALSE(verdict.ok) << "planted classifier desync went undetected";
   EXPECT_EQ(verdict.oracle, "classifier");
+  EXPECT_FALSE(verdict.detail.empty());
+
+  const auto minimized = oracle.minimize(t);
+  EXPECT_TRUE(minimized.ops.empty())
+      << "a zero-op failure must minimize to zero ops";
+}
+
+TEST(DiffOracle, CleanSteerTracePassesAllEquivalences) {
+  // Cross-participant steering churn: steer toward an advertiser (deploys),
+  // steer toward a non-advertiser (BGP-filtered out), make the target a
+  // transit advertiser mid-trace, then withdraw it again. Every execution
+  // path — fast, threaded, partitioned, classified, recovered, verified —
+  // must agree on the result.
+  Trace t;
+  t.participants = 3;
+  t.prefixes = 4;
+  t.ops = {
+      TraceOp{TraceOp::Kind::kSteer, 0, 1, 1},     // P1 steers x1 -> P2 (owner)
+      TraceOp{TraceOp::Kind::kAnnounce, 2, 1, 1},  // P3 transit-announces x1
+      TraceOp{TraceOp::Kind::kSteer, 1, 1, 2},     // P2 steers x1 -> P3
+      TraceOp{TraceOp::Kind::kWithdraw, 2, 1, 0},  // P3 drops x1 again
+  };
+  DifferentialOracle oracle;
+  const auto verdict = oracle.check(t);
+  EXPECT_TRUE(verdict.ok) << verdict.oracle << ": " << verdict.detail;
+}
+
+TEST(DiffOracle, SteerOpsRoundTripThroughCodec) {
+  Trace t;
+  t.participants = 4;
+  t.prefixes = 5;
+  t.ops = {
+      TraceOp{TraceOp::Kind::kSteer, 1, 2, 3},
+      TraceOp{TraceOp::Kind::kAnnounce, 0, 0, 1},
+      TraceOp{TraceOp::Kind::kSteer, 3, 4, 0},
+      TraceOp{TraceOp::Kind::kSessionDown, 2, 0, 0},
+  };
+  EXPECT_EQ(decode_trace(encode_trace(t)), t);
+  EXPECT_NE(t.to_string().find("S(p2,x2->p4)"), std::string::npos)
+      << t.to_string();
+}
+
+TEST(DiffOracle, DetectsPlantedVerifierLoop) {
+  OracleOptions options;
+  options.fault = OracleOptions::Fault::kPlantVerifierLoop;
+  DifferentialOracle oracle(options);
+
+  // Zero ops suffice: the plant (mutual steering left deployed while the
+  // steered prefix is withdrawn behind the runtime's back) is independent
+  // of the trace body.
+  Trace t;
+  t.participants = 3;
+  t.prefixes = 4;
+  const auto verdict = oracle.check(t);
+  ASSERT_FALSE(verdict.ok) << "planted forwarding loop went undetected";
+  EXPECT_EQ(verdict.oracle, "verify");
   EXPECT_FALSE(verdict.detail.empty());
 
   const auto minimized = oracle.minimize(t);

@@ -87,6 +87,23 @@ audit
   EXPECT_EQ(interp.run(script, out), 0u) << out.str();
 }
 
+TEST_F(ScenarioFixture, VerifyCommandProvesInstalledStateClean) {
+  run_fail("verify");  // nothing installed yet
+  run_ok({"participant A 65001", "participant B 65002 ports 2",
+          "participant C 65003",
+          "announce B 100.1.0.0/16 path 65002 900 10",
+          "announce C 100.1.0.0/16 path 65003 10",
+          "outbound A match dstport=80 -> B",
+          "inbound B match srcip=0.0.0.0/1 port 0",
+          "inbound B match srcip=128.0.0.0/1 port 1", "install"});
+  const auto clean = run_ok({"verify"});
+  EXPECT_NE(clean.find("verify clean"), std::string::npos) << clean;
+  EXPECT_NE(clean.find("classes"), std::string::npos) << clean;
+  // The proof covers post-install churn through the fast path, too.
+  run_ok({"withdraw C 100.1.0.0/16"});
+  EXPECT_NE(run_ok({"verify"}).find("verify clean"), std::string::npos);
+}
+
 TEST_F(ScenarioFixture, ExpectationsCatchWrongOutcomes) {
   run_ok({"participant A 65001", "participant B 65002",
           "announce B 100.1.0.0/16", "install",
@@ -170,7 +187,8 @@ TEST_F(ScenarioFixture, RecompileCoalescesFastPathRules) {
 
 TEST(ScenarioScripts, ShippedScriptsRunClean) {
   for (const char* name : {"figure1.sdx", "load_balancer.sdx",
-                           "service_chain.sdx", "multi_switch.sdx"}) {
+                           "service_chain.sdx", "multi_switch.sdx",
+                           "verify_safety.sdx"}) {
     std::ifstream file(std::string(SDX_SOURCE_DIR) +
                        "/examples/scenarios/" + name);
     ASSERT_TRUE(file.is_open()) << name;
