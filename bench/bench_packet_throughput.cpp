@@ -7,17 +7,30 @@
 /// defaults, masked attribute-bit clause rules with a dst-port leg, and
 /// /24 dst-IP prefix rules. Traffic mixes steer packets at each lane:
 ///
-///   vmac   — VMAC-tagged packets hitting the exact-match fast lane;
-///   clause — tagged packets with the policy attribute bit set and
-///            dst_port 80, hitting the attribute-bit lane;
-///   prefix — untagged packets hitting the prefix tuple (trie-pruned);
-///   miss   — untagged packets matching nothing (full pruning path);
-///   mixed  — the four above round-robin.
+///   vmac    — VMAC-tagged packets hitting the exact-match fast lane;
+///   clause  — tagged packets with the policy attribute bit set and
+///             dst_port 80, hitting the attribute-bit lane;
+///   prefix  — untagged packets hitting the prefix tuple (trie-pruned);
+///   miss    — untagged packets matching nothing (full pruning path);
+///   mixed   — the four above round-robin;
+///   traffic — a 32-flow generated mix with linear-decay rank skew: the
+///             same flow headers recur across the stream, so consecutive
+///             bursts carry the duplicate structure real inter-domain
+///             traffic has (the batch dedup/memo path's home turf).
 ///
-/// Modes: `classified` and `linear` time single-threaded lookup(); `mt`
-/// runs the classified table through process() from N concurrent threads —
-/// the thread-safe counter path (Σ matched+missed and Σ per-rule
-/// packet_count must equal the offered load; the bench asserts it).
+/// Miss packets use the reserved top octet 0x0C — unicast and globally
+/// administered, so no VMAC encoding (top octet 0x02, locally
+/// administered) or future lane spec can alias it and the miss-rate
+/// columns stay exact by construction.
+///
+/// Modes: `classified` and `linear` time single-threaded lookup();
+/// `batch<B>` (B in {8, 64, 1024}) times lookup_batch() over consecutive
+/// B-packet windows of the same stream; `mt` runs the classified table
+/// through process() from N concurrent threads and `mtbatch` through
+/// process_batch() in 64-packet bursts — the thread-safe counter paths
+/// (Σ matched+missed and Σ per-rule packet_count must equal the offered
+/// load; the bench asserts it). The linear reference is skipped at rule
+/// counts ≥ 100k, where a full scan per packet is pointlessly slow.
 ///
 /// Lookup counts are FIXED per phase (not timed loops), so the counter
 /// series in the metrics snapshot are byte-stable run to run and the CI
@@ -30,6 +43,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -89,47 +103,84 @@ void fill_rules(dp::FlowTable& table, std::size_t n) {
   }
 }
 
+/// One lane-targeted packet, drawn over the installed rule indices.
+net::PacketHeader make_packet(const char* kind, net::SplitMix64& rng,
+                              std::size_t n, std::size_t k) {
+  const auto spec = vmac_spec();
+  if (std::string_view(kind) == "vmac") {
+    std::uint64_t i = rng.below(n);
+    while (i % 8 == 5 || i % 4 == 3) i = (i + 1) % n;  // land on a default
+    return net::PacketBuilder()
+        .dst_mac(net::MacAddress(spec.top_value | (i & 0xFFFFF)))
+        .build();
+  }
+  if (std::string_view(kind) == "clause") {
+    const std::uint64_t i = 5 + 8 * rng.below(n / 8);
+    const std::uint64_t bit =
+        1ull << (spec.attr_shift() + (i / 8) % spec.attr_bits);
+    return net::PacketBuilder()
+        .dst_mac(
+            net::MacAddress(spec.top_value | bit | rng.below(1u << 10)))
+        .dst_port(80)
+        .build();
+  }
+  if (std::string_view(kind) == "prefix") {
+    const std::uint64_t i = 3 + 4 * rng.below(n / 4);
+    return net::PacketBuilder()
+        .dst_ip(net::Ipv4Address(0x0A000000u |
+                                 (static_cast<std::uint32_t>(i) << 8) |
+                                 static_cast<std::uint32_t>(rng.below(256))))
+        .build();
+  }
+  // miss: reserved top octet 0x0C (unicast, globally administered — can
+  // never alias the locally-administered VMAC space), dst IP outside
+  // every installed /24.
+  return net::PacketBuilder()
+      .dst_mac(net::MacAddress(0x0Cull << 40 | k))
+      .dst_ip(
+          net::Ipv4Address(0xC0A80000u | static_cast<std::uint32_t>(k)))
+      .build();
+}
+
 /// 256 packets per mix, drawn over the installed rule indices with a
-/// fixed seed — the same packet stream every run.
+/// fixed seed — the same packet stream every run. The `traffic` mix
+/// replays 32 generated flow headers with linear-decay rank skew, so the
+/// stream contains exact duplicates the way a real port's burst does.
 std::vector<net::PacketHeader> make_packets(const std::string& mix,
                                             std::size_t n) {
-  const auto spec = vmac_spec();
   net::SplitMix64 rng(0x5D2Full ^ n);
   std::vector<net::PacketHeader> out;
   out.reserve(256);
+  if (mix == "traffic") {
+    constexpr std::size_t kFlows = 32;
+    static const char* kFlowKind[5] = {"vmac", "vmac", "clause", "prefix",
+                                       "miss"};
+    std::vector<net::PacketHeader> flows;
+    flows.reserve(kFlows);
+    for (std::size_t f = 0; f < kFlows; ++f) {
+      flows.push_back(make_packet(kFlowKind[f % 5], rng, n, f));
+    }
+    // Linear-decay rank sampling: flow r carries weight (kFlows - r), so
+    // a handful of heavy flows dominate — the same skew the scenario
+    // `traffic` command and TrafficMonitor assume. Each draw emits a
+    // short train of 1–4 back-to-back packets of the sampled flow, the
+    // way TCP windows arrive on a real port.
+    const std::uint64_t total = kFlows * (kFlows + 1) / 2;
+    while (out.size() < 256) {
+      std::uint64_t t = rng.below(total);
+      std::size_t r = 0;
+      while (t >= kFlows - r) t -= kFlows - r, ++r;
+      const std::size_t train = 1 + rng.below(4);
+      for (std::size_t p = 0; p < train && out.size() < 256; ++p) {
+        out.push_back(flows[r]);
+      }
+    }
+    return out;
+  }
   for (std::size_t k = 0; k < 256; ++k) {
     static const char* kRoundRobin[4] = {"vmac", "clause", "prefix", "miss"};
-    const std::string kind = mix == "mixed" ? kRoundRobin[k % 4] : mix;
-    if (kind == "vmac") {
-      std::uint64_t i = rng.below(n);
-      while (i % 8 == 5 || i % 4 == 3) i = (i + 1) % n;  // land on a default
-      out.push_back(net::PacketBuilder()
-                        .dst_mac(net::MacAddress(spec.top_value | (i & 0xFFFFF)))
-                        .build());
-    } else if (kind == "clause") {
-      const std::uint64_t i = 5 + 8 * rng.below(n / 8);
-      const std::uint64_t bit =
-          1ull << (spec.attr_shift() + (i / 8) % spec.attr_bits);
-      out.push_back(net::PacketBuilder()
-                        .dst_mac(net::MacAddress(spec.top_value | bit |
-                                                 rng.below(1u << 10)))
-                        .dst_port(80)
-                        .build());
-    } else if (kind == "prefix") {
-      const std::uint64_t i = 3 + 4 * rng.below(n / 4);
-      out.push_back(
-          net::PacketBuilder()
-              .dst_ip(net::Ipv4Address(
-                  0x0A000000u | (static_cast<std::uint32_t>(i) << 8) |
-                  static_cast<std::uint32_t>(rng.below(256))))
-              .build());
-    } else {  // miss: untagged MAC, dst IP outside every installed /24
-      out.push_back(net::PacketBuilder()
-                        .dst_mac(net::MacAddress(0x00163Eull << 24 | k))
-                        .dst_ip(net::Ipv4Address(0xC0A80000u |
-                                                 static_cast<std::uint32_t>(k)))
-                        .build());
-    }
+    const char* kind = mix == "mixed" ? kRoundRobin[k % 4] : mix.c_str();
+    out.push_back(make_packet(kind, rng, n, k));
   }
   return out;
 }
@@ -149,6 +200,40 @@ PhaseResult run_lookup(const dp::FlowTable& table,
   bench::Stopwatch sw;
   for (std::size_t i = 0; i < lookups; ++i) {
     res.matched += table.lookup(pkts[i & 255]) != nullptr;
+  }
+  res.seconds = sw.seconds();
+  return res;
+}
+
+/// Consecutive `burst`-sized windows of the 256-packet stream, the way a
+/// switch drains its rx ring. Built once so the timed loop only calls
+/// lookup_batch.
+std::vector<std::vector<net::PacketHeader>> burst_windows(
+    const std::vector<net::PacketHeader>& pkts, std::size_t burst) {
+  std::vector<std::vector<net::PacketHeader>> windows;
+  std::size_t off = 0;
+  do {
+    std::vector<net::PacketHeader> w(burst);
+    for (std::size_t i = 0; i < burst; ++i) w[i] = pkts[(off + i) & 255];
+    windows.push_back(std::move(w));
+    off = (off + burst) & 255;
+  } while (off != 0);
+  return windows;
+}
+
+/// Single-threaded lookup_batch() loop over fixed burst windows.
+PhaseResult run_lookup_batch(const dp::FlowTable& table,
+                             const std::vector<net::PacketHeader>& pkts,
+                             std::size_t lookups, std::size_t burst) {
+  const auto windows = burst_windows(pkts, burst);
+  std::vector<const dp::FlowRule*> hits(burst, nullptr);
+  PhaseResult res;
+  const std::size_t iters = lookups / burst;
+  res.lookups = iters * burst;
+  bench::Stopwatch sw;
+  for (std::size_t it = 0; it < iters; ++it) {
+    table.lookup_batch(windows[it % windows.size()], hits);
+    for (const auto* r : hits) res.matched += r != nullptr;
   }
   res.seconds = sw.seconds();
   return res;
@@ -191,6 +276,46 @@ PhaseResult run_process_mt(const dp::FlowTable& table,
   return res;
 }
 
+/// N threads draining 64-packet bursts through process_batch() — the
+/// batched flavor of the counter path, with the same offered-load
+/// reconciliation check.
+PhaseResult run_process_batch_mt(const dp::FlowTable& table,
+                                 const std::vector<net::PacketHeader>& pkts,
+                                 std::size_t lookups, unsigned threads) {
+  constexpr std::size_t kBurst = 64;
+  const auto windows = burst_windows(pkts, kBurst);
+  PhaseResult res;
+  const std::size_t per_thread = lookups / threads / kBurst * kBurst;
+  res.lookups = per_thread * threads;
+  const auto matched0 = table.total_matched();
+  const auto missed0 = table.total_missed();
+  std::atomic<std::size_t> sink{0};
+  bench::Stopwatch sw;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::size_t local = 0;
+      for (std::size_t i = 0; i < per_thread / kBurst; ++i) {
+        local +=
+            table.process_batch(windows[(t + i) % windows.size()]).frames.size();
+      }
+      sink.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& w : workers) w.join();
+  res.seconds = sw.seconds();
+  res.matched = table.total_matched() - matched0;
+  const auto missed = table.total_missed() - missed0;
+  if (res.matched + missed != res.lookups) {
+    std::fprintf(stderr,
+                 "batch counter mismatch: matched %llu + missed %llu != %zu\n",
+                 static_cast<unsigned long long>(res.matched),
+                 static_cast<unsigned long long>(missed), res.lookups);
+    std::exit(1);
+  }
+  return res;
+}
+
 void print_row(const std::string& mix, std::size_t rules,
                const std::string& mode, unsigned threads,
                const PhaseResult& r) {
@@ -211,14 +336,20 @@ int main() {
   const unsigned threads =
       bench::bench_threads() ? bench::bench_threads() : 4;
 
+  // 262144 rules is the ablation-scale phase: the ungrouped table the
+  // partitioned compiler avoids emitting must still build and sustain
+  // classified lookups. The linear reference is skipped there (a 256k-rule
+  // scan per packet proves nothing except patience).
   const std::vector<std::size_t> rule_counts =
-      smoke ? std::vector<std::size_t>{256}
-            : std::vector<std::size_t>{256, 1024, 4096};
+      smoke ? std::vector<std::size_t>{256, 262144}
+            : std::vector<std::size_t>{256, 1024, 4096, 262144};
+  constexpr std::size_t kLinearCutoff = 100000;
   const std::size_t classified_lookups = smoke ? 40000 : 4000000;
   const std::size_t linear_lookups = smoke ? 8000 : 100000;
   const std::size_t mt_lookups = smoke ? 40000 : 2000000;
-  const std::vector<std::string> mixes = {"vmac", "clause", "prefix", "miss",
-                                          "mixed"};
+  const std::vector<std::size_t> bursts = {8, 64, 1024};
+  const std::vector<std::string> mixes = {"vmac", "clause", "prefix",
+                                          "miss",  "mixed", "traffic"};
 
   telemetry::MetricRegistry metrics;
 
@@ -253,10 +384,19 @@ int main() {
 
       table.set_lookup_mode(dp::FlowTable::LookupMode::kClassified);
       record("classified", 1, run_lookup(table, pkts, classified_lookups));
+      for (const std::size_t b : bursts) {
+        const std::string mode = "batch" + std::to_string(b);
+        record(mode.c_str(), 1,
+               run_lookup_batch(table, pkts, classified_lookups, b));
+      }
       record("mt", threads, run_process_mt(table, pkts, mt_lookups, threads));
-      table.set_lookup_mode(dp::FlowTable::LookupMode::kLinear);
-      record("linear", 1, run_lookup(table, pkts, linear_lookups));
-      table.set_lookup_mode(dp::FlowTable::LookupMode::kClassified);
+      record("mtbatch", threads,
+             run_process_batch_mt(table, pkts, mt_lookups, threads));
+      if (n < kLinearCutoff) {
+        table.set_lookup_mode(dp::FlowTable::LookupMode::kLinear);
+        record("linear", 1, run_lookup(table, pkts, linear_lookups));
+        table.set_lookup_mode(dp::FlowTable::LookupMode::kClassified);
+      }
     }
   }
 

@@ -22,10 +22,17 @@ Two independent checks:
   drift (more compiles, more rules, fewer batched updates) is a behavior
   change even when timing still looks fine.
 
+Output: plain text on stdout always. When GITHUB_STEP_SUMMARY is set (a
+GitHub Actions step), a markdown table — baseline vs current per gated
+counter with a pass/fail column — is appended to the step summary, and
+each failure is also emitted as a `::error` workflow annotation naming
+the offending counter so it surfaces on the PR checks tab.
+
 Exit status: 0 pass, 1 fail, 2 usage/parse error.
 """
 
 import argparse
+import os
 import sys
 
 
@@ -96,6 +103,50 @@ def histogram_median(series, name):
     return prev_le
 
 
+def write_step_summary(baseline_path, hist_rows, counter_rows, failures):
+    """Markdown table per gated series in the job's step summary."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [f"### Bench regression gate — `{os.path.basename(baseline_path)}`",
+             ""]
+    if hist_rows:
+        lines += ["| histogram median | baseline | current | limit | status |",
+                  "|---|---|---|---|---|"]
+        for name, base, cur, limit, ok in hist_rows:
+            lines.append(
+                f"| `{name}` | {base:.3e}s | {cur:.3e}s | {limit:.3e}s "
+                f"| {'✅ pass' if ok else '❌ FAIL'} |")
+        lines.append("")
+    if counter_rows:
+        big = len(counter_rows) > 20
+        if big:
+            lines += [f"<details><summary>{len(counter_rows)} gated counters "
+                      f"({sum(not ok for *_, ok in counter_rows)} drifted)"
+                      "</summary>", ""]
+        lines += ["| counter | baseline | current | status |",
+                  "|---|---|---|---|"]
+        for key, base, cur, ok in counter_rows:
+            fmt = lambda v: "absent" if v is None else f"{v:g}"
+            lines.append(f"| `{key}` | {fmt(base)} | {fmt(cur)} "
+                         f"| {'✅ pass' if ok else '❌ FAIL'} |")
+        if big:
+            lines += ["", "</details>"]
+        lines.append("")
+    lines.append("**FAIL**" if failures else "**OK** — no regression")
+    lines.append("")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+def annotate_failures(failures):
+    """`::error` workflow annotations, one per failure, naming the series."""
+    if not os.environ.get("GITHUB_STEP_SUMMARY"):
+        return
+    for failure in failures:
+        print(f"::error title=bench regression::{failure}")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -115,6 +166,8 @@ def main():
     cur_series, cur_types = parse_prom(args.current)
 
     failures = []
+    hist_rows = []
+    counter_rows = []
 
     for name in args.histogram:
         base_median = histogram_median(base_series, name)
@@ -130,7 +183,9 @@ def main():
         print(f"{name}: median baseline={base_median:.3e}s "
               f"current={cur_median:.3e}s delta={delta:+.3e}s "
               f"(limit {limit:.3e}s, floor {args.min_delta:.0e}s)")
-        if cur_median > limit and delta > args.min_delta:
+        regressed = cur_median > limit and delta > args.min_delta
+        hist_rows.append((name, base_median, cur_median, limit, not regressed))
+        if regressed:
             failures.append(
                 f"{name}: median regressed "
                 f"{base_median:.3e}s -> {cur_median:.3e}s "
@@ -148,10 +203,14 @@ def main():
                 checked += 1
                 b = base_series.get(key)
                 c = cur_series.get(key)
+                counter_rows.append((key, b, c, b == c))
                 if b != c:
                     failures.append(
                         f"counter drifted: {key} baseline={b} current={c}")
         print(f"counters: {checked} series compared against baseline")
+
+    write_step_summary(args.baseline, hist_rows, counter_rows, failures)
+    annotate_failures(failures)
 
     if failures:
         for failure in failures:

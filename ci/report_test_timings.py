@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Publish the slowest tests from a ctest JUnit report.
+
+Usage:
+    ctest --test-dir build --output-junit test-results.xml ...
+    report_test_timings.py build/test-results.xml [--top 10]
+
+Reads the JUnit XML that `ctest --output-junit` writes and reports the
+N slowest test cases with their share of total runtime. When
+GITHUB_STEP_SUMMARY is set (a GitHub Actions step), the table is appended
+to the job's step summary as markdown; otherwise it prints plain text, so
+the script is equally useful after a local `--timings`-style run.
+
+Exit status: 0 on success (slow tests are informational, never a gate),
+2 when the report is missing or unparsable.
+"""
+
+import argparse
+import os
+import sys
+import xml.etree.ElementTree as ET
+
+
+def load_cases(path):
+    """Returns [(name, status, seconds)] for every testcase in the report."""
+    try:
+        root = ET.parse(path).getroot()
+    except (OSError, ET.ParseError) as exc:
+        sys.exit(f"error: cannot parse {path}: {exc}")
+    cases = []
+    for case in root.iter("testcase"):
+        name = case.get("name", "?")
+        status = case.get("status", "run")
+        try:
+            seconds = float(case.get("time", "0"))
+        except ValueError:
+            seconds = 0.0
+        cases.append((name, status, seconds))
+    return cases
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("report", help="JUnit XML from ctest --output-junit")
+    ap.add_argument("--top", type=int, default=10,
+                    help="number of slowest tests to report")
+    args = ap.parse_args()
+
+    cases = load_cases(args.report)
+    if not cases:
+        sys.exit(f"error: no testcases in {args.report}")
+    total = sum(s for _, _, s in cases)
+    slowest = sorted(cases, key=lambda c: c[2], reverse=True)[:args.top]
+
+    print(f"test timings: {len(cases)} tests, {total:.2f}s total")
+    for name, status, seconds in slowest:
+        share = 100.0 * seconds / total if total > 0 else 0.0
+        print(f"  {seconds:7.2f}s  {share:4.1f}%  {status:>6}  {name}")
+
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        lines = [f"### {args.top} slowest tests "
+                 f"({len(cases)} tests, {total:.2f}s total)",
+                 "",
+                 "| test | time | share | status |",
+                 "|---|---|---|---|"]
+        for name, status, seconds in slowest:
+            share = 100.0 * seconds / total if total > 0 else 0.0
+            lines.append(
+                f"| `{name}` | {seconds:.2f}s | {share:.1f}% | {status} |")
+        lines.append("")
+        with open(summary, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,4 +38,60 @@ std::vector<Fabric::Delivery> Fabric::inject(const net::PacketHeader& frame) {
   return out;
 }
 
+Fabric::BatchDeliveries Fabric::send_batch(
+    const BorderRouter& src, std::span<const net::PacketHeader> payloads) {
+  // Frame what the router can forward, remembering which payload each
+  // frame came from so router-dropped payloads keep an empty range.
+  std::vector<net::PacketHeader> frames;
+  std::vector<std::size_t> origin;
+  frames.reserve(payloads.size());
+  origin.reserve(payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    if (auto frame = src.forward(payloads[i], arp_)) {
+      frames.push_back(std::move(*frame));
+      origin.push_back(i);
+    }
+  }
+  const FlowTable::BatchResult egress = switch_.inject_batch(frames);
+  BatchDeliveries out;
+  out.offsets.reserve(payloads.size() + 1);
+  out.offsets.push_back(0);
+  std::size_t fi = 0;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    if (fi < origin.size() && origin[fi] == i) {
+      for (const auto& frame : egress.frames_of(fi)) {
+        Delivery d;
+        d.port = frame.port();
+        d.receiver = router_at(d.port);
+        d.accepted = d.receiver != nullptr && d.receiver->accepts(frame);
+        d.frame = frame;
+        out.deliveries.push_back(std::move(d));
+      }
+      ++fi;
+    }
+    out.offsets.push_back(static_cast<std::uint32_t>(out.deliveries.size()));
+  }
+  return out;
+}
+
+Fabric::BatchDeliveries Fabric::inject_batch(
+    std::span<const net::PacketHeader> frames) {
+  const FlowTable::BatchResult egress = switch_.inject_batch(frames);
+  BatchDeliveries out;
+  out.offsets.reserve(frames.size() + 1);
+  out.offsets.push_back(0);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    for (const auto& frame : egress.frames_of(i)) {
+      Delivery d;
+      d.port = frame.port();
+      d.receiver = router_at(d.port);
+      d.accepted = d.receiver != nullptr && d.receiver->accepts(frame);
+      d.frame = frame;
+      out.deliveries.push_back(std::move(d));
+    }
+    out.offsets.push_back(static_cast<std::uint32_t>(out.deliveries.size()));
+  }
+  return out;
+}
+
 }  // namespace sdx::dp

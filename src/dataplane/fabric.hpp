@@ -7,6 +7,7 @@
 /// packet journeys (router FIB → VMAC tag → fabric rules → egress rewrite
 /// → receiving router).
 
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -46,6 +47,31 @@ class Fabric {
 
   /// Injects an already-framed packet at its current port.
   std::vector<Delivery> inject(const net::PacketHeader& frame);
+
+  /// Flattened deliveries of a burst: packet i's deliveries are
+  /// deliveries[offsets[i] .. offsets[i+1]). A packet dropped at the
+  /// source router or inside the fabric gets an empty range, exactly as
+  /// send()/inject() would return an empty vector.
+  struct BatchDeliveries {
+    std::vector<Delivery> deliveries;
+    std::vector<std::uint32_t> offsets;  ///< burst size + 1 entries
+
+    std::size_t packets() const {
+      return offsets.empty() ? 0 : offsets.size() - 1;
+    }
+    std::span<const Delivery> of(std::size_t i) const {
+      return {deliveries.data() + offsets[i], offsets[i + 1] - offsets[i]};
+    }
+  };
+
+  /// Burst counterpart of send(): forwards each payload through \p src's
+  /// FIB+ARP, then runs every framed packet through the switch in one
+  /// process_batch pass. Per-payload results match send() exactly.
+  BatchDeliveries send_batch(const BorderRouter& src,
+                             std::span<const net::PacketHeader> payloads);
+
+  /// Burst counterpart of inject().
+  BatchDeliveries inject_batch(std::span<const net::PacketHeader> frames);
 
  private:
   ArpResponder arp_;

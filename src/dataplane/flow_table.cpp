@@ -116,6 +116,54 @@ std::vector<PacketHeader> FlowTable::process(const PacketHeader& h) const {
   return out;
 }
 
+void FlowTable::lookup_batch(std::span<const PacketHeader> pkts,
+                             std::span<const FlowRule*> out) const {
+  if (mode_ == LookupMode::kLinear) {
+    for (std::size_t i = 0; i < pkts.size(); ++i) {
+      out[i] = lookup_linear(pkts[i]);
+    }
+  } else {
+    classifier_.lookup_batch(pkts, out);
+  }
+  if (batch_desync_) {
+    // Oracle test seam: the batch path "reads" a stale empty snapshot.
+    for (std::size_t i = 0; i < pkts.size(); ++i) out[i] = nullptr;
+  }
+}
+
+FlowTable::BatchResult FlowTable::process_batch(
+    std::span<const PacketHeader> pkts) const {
+  const std::size_t n = pkts.size();
+  BatchResult res;
+  res.offsets.reserve(n + 1);
+  res.offsets.push_back(0);
+  thread_local std::vector<const FlowRule*> hits;
+  hits.assign(n, nullptr);
+  lookup_batch(pkts, hits);
+  std::uint64_t matched = 0;
+  std::uint64_t missed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlowRule* r = hits[i];
+    if (r == nullptr) {
+      ++missed;
+    } else {
+      ++matched;
+      r->packet_count.inc();
+      for (const auto& a : r->actions) res.frames.push_back(a.apply(pkts[i]));
+    }
+    res.offsets.push_back(static_cast<std::uint32_t>(res.frames.size()));
+  }
+  if (matched > 0) {
+    matched_.fetch_add(matched, std::memory_order_relaxed);
+    if (match_counter_ != nullptr) match_counter_->inc(matched);
+  }
+  if (missed > 0) {
+    missed_.fetch_add(missed, std::memory_order_relaxed);
+    if (miss_counter_ != nullptr) miss_counter_->inc(missed);
+  }
+  return res;
+}
+
 std::vector<const FlowRule*> FlowTable::rules() const {
   struct Ref {
     const FlowRule* rule;

@@ -26,6 +26,7 @@
 #include <deque>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -106,6 +107,36 @@ class FlowTable {
   /// its counter. No match or a drop rule yields an empty set.
   std::vector<PacketHeader> process(const PacketHeader& h) const;
 
+  /// Burst lookup: out[i] = lookup(pkts[i]) for every i, amortized across
+  /// the burst (see PacketClassifier::lookup_batch). In kLinear mode this
+  /// degrades to the per-packet reference scan, so both modes stay
+  /// differentially comparable. Requires out.size() >= pkts.size().
+  void lookup_batch(std::span<const PacketHeader> pkts,
+                    std::span<const FlowRule*> out) const;
+
+  /// Flattened result of a burst of process() calls: packet i's output
+  /// frames are frames[offsets[i] .. offsets[i+1]). One allocation-stable
+  /// pair of arrays instead of a vector-of-vectors.
+  struct BatchResult {
+    std::vector<PacketHeader> frames;
+    std::vector<std::uint32_t> offsets;  ///< pkts.size() + 1 entries
+
+    std::size_t packets() const {
+      return offsets.empty() ? 0 : offsets.size() - 1;
+    }
+    std::span<const PacketHeader> frames_of(std::size_t i) const {
+      return {frames.data() + offsets[i], offsets[i + 1] - offsets[i]};
+    }
+  };
+
+  /// Burst processing: per packet, exactly process()'s semantics — same
+  /// rule hit, same action application, and counter totals identical to
+  /// per-packet processing (match/miss totals are batch-added; per-rule
+  /// packet counts bump once per hit). Same concurrency contract as
+  /// process(): any number of threads may run bursts concurrently as long
+  /// as no mutation runs.
+  BatchResult process_batch(std::span<const PacketHeader> pkts) const;
+
   std::size_t size() const { return alive_; }
 
   /// Live rules in match order (priority desc, insertion asc). Built per
@@ -131,6 +162,12 @@ class FlowTable {
   /// classifier index without touching rule storage, so classified lookups
   /// visibly diverge from the linear reference.
   void corrupt_classifier_for_test() { classifier_.clear(); }
+
+  /// Test seam for the oracle's batch-desync fault (equivalence g): makes
+  /// the batched path behave as if it consulted a stale, empty index
+  /// snapshot — every burst packet misses — while per-packet lookups stay
+  /// correct. Single lookup()/process() are unaffected.
+  void plant_batch_desync_for_test() { batch_desync_ = true; }
 
   std::uint64_t total_matched() const {
     return matched_.load(std::memory_order_relaxed);
@@ -167,6 +204,7 @@ class FlowTable {
 
   PacketClassifier classifier_;
   LookupMode mode_ = LookupMode::kClassified;
+  bool batch_desync_ = false;  ///< oracle test seam, see above
 
   mutable std::atomic<std::uint64_t> matched_{0};
   mutable std::atomic<std::uint64_t> missed_{0};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 
 #include "dataplane/flow_table.hpp"
 
@@ -13,23 +14,34 @@ using net::Field;
 using net::kAllFields;
 using net::kFieldCount;
 
-/// Cross-lane rule order: priority desc, then insertion sequence asc —
-/// identical to the linear reference scan's first-match order.
+/// Cross-lane rule order (see intern.hpp): priority desc, then insertion
+/// sequence asc — identical to the linear reference scan's order.
 bool better(const PacketClassifier::Entry& a,
             const PacketClassifier::Entry& b) {
-  return a.priority > b.priority ||
-         (a.priority == b.priority && a.seq < b.seq);
+  return entry_better(a, b);
 }
 
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
 std::uint64_t mix(std::uint64_t k, std::uint64_t v) {
-  return (k ^ v) * 0x100000001b3ull;
+  return (k ^ v) * kFnvPrime;
 }
+
+// kAllFields is declaration order, so net::field_index doubles as the
+// column index of the batch scratch's SoA transpose.
+constexpr std::size_t kDstMacIdx =
+    static_cast<std::size_t>(net::field_index(Field::kDstMac));
+constexpr std::size_t kDstIpIdx =
+    static_cast<std::size_t>(net::field_index(Field::kDstIp));
+constexpr std::size_t kSrcIpIdx =
+    static_cast<std::size_t>(net::field_index(Field::kSrcIp));
 
 }  // namespace
 
 std::size_t PacketClassifier::MaskSigHash::operator()(
     const MaskSig& s) const noexcept {
-  std::uint64_t k = 0xcbf29ce484222325ull;
+  std::uint64_t k = kFnvOffset;
   for (std::uint64_t m : s) k = mix(k, m);
   return static_cast<std::size_t>(k);
 }
@@ -41,7 +53,7 @@ namespace {
 /// matching packet always lands in the rule's bucket.
 std::uint64_t packet_key(const PacketClassifier::MaskSig& masks,
                          const net::PacketHeader& h) {
-  std::uint64_t k = 0xcbf29ce484222325ull;
+  std::uint64_t k = kFnvOffset;
   for (int i = 0; i < kFieldCount; ++i) {
     k = mix(k, h.get(kAllFields[static_cast<std::size_t>(i)]) &
                    masks[static_cast<std::size_t>(i)]);
@@ -50,7 +62,7 @@ std::uint64_t packet_key(const PacketClassifier::MaskSig& masks,
 }
 
 std::uint64_t rule_key(const net::FlowMatch& m) {
-  std::uint64_t k = 0xcbf29ce484222325ull;
+  std::uint64_t k = kFnvOffset;
   for (auto f : kAllFields) k = mix(k, m.field(f).value());
   return k;
 }
@@ -68,6 +80,76 @@ bool bucket_erase(std::vector<PacketClassifier::Entry>& b,
   b.erase(it);
   return true;
 }
+
+/// Flat per-burst memo: open-addressed key table over append-only
+/// key/value arrays. Rebuilding it is an O(n) memset of the slot table —
+/// no node allocation, no bucket churn — which is what keeps the memo
+/// cheaper than the lane/trie work it short-circuits (a node-based map
+/// here costs more than mac_lane_best itself on distinct-heavy bursts).
+struct FlatMemo {
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> vals;
+  std::vector<std::uint32_t> tab;  // open addressing: value = index + 1
+
+  void begin(std::size_t n) {
+    tab.assign(std::bit_ceil(std::max<std::size_t>(16, n * 2)), 0);
+    keys.clear();
+    vals.clear();
+  }
+
+  /// Returns the value slot for \p key plus whether it was just created
+  /// (value zero-initialized). Capacity: at most one key per distinct
+  /// header, table sized 2n — load factor stays under 1/2.
+  std::pair<std::uint64_t*, bool> slot(std::uint64_t key) {
+    const std::size_t mask = tab.size() - 1;
+    std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
+    h ^= h >> 29;
+    for (std::size_t s = static_cast<std::size_t>(h) & mask;;
+         s = (s + 1) & mask) {
+      const std::uint32_t v = tab[s];
+      if (v == 0) {
+        tab[s] = static_cast<std::uint32_t>(keys.size()) + 1;
+        keys.push_back(key);
+        vals.push_back(0);
+        return {&vals.back(), true};
+      }
+      if (keys[v - 1] == key) return {&vals[v - 1], false};
+    }
+  }
+};
+
+/// Per-thread burst workspace for lookup_batch. Everything is sized to the
+/// burst on entry and keeps its capacity across bursts, so the steady
+/// state allocates nothing. Hot per-field columns are SoA so the tuple key
+/// loop is a plain multiply-xor stream the compiler can vectorize.
+struct BatchScratch {
+  // Distinct-header SoA: fields[f][u] = field f of the u-th distinct
+  // header in the burst.
+  std::array<std::vector<std::uint64_t>, kFieldCount> fields;
+  std::vector<std::uint32_t> rep;        // distinct u -> first input index
+  std::vector<std::uint32_t> unique_of;  // input index -> distinct u
+  std::vector<std::uint32_t> dedup;      // open addressing: value = u + 1
+
+  std::vector<const ClassifierEntry*> best;  // per distinct header
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint32_t> active, next_active, cand;
+
+  // Per-burst memos: trie viability bitmaps per distinct IP, lane results
+  // per distinct dst-MAC.
+  std::vector<std::uint64_t> dst_bm, src_bm;     // per distinct header
+  std::vector<std::uint8_t> dst_have, src_have;  // per distinct header
+  FlatMemo dst_memo, src_memo, mac_memo;
+
+  void begin(std::size_t n) {
+    for (auto& col : fields) col.clear();
+    rep.clear();
+    unique_of.resize(n);
+    dedup.assign(std::bit_ceil(std::max<std::size_t>(16, n * 2)), 0);
+    dst_memo.begin(n);
+    src_memo.begin(n);
+    mac_memo.begin(n);
+  }
+};
 
 }  // namespace
 
@@ -126,11 +208,11 @@ void PacketClassifier::insert(const FlowRule* rule, std::uint64_t seq) {
   const ShapeInfo s = classify(*rule);
   switch (s.shape) {
     case Shape::kExactMac:
-      bucket_insert(exact_mac_[s.key], e);
+      exact_mac_.insert(s.key, e);
       ++exact_rules_;
       break;
     case Shape::kNexthopLane:
-      bucket_insert(nexthop_lane_[s.key], e);
+      nexthop_lane_.insert(s.key, e);
       ++nexthop_rules_;
       break;
     case Shape::kAttrLane:
@@ -147,16 +229,10 @@ void PacketClassifier::erase(const FlowRule* rule) {
   const ShapeInfo s = classify(*rule);
   switch (s.shape) {
     case Shape::kExactMac:
-      if (auto it = exact_mac_.find(s.key); it != exact_mac_.end()) {
-        if (bucket_erase(it->second, rule)) --exact_rules_;
-        if (it->second.empty()) exact_mac_.erase(it);
-      }
+      if (exact_mac_.erase(s.key, rule)) --exact_rules_;
       break;
     case Shape::kNexthopLane:
-      if (auto it = nexthop_lane_.find(s.key); it != nexthop_lane_.end()) {
-        if (bucket_erase(it->second, rule)) --nexthop_rules_;
-        if (it->second.empty()) nexthop_lane_.erase(it);
-      }
+      if (nexthop_lane_.erase(s.key, rule)) --nexthop_rules_;
       break;
     case Shape::kAttrLane:
       if (bucket_erase(attr_lanes_[s.attr_bit], rule)) --attr_rules_;
@@ -176,7 +252,9 @@ void PacketClassifier::insert_tuple(const Entry& e) {
   const std::size_t ti = it->second;
   if (fresh) {
     Tuple t;
-    t.masks = sig;
+    // Intern the mask vector: the index's key (node-stable in an
+    // unordered_map) is the one copy; the tuple only references it.
+    t.masks = &it->first;
     t.dst_cidr_len =
         e.rule->match.field(Field::kDstIp).cidr_prefix_length().value_or(-1);
     t.src_cidr_len =
@@ -184,7 +262,7 @@ void PacketClassifier::insert_tuple(const Entry& e) {
     tuples_.push_back(std::move(t));
   }
   Tuple& t = tuples_[ti];
-  bucket_insert(t.buckets[rule_key(e.rule->match)], e);
+  t.entries.insert(rule_key(e.rule->match), e);
   ++t.size;
   ++tuple_rules_;
   if (t.size == 1 || e.priority > t.max_priority) t.max_priority = e.priority;
@@ -218,19 +296,15 @@ void PacketClassifier::erase_tuple(const FlowRule* rule) {
   auto ti_it = tuple_index_.find(sig);
   if (ti_it == tuple_index_.end()) return;
   Tuple& t = tuples_[ti_it->second];
-  auto bit = t.buckets.find(rule_key(rule->match));
-  if (bit == t.buckets.end()) return;
-  if (!bucket_erase(bit->second, rule)) return;
-  if (bit->second.empty()) t.buckets.erase(bit);
+  if (!t.entries.erase(rule_key(rule->match), rule)) return;
   --t.size;
   --tuple_rules_;
   if (t.size == 0) {
     t.max_priority = 0;
   } else if (rule->priority == t.max_priority) {
     std::uint32_t mx = 0;
-    for (const auto& [k, b] : t.buckets) {
-      if (!b.empty()) mx = std::max(mx, b.front().priority);
-    }
+    t.entries.for_each_head(
+        [&mx](const Entry& e) { mx = std::max(mx, e.priority); });
     t.max_priority = mx;
   }
   // Precheck trie bits are left stale on purpose: a stale bit only admits
@@ -249,26 +323,20 @@ void PacketClassifier::rebuild_tuple_order() {
             });
 }
 
-const FlowRule* PacketClassifier::lookup(const net::PacketHeader& h) const {
-  const Entry* best = nullptr;
-  const std::uint64_t mac = h.get(Field::kDstMac);
-
-  // Lane 1: exact dst-MAC. Every entry in the bucket has the identical
-  // match (dst-MAC only, same value), so the head is the bucket's winner.
-  if (auto it = exact_mac_.find(mac);
-      it != exact_mac_.end() && !it->second.empty()) {
-    best = &it->second.front();
-  }
+const PacketClassifier::Entry* PacketClassifier::mac_lane_best(
+    std::uint64_t mac) const {
+  // Lane 1: exact dst-MAC. Every entry in the chain has the identical
+  // match (dst-MAC only, same value), so the head is the chain's winner.
+  const Entry* best = exact_mac_.best(mac);
 
   // Lane 2: VMAC field lanes, probed only for layout-tagged packets.
   if (spec_.enabled && (mac & spec_.top_mask) == spec_.top_value) {
     if (spec_.nexthop_bits > 0 && !nexthop_lane_.empty()) {
       const std::uint64_t nh = (mac >> spec_.nexthop_shift()) &
                                ((1ull << spec_.nexthop_bits) - 1);
-      if (auto it = nexthop_lane_.find(nh);
-          it != nexthop_lane_.end() && !it->second.empty()) {
-        const Entry& e = it->second.front();
-        if (best == nullptr || better(e, *best)) best = &e;
+      if (const Entry* e = nexthop_lane_.best(nh);
+          e != nullptr && (best == nullptr || better(*e, *best))) {
+        best = e;
       }
     }
     if (!attr_lanes_.empty()) {
@@ -285,6 +353,11 @@ const FlowRule* PacketClassifier::lookup(const net::PacketHeader& h) const {
       }
     }
   }
+  return best;
+}
+
+const FlowRule* PacketClassifier::lookup(const net::PacketHeader& h) const {
+  const Entry* best = mac_lane_best(h.get(Field::kDstMac));
 
   // Lane 3: tuple-space search, highest-max-priority tuple first; stop as
   // soon as no remaining tuple can beat the current winner (strict >, so
@@ -313,17 +386,184 @@ const FlowRule* PacketClassifier::lookup(const net::PacketHeader& h) const {
         if ((src_viable & bit) == 0) continue;
       }
     }
-    auto it = t.buckets.find(packet_key(t.masks, h));
-    if (it == t.buckets.end()) continue;
-    for (const Entry& e : it->second) {
-      if (best != nullptr && !better(e, *best)) break;  // rest are worse
+    t.entries.visit(packet_key(*t.masks, h), [&](const Entry& e) {
+      if (best != nullptr && !better(e, *best)) return false;  // rest worse
       if (e.rule->match.matches(h)) {
         best = &e;
+        return false;
+      }
+      return true;
+    });
+  }
+  return best != nullptr ? best->rule : nullptr;
+}
+
+void PacketClassifier::lookup_batch(std::span<const net::PacketHeader> pkts,
+                                    std::span<const FlowRule*> out) const {
+  assert(out.size() >= pkts.size());
+  const std::size_t n = pkts.size();
+  if (n == 0) return;
+  thread_local BatchScratch sc;
+  sc.begin(n);
+
+  // Pass 0 — dedup + SoA transpose. Bursts from real traffic repeat
+  // headers (elephant flows); each distinct header is classified once and
+  // the verdict scattered to every duplicate.
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::PacketHeader& h = pkts[i];
+    std::uint64_t k = kFnvOffset;
+    for (auto f : kAllFields) k = mix(k, h.get(f));
+    const std::size_t mask = sc.dedup.size() - 1;
+    std::uint32_t u = 0;
+    for (std::size_t s = static_cast<std::size_t>(k ^ (k >> 32)) & mask;;
+         s = (s + 1) & mask) {
+      const std::uint32_t v = sc.dedup[s];
+      if (v == 0) {
+        u = static_cast<std::uint32_t>(sc.rep.size());
+        sc.dedup[s] = u + 1;
+        sc.rep.push_back(static_cast<std::uint32_t>(i));
+        for (std::size_t f = 0; f < static_cast<std::size_t>(kFieldCount);
+             ++f) {
+          sc.fields[f].push_back(h.get(kAllFields[f]));
+        }
+        break;
+      }
+      bool same = true;
+      for (std::size_t f = 0;
+           same && f < static_cast<std::size_t>(kFieldCount); ++f) {
+        same = sc.fields[f][v - 1] == h.get(kAllFields[f]);
+      }
+      if (same) {
+        u = v - 1;
         break;
       }
     }
+    sc.unique_of[i] = u;
   }
-  return best != nullptr ? best->rule : nullptr;
+  const std::size_t uniq = sc.rep.size();
+  sc.best.assign(uniq, nullptr);
+
+  // Pass 1 — lanes 1+2, decoded once per distinct dst-MAC in the burst
+  // (many distinct flows share a VMAC next-hop MAC, so this memo hits far
+  // more often than the full-header dedup).
+  const std::vector<std::uint64_t>& dmac = sc.fields[kDstMacIdx];
+  for (std::size_t u = 0; u < uniq; ++u) {
+    auto [val, fresh] = sc.mac_memo.slot(dmac[u]);
+    if (fresh) {
+      *val = reinterpret_cast<std::uintptr_t>(mac_lane_best(dmac[u]));
+    }
+    sc.best[u] = reinterpret_cast<const Entry*>(
+        static_cast<std::uintptr_t>(*val));
+  }
+
+  // Pass 2 — tuple-space search, lane-major: each tuple is visited once
+  // for the whole burst. A packet retires from `active` permanently once
+  // its winner beats every remaining tuple (tuple_order_ is max-priority
+  // descending, so the single-lookup early exit maps to per-packet
+  // retirement). Trie covering-walks run once per distinct IP per burst.
+  if (!tuple_order_.empty()) {
+    sc.active.resize(uniq);
+    for (std::size_t u = 0; u < uniq; ++u) {
+      sc.active[u] = static_cast<std::uint32_t>(u);
+    }
+    sc.dst_have.assign(uniq, 0);
+    sc.src_have.assign(uniq, 0);
+    const auto dst_viable = [this, &sc](std::uint32_t u) {
+      if (!sc.dst_have[u]) {
+        auto [val, fresh] = sc.dst_memo.slot(sc.fields[kDstIpIdx][u]);
+        if (fresh) {
+          dst_trie_.for_each_covering(
+              net::Ipv4Address(
+                  static_cast<std::uint32_t>(sc.fields[kDstIpIdx][u])),
+              [val](std::uint64_t bm) { *val |= bm; });
+        }
+        sc.dst_bm.resize(sc.dst_have.size());
+        sc.dst_bm[u] = *val;
+        sc.dst_have[u] = 1;
+      }
+      return sc.dst_bm[u];
+    };
+    const auto src_viable = [this, &sc](std::uint32_t u) {
+      if (!sc.src_have[u]) {
+        auto [val, fresh] = sc.src_memo.slot(sc.fields[kSrcIpIdx][u]);
+        if (fresh) {
+          src_trie_.for_each_covering(
+              net::Ipv4Address(
+                  static_cast<std::uint32_t>(sc.fields[kSrcIpIdx][u])),
+              [val](std::uint64_t bm) { *val |= bm; });
+        }
+        sc.src_bm.resize(sc.src_have.size());
+        sc.src_bm[u] = *val;
+        sc.src_have[u] = 1;
+      }
+      return sc.src_bm[u];
+    };
+
+    for (const std::size_t ti : tuple_order_) {
+      const Tuple& t = tuples_[ti];
+      sc.next_active.clear();
+      for (const std::uint32_t u : sc.active) {
+        const Entry* b = sc.best[u];
+        if (b == nullptr || !(b->priority > t.max_priority)) {
+          sc.next_active.push_back(u);
+        }
+      }
+      sc.active.swap(sc.next_active);
+      if (sc.active.empty()) break;
+
+      const std::vector<std::uint32_t>* cand = &sc.active;
+      if (ti < 64 && (t.dst_cidr_len > 0 || t.src_cidr_len > 0)) {
+        sc.cand.clear();
+        const std::uint64_t bit = 1ull << ti;
+        for (const std::uint32_t u : sc.active) {
+          if (t.dst_cidr_len > 0 && (dst_viable(u) & bit) == 0) continue;
+          if (t.src_cidr_len > 0 && (src_viable(u) & bit) == 0) continue;
+          sc.cand.push_back(u);
+        }
+        cand = &sc.cand;
+      }
+      if (cand->empty()) continue;
+
+      // SoA key pass: one multiply-xor stream per field over the whole
+      // candidate set — plain code the autovectorizer handles.
+      const std::size_t m = cand->size();
+      const std::uint32_t* cs = cand->data();
+      sc.keys.assign(m, kFnvOffset);
+      std::uint64_t* keys = sc.keys.data();
+      for (std::size_t f = 0; f < static_cast<std::size_t>(kFieldCount);
+           ++f) {
+        const std::uint64_t fm = (*t.masks)[f];
+        if (fm == 0) {
+          for (std::size_t j = 0; j < m; ++j) keys[j] *= kFnvPrime;
+          continue;
+        }
+        const std::uint64_t* col = sc.fields[f].data();
+        for (std::size_t j = 0; j < m; ++j) {
+          keys[j] = (keys[j] ^ (col[cs[j]] & fm)) * kFnvPrime;
+        }
+      }
+
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::uint32_t u = cs[j];
+        const net::PacketHeader& h = pkts[sc.rep[u]];
+        t.entries.visit(keys[j], [&](const Entry& e) {
+          const Entry* b = sc.best[u];
+          if (b != nullptr && !better(e, *b)) return false;
+          if (e.rule->match.matches(h)) {
+            sc.best[u] = &e;
+            return false;
+          }
+          return true;
+        });
+      }
+    }
+  }
+
+  // Scatter distinct-header verdicts back to burst order.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Entry* e = sc.best[sc.unique_of[i]];
+    out[i] = e != nullptr ? e->rule : nullptr;
+  }
 }
 
 PacketClassifier::Stats PacketClassifier::stats() const {

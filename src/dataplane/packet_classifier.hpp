@@ -26,12 +26,27 @@
 /// Priority resolution spans all lanes: the winner is the matching rule
 /// with the highest priority, ties broken by insertion sequence (lowest
 /// wins), exactly mirroring the linear reference scan.
+///
+/// Two lookup entry points share that contract: lookup() classifies one
+/// packet, lookup_batch() classifies a whole burst lane-major — one pass
+/// per lane over the burst, per-burst memoization of trie viability and
+/// per-MAC lane results, SoA key hashing — and is bit-for-bit equivalent
+/// to calling lookup() per packet (enforced by randomized tests and the
+/// differential oracle's equivalence (g)).
+///
+/// Storage is flat for ablation-scale tables: every lane bucket lives in a
+/// FlatEntryMap (see intern.hpp), and each tuple's per-field mask vector
+/// is interned — stored once in the tuple index and shared by reference —
+/// so a 256k-rule ungrouped table costs a handful of contiguous arrays,
+/// not hundreds of thousands of node allocations.
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "dataplane/intern.hpp"
 #include "netbase/field_match.hpp"
 #include "netbase/packet.hpp"
 #include "netbase/prefix_trie.hpp"
@@ -87,6 +102,17 @@ class PacketClassifier {
   /// from many threads as long as no mutation runs.
   const FlowRule* lookup(const net::PacketHeader& h) const;
 
+  /// Burst lookup: out[i] receives exactly what lookup(pkts[i]) would
+  /// return, for every i. Work is amortized lane-major across the burst:
+  /// duplicate headers resolve once, lanes 1+2 probe once per distinct
+  /// dst-MAC, trie viability bitmaps are memoized per distinct IP within
+  /// the burst, and tuple keys hash in SoA loops the compiler can
+  /// vectorize. Requires out.size() >= pkts.size(). Same concurrency
+  /// contract as lookup(): any number of reader threads, no concurrent
+  /// mutation (all scratch is thread-local).
+  void lookup_batch(std::span<const net::PacketHeader> pkts,
+                    std::span<const FlowRule*> out) const;
+
   /// Lane population snapshot, for diagnostics and benches.
   struct Stats {
     std::size_t exact_mac_rules = 0;
@@ -97,13 +123,7 @@ class PacketClassifier {
   };
   Stats stats() const;
 
-  /// One indexed rule: the owning slot's FlowRule plus cached sort keys so
-  /// bucket scans never chase the pointer.
-  struct Entry {
-    const FlowRule* rule = nullptr;
-    std::uint64_t seq = 0;
-    std::uint32_t priority = 0;
-  };
+  using Entry = ClassifierEntry;
   using Bucket = std::vector<Entry>;  // kept sorted best-first
 
   using MaskSig = std::array<std::uint64_t, net::kFieldCount>;
@@ -114,10 +134,12 @@ class PacketClassifier {
  private:
   /// One tuple of tuple-space search: every rule in it shares the exact
   /// per-field mask vector, so lookup is a single hash probe on the
-  /// packet's masked field values.
+  /// packet's masked field values. The mask vector itself is interned:
+  /// \c masks points at the tuple index's key, stored once per distinct
+  /// signature no matter how many rules share it.
   struct Tuple {
-    MaskSig masks{};
-    std::unordered_map<std::uint64_t, Bucket> buckets;
+    const MaskSig* masks = nullptr;
+    FlatEntryMap entries;
     std::uint32_t max_priority = 0;
     std::size_t size = 0;
     int dst_cidr_len = 0;  ///< >0: prunable via the dst-IP prefix trie
@@ -136,9 +158,14 @@ class PacketClassifier {
   void erase_tuple(const FlowRule* rule);
   void rebuild_tuple_order();
 
+  /// Lanes 1+2 for one dst-MAC value — the part of lookup() that depends
+  /// on nothing but the MAC, shared by the single and batched paths (the
+  /// batch memoizes it per distinct MAC in the burst).
+  const Entry* mac_lane_best(std::uint64_t mac) const;
+
   VmacLaneSpec spec_{};
-  std::unordered_map<std::uint64_t, Bucket> exact_mac_;
-  std::unordered_map<std::uint64_t, Bucket> nexthop_lane_;
+  FlatEntryMap exact_mac_;
+  FlatEntryMap nexthop_lane_;
   std::vector<Bucket> attr_lanes_;  // one per attribute bit
 
   std::vector<Tuple> tuples_;  // stable indices; empty tuples stay in place

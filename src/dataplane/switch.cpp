@@ -20,6 +20,32 @@ std::vector<net::PacketHeader> SwitchSim::inject(
   return out;
 }
 
+FlowTable::BatchResult SwitchSim::inject_batch(
+    std::span<const net::PacketHeader> frames) {
+  const FlowTable::BatchResult produced = table_.process_batch(frames);
+  FlowTable::BatchResult out;
+  out.offsets.reserve(frames.size() + 1);
+  out.offsets.push_back(0);
+  out.frames.reserve(produced.frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    ++rx_[frames[i].port()];
+    const auto egress = produced.frames_of(i);
+    bool forwarded = false;
+    for (const auto& p : egress) {
+      if (p.port() == frames[i].port()) {
+        ++dropped_;
+        continue;
+      }
+      ++tx_[p.port()];
+      out.frames.push_back(p);
+      forwarded = true;
+    }
+    if (!forwarded && egress.empty()) ++dropped_;
+    out.offsets.push_back(static_cast<std::uint32_t>(out.frames.size()));
+  }
+  return out;
+}
+
 std::uint64_t SwitchSim::tx_packets(net::PortId port) const {
   auto it = tx_.find(port);
   return it == tx_.end() ? 0 : it->second;

@@ -9,6 +9,7 @@
 /// physical egress port or is dropped.
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +27,12 @@ class SwitchSim {
   /// port are dropped (a switch never hairpins a frame it just received,
   /// and the SDX never needs it).
   std::vector<net::PacketHeader> inject(const net::PacketHeader& frame);
+
+  /// Burst inject: frame i's egress copies land in the result's
+  /// frames_of(i). Classification runs through FlowTable::process_batch
+  /// (amortized across the burst); per-port accounting and the hairpin
+  /// drop rule are applied per frame, identical to inject().
+  FlowTable::BatchResult inject_batch(std::span<const net::PacketHeader> frames);
 
   std::uint64_t tx_packets(net::PortId port) const;
   std::uint64_t rx_packets(net::PortId port) const;

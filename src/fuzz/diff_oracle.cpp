@@ -149,6 +149,52 @@ std::vector<std::string> probe_signature(SdxRuntime& rt, const Trace& t) {
   return out;
 }
 
+/// probe_signature's burst twin: the identical probe set, sent through
+/// send_batch per sender instead of one send() per probe, formatted into
+/// the identical signature lines. Any divergence between the two is a
+/// batch/per-packet desync by construction.
+std::vector<std::string> probe_signature_batch(SdxRuntime& rt,
+                                               const Trace& t) {
+  std::vector<std::string> out;
+  out.reserve(std::size_t{t.participants} * t.prefixes * 3);
+  for (std::size_t s = 1; s <= t.participants; ++s) {
+    std::vector<net::PacketHeader> payloads;
+    std::vector<std::pair<std::size_t, std::uint16_t>> meta;
+    payloads.reserve(std::size_t{t.prefixes} * 3);
+    for (std::size_t j = 0; j < t.prefixes; ++j) {
+      for (const std::uint16_t port : {80, 443, 53}) {
+        const auto dst =
+            net::Ipv4Address(prefix_of(j).network().value() | 7);
+        payloads.push_back(net::PacketBuilder()
+                               .src_ip("192.0.2.1")
+                               .dst_ip(dst)
+                               .proto(6)
+                               .dst_port(port)
+                               .build());
+        meta.emplace_back(j, port);
+      }
+    }
+    const auto batch =
+        rt.send_batch(static_cast<bgp::ParticipantId>(s), payloads);
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      std::ostringstream line;
+      line << "P" << s << "->x" << meta[i].first << ":" << meta[i].second
+           << " =";
+      const auto deliveries = batch.of(i);
+      if (deliveries.empty()) {
+        line << " drop";
+      } else {
+        for (const auto& d : deliveries) {
+          line << " port" << d.port << (d.accepted ? "+" : "-") << "mac"
+               << d.frame.dst_mac().to_string();
+        }
+      }
+      out.push_back(line.str());
+    }
+  }
+  return out;
+}
+
 OracleVerdict diff_signatures(const std::vector<std::string>& want,
                               const std::vector<std::string>& got,
                               const char* oracle, const char* sides) {
@@ -413,6 +459,44 @@ OracleVerdict DifferentialOracle::check(const Trace& trace) const {
     auto verdict = diff_signatures(linear, classified, "classifier",
                                    "linear vs classified");
     if (!verdict.ok) return verdict;
+  }
+
+  // (g) batched lookup ≡ per-packet lookup, over the identical installed
+  // table: the same probe set must produce the same deliveries and the
+  // same match/miss accounting whichever path carries it. Partitioned
+  // mode again, so every lane and the tuple path are in play.
+  if (options_.check_batch) {
+    SdxRuntime rt(bgp::DecisionConfig{},
+                  core::CompileOptions{.partitioned = true});
+    build_base(rt, trace);
+    for (const auto& op : trace.ops) apply_op(rt, trace, op);
+    rt.background_recompile();
+
+    auto& table = rt.fabric().sdx_switch().table();
+    const std::uint64_t matched0 = table.total_matched();
+    const std::uint64_t missed0 = table.total_missed();
+    auto single = probe_signature(rt, trace);
+    const std::uint64_t matched1 = table.total_matched();
+    const std::uint64_t missed1 = table.total_missed();
+    if (options_.fault == Fault::kDesyncBatchLookup) {
+      table.plant_batch_desync_for_test();
+    }
+    auto batched = probe_signature_batch(rt, trace);
+    const std::uint64_t matched2 = table.total_matched();
+    const std::uint64_t missed2 = table.total_missed();
+
+    auto verdict =
+        diff_signatures(single, batched, "batch", "per-packet vs batched");
+    if (!verdict.ok) return verdict;
+    if (matched1 - matched0 != matched2 - matched1 ||
+        missed1 - missed0 != missed2 - missed1) {
+      return {false, "batch",
+              "per-packet vs batched match/miss totals differ: matched " +
+                  std::to_string(matched1 - matched0) + " vs " +
+                  std::to_string(matched2 - matched1) + ", missed " +
+                  std::to_string(missed1 - missed0) + " vs " +
+                  std::to_string(missed2 - missed1)};
+    }
   }
 
   // (c) checkpoint + WAL-tail recovery ≡ the never-crashed runtime.

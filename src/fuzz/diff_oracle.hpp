@@ -25,6 +25,11 @@
 ///                     lane/tuple classification pipeline must return the
 ///                     same deliveries as the linear reference scan over
 ///                     the identical table.
+///   (g) batching    — replaying the probe set through the burst path
+///                     (send_batch → FlowTable::process_batch) must yield
+///                     the same deliveries and the same match/miss
+///                     accounting as per-packet send() over the identical
+///                     installed table;
 ///   (f) safety      — the deployed final state must verify clean under
 ///                     the symbolic safety checker (no forwarding loop,
 ///                     isolation breach, or blackhole), and every
@@ -92,6 +97,7 @@ struct OracleOptions {
   bool check_recovery = true;
   bool check_partitioned = true;
   bool check_classifier = true;
+  bool check_batch = true;
   bool check_verifier = true;
 
   /// Planted divergences for the oracle's own tests.
@@ -113,6 +119,10 @@ struct OracleOptions {
     /// storage stays intact — models a classifier index that desynced from
     /// the table it is supposed to mirror.
     kDesyncClassifiedLookup,
+    /// The burst lookup path consults a stale (empty) index snapshot while
+    /// per-packet lookups stay correct — models a batched fast path that
+    /// desynced from the table under it.
+    kDesyncBatchLookup,
     /// A two-participant forwarding loop is planted behind the runtime's
     /// back (mutual steering whose prefix is withdrawn straight from the
     /// route server, leaving stale router FIBs) — the safety verifier must
@@ -128,7 +138,7 @@ struct OracleOptions {
 struct OracleVerdict {
   bool ok = true;
   std::string oracle;  ///< "fast-path" | "threads" | "recovery" |
-                       ///< "partitioned" | "classifier" | "verify"
+                       ///< "partitioned" | "classifier" | "batch" | "verify"
   std::string detail;  ///< first observed divergence, human-readable
 };
 

@@ -1083,6 +1083,12 @@ std::vector<dp::Fabric::Delivery> SdxRuntime::send(ParticipantId from,
   return fabric_.send(router(from, port_index), std::move(payload));
 }
 
+dp::Fabric::BatchDeliveries SdxRuntime::send_batch(
+    ParticipantId from, std::span<const net::PacketHeader> payloads,
+    std::size_t port_index) {
+  return fabric_.send_batch(router(from, port_index), payloads);
+}
+
 verify::DeploymentView SdxRuntime::deployment_view() const {
   if (!installed()) {
     throw std::logic_error("install() before deployment_view()");

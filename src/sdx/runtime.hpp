@@ -327,6 +327,14 @@ class SdxRuntime {
                                          net::PacketHeader payload,
                                          std::size_t port_index = 0);
 
+  /// Burst counterpart of send(): every payload is framed by the same
+  /// border router, then the whole burst runs through the fabric's
+  /// batched classification path (FlowTable::process_batch). Per-payload
+  /// deliveries are identical to calling send() in a loop.
+  dp::Fabric::BatchDeliveries send_batch(
+      ParticipantId from, std::span<const net::PacketHeader> payloads,
+      std::size_t port_index = 0);
+
   // --- policy safety verification (verify/) ---------------------------------
 
   /// The safety checker's window onto this runtime's live deployment:

@@ -2,14 +2,17 @@
 
 #include <charconv>
 #include <istream>
+#include <map>
 #include <optional>
 #include <ostream>
+#include <span>
 #include <sstream>
 #include <vector>
 
 #include "bgp/aspath_regex.hpp"
 #include "sdx/chaining.hpp"
 #include "sdx/explain.hpp"
+#include "sdx/monitor.hpp"
 #include "sdx/multi_switch.hpp"
 #include "sdx/verifier.hpp"
 
@@ -34,6 +37,13 @@ namespace sdx::core {
 //   install-multi                translate rules onto the topology; later
 //                                send/expect run over the multi fabric
 //   send <name> <field>=<v>... [from-port <idx>]
+//   traffic <name> count <n> flows <k> [seed <s>] [burst <b>]
+//       [from-port <idx>] <field>=<v>...
+//                                generated flow mix (skewed toward the
+//                                first flows) replayed in bursts through
+//                                the batched data-plane path; reports
+//                                per-participant delivery counts and the
+//                                monitor's top heavy hitter
 //   expect drop | expect port <name> <idx> | expect dstip <addr>
 //   audit                        static rule-table audit
 //   verify                       full safety check (loops, isolation,
@@ -419,6 +429,130 @@ std::string ScenarioInterpreter::Impl::handle(
     os << "delivered at port " << last_send[0].port
        << (last_send[0].accepted ? " (accepted)" : " (refused)") << ", dst "
        << last_send[0].frame.dst_ip().to_string();
+    return os.str();
+  }
+
+  if (cmd == "traffic") {
+    // Generated traffic sweep through the batched data-plane path: <k>
+    // flows derived from a template header, sampled with linearly
+    // decaying weights (flow 0 heaviest) into a <n>-packet stream that is
+    // replayed burst by burst via send_batch, with every delivery fed to
+    // a TrafficMonitor.
+    if (t.size() < 4) {
+      fail("usage: traffic <name> count <n> flows <k> [seed <s>] "
+           "[burst <b>] [from-port <idx>] <f>=<v>...");
+    }
+    if (multi_fabric) fail("traffic requires the single-switch fabric");
+    const auto id = lookup(t[1]);
+    net::PacketHeader tmpl;
+    tmpl.set(net::Field::kEthType, net::kEthTypeIpv4);
+    std::size_t count = 0, flows = 0, burst = 64, from_port = 0;
+    std::uint64_t seed = 1;
+    for (std::size_t i = 2; i < t.size(); ++i) {
+      const auto keyword = [&](const char* kw, std::size_t& dst) {
+        if (t[i] != kw) return false;
+        if (i + 1 >= t.size()) fail(std::string("missing value after ") + kw);
+        auto v = parse_number(t[i + 1]);
+        if (!v) fail("bad value after " + t[i]);
+        dst = *v;
+        ++i;
+        return true;
+      };
+      std::size_t seed_tmp = 0;
+      if (keyword("count", count) || keyword("flows", flows) ||
+          keyword("burst", burst) || keyword("from-port", from_port)) {
+        continue;
+      }
+      if (keyword("seed", seed_tmp)) {
+        seed = seed_tmp;
+        continue;
+      }
+      auto [field, value] = parse_set_token(t[i]);
+      tmpl.set(field, value);
+    }
+    if (count == 0 || flows == 0 || burst == 0) {
+      fail("traffic needs count, flows and burst > 0");
+    }
+
+    // Flow j: vary the source host within a handful of /24 blocks (block
+    // j%4), so the monitor has real source-block aggregates to rank.
+    std::vector<net::PacketHeader> flow_headers;
+    flow_headers.reserve(flows);
+    const std::uint64_t base_src = tmpl.get(net::Field::kSrcIp);
+    for (std::size_t j = 0; j < flows; ++j) {
+      net::PacketHeader h = tmpl;
+      h.set(net::Field::kSrcIp,
+            (base_src & ~0xFFFFull) | ((j % 4) << 8) | ((j / 4 + 1) & 0xFF));
+      h.set(net::Field::kSrcPort, 1024 + j);
+      flow_headers.push_back(h);
+    }
+
+    // Deterministic skewed sampling: flow rank r gets weight (flows - r).
+    std::uint64_t state = seed * 0x9E3779B97F4A7C15ull + 1;
+    const auto next_rand = [&state]() {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      return state;
+    };
+    const std::uint64_t total_weight = flows * (flows + 1) / 2;
+    std::vector<net::PacketHeader> stream;
+    stream.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t z = next_rand() % total_weight;
+      std::size_t r = 0;
+      while (z >= flows - r) {
+        z -= flows - r;
+        ++r;
+      }
+      stream.push_back(flow_headers[r]);
+    }
+
+    TrafficMonitor monitor(/*window_s=*/3600.0);
+    std::size_t delivered = 0;
+    std::map<std::string, std::size_t> by_participant;
+    double now = 0.0;
+    for (std::size_t off = 0; off < stream.size(); off += burst) {
+      const std::size_t len = std::min(burst, stream.size() - off);
+      const auto batch = runtime.send_batch(
+          id, std::span<const net::PacketHeader>(stream.data() + off, len),
+          from_port);
+      for (std::size_t i = 0; i < len; ++i) {
+        now += 0.001;
+        for (const auto& d : batch.of(i)) {
+          ++delivered;
+          ParticipantId to = 0;
+          std::string who = "port" + std::to_string(d.port);
+          try {
+            to = runtime.ports().phys_owner(d.port);
+            who = runtime.participant(to).name;
+          } catch (const std::exception&) {
+          }
+          ++by_participant[who];
+          monitor.observe(now, d.frame, to);
+        }
+      }
+    }
+
+    std::ostringstream os;
+    os << "traffic: " << count << " pkts, " << delivered << " delivered";
+    if (!by_participant.empty()) {
+      os << " (";
+      bool first = true;
+      for (const auto& [who, cnt] : by_participant) {
+        if (!first) os << ", ";
+        os << who << ":" << cnt;
+        first = false;
+      }
+      os << ")";
+    }
+    const auto hitters = monitor.heavy_hitters(now, delivered / 4 + 1);
+    if (!hitters.empty()) {
+      os << "; top " << hitters[0].source_block.to_string() << " -> "
+         << runtime.participant(hitters[0].victim).name << " ("
+         << hitters[0].packets << " pkts)";
+    }
+    sent_anything = true;
     return os.str();
   }
 

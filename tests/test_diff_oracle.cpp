@@ -159,6 +159,26 @@ TEST(DiffOracle, DetectsDesyncedClassifierIndex) {
       << "a zero-op failure must minimize to zero ops";
 }
 
+TEST(DiffOracle, DetectsDesyncedBatchLookup) {
+  OracleOptions options;
+  options.fault = OracleOptions::Fault::kDesyncBatchLookup;
+  DifferentialOracle oracle(options);
+
+  // Zero ops suffice: the planted desync makes every batched probe miss
+  // while the per-packet path still matches the base rules.
+  Trace t;
+  t.participants = 3;
+  t.prefixes = 4;
+  const auto verdict = oracle.check(t);
+  ASSERT_FALSE(verdict.ok) << "planted batch desync went undetected";
+  EXPECT_EQ(verdict.oracle, "batch");
+  EXPECT_FALSE(verdict.detail.empty());
+
+  const auto minimized = oracle.minimize(t);
+  EXPECT_TRUE(minimized.ops.empty())
+      << "a zero-op failure must minimize to zero ops";
+}
+
 TEST(DiffOracle, CleanSteerTracePassesAllEquivalences) {
   // Cross-participant steering churn: steer toward an advertiser (deploys),
   // steer toward a non-advertiser (BGP-filtered out), make the target a

@@ -104,6 +104,36 @@ TEST_F(ScenarioFixture, VerifyCommandProvesInstalledStateClean) {
   EXPECT_NE(run_ok({"verify"}).find("verify clean"), std::string::npos);
 }
 
+TEST_F(ScenarioFixture, TrafficSweepDeliversThroughBatchPath) {
+  run_ok({"participant A 65001", "participant B 65002 ports 2",
+          "participant C 65003",
+          "announce B 100.1.0.0/16 path 65002 900 10",
+          "announce C 100.1.0.0/16 path 65003 10",
+          "outbound A match dstport=80 -> B",
+          "inbound B match srcip=0.0.0.0/1 port 0",
+          "inbound B match srcip=128.0.0.0/1 port 1", "install"});
+  const auto out =
+      run_ok({"traffic A count 256 flows 8 seed 7 burst 64 "
+              "srcip=96.25.160.5 dstip=100.1.2.3 dstport=80"});
+  // Every generated packet is dst-port 80 toward the announced /16, so
+  // all 256 land at B (outbound policy), and the skewed flow sampling
+  // must surface a heavy-hitter source block.
+  EXPECT_NE(out.find("256 pkts, 256 delivered"), std::string::npos) << out;
+  EXPECT_NE(out.find("B:256"), std::string::npos) << out;
+  EXPECT_NE(out.find("top 96.25."), std::string::npos) << out;
+
+  // Non-80 traffic follows BGP best path to C; a burst that doesn't
+  // divide the count still delivers everything exactly once.
+  const auto dns =
+      run_ok({"traffic A count 100 flows 3 burst 7 "
+              "srcip=96.25.160.5 dstip=100.1.2.3 dstport=53"});
+  EXPECT_NE(dns.find("100 pkts, 100 delivered"), std::string::npos) << dns;
+  EXPECT_NE(dns.find("C:100"), std::string::npos) << dns;
+
+  run_fail("traffic A count 0 flows 4");  // count must be positive
+  run_fail("traffic Z count 8 flows 2");  // unknown participant
+}
+
 TEST_F(ScenarioFixture, ExpectationsCatchWrongOutcomes) {
   run_ok({"participant A 65001", "participant B 65002",
           "announce B 100.1.0.0/16", "install",
